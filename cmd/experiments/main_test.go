@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "experiments")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestFigureExperimentsGolden pins the key reproduced facts: the exact
+// group elements of Fig 4, the optimal IPC of Fig 5, and the dilation
+// bound of C1.
+func TestFigureExperimentsGolden(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-run", "F4,F5,C1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		// Fig 4, character for character with the paper.
+		"E3 = (03614725)",
+		"E5 = (05274163)",
+		"E7 = (07654321)",
+		"subgroup {E0,E4} from generator comm3",
+		"map[comm1:0 comm2:0 comm3:2]",
+		// Fig 5.
+		"total IPC (measured): 6",
+		// C1: no row may exceed the bound.
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "EXCEEDED") {
+		t.Error("C1 reports a dilation above the 1.2 bound")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	bin := buildCmd(t)
+	a, err := exec.Command(bin, "-run", "F1,F5,F6,C3,C4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, a)
+	}
+	b, err := exec.Command(bin, "-run", "F1,F5,F6,C3,C4").CombinedOutput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("experiment output is not deterministic across runs")
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-run", "E1,E2,E3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"synchrony set 0", "combining tree", "max load"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	bin := buildCmd(t)
+	if out, err := exec.Command(bin, "-run", "Z9").CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,121 @@
+// Command larcsc is the LaRCS compiler: it parses a LaRCS description,
+// expands it for concrete parameter bindings, and prints the resulting
+// task graph, phase schedule, and description-size statistics.
+//
+// Usage:
+//
+//	larcsc -file nbody.larcs -D n=15 -D s=2 [-dot] [-edges]
+//	larcsc -workload nbody -D n=31
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"oregami/internal/larcs"
+	"oregami/internal/phase"
+	"oregami/internal/workload"
+)
+
+type bindings map[string]int
+
+func (b bindings) String() string { return fmt.Sprint(map[string]int(b)) }
+
+func (b bindings) Set(s string) error {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("binding must be name=value, got %q", s)
+	}
+	v, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("binding %q: %v", s, err)
+	}
+	b[parts[0]] = v
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "larcsc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("file", "", "LaRCS source file")
+	wname := flag.String("workload", "", "bundled workload name instead of -file")
+	dot := flag.Bool("dot", false, "emit the task graph in Graphviz DOT format")
+	edges := flag.Bool("edges", false, "list every communication edge")
+	binds := bindings{}
+	flag.Var(binds, "D", "parameter binding name=value (repeatable)")
+	flag.Parse()
+
+	var src string
+	defaults := map[string]int{}
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	case *wname != "":
+		w, err := workload.ByName(*wname)
+		if err != nil {
+			return err
+		}
+		src = w.Source
+		for k, v := range w.Defaults {
+			defaults[k] = v
+		}
+	default:
+		return fmt.Errorf("need -file or -workload (available: %s)", workloadNames())
+	}
+	for k, v := range binds {
+		defaults[k] = v
+	}
+
+	prog, err := larcs.Parse(src)
+	if err != nil {
+		return err
+	}
+	c, err := prog.Compile(defaults, larcs.Limits{})
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(c.Graph.DOT())
+		return nil
+	}
+	fmt.Printf("algorithm %s with bindings %v\n", prog.Name, defaults)
+	fmt.Print(c.Graph.String())
+	if c.Phases != nil {
+		fmt.Printf("phase expression: %s\n", c.Phases)
+		occ := phase.Occurrences(c.Phases)
+		for _, p := range c.Graph.Comm {
+			fmt.Printf("  %-12s occurs %d time(s)\n", p.Name, occ[p.Name])
+		}
+	}
+	fmt.Printf("description size: %d bytes; expanded graph: %d tasks + %d edges\n",
+		prog.DescriptionSize(), c.Graph.NumTasks, c.Graph.NumEdges())
+	if *edges {
+		for _, p := range c.Graph.Comm {
+			fmt.Printf("phase %s:\n", p.Name)
+			for _, e := range p.Edges {
+				fmt.Printf("  %s -> %s (volume %g)\n", c.Graph.Labels[e.From], c.Graph.Labels[e.To], e.Weight)
+			}
+		}
+	}
+	return nil
+}
+
+func workloadNames() string {
+	var names []string
+	for _, w := range workload.All() {
+		names = append(names, w.Name)
+	}
+	return strings.Join(names, ", ")
+}

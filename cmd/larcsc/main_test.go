@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles this command once per test binary.
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "larcsc")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestCLIWorkload(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "nbody", "-D", "n=31").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"31 tasks", "ring", "chordal", "description size"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCLIFileAndDot(t *testing.T) {
+	bin := buildCmd(t)
+	src := filepath.Join(t.TempDir(), "p.larcs")
+	prog := "algorithm tiny(n);\nnodetype t 0..n-1;\ncomphase c { forall i in 0..n-2 : t(i) -> t(i+1); }\n"
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-file", src, "-D", "n=4", "-dot").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "digraph") || !strings.Contains(string(out), "0 -> 1") {
+		t.Errorf("DOT output malformed:\n%s", out)
+	}
+	// -edges listing.
+	out, err = exec.Command(bin, "-file", src, "-D", "n=3", "-edges").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 -> 1 (volume 1)") {
+		t.Errorf("edge listing missing:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bin := buildCmd(t)
+	// No input.
+	if out, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Errorf("no-input accepted:\n%s", out)
+	}
+	// Unknown workload.
+	if _, err := exec.Command(bin, "-workload", "zzz").CombinedOutput(); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	// Missing binding.
+	if _, err := exec.Command(bin, "-workload", "nbody", "-D", "n").CombinedOutput(); err == nil {
+		t.Error("malformed binding accepted")
+	}
+}

@@ -1,0 +1,228 @@
+// Command oregami runs the full pipeline — LaRCS compilation, MAPPER,
+// METRICS — and optionally opens the textual metrics shell, the
+// repository's stand-in for the paper's interactive Mac display: inspect
+// the mapping, move tasks between processors, and watch the metrics and
+// simulated completion time recompute.
+//
+// Usage:
+//
+//	oregami -workload nbody -D n=15 -D s=2 -net hypercube:3
+//	oregami -file prog.larcs -D n=64 -net mesh:8,8 -force arbitrary -shell
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"oregami/internal/core"
+	"oregami/internal/larcs"
+	"oregami/internal/metrics"
+	"oregami/internal/phase"
+	"oregami/internal/route"
+	"oregami/internal/sim"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "oregami:", err)
+		os.Exit(1)
+	}
+}
+
+type bindings map[string]int
+
+func (b bindings) String() string { return fmt.Sprint(map[string]int(b)) }
+
+func (b bindings) Set(s string) error {
+	parts := strings.SplitN(s, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("binding must be name=value, got %q", s)
+	}
+	v, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return err
+	}
+	b[parts[0]] = v
+	return nil
+}
+
+// parseNet parses "hypercube:3" or "mesh:4,4".
+func parseNet(s string) (*topology.Network, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("network must be kind:params, e.g. hypercube:3 or mesh:4,4")
+	}
+	var params []int
+	for _, p := range strings.Split(parts[1], ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, v)
+	}
+	return topology.ByName(parts[0], params...)
+}
+
+func run(out *os.File) error {
+	file := flag.String("file", "", "LaRCS source file")
+	wname := flag.String("workload", "", "bundled workload name")
+	netSpec := flag.String("net", "", "target network, e.g. hypercube:3 or mesh:4,4")
+	force := flag.String("force", "", "force a MAPPER class: canned|systolic|group-theoretic|arbitrary")
+	doSim := flag.Bool("sim", true, "simulate the phase schedule and report completion time")
+	dot := flag.Bool("dot", false, "emit the mapping as Graphviz DOT and exit")
+	shell := flag.Bool("shell", false, "open the interactive metrics shell after mapping")
+	binds := bindings{}
+	flag.Var(binds, "D", "parameter binding name=value (repeatable)")
+	flag.Parse()
+
+	if *netSpec == "" {
+		return fmt.Errorf("need -net (e.g. -net hypercube:3)")
+	}
+	net, err := parseNet(*netSpec)
+	if err != nil {
+		return err
+	}
+
+	var src string
+	all := map[string]int{}
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	case *wname != "":
+		w, err := workload.ByName(*wname)
+		if err != nil {
+			return err
+		}
+		src = w.Source
+		for k, v := range w.Defaults {
+			all[k] = v
+		}
+	default:
+		return fmt.Errorf("need -file or -workload")
+	}
+	for k, v := range binds {
+		all[k] = v
+	}
+	prog, err := larcs.Parse(src)
+	if err != nil {
+		return err
+	}
+	c, err := prog.Compile(all, larcs.Limits{})
+	if err != nil {
+		return err
+	}
+	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force)})
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Fprint(out, metrics.DOT(res.Mapping))
+		return nil
+	}
+	fmt.Fprintf(out, "MAPPER class: %s\n", res.Class)
+	for _, line := range res.Trail {
+		fmt.Fprintf(out, "  %s\n", line)
+	}
+	rep, err := metrics.Compute(res.Mapping)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, metrics.Render(res.Mapping, rep))
+	if *doSim && c.Phases != nil {
+		total, err := sim.Makespan(res.Mapping, c.Phases, sim.Config{}, 1<<20)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "simulated completion time: %g ticks\n", total)
+	}
+	if *shell {
+		return metricsShell(os.Stdin, out, res, c)
+	}
+	return nil
+}
+
+// metricsShell is the textual modify-and-recompute loop.
+func metricsShell(in *os.File, out *os.File, res *core.Result, c *larcs.Compiled) error {
+	fmt.Fprintln(out, "metrics shell: commands are show | move <task> <proc> | sim | util | quit")
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit", "q":
+			return nil
+		case "show":
+			rep, err := metrics.Compute(res.Mapping)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, metrics.Render(res.Mapping, rep))
+		case "move":
+			if len(fields) != 3 {
+				fmt.Fprintln(out, "usage: move <task> <proc>")
+				continue
+			}
+			task, err1 := strconv.Atoi(fields[1])
+			proc, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(out, "usage: move <task> <proc>")
+				continue
+			}
+			if err := metrics.ReassignTask(res.Mapping, task, proc); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			if _, err := route.RouteAll(res.Mapping, route.Options{}); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintf(out, "moved task %d to processor %d; routes recomputed\n", task, proc)
+		case "sim":
+			if c.Phases == nil {
+				fmt.Fprintln(out, "no phase expression")
+				continue
+			}
+			total, err := sim.Makespan(res.Mapping, c.Phases, sim.Config{}, 1<<20)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprintf(out, "simulated completion time: %g ticks\n", total)
+		case "util":
+			if c.Phases == nil {
+				fmt.Fprintln(out, "no phase expression")
+				continue
+			}
+			steps, err := phase.Flatten(c.Phases, 1<<20)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			u, err := sim.Utilize(res.Mapping, steps, sim.Config{})
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, u.Render())
+		default:
+			fmt.Fprintln(out, "commands: show | move <task> <proc> | sim | util | quit")
+		}
+	}
+}

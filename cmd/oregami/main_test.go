@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "oregami-cli")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestCLIPipeline(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "nbody", "-net", "hypercube:3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"MAPPER class: arbitrary", "total IPC", "simulated completion time"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCLIForceAndMeshNet(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "jacobi", "-net", "mesh:4,4", "-force", "arbitrary", "-sim=false").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "MAPPER class: arbitrary") {
+		t.Errorf("force ignored:\n%s", out)
+	}
+}
+
+func TestCLIMetricsShell(t *testing.T) {
+	bin := buildCmd(t)
+	cmd := exec.Command(bin, "-workload", "broadcast8", "-net", "hypercube:2", "-sim=false", "-shell")
+	cmd.Stdin = strings.NewReader("show\nmove 0 1\nsim\nutil\nbogus\nquit\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"metrics shell", "moved task 0 to processor 1", "simulated completion time", "utilization", "commands:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("shell output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bin := buildCmd(t)
+	for _, args := range [][]string{
+		{},
+		{"-workload", "nbody"},                  // no net
+		{"-workload", "nbody", "-net", "bogus"}, // bad net syntax
+		{"-workload", "nbody", "-net", "nosuch:3"},                       // unknown family
+		{"-workload", "zzz", "-net", "hypercube:3"},                      // unknown workload
+		{"-workload", "nbody", "-net", "mesh:2,2", "-force", "systolic"}, // inapplicable force
+	} {
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err == nil {
+			t.Errorf("args %v accepted:\n%s", args, out)
+		}
+	}
+}
+
+func TestCLIDot(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "broadcast8", "-net", "hypercube:2", "-dot").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "digraph") || !strings.Contains(string(out), "cluster_p0") {
+		t.Errorf("dot output malformed:\n%s", out)
+	}
+}

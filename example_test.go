@@ -1,0 +1,71 @@
+package oregami_test
+
+import (
+	"fmt"
+
+	"oregami"
+)
+
+// Example maps the paper's running n-body example onto an 8-processor
+// hypercube and reports what MAPPER decided.
+func Example() {
+	const nbody = `
+algorithm nbody(n);
+import s;
+nodetype body 0..n-1;
+nodesymmetric;
+comphase ring    { forall i in 0..n-1 : body(i) -> body((i+1) mod n); }
+comphase chordal { forall i in 0..n-1 : body(i) -> body((i + (n+1)/2) mod n); }
+exphase compute1 cost n;
+exphase compute2 cost n;
+phases ((ring; compute1)^((n+1)/2); chordal; compute2)^s;
+`
+	comp, err := oregami.Compile(nbody, map[string]int{"n": 15, "s": 2})
+	if err != nil {
+		panic(err)
+	}
+	net, _ := oregami.NewNetwork("hypercube", 3)
+	m, _ := comp.Map(net, nil)
+	fmt.Println("class:", m.Class())
+	fmt.Println("tasks:", comp.NumTasks(), "edges:", comp.NumEdges())
+	fmt.Println("IPC:", m.TotalIPC())
+	// Output:
+	// class: arbitrary
+	// tasks: 15 edges: 30
+	// IPC: 23
+}
+
+// ExampleComputation_Map shows forcing a MAPPER class and reading the
+// dispatcher's decision trail.
+func ExampleComputation_Map() {
+	comp, _ := oregami.CompileWorkload("jacobi", map[string]int{"n": 4})
+	net, _ := oregami.NewNetwork("mesh", 4, 4)
+	m, _ := comp.Map(net, nil)
+	fmt.Println(m.Method())
+	// Output:
+	// canned:grid->mesh(identity)
+}
+
+// ExampleMapping_Simulate estimates the completion time of the mapped
+// phase schedule on the store-and-forward machine model.
+func ExampleMapping_Simulate() {
+	comp, _ := oregami.CompileWorkload("fft16", nil)
+	net, _ := oregami.NewNetwork("hypercube", 4)
+	m, _ := comp.Map(net, nil)
+	t, _ := m.Simulate(oregami.SimConfig{}, 0)
+	fmt.Println(t, "ticks")
+	// Output:
+	// 24 ticks
+}
+
+// ExampleMapping_Schedule prints one processor's local scheduling
+// directive (the Section 6 synchrony-set extension).
+func ExampleMapping_Schedule() {
+	comp, _ := oregami.CompileWorkload("nbody", map[string]int{"n": 15, "s": 1})
+	net, _ := oregami.NewNetwork("hypercube", 3)
+	m, _ := comp.Map(net, nil)
+	s, _ := m.Schedule()
+	fmt.Println(len(s.Sets), "synchrony sets")
+	// Output:
+	// 2 synchrony sets
+}

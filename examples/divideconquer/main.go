@@ -1,0 +1,58 @@
+// Divide and conquer: the binomial tree B_k is the natural task graph of
+// parallel divide-and-conquer algorithms (paper Section 4.1 / [LRG+89]).
+// This example maps B_6 onto a square mesh using the canned embedding —
+// the paper's own contribution, with average dilation bounded by 1.2 —
+// and onto a hypercube, where the tree embeds with dilation 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oregami"
+)
+
+func main() {
+	comp, err := oregami.CompileWorkload("binomial", map[string]int{"k": 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("binomial tree B_6: %d tasks, %d combine edges\n\n",
+		comp.NumTasks(), comp.NumEdges())
+
+	for _, target := range []struct {
+		kind   string
+		params []int
+	}{
+		{"mesh", []int{8, 8}},
+		{"hypercube", []int{6}},
+	} {
+		net, err := oregami.NewNetwork(target.kind, target.params...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := comp.Map(net, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := m.Metrics()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var avg float64
+		var max int
+		for _, lm := range rep.Links {
+			avg = lm.AvgDilation
+			if lm.MaxDilation > max {
+				max = lm.MaxDilation
+			}
+		}
+		fmt.Printf("%s: class %s, method %s\n", net.Name, m.Class(), m.Method())
+		fmt.Printf("  average dilation %.4f (paper bound for the mesh: 1.2), max %d\n", avg, max)
+		total, err := m.Simulate(oregami.SimConfig{}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  simulated solve+combine time: %g ticks\n\n", total)
+	}
+}

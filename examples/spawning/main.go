@@ -1,0 +1,78 @@
+// Dynamic spawning and scheduling: the two Section 6 extensions.
+// A divide-and-conquer computation grows a full binary tree generation
+// by generation; the incremental mapper places each new generation
+// without disturbing running tasks. Afterwards, the 15-body mapping's
+// task synchrony sets and per-processor path-expression directives are
+// printed, and an overspecified gather phase is compared against a
+// synthesized spanning-tree aggregation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oregami"
+)
+
+func main() {
+	// --- dynamic spawning -------------------------------------------
+	net, err := oregami.NewNetwork("hypercube", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := oregami.BinaryTreeSpawner(4, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("divide-and-conquer spawning on", net.Name)
+	fmt.Printf("  gen 0: %2d tasks, max load %d\n", len(im.Proc), im.MaxLoad())
+	for im.Step() {
+		fmt.Printf("  gen %d: %2d tasks, max load %d, avg parent distance %.2f\n",
+			im.Generation(), len(im.Proc), im.MaxLoad(), im.AvgParentDistance())
+	}
+
+	// --- synchrony sets / scheduling directives ----------------------
+	comp, err := oregami.CompileWorkload("nbody", map[string]int{"n": 15, "s": 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cube3, _ := oregami.NewNetwork("hypercube", 3)
+	m, err := comp.Map(cube3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := m.RenderSchedule()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsynchrony sets and local scheduling directives (n-body on hypercube(3)):")
+	fmt.Print(out)
+
+	// --- aggregation topology selection -------------------------------
+	gather := `
+algorithm gather(n);
+nodetype worker 0..n-1;
+comphase collect {
+    forall i in 1..n-1 : worker(i) -> worker(0) volume 1;
+}
+exphase work cost 1;
+phases work; collect;
+`
+	gcomp, err := oregami.Compile(gather, map[string]int{"n": 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cube4, _ := oregami.NewNetwork("hypercube", 4)
+	gm, err := gcomp.Map(cube4, &oregami.MapOptions{Force: "arbitrary"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := gm.AnalyzeAggregation("collect")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noverspecified gather vs synthesized aggregation tree (16 workers on hypercube(4)):")
+	fmt.Printf("  literal routing : max link load %d, %d total hops\n", agg.LiteralMaxLoad, agg.LiteralHops)
+	fmt.Printf("  combining tree  : max link load %d, %d total hops, depth %d\n",
+		agg.TreeMaxLoad, agg.TreeHops, agg.Tree.Depth)
+}

@@ -1,0 +1,82 @@
+package oregami
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScheduleFacade(t *testing.T) {
+	comp, err := CompileWorkload("nbody", map[string]int{"n": 15, "s": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork("hypercube", 3)
+	m, err := comp.Map(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sets) != 2 {
+		t.Errorf("synchrony sets = %d, want 2", len(s.Sets))
+	}
+	out, err := m.RenderSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "path (") || !strings.Contains(out, "synchrony set") {
+		t.Errorf("schedule render incomplete:\n%s", out)
+	}
+}
+
+func TestAggregationFacade(t *testing.T) {
+	const gather = `
+algorithm gather(n);
+nodetype worker 0..n-1;
+comphase collect {
+    forall i in 1..n-1 : worker(i) -> worker(0) volume 1;
+}
+`
+	comp, err := Compile(gather, map[string]int{"n": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork("hypercube", 3)
+	m, err := comp.Map(net, &MapOptions{Force: "arbitrary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := m.AnalyzeAggregation("collect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.TreeMaxLoad != 1 {
+		t.Errorf("combining tree max load = %d, want 1", agg.TreeMaxLoad)
+	}
+	if agg.LiteralMaxLoad < agg.TreeMaxLoad {
+		t.Errorf("literal load %d below tree load %d", agg.LiteralMaxLoad, agg.TreeMaxLoad)
+	}
+	if _, err := m.AnalyzeAggregation("nosuch"); err == nil {
+		t.Error("unknown phase accepted")
+	}
+}
+
+func TestBinaryTreeSpawnerFacade(t *testing.T) {
+	net, _ := NewNetwork("mesh", 4, 4)
+	im, err := BinaryTreeSpawner(3, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im.RunAll()
+	if len(im.Proc) != 15 {
+		t.Errorf("spawned %d tasks, want 15", len(im.Proc))
+	}
+	if im.MaxLoad() != 1 {
+		t.Errorf("max load = %d, want 1 (15 tasks on 16 procs)", im.MaxLoad())
+	}
+	if _, err := BinaryTreeSpawner(-1, net); err == nil {
+		t.Error("bad depth accepted")
+	}
+}

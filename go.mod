@@ -1,0 +1,3 @@
+module oregami
+
+go 1.22

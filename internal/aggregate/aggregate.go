@@ -1,0 +1,191 @@
+// Package aggregate implements the "avoid overspecification" extension
+// sketched in the paper's Section 6: many parallel algorithms use a
+// specific tree topology to aggregate results when any spanning tree
+// would do. Instead of routing the user's aggregation edges literally,
+// this package synthesizes an aggregation topology compatible with the
+// mapping — a spanning tree of the *network* rooted at the collector's
+// processor — and compares it against the literal routing.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"oregami/internal/mapping"
+	"oregami/internal/topology"
+)
+
+// Tree is a spanning aggregation tree over the network.
+type Tree struct {
+	Root int
+	// Parent[p] is the parent processor of p (Root's parent is -1).
+	Parent []int
+	// ParentLink[p] is the link id toward the parent (-1 for the root).
+	ParentLink []int
+	// Depth is the tree height (max hops from any processor to root).
+	Depth int
+}
+
+// BuildTree constructs a breadth-first spanning tree of the network
+// rooted at rootProc. BFS trees minimize each processor's hop count to
+// the root, so no aggregation message travels farther than its shortest
+// path.
+func BuildTree(net *topology.Network, rootProc int) (*Tree, error) {
+	if rootProc < 0 || rootProc >= net.N {
+		return nil, fmt.Errorf("aggregate: root processor %d out of range", rootProc)
+	}
+	t := &Tree{Root: rootProc, Parent: make([]int, net.N), ParentLink: make([]int, net.N)}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.ParentLink[i] = -1
+	}
+	depth := make([]int, net.N)
+	seen := make([]bool, net.N)
+	seen[rootProc] = true
+	for q := []int{rootProc}; len(q) > 0; {
+		v := q[0]
+		q = q[1:]
+		for _, u := range net.Neighbors(v) {
+			if seen[u] {
+				continue
+			}
+			seen[u] = true
+			t.Parent[u] = v
+			id, _ := net.LinkBetween(u, v)
+			t.ParentLink[u] = id
+			depth[u] = depth[v] + 1
+			if depth[u] > t.Depth {
+				t.Depth = depth[u]
+			}
+			q = append(q, u)
+		}
+	}
+	for p, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("aggregate: processor %d unreachable from root", p)
+		}
+	}
+	return t, nil
+}
+
+// RouteToRoot returns the tree route (link ids) from processor p up to
+// the root.
+func (t *Tree) RouteToRoot(p int) topology.Route {
+	var r topology.Route
+	for at := p; t.Parent[at] != -1; at = t.Parent[at] {
+		r = append(r, t.ParentLink[at])
+	}
+	return r
+}
+
+// Result compares the literal routing of an aggregation phase with the
+// synthesized-tree alternative.
+type Result struct {
+	Tree *Tree
+	// LiteralMaxLoad / TreeMaxLoad: maximum per-link message count when
+	// the phase's messages are routed literally (shortest paths as the
+	// router chose them) vs. up the synthesized tree with combining
+	// (each tree link carries at most one combined message).
+	LiteralMaxLoad int
+	TreeMaxLoad    int
+	// LiteralHops / TreeHops: total link traversals.
+	LiteralHops int
+	TreeHops    int
+}
+
+// Replace analyzes the named phase of a routed mapping as an aggregation
+// toward a single collector task: every edge of the phase must point at
+// one common destination task (e.g. the root of a combining tree or the
+// leader of a vote). It synthesizes the spanning-tree aggregation and
+// returns the comparison; the mapping itself is not modified.
+//
+// With combining, each processor sends at most one message up its tree
+// link per aggregation wave, so a tree link's load is 1; the tree's total
+// hops count one traversal per non-root processor that holds tasks or
+// forwards for descendants (here: all non-root processors, the
+// worst case).
+func Replace(m *mapping.Mapping, phaseName string) (*Result, error) {
+	p := m.Graph.CommPhaseByName(phaseName)
+	if p == nil {
+		return nil, fmt.Errorf("aggregate: unknown phase %q", phaseName)
+	}
+	if len(p.Edges) == 0 {
+		return nil, fmt.Errorf("aggregate: phase %q has no edges", phaseName)
+	}
+	routes, ok := m.Routes[phaseName]
+	if !ok {
+		return nil, fmt.Errorf("aggregate: phase %q is not routed", phaseName)
+	}
+	collector := -1
+	dests := map[int]bool{}
+	for _, e := range p.Edges {
+		dests[e.To] = true
+		collector = e.To
+	}
+	if len(dests) != 1 {
+		return nil, fmt.Errorf("aggregate: phase %q has %d destinations; not an aggregation", phaseName, len(dests))
+	}
+	rootProc := m.ProcOf(collector)
+	tree, err := BuildTree(m.Net, rootProc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Tree: tree}
+
+	literal := make([]int, m.Net.NumLinks())
+	for _, r := range routes {
+		res.LiteralHops += len(r)
+		for _, id := range r {
+			literal[id]++
+		}
+	}
+	for _, l := range literal {
+		if l > res.LiteralMaxLoad {
+			res.LiteralMaxLoad = l
+		}
+	}
+
+	// Tree with combining: every processor holding a sending task
+	// contributes one message on each tree link along its path, but
+	// links are shared with combining — each link carries exactly one
+	// combined message per wave if any descendant sends. Compute per
+	// link: 1 if the subtree below it contains a sender.
+	senders := map[int]bool{}
+	for _, e := range p.Edges {
+		if m.ProcOf(e.From) != rootProc {
+			senders[m.ProcOf(e.From)] = true
+		}
+	}
+	treeLoad := make([]int, m.Net.NumLinks())
+	for s := range senders {
+		for at := s; tree.Parent[at] != -1; at = tree.Parent[at] {
+			treeLoad[tree.ParentLink[at]] = 1
+		}
+	}
+	for _, l := range treeLoad {
+		if l > res.TreeMaxLoad {
+			res.TreeMaxLoad = l
+		}
+		res.TreeHops += l
+	}
+	return res, nil
+}
+
+// SortedSenders is a test/debug helper: the sending processors of an
+// aggregation phase in sorted order.
+func SortedSenders(m *mapping.Mapping, phaseName string) []int {
+	p := m.Graph.CommPhaseByName(phaseName)
+	if p == nil {
+		return nil
+	}
+	set := map[int]bool{}
+	for _, e := range p.Edges {
+		set[m.ProcOf(e.From)] = true
+	}
+	var out []int
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,153 @@
+package aggregate
+
+import (
+	"testing"
+
+	"oregami/internal/core"
+	"oregami/internal/graph"
+	"oregami/internal/mapping"
+	"oregami/internal/route"
+	"oregami/internal/topology"
+)
+
+// fanInGraph: n tasks all sending to task 0 (the overspecified
+// aggregation the paper mentions).
+func fanInGraph(n int) *graph.TaskGraph {
+	g := graph.New("fanin", n)
+	p := g.AddCommPhase("gather")
+	for i := 1; i < n; i++ {
+		g.AddEdge(p, i, 0, 1)
+	}
+	return g
+}
+
+func mapFanIn(t *testing.T, n int, net *topology.Network) *mapping.Mapping {
+	t.Helper()
+	g := fanInGraph(n)
+	res, err := core.MapGraph(g, net, core.ClassArbitrary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Mapping
+}
+
+func TestBuildTreeBFS(t *testing.T) {
+	net := topology.Hypercube(3)
+	tree, err := BuildTree(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth != 3 {
+		t.Errorf("depth = %d, want 3 (cube diameter)", tree.Depth)
+	}
+	if tree.Parent[0] != -1 || tree.ParentLink[0] != -1 {
+		t.Error("root has a parent")
+	}
+	// Every route reaches the root along tree links, with length equal
+	// to the shortest-path distance (BFS property).
+	for p := 1; p < net.N; p++ {
+		r := tree.RouteToRoot(p)
+		path, ok := net.RouteEndpoints(p, r)
+		if !ok || path[len(path)-1] != 0 {
+			t.Errorf("route from %d does not reach root", p)
+		}
+		if len(r) != net.Distance(p, 0) {
+			t.Errorf("route from %d has %d hops, distance %d", p, len(r), net.Distance(p, 0))
+		}
+	}
+	if _, err := BuildTree(net, 99); err == nil {
+		t.Error("bad root accepted")
+	}
+}
+
+func TestReplaceFanIn(t *testing.T) {
+	net := topology.Hypercube(4)
+	m := mapFanIn(t, 16, net)
+	res, err := Replace(m, "gather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Combining tree: each link carries at most one combined message.
+	if res.TreeMaxLoad != 1 {
+		t.Errorf("tree max load = %d, want 1 (combining)", res.TreeMaxLoad)
+	}
+	// Literal fan-in concentrates on the collector's links: with 15
+	// senders over <= 4 incident links, some link carries >= 4.
+	if res.LiteralMaxLoad < 4 {
+		t.Errorf("literal max load = %d, expected >= 4", res.LiteralMaxLoad)
+	}
+	if res.TreeHops > res.LiteralHops {
+		t.Errorf("tree hops %d exceed literal hops %d", res.TreeHops, res.LiteralHops)
+	}
+	if res.Tree.Depth != net.Diameter() {
+		t.Errorf("tree depth = %d, want %d", res.Tree.Depth, net.Diameter())
+	}
+}
+
+func TestReplaceRejectsNonAggregation(t *testing.T) {
+	// A ring phase has many destinations.
+	g := graph.New("ring", 4)
+	p := g.AddCommPhase("ring")
+	for i := 0; i < 4; i++ {
+		g.AddEdge(p, i, (i+1)%4, 1)
+	}
+	net := topology.Ring(4)
+	m := mapping.New(g, net)
+	if err := m.IdentityContraction(); err != nil {
+		t.Fatal(err)
+	}
+	m.Place = []int{0, 1, 2, 3}
+	if _, err := route.RouteAll(m, route.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replace(m, "ring"); err == nil {
+		t.Error("multi-destination phase accepted as aggregation")
+	}
+	if _, err := Replace(m, "nosuch"); err == nil {
+		t.Error("unknown phase accepted")
+	}
+}
+
+func TestReplaceUnroutedPhase(t *testing.T) {
+	g := fanInGraph(4)
+	net := topology.Ring(4)
+	m := mapping.New(g, net)
+	if err := m.IdentityContraction(); err != nil {
+		t.Fatal(err)
+	}
+	m.Place = []int{0, 1, 2, 3}
+	if _, err := Replace(m, "gather"); err == nil {
+		t.Error("unrouted phase accepted")
+	}
+}
+
+func TestSortedSenders(t *testing.T) {
+	net := topology.Hypercube(3)
+	m := mapFanIn(t, 8, net)
+	senders := SortedSenders(m, "gather")
+	if len(senders) != 7 {
+		t.Errorf("senders = %v, want 7 processors", senders)
+	}
+	for i := 1; i < len(senders); i++ {
+		if senders[i] <= senders[i-1] {
+			t.Error("senders not sorted")
+		}
+	}
+	if SortedSenders(m, "zzz") != nil {
+		t.Error("unknown phase returned senders")
+	}
+}
+
+func TestBuildTreeOnMeshAndStar(t *testing.T) {
+	for _, net := range []*topology.Network{topology.Mesh(4, 4), topology.Star(9), topology.Butterfly(2)} {
+		tree, err := BuildTree(net, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+		for p := 1; p < net.N; p++ {
+			if len(tree.RouteToRoot(p)) != net.Distance(p, 0) {
+				t.Errorf("%s: non-BFS route from %d", net.Name, p)
+			}
+		}
+	}
+}

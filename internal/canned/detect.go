@@ -1,0 +1,707 @@
+// Package canned implements MAPPER's library of precomputed mappings for
+// nameable task graphs (paper, Section 4.1): structural detection of
+// well-known graph families, contraction by folding (Fishburn-Finkel
+// quotient networks), and low-dilation embeddings — including the
+// paper's own contribution, an embedding of the binomial tree into the
+// square mesh with average dilation bounded by 1.2.
+package canned
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oregami/internal/graph"
+)
+
+// Family names detected by Detect.
+const (
+	FamilyRing      = "ring"
+	FamilyLinear    = "linear"
+	FamilyGrid      = "grid" // 2-D mesh-structured task graph
+	FamilyTorus     = "torus"
+	FamilyHypercube = "hypercube"
+	FamilyCBTree    = "cbtree" // complete binary tree
+	FamilyBinomial  = "binomial"
+)
+
+// Detection describes a recognized task-graph family along with the
+// canonical relabeling that exhibits it: Canon[t] is the canonical id of
+// task t within the family (ring order, row-major grid order, hypercube
+// bitmask, heap order, or binomial bitmask).
+type Detection struct {
+	Family string
+	Params []int // ring/linear: n; grid: rows, cols; hypercube: dim; cbtree: depth; binomial: k
+	Canon  []int
+}
+
+// Detect recognizes the collapsed structure of g as one of the known
+// families, trying the most specific families first. It returns nil if
+// no family matches.
+func Detect(g *graph.TaskGraph) *Detection {
+	adj := undirectedSets(g)
+	if d := detectHypercube(adj); d != nil {
+		return d
+	}
+	if d := detectGrid(adj); d != nil {
+		return d
+	}
+	if d := detectTorus(adj); d != nil {
+		return d
+	}
+	if d := detectRing(adj); d != nil {
+		return d
+	}
+	if d := detectLinear(adj); d != nil {
+		return d
+	}
+	if d := detectBinomial(adj); d != nil {
+		return d
+	}
+	if d := detectCBTree(adj); d != nil {
+		return d
+	}
+	return nil
+}
+
+// undirectedSets returns the collapsed adjacency as neighbor sets.
+func undirectedSets(g *graph.TaskGraph) []map[int]bool {
+	adj := make([]map[int]bool, g.NumTasks)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	for pair := range g.CollapsedWeights() {
+		adj[pair[0]][pair[1]] = true
+		adj[pair[1]][pair[0]] = true
+	}
+	return adj
+}
+
+func connected(adj []map[int]bool) bool {
+	n := len(adj)
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	count := 1
+	for q := []int{0}; len(q) > 0; {
+		v := q[0]
+		q = q[1:]
+		for u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				q = append(q, u)
+			}
+		}
+	}
+	return count == n
+}
+
+func edgeCount(adj []map[int]bool) int {
+	n := 0
+	for _, s := range adj {
+		n += len(s)
+	}
+	return n / 2
+}
+
+func detectRing(adj []map[int]bool) *Detection {
+	n := len(adj)
+	if n < 3 || !connected(adj) {
+		return nil
+	}
+	for _, s := range adj {
+		if len(s) != 2 {
+			return nil
+		}
+	}
+	// Walk the cycle from 0.
+	canon := make([]int, n)
+	prev, cur := -1, 0
+	for i := 0; i < n; i++ {
+		canon[cur] = i
+		next := -1
+		for u := range adj[cur] {
+			if u != prev {
+				next = u
+				break
+			}
+		}
+		prev, cur = cur, next
+	}
+	if cur != 0 {
+		return nil
+	}
+	return &Detection{Family: FamilyRing, Params: []int{n}, Canon: canon}
+}
+
+func detectLinear(adj []map[int]bool) *Detection {
+	n := len(adj)
+	if n < 2 || !connected(adj) || edgeCount(adj) != n-1 {
+		return nil
+	}
+	ends := 0
+	start := -1
+	for v, s := range adj {
+		switch len(s) {
+		case 1:
+			ends++
+			if start == -1 {
+				start = v
+			}
+		case 2:
+		default:
+			return nil
+		}
+	}
+	if ends != 2 {
+		return nil
+	}
+	canon := make([]int, n)
+	prev, cur := -1, start
+	for i := 0; i < n; i++ {
+		canon[cur] = i
+		next := -1
+		for u := range adj[cur] {
+			if u != prev {
+				next = u
+			}
+		}
+		prev, cur = cur, next
+	}
+	return &Detection{Family: FamilyLinear, Params: []int{n}, Canon: canon}
+}
+
+// detectGrid coordinatizes a 2-D mesh from corner distances: with c0 a
+// corner at (0,0) and c1 the nearest other corner at (0, C-1), Manhattan
+// distances give r = (d0+d1-(C-1))/2 and c = (d0-d1+(C-1))/2.
+func detectGrid(adj []map[int]bool) *Detection {
+	n := len(adj)
+	if n < 4 || !connected(adj) {
+		return nil
+	}
+	var corners []int
+	for v, s := range adj {
+		switch len(s) {
+		case 2:
+			corners = append(corners, v)
+		case 3, 4:
+		default:
+			return nil
+		}
+	}
+	// A proper R x C grid (R, C >= 2, not a cycle) has exactly 4
+	// degree-2 corners; 2x2 is handled as a hypercube before this.
+	if len(corners) != 4 {
+		return nil
+	}
+	sort.Ints(corners)
+	c0 := corners[0]
+	d0 := bfsDist(adj, c0)
+	// Nearest other corner defines the column count.
+	c1, best := -1, 1<<30
+	for _, c := range corners[1:] {
+		if d0[c] < best {
+			c1, best = c, d0[c]
+		}
+	}
+	cols := best + 1
+	if cols < 2 || n%cols != 0 {
+		return nil
+	}
+	rows := n / cols
+	d1 := bfsDist(adj, c1)
+	coord := make([]int, n)
+	for v := range coord {
+		sum := d0[v] + d1[v] - (cols - 1)
+		diff := d0[v] - d1[v] + (cols - 1)
+		if sum < 0 || sum%2 != 0 || diff < 0 || diff%2 != 0 {
+			return nil
+		}
+		r, c := sum/2, diff/2
+		if r >= rows || c >= cols {
+			return nil
+		}
+		coord[v] = r*cols + c
+	}
+	if !verifyGrid(adj, coord, rows, cols) {
+		return nil
+	}
+	return &Detection{Family: FamilyGrid, Params: []int{rows, cols}, Canon: coord}
+}
+
+func bfsDist(adj []map[int]bool, src int) []int {
+	d := make([]int, len(adj))
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	for q := []int{src}; len(q) > 0; {
+		v := q[0]
+		q = q[1:]
+		for u := range adj[v] {
+			if d[u] == -1 {
+				d[u] = d[v] + 1
+				q = append(q, u)
+			}
+		}
+	}
+	return d
+}
+
+func verifyGrid(adj []map[int]bool, coord []int, rows, cols int) bool {
+	pos := make([]int, rows*cols)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for v, c := range coord {
+		if c < 0 || c >= rows*cols || pos[c] != -1 {
+			return false
+		}
+		pos[c] = v
+	}
+	want := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := pos[r*cols+c]
+			deg := 0
+			if c+1 < cols {
+				if !adj[v][pos[r*cols+c+1]] {
+					return false
+				}
+				deg++
+			}
+			if r+1 < rows {
+				if !adj[v][pos[(r+1)*cols+c]] {
+					return false
+				}
+				deg++
+			}
+			want += deg
+		}
+	}
+	return edgeCount(adj) == want
+}
+
+// detectTorus coordinatizes a 2-D torus with both extents >= 5 (smaller
+// extents create chords/multi-edges that alias other families: a 4x4
+// torus is the 4-cube, a 3-extent torus has triangles). The walk from a
+// start node follows "straight" continuations: in a chord-free torus,
+// the straight neighbor u of cur (coming from prev) is the unique
+// neighbor with exactly one common neighbor with prev (the turns share
+// two).
+func detectTorus(adj []map[int]bool) *Detection {
+	n := len(adj)
+	if n < 25 || !connected(adj) {
+		return nil
+	}
+	for _, s := range adj {
+		if len(s) != 4 {
+			return nil
+		}
+	}
+	if edgeCount(adj) != 2*n {
+		return nil
+	}
+	straight := func(prev, cur int) int {
+		out := -1
+		for u := range adj[cur] {
+			if u == prev {
+				continue
+			}
+			common := 0
+			for w := range adj[u] {
+				if adj[prev][w] {
+					common++
+				}
+			}
+			if common == 1 {
+				if out != -1 {
+					return -1 // ambiguous: not a chord-free torus
+				}
+				out = u
+			}
+		}
+		return out
+	}
+	// Walk a row from 0 through an arbitrary first neighbor.
+	first := -1
+	for u := range adj[0] {
+		if first == -1 || u < first {
+			first = u
+		}
+	}
+	row := []int{0, first}
+	for {
+		nxt := straight(row[len(row)-2], row[len(row)-1])
+		if nxt == -1 {
+			return nil
+		}
+		if nxt == 0 {
+			break
+		}
+		row = append(row, nxt)
+		if len(row) > n {
+			return nil
+		}
+	}
+	cols := len(row)
+	if cols < 5 || n%cols != 0 {
+		return nil
+	}
+	rows := n / cols
+	if rows < 5 {
+		return nil
+	}
+	// Pick the column direction: a neighbor of 0 not in the row.
+	inRow := make(map[int]bool, cols)
+	for _, v := range row {
+		inRow[v] = true
+	}
+	down := -1
+	for u := range adj[0] {
+		if !inRow[u] {
+			down = u
+			break
+		}
+	}
+	if down == -1 {
+		return nil
+	}
+	coord := make([]int, n)
+	for i := range coord {
+		coord[i] = -1
+	}
+	cur := row
+	for i, v := range cur {
+		coord[v] = i
+	}
+	prevRow := make([]int, cols)
+	for i := range prevRow {
+		prevRow[i] = -1 // sentinel: row -1 unknown; use straight from row r-1
+	}
+	for r := 1; r < rows; r++ {
+		next := make([]int, cols)
+		for i, v := range cur {
+			var cand int
+			if r == 1 {
+				if i == 0 {
+					cand = down
+				} else {
+					// The neighbor of cur[i] adjacent to next[i-1],
+					// unvisited.
+					cand = -1
+					for u := range adj[v] {
+						if coord[u] == -1 && adj[u][next[i-1]] {
+							if cand != -1 {
+								return nil
+							}
+							cand = u
+						}
+					}
+				}
+			} else {
+				cand = straight(prevRow[i], v)
+			}
+			if cand == -1 || coord[cand] != -1 {
+				return nil
+			}
+			next[i] = cand
+			coord[cand] = r*cols + i
+		}
+		prevRow = cur
+		cur = next
+	}
+	if !verifyTorus(adj, coord, rows, cols) {
+		return nil
+	}
+	return &Detection{Family: FamilyTorus, Params: []int{rows, cols}, Canon: coord}
+}
+
+func verifyTorus(adj []map[int]bool, coord []int, rows, cols int) bool {
+	pos := make([]int, rows*cols)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for v, c := range coord {
+		if c < 0 || c >= rows*cols || pos[c] != -1 {
+			return false
+		}
+		pos[c] = v
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := pos[r*cols+c]
+			if !adj[v][pos[r*cols+(c+1)%cols]] {
+				return false
+			}
+			if !adj[v][pos[((r+1)%rows)*cols+c]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func detectHypercube(adj []map[int]bool) *Detection {
+	n := len(adj)
+	d := 0
+	for 1<<uint(d) < n {
+		d++
+	}
+	if n < 2 || 1<<uint(d) != n || !connected(adj) {
+		return nil
+	}
+	for _, s := range adj {
+		if len(s) != d {
+			return nil
+		}
+	}
+	if edgeCount(adj) != n*d/2 {
+		return nil
+	}
+	// Label node 0 as bitstring 0 and its neighbors as the unit
+	// bitmasks. Any node u at BFS distance >= 2 from node 0 has (in a
+	// true hypercube) at least two neighbors x, y one layer closer, and
+	// its label must be label[x] | label[y] (x and y are u with one of
+	// u's set bits cleared). Verification afterwards rejects impostors.
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	dist := bfsDist(adj, 0)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dist[order[a]] < dist[order[b]] })
+	label[0] = 0
+	bit := 1
+	var units []int
+	for u := range adj[0] {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	for _, u := range units {
+		label[u] = bit
+		bit <<= 1
+	}
+	for _, u := range order {
+		if dist[u] < 2 {
+			continue
+		}
+		x, y := -1, -1
+		for w := range adj[u] {
+			if dist[w] == dist[u]-1 && label[w] != -1 {
+				if x == -1 {
+					x = w
+				} else {
+					y = w
+					break
+				}
+			}
+		}
+		if y == -1 {
+			return nil
+		}
+		label[u] = label[x] | label[y]
+	}
+	seen := make([]bool, n)
+	for _, l := range label {
+		if l < 0 || l >= n || seen[l] {
+			return nil
+		}
+		seen[l] = true
+	}
+	// Final verification: adjacency iff Hamming distance 1.
+	for v, s := range adj {
+		for u := range s {
+			if popcount(label[v]^label[u]) != 1 {
+				return nil
+			}
+		}
+	}
+	return &Detection{Family: FamilyHypercube, Params: []int{d}, Canon: label}
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// detectBinomial checks for the binomial tree B_k via AHU canonical
+// encoding rooted at the unique maximum-degree vertex.
+func detectBinomial(adj []map[int]bool) *Detection {
+	n := len(adj)
+	k := 0
+	for 1<<uint(k) < n {
+		k++
+	}
+	if n < 2 || 1<<uint(k) != n || edgeCount(adj) != n-1 || !connected(adj) {
+		return nil
+	}
+	root := maxDegreeVertex(adj)
+	if len(adj[root]) != k {
+		return nil
+	}
+	canon := make([]int, n)
+	for i := range canon {
+		canon[i] = -1
+	}
+	if !assignBinomial(adj, root, -1, k, 0, canon) {
+		return nil
+	}
+	return &Detection{Family: FamilyBinomial, Params: []int{k}, Canon: canon}
+}
+
+// assignBinomial labels the subtree rooted at v (coming from parent) as
+// the binomial tree B_order with root label base; children must be roots
+// of B_0..B_{order-1}.
+func assignBinomial(adj []map[int]bool, v, parent, order, base int, canon []int) bool {
+	canon[v] = base
+	var kids []int
+	for u := range adj[v] {
+		if u != parent {
+			kids = append(kids, u)
+		}
+	}
+	if len(kids) != order {
+		return false
+	}
+	// Sort children by subtree size = 2^their order; match each to a
+	// distinct order 0..order-1 by degree heuristic then verify.
+	sort.Slice(kids, func(i, j int) bool {
+		return subtreeSize(adj, kids[i], v) < subtreeSize(adj, kids[j], v)
+	})
+	for i, kid := range kids {
+		if subtreeSize(adj, kid, v) != 1<<uint(i) {
+			return false
+		}
+		if !assignBinomial(adj, kid, v, i, base+(1<<uint(i)), canon) {
+			return false
+		}
+	}
+	return true
+}
+
+func subtreeSize(adj []map[int]bool, v, parent int) int {
+	n := 1
+	for u := range adj[v] {
+		if u != parent {
+			n += subtreeSize(adj, u, v)
+		}
+	}
+	return n
+}
+
+func maxDegreeVertex(adj []map[int]bool) int {
+	best, bd := 0, -1
+	for v, s := range adj {
+		if len(s) > bd {
+			best, bd = v, len(s)
+		}
+	}
+	return best
+}
+
+// detectCBTree checks for a complete binary tree and labels it in heap
+// order.
+func detectCBTree(adj []map[int]bool) *Detection {
+	n := len(adj)
+	d := 0
+	for 1<<uint(d+1)-1 < n {
+		d++
+	}
+	if n < 3 || 1<<uint(d+1)-1 != n || edgeCount(adj) != n-1 || !connected(adj) {
+		return nil
+	}
+	// Root: the unique degree-2 vertex at distance d from every leaf;
+	// for d >= 1 the root has degree 2 and internal nodes degree 3.
+	var root = -1
+	for v, s := range adj {
+		if len(s) == 2 {
+			if height(adj, v, -1) == d+1 && balanced(adj, v, -1) {
+				root = v
+				break
+			}
+		}
+	}
+	if root == -1 {
+		return nil
+	}
+	canon := make([]int, n)
+	ok := true
+	var label func(v, parent, id int)
+	label = func(v, parent, id int) {
+		if id >= n {
+			ok = false
+			return
+		}
+		canon[v] = id
+		var kids []int
+		for u := range adj[v] {
+			if u != parent {
+				kids = append(kids, u)
+			}
+		}
+		if len(kids) == 0 {
+			return
+		}
+		if len(kids) != 2 {
+			ok = false
+			return
+		}
+		label(kids[0], v, 2*id+1)
+		label(kids[1], v, 2*id+2)
+	}
+	label(root, -1, 0)
+	if !ok {
+		return nil
+	}
+	return &Detection{Family: FamilyCBTree, Params: []int{d}, Canon: canon}
+}
+
+func height(adj []map[int]bool, v, parent int) int {
+	h := 0
+	for u := range adj[v] {
+		if u != parent {
+			if ch := height(adj, u, v); ch > h {
+				h = ch
+			}
+		}
+	}
+	return h + 1
+}
+
+func balanced(adj []map[int]bool, v, parent int) bool {
+	var hs []int
+	for u := range adj[v] {
+		if u != parent {
+			if !balanced(adj, u, v) {
+				return false
+			}
+			hs = append(hs, height(adj, u, v))
+		}
+	}
+	if len(hs) == 0 {
+		return true
+	}
+	if len(hs) != 2 {
+		return false
+	}
+	return hs[0] == hs[1]
+}
+
+// String renders the detection for logs and the METRICS display.
+func (d *Detection) String() string {
+	parts := make([]string, len(d.Params))
+	for i, p := range d.Params {
+		parts[i] = fmt.Sprint(p)
+	}
+	return d.Family + "(" + strings.Join(parts, "x") + ")"
+}

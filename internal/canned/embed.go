@@ -1,0 +1,561 @@
+package canned
+
+import (
+	"fmt"
+
+	"oregami/internal/topology"
+)
+
+// Embedding maps canonical family positions to processors. Given a
+// Detection with Canon[t] = canonical position of task t, the final
+// placement is Proc[Canon[t]].
+type Embedding struct {
+	// Name identifies the construction, e.g. "ring->hypercube(gray)".
+	Name string
+	// Proc[c] is the processor hosting canonical position c.
+	Proc []int
+}
+
+// grayCode returns the i-th binary-reflected Gray code.
+func grayCode(i int) int { return i ^ (i >> 1) }
+
+// RingIntoHypercube embeds the n-cycle into hypercube(d) with dilation 1
+// via the binary-reflected Gray code; n must equal 2^d.
+func RingIntoHypercube(n int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "hypercube" || net.N != n {
+		return nil, fmt.Errorf("canned: ring(%d) does not match %s", n, net.Name)
+	}
+	proc := make([]int, n)
+	for i := 0; i < n; i++ {
+		proc[i] = grayCode(i)
+	}
+	return &Embedding{Name: "ring->hypercube(gray)", Proc: proc}, nil
+}
+
+// RingIntoMesh embeds the n-cycle into an r x c mesh with dilation 1 via
+// a boustrophedon Hamiltonian cycle (requires r even or c even, and
+// r, c >= 2). Column 0 carries the return path.
+func RingIntoMesh(n int, net *topology.Network) (*Embedding, error) {
+	if (net.Kind != "mesh" && net.Kind != "torus") || net.N != n {
+		return nil, fmt.Errorf("canned: ring(%d) does not match %s", n, net.Name)
+	}
+	r, c := net.Dims[0], net.Dims[1]
+	if r < 2 || c < 2 || r%2 != 0 {
+		if c%2 == 0 && c >= 2 && r >= 2 {
+			// Transpose the construction.
+			e, err := ringCycleMesh(c, r)
+			if err != nil {
+				return nil, err
+			}
+			proc := make([]int, n)
+			for i, p := range e {
+				pr, pc := p/r, p%r
+				proc[i] = pc*c + pr
+			}
+			return &Embedding{Name: "ring->mesh(snake)", Proc: proc}, nil
+		}
+		return nil, fmt.Errorf("canned: no Hamiltonian cycle in %s", net.Name)
+	}
+	e, err := ringCycleMesh(r, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Embedding{Name: "ring->mesh(snake)", Proc: e}, nil
+}
+
+// ringCycleMesh returns a Hamiltonian cycle of the r x c mesh (r even) as
+// positions: cycle index -> node id (row-major). The cycle snakes
+// through columns 1..c-1 and returns up column 0.
+func ringCycleMesh(r, c int) ([]int, error) {
+	if r%2 != 0 {
+		return nil, fmt.Errorf("canned: rows must be even for a mesh Hamiltonian cycle")
+	}
+	var cycle []int
+	for i := 0; i < r; i++ {
+		if i%2 == 0 {
+			for j := 1; j < c; j++ {
+				cycle = append(cycle, i*c+j)
+			}
+		} else {
+			for j := c - 1; j >= 1; j-- {
+				cycle = append(cycle, i*c+j)
+			}
+		}
+	}
+	for i := r - 1; i >= 0; i-- {
+		cycle = append(cycle, i*c+0)
+	}
+	return cycle, nil
+}
+
+// GridIntoHypercube embeds an r x c grid (r, c powers of two) into
+// hypercube(log2(r*c)) with dilation 1 by Gray-coding each coordinate.
+func GridIntoHypercube(rows, cols int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "hypercube" || net.N != rows*cols {
+		return nil, fmt.Errorf("canned: grid(%dx%d) does not match %s", rows, cols, net.Name)
+	}
+	_, ok1 := log2(rows)
+	cb, ok2 := log2(cols)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("canned: grid dims %dx%d are not powers of two", rows, cols)
+	}
+	proc := make([]int, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			proc[i*cols+j] = grayCode(i)<<uint(cb) | grayCode(j)
+		}
+	}
+	return &Embedding{Name: "grid->hypercube(gray2)", Proc: proc}, nil
+}
+
+// GridIntoMesh maps an r x c grid onto an identical (or transposed)
+// mesh/torus with dilation 1.
+func GridIntoMesh(rows, cols int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "mesh" && net.Kind != "torus" {
+		return nil, fmt.Errorf("canned: grid does not match %s", net.Name)
+	}
+	nr, nc := net.Dims[0], net.Dims[1]
+	proc := make([]int, rows*cols)
+	switch {
+	case nr == rows && nc == cols:
+		for i := range proc {
+			proc[i] = i
+		}
+	case nr == cols && nc == rows:
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				proc[i*cols+j] = j*nc + i
+			}
+		}
+	default:
+		return nil, fmt.Errorf("canned: grid(%dx%d) does not fit %s", rows, cols, net.Name)
+	}
+	return &Embedding{Name: "grid->mesh(identity)", Proc: proc}, nil
+}
+
+// TorusIntoTorus maps an r x c torus task graph onto an identical (or
+// transposed) torus network with dilation 1.
+func TorusIntoTorus(rows, cols int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "torus" {
+		return nil, fmt.Errorf("canned: torus does not match %s", net.Name)
+	}
+	nr, nc := net.Dims[0], net.Dims[1]
+	proc := make([]int, rows*cols)
+	switch {
+	case nr == rows && nc == cols:
+		for i := range proc {
+			proc[i] = i
+		}
+	case nr == cols && nc == rows:
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				proc[i*cols+j] = j*nc + i
+			}
+		}
+	default:
+		return nil, fmt.Errorf("canned: torus(%dx%d) does not fit %s", rows, cols, net.Name)
+	}
+	return &Embedding{Name: "torus->torus(identity)", Proc: proc}, nil
+}
+
+// TorusIntoHypercube embeds an r x c torus (both powers of two) into
+// hypercube(log2(r*c)) with dilation 1: the binary-reflected Gray code
+// is cyclic (first and last codes differ in one bit), so wraparound
+// edges are also single hops.
+func TorusIntoHypercube(rows, cols int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "hypercube" || net.N != rows*cols {
+		return nil, fmt.Errorf("canned: torus(%dx%d) does not match %s", rows, cols, net.Name)
+	}
+	_, ok1 := log2(rows)
+	cb, ok2 := log2(cols)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("canned: torus dims %dx%d are not powers of two", rows, cols)
+	}
+	proc := make([]int, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			proc[i*cols+j] = grayCode(i)<<uint(cb) | grayCode(j)
+		}
+	}
+	return &Embedding{Name: "torus->hypercube(gray2)", Proc: proc}, nil
+}
+
+// TorusIntoMesh maps a torus onto the same-shape mesh: the wraparound
+// edges fold to dilation <= 2 by interleaving each coordinate
+// (0, n-1, 1, n-2, ... — the standard torus-to-mesh folding).
+func TorusIntoMesh(rows, cols int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "mesh" || net.Dims[0] != rows || net.Dims[1] != cols {
+		return nil, fmt.Errorf("canned: torus(%dx%d) does not fit %s", rows, cols, net.Name)
+	}
+	// fold maps torus coordinate c to its mesh position: walking the
+	// cycle 0,1,...,n-1 visits mesh positions 0,2,4,...,5,3,1, so
+	// cycle-adjacent coordinates (including the wrap pair) are at most
+	// 2 apart in the mesh.
+	fold := func(n int) []int {
+		inv := make([]int, n)
+		for c := 0; c < n; c++ {
+			if 2*c <= n-1 {
+				inv[c] = 2 * c
+			} else {
+				inv[c] = 2*(n-1-c) + 1
+			}
+		}
+		return inv
+	}
+	fr, fc := fold(rows), fold(cols)
+	proc := make([]int, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			proc[i*cols+j] = fr[i]*cols + fc[j]
+		}
+	}
+	return &Embedding{Name: "torus->mesh(fold)", Proc: proc}, nil
+}
+
+// HypercubeIntoHypercube is the identity embedding.
+func HypercubeIntoHypercube(d int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "hypercube" || net.Dims[0] != d {
+		return nil, fmt.Errorf("canned: hypercube(%d) does not match %s", d, net.Name)
+	}
+	proc := make([]int, net.N)
+	for i := range proc {
+		proc[i] = i
+	}
+	return &Embedding{Name: "hypercube->hypercube(identity)", Proc: proc}, nil
+}
+
+// BinomialIntoHypercube embeds B_k into hypercube(k) with dilation 1:
+// the binomial tree under bitmask labels is a spanning tree of the cube.
+func BinomialIntoHypercube(k int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "hypercube" || net.Dims[0] != k {
+		return nil, fmt.Errorf("canned: binomial(%d) does not match %s", k, net.Name)
+	}
+	proc := make([]int, net.N)
+	for i := range proc {
+		proc[i] = i
+	}
+	return &Embedding{Name: "binomial->hypercube(identity)", Proc: proc}, nil
+}
+
+// CBTreeIntoHypercube embeds the complete binary tree of the given depth
+// (2^(depth+1)-1 nodes, heap order) into hypercube(depth+1) with
+// dilation 2 via inorder numbering.
+func CBTreeIntoHypercube(depth int, net *topology.Network) (*Embedding, error) {
+	if net.Kind != "hypercube" || net.Dims[0] != depth+1 {
+		return nil, fmt.Errorf("canned: cbtree(%d) does not match %s", depth, net.Name)
+	}
+	n := 1<<uint(depth+1) - 1
+	proc := make([]int, n)
+	next := 0
+	var inorder func(heap int)
+	inorder = func(heap int) {
+		if heap >= n {
+			return
+		}
+		inorder(2*heap + 1)
+		proc[heap] = next
+		next++
+		inorder(2*heap + 2)
+	}
+	inorder(0)
+	return &Embedding{Name: "cbtree->hypercube(inorder)", Proc: proc}, nil
+}
+
+// BinomialIntoMesh embeds B_k (bitmask labels) into the near-square
+// 2^ceil(k/2) x 2^floor(k/2) mesh using the recursive doubling
+// construction of [LRG+89]: each half of B_k is embedded in half the
+// mesh, each half reflected to bring the two roots as close as possible
+// to the shared cut. The paper reports average dilation bounded by 1.2
+// for arbitrarily large trees; the experiment harness (C1) verifies the
+// bound empirically.
+func BinomialIntoMesh(k int, net *topology.Network) (*Embedding, error) {
+	rows := 1 << uint((k+1)/2)
+	cols := 1 << uint(k/2)
+	if net.Kind != "mesh" || net.Dims[0] != rows || net.Dims[1] != cols {
+		return nil, fmt.Errorf("canned: binomial(%d) wants mesh(%dx%d), got %s", k, rows, cols, net.Name)
+	}
+	pos, _ := binomialMeshLayout(k)
+	proc := make([]int, 1<<uint(k))
+	for v, rc := range pos {
+		proc[v] = rc[0]*cols + rc[1]
+	}
+	return &Embedding{Name: "binomial->mesh(recursive)", Proc: proc}, nil
+}
+
+// binomialMeshLayout computes coordinates for every node of B_k in the
+// 2^ceil(k/2) x 2^floor(k/2) grid and returns them with the root's
+// position. B_k is split as two B_(k-1) joined at the roots; the halves
+// are placed in the two halves of the grid (splitting rows first so the
+// grid stays near-square), trying all four reflections of each half to
+// minimize the distance between the two roots.
+func binomialMeshLayout(k int) (pos [][2]int, root [2]int) {
+	if k == 0 {
+		return [][2]int{{0, 0}}, [2]int{0, 0}
+	}
+	sub, subRoot := binomialMeshLayout(k - 1)
+	srows := 1 << uint(k/2)     // sub-grid rows, 2^ceil((k-1)/2)
+	scols := 1 << uint((k-1)/2) // sub-grid cols, 2^floor((k-1)/2)
+	// Result dims: rows = 2^ceil(k/2), cols = 2^floor(k/2). When k is
+	// odd the row count doubles (stack vertically); when k is even the
+	// column count doubles (place side by side).
+	splitRows := k%2 == 1
+	n := 1 << uint(k)
+	pos = make([][2]int, n)
+
+	// reflect returns the coordinate of p under optional horizontal and
+	// vertical flips of the sub-grid.
+	reflect := func(p [2]int, flipV, flipH bool) [2]int {
+		r, c := p[0], p[1]
+		if flipV {
+			r = srows - 1 - r
+		}
+		if flipH {
+			c = scols - 1 - c
+		}
+		return [2]int{r, c}
+	}
+	offset := func(p [2]int, half int) [2]int {
+		if half == 0 {
+			return p
+		}
+		if splitRows {
+			return [2]int{p[0] + srows, p[1]}
+		}
+		return [2]int{p[0], p[1] + scols}
+	}
+	// Choose reflections minimizing the root-to-root distance.
+	best := 1 << 30
+	var bestA, bestB [2]bool
+	for _, fa := range [][2]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+		ra := offset(reflect(subRoot, fa[0], fa[1]), 0)
+		for _, fb := range [][2]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+			rb := offset(reflect(subRoot, fb[0], fb[1]), 1)
+			d := abs(ra[0]-rb[0]) + abs(ra[1]-rb[1])
+			if d < best {
+				best = d
+				bestA, bestB = fa, fb
+			}
+		}
+	}
+	for v := 0; v < n/2; v++ {
+		pos[v] = offset(reflect(sub[v], bestA[0], bestA[1]), 0)
+		pos[v+n/2] = offset(reflect(sub[v], bestB[0], bestB[1]), 1)
+	}
+	return pos, pos[0]
+}
+
+// CBTreeIntoMesh embeds the complete binary tree of the given depth
+// (2^(depth+1)-1 nodes, heap order) into the 2^ceil((depth+1)/2) x
+// 2^floor((depth+1)/2) mesh, which has exactly one spare cell. The
+// construction is an H-tree-style recursion: each half of the mesh holds
+// one subtree, reflected to bring the subtree roots near the new root,
+// which occupies one half's spare cell. Average dilation stays small
+// (~1.5, measured in the tests) while max dilation grows with the tree,
+// as for any area-tight tree layout.
+func CBTreeIntoMesh(depth int, net *topology.Network) (*Embedding, error) {
+	rows := 1 << uint((depth+2)/2)
+	cols := 1 << uint((depth+1)/2)
+	if net.Kind != "mesh" || net.Dims[0] != rows || net.Dims[1] != cols {
+		return nil, fmt.Errorf("canned: cbtree(%d) wants mesh(%dx%d), got %s", depth, rows, cols, net.Name)
+	}
+	pos, _, _ := htreeLayout(depth)
+	n := 1<<uint(depth+1) - 1
+	proc := make([]int, n)
+	for v, rc := range pos {
+		proc[v] = rc[0]*cols + rc[1]
+	}
+	return &Embedding{Name: "cbtree->mesh(htree)", Proc: proc}, nil
+}
+
+// htreeLayout lays out the depth-d complete binary tree (heap indices)
+// on its 2^(d+1)-cell near-square grid; it returns the positions, the
+// root's cell, and the one spare cell.
+func htreeLayout(d int) (pos [][2]int, root, spare [2]int) {
+	if d == 0 {
+		// 2x1 grid: root at (0,0), spare at (1,0).
+		return [][2]int{{0, 0}}, [2]int{0, 0}, [2]int{1, 0}
+	}
+	sub, subRoot, subSpare := htreeLayout(d - 1)
+	// Sub-grid dims for depth d-1: rows 2^ceil(d/2), cols 2^floor(d/2).
+	srows := 1 << uint((d+1)/2)
+	scols := 1 << uint(d/2)
+	// Result dims: rows = 2^ceil((d+1)/2), cols = 2^floor((d+1)/2); the
+	// row count doubles exactly when ceil((d+1)/2) > ceil(d/2).
+	splitRows := (1<<uint((d+2)/2))/srows == 2
+	n := 1<<uint(d+1) - 1
+	half := 1<<uint(d) - 1
+	pos = make([][2]int, n)
+
+	reflect := func(p [2]int, flipV, flipH bool) [2]int {
+		r, c := p[0], p[1]
+		if flipV {
+			r = srows - 1 - r
+		}
+		if flipH {
+			c = scols - 1 - c
+		}
+		return [2]int{r, c}
+	}
+	offset := func(p [2]int, halfIdx int) [2]int {
+		if halfIdx == 0 {
+			return p
+		}
+		if splitRows {
+			return [2]int{p[0] + srows, p[1]}
+		}
+		return [2]int{p[0], p[1] + scols}
+	}
+	flips := [][2]bool{{false, false}, {false, true}, {true, false}, {true, true}}
+	type choice struct {
+		fa, fb   [2]bool
+		rootHalf int // whose spare hosts the new root
+		cost     int
+	}
+	best := choice{cost: 1 << 30}
+	for _, fa := range flips {
+		ra := offset(reflect(subRoot, fa[0], fa[1]), 0)
+		sa := offset(reflect(subSpare, fa[0], fa[1]), 0)
+		for _, fb := range flips {
+			rb := offset(reflect(subRoot, fb[0], fb[1]), 1)
+			sb := offset(reflect(subSpare, fb[0], fb[1]), 1)
+			spares := [][2]int{sa, sb}
+			for rootHalf, rp := range spares {
+				other := spares[1-rootHalf]
+				// Root close to both subtree roots (these are the two
+				// new tree edges), and the leftover spare close to the
+				// root so the invariant survives to the next level.
+				cost := 2*(abs(rp[0]-ra[0])+abs(rp[1]-ra[1])) +
+					2*(abs(rp[0]-rb[0])+abs(rp[1]-rb[1])) +
+					abs(rp[0]-other[0]) + abs(rp[1]-other[1])
+				if cost < best.cost {
+					best = choice{fa: fa, fb: fb, rootHalf: rootHalf, cost: cost}
+				}
+			}
+		}
+	}
+	// Heap re-indexing: new root is 0; left subtree nodes map heap index
+	// u (in the sub-layout) to their global heap index.
+	mapChild := func(child, u int) int {
+		// Walk u's path from the sub-root and replay it under the
+		// global child root (1 or 2).
+		var path []int
+		for x := u; x > 0; x = (x - 1) / 2 {
+			path = append(path, (x-1)%2)
+		}
+		g := child
+		for i := len(path) - 1; i >= 0; i-- {
+			g = 2*g + 1 + path[i]
+		}
+		return g
+	}
+	for u := 0; u < half; u++ {
+		pos[mapChild(1, u)] = offset(reflect(sub[u], best.fa[0], best.fa[1]), 0)
+		pos[mapChild(2, u)] = offset(reflect(sub[u], best.fb[0], best.fb[1]), 1)
+	}
+	sa := offset(reflect(subSpare, best.fa[0], best.fa[1]), 0)
+	sb := offset(reflect(subSpare, best.fb[0], best.fb[1]), 1)
+	if best.rootHalf == 0 {
+		pos[0] = sa
+		spare = sb
+	} else {
+		pos[0] = sb
+		spare = sa
+	}
+	return pos, pos[0], spare
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func log2(n int) (int, bool) {
+	d := 0
+	for 1<<uint(d) < n {
+		d++
+	}
+	return d, 1<<uint(d) == n
+}
+
+// Lookup dispatches a detected family to the matching canned embedding
+// for the target network, trying the constructions in order. It returns
+// nil if no canned mapping applies.
+func Lookup(det *Detection, net *topology.Network) *Embedding {
+	try := func(e *Embedding, err error) *Embedding {
+		if err != nil {
+			return nil
+		}
+		return e
+	}
+	switch det.Family {
+	case FamilyRing:
+		if e := try(RingIntoHypercube(det.Params[0], net)); e != nil {
+			return e
+		}
+		if e := try(RingIntoMesh(det.Params[0], net)); e != nil {
+			return e
+		}
+		if net.Kind == "ring" && net.N == det.Params[0] {
+			return identity(net.N, "ring->ring(identity)")
+		}
+	case FamilyLinear:
+		if net.Kind == "linear" && net.N == det.Params[0] {
+			return identity(net.N, "linear->linear(identity)")
+		}
+		if net.Kind == "ring" && net.N == det.Params[0] {
+			return identity(net.N, "linear->ring(identity)")
+		}
+		if net.Kind == "hypercube" && net.N == det.Params[0] {
+			if e := try(RingIntoHypercube(det.Params[0], net)); e != nil {
+				e.Name = "linear->hypercube(gray)"
+				return e
+			}
+		}
+	case FamilyGrid:
+		if e := try(GridIntoHypercube(det.Params[0], det.Params[1], net)); e != nil {
+			return e
+		}
+		if e := try(GridIntoMesh(det.Params[0], det.Params[1], net)); e != nil {
+			return e
+		}
+	case FamilyTorus:
+		if e := try(TorusIntoTorus(det.Params[0], det.Params[1], net)); e != nil {
+			return e
+		}
+		if e := try(TorusIntoHypercube(det.Params[0], det.Params[1], net)); e != nil {
+			return e
+		}
+		if e := try(TorusIntoMesh(det.Params[0], det.Params[1], net)); e != nil {
+			return e
+		}
+	case FamilyHypercube:
+		if e := try(HypercubeIntoHypercube(det.Params[0], net)); e != nil {
+			return e
+		}
+	case FamilyBinomial:
+		if e := try(BinomialIntoHypercube(det.Params[0], net)); e != nil {
+			return e
+		}
+		if e := try(BinomialIntoMesh(det.Params[0], net)); e != nil {
+			return e
+		}
+	case FamilyCBTree:
+		if e := try(CBTreeIntoHypercube(det.Params[0], net)); e != nil {
+			return e
+		}
+		if e := try(CBTreeIntoMesh(det.Params[0], net)); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func identity(n int, name string) *Embedding {
+	proc := make([]int, n)
+	for i := range proc {
+		proc[i] = i
+	}
+	return &Embedding{Name: name, Proc: proc}
+}

@@ -1,0 +1,91 @@
+package canned
+
+import "fmt"
+
+// Fold contracts a detected family instance with more tasks than
+// processors onto its smaller same-family quotient (Fishburn & Finkel's
+// quotient networks, cited by the paper's Fig 3). It returns part with
+// part[canonical position] = cluster id, where clusters correspond to
+// the canonical positions of the smaller instance. procs must evenly
+// relate to the family size.
+func Fold(det *Detection, procs int) ([]int, error) {
+	switch det.Family {
+	case FamilyRing, FamilyLinear:
+		n := det.Params[0]
+		if procs <= 0 || n%procs != 0 {
+			return nil, fmt.Errorf("canned: cannot fold %s(%d) onto %d processors", det.Family, n, procs)
+		}
+		// Block fold: consecutive n/procs tasks per cluster, preserving
+		// the ring/linear adjacency between clusters.
+		blk := n / procs
+		part := make([]int, n)
+		for i := range part {
+			part[i] = i / blk
+		}
+		return part, nil
+	case FamilyGrid:
+		rows, cols := det.Params[0], det.Params[1]
+		// Fold each dimension by an integer factor such that the
+		// quotient has procs = qr * qc cells, preferring near-square
+		// factors that divide the grid evenly.
+		best := -1
+		var bestQR int
+		for qr := 1; qr <= procs; qr++ {
+			if procs%qr != 0 {
+				continue
+			}
+			qc := procs / qr
+			if rows%qr != 0 || cols%qc != 0 {
+				continue
+			}
+			// Prefer the most balanced block shape.
+			score := -abs(rows/qr - cols/qc)
+			if best == -1 || score > best {
+				best = score
+				bestQR = qr
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("canned: cannot fold grid(%dx%d) onto %d processors", rows, cols, procs)
+		}
+		qr := bestQR
+		qc := procs / qr
+		br, bc := rows/qr, cols/qc
+		part := make([]int, rows*cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				part[i*cols+j] = (i/br)*qc + j/bc
+			}
+		}
+		return part, nil
+	case FamilyHypercube:
+		d := det.Params[0]
+		pd, ok := log2(procs)
+		if !ok || pd > d {
+			return nil, fmt.Errorf("canned: cannot fold hypercube(%d) onto %d processors", d, procs)
+		}
+		// Mask away high dimensions: node v maps to its low pd bits, so
+		// each cluster is a subcube.
+		part := make([]int, 1<<uint(d))
+		for v := range part {
+			part[v] = v & (1<<uint(pd) - 1)
+		}
+		return part, nil
+	case FamilyBinomial:
+		k := det.Params[0]
+		pk, ok := log2(procs)
+		if !ok || pk > k {
+			return nil, fmt.Errorf("canned: cannot fold binomial(%d) onto %d processors", k, procs)
+		}
+		// B_k folds onto B_pk by collapsing the low-order subtrees:
+		// node v maps to its high pk bits' subtree root pattern. Use
+		// the same subcube masking as the hypercube (B_k is a spanning
+		// tree of it), keeping each cluster a contiguous subtree set.
+		part := make([]int, 1<<uint(k))
+		for v := range part {
+			part[v] = v >> uint(k-pk)
+		}
+		return part, nil
+	}
+	return nil, fmt.Errorf("canned: no fold rule for family %q", det.Family)
+}

@@ -1,0 +1,103 @@
+package canned
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oregami/internal/topology"
+)
+
+// Property: Gray code consecutive values differ in exactly one bit, and
+// the code is a bijection on any power-of-two prefix.
+func TestGrayCodeProperty(t *testing.T) {
+	f := func(x uint16) bool {
+		i := int(x % 4096)
+		g1 := grayCode(i)
+		g2 := grayCode(i + 1)
+		diff := g1 ^ g2
+		return diff != 0 && diff&(diff-1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 1024; i++ {
+		g := grayCode(i)
+		if g < 0 || g >= 1024 || seen[g] {
+			t.Fatalf("gray code not a bijection at %d", i)
+		}
+		seen[g] = true
+	}
+}
+
+// Property: every Fold result is a balanced partition with cluster count
+// equal to the processor count, across the foldable families.
+func TestFoldBalancedProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		// Ring of size n folded onto p | n.
+		n := 6 + int(a%10)*2 // even sizes 6..24
+		divs := []int{}
+		for d := 2; d < n; d++ {
+			if n%d == 0 {
+				divs = append(divs, d)
+			}
+		}
+		if len(divs) == 0 {
+			return true
+		}
+		p := divs[int(b)%len(divs)]
+		det := Detect(taskGraphOf(topology.Ring(n)))
+		if det == nil || det.Family != FamilyRing {
+			// Small rings may alias the hypercube family (ring(4)=Q2);
+			// skip those instances.
+			return true
+		}
+		part, err := Fold(det, p)
+		if err != nil {
+			return false
+		}
+		counts := map[int]int{}
+		for _, c := range part {
+			counts[c]++
+		}
+		if len(counts) != p {
+			return false
+		}
+		for _, s := range counts {
+			if s != n/p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the binomial mesh layout is always a bijection and its
+// average dilation is monotone-ish bounded by 1.2 (full sweep in
+// TestBinomialIntoMeshAvgDilation; here just structural validity over
+// random k).
+func TestBinomialLayoutBijectionProperty(t *testing.T) {
+	f := func(x uint8) bool {
+		k := 1 + int(x%10)
+		pos, root := binomialMeshLayout(k)
+		if root != pos[0] {
+			return false
+		}
+		rows := 1 << uint((k+1)/2)
+		cols := 1 << uint(k/2)
+		seen := make(map[[2]int]bool)
+		for _, rc := range pos {
+			if rc[0] < 0 || rc[0] >= rows || rc[1] < 0 || rc[1] >= cols || seen[rc] {
+				return false
+			}
+			seen[rc] = true
+		}
+		return len(seen) == 1<<uint(k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package contract implements OREGAMI's contraction algorithms: the
+// group-theoretic contraction for node-symmetric task graphs
+// (Section 4.2.2) and Algorithm MWM-Contract for arbitrary task graphs
+// (Section 4.3), plus the greedy-only and random baselines used by the
+// evaluation harness.
+package contract
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"oregami/internal/graph"
+	"oregami/internal/matching"
+)
+
+// Options parameterizes MWM-Contract.
+type Options struct {
+	// Processors is the number of clusters allowed (|A| in the paper).
+	Processors int
+	// MaxTasksPerProc is the load-balancing constraint B: no cluster may
+	// exceed B tasks. Zero means the tightest feasible even bound,
+	// 2 * ceil(V / (2P)).
+	MaxTasksPerProc int
+	// SkipGreedy disables the greedy pre-merge stage (ablation). The
+	// matching stage then runs directly on individual tasks and the
+	// result may use more than Processors clusters if V > 2P.
+	SkipGreedy bool
+	// SkipMatching disables the maximum-weight-matching stage
+	// (ablation): the greedy heuristic runs all the way down to
+	// Processors clusters by itself.
+	SkipMatching bool
+}
+
+func (o Options) bound(numTasks int) (int, error) {
+	b := o.MaxTasksPerProc
+	if b == 0 {
+		perProc := (numTasks + 2*o.Processors - 1) / (2 * o.Processors)
+		b = 2 * perProc
+	}
+	if numTasks > o.Processors*b {
+		return 0, fmt.Errorf("contract: %d tasks cannot fit %d processors with B=%d",
+			numTasks, o.Processors, b)
+	}
+	return b, nil
+}
+
+// MWMContract partitions the tasks of g into at most opt.Processors
+// clusters of at most B tasks while minimizing total interprocessor
+// communication, per Section 4.3 of the paper:
+//
+//  1. A greedy heuristic examines collapsed edges in non-increasing
+//     weight order, merging clusters while no cluster exceeds B/2 tasks,
+//     until at most 2P clusters remain.
+//  2. A maximum-weight matching over the cluster graph pairs clusters
+//     optimally; matched pairs merge.
+//
+// It returns part with part[t] = cluster of task t.
+func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
+	if opt.Processors < 1 {
+		return nil, fmt.Errorf("contract: need at least one processor")
+	}
+	v := g.NumTasks
+	if v == 0 {
+		return nil, fmt.Errorf("contract: empty task graph")
+	}
+	b, err := opt.bound(v)
+	if err != nil {
+		return nil, err
+	}
+	u := newUnionFind(v)
+
+	if !opt.SkipGreedy && v > 2*opt.Processors {
+		greedyMerge(g, u, 2*opt.Processors, b/2)
+		if u.count > 2*opt.Processors {
+			// The edge list ran dry (or pairwise merges dead-ended);
+			// repair at task level. A partition into 2P clusters of
+			// B/2 always exists since V <= P*B.
+			part, err := repairPartition(g, u.partition(), 2*opt.Processors, b/2)
+			if err != nil {
+				return nil, err
+			}
+			u = unionFindFromPartition(part)
+		}
+	}
+	if opt.SkipMatching {
+		// Ablation: greedy all the way to P clusters, allowing full B.
+		greedyMerge(g, u, opt.Processors, b)
+		if u.count > opt.Processors {
+			return repairPartition(g, u.partition(), opt.Processors, b)
+		}
+		return u.partition(), nil
+	}
+
+	// Matching stage. Cluster ids and sizes.
+	ids, size := u.clusters()
+	k := len(ids)
+	index := make(map[int]int, k)
+	for i, id := range ids {
+		index[id] = i
+	}
+	// Aggregate intercluster weights.
+	agg := make(map[[2]int]float64)
+	for pair, w := range g.CollapsedWeights() {
+		a, bb := index[u.find(pair[0])], index[u.find(pair[1])]
+		if a == bb {
+			continue
+		}
+		if a > bb {
+			a, bb = bb, a
+		}
+		agg[[2]int{a, bb}] += w
+	}
+	var edges []matching.WEdge
+	for pair, w := range agg {
+		if size[pair[0]]+size[pair[1]] <= b {
+			edges = append(edges, matching.WEdge{I: pair[0], J: pair[1], Weight: w})
+		}
+	}
+	// Deterministic edge order: ties in the matching otherwise depend on
+	// map iteration.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].I != edges[j].I {
+			return edges[i].I < edges[j].I
+		}
+		return edges[i].J < edges[j].J
+	})
+	mate := matching.MaxWeightMatching(k, edges, false)
+	merged := k
+	for i, m := range mate {
+		if m > i {
+			u.union(ids[i], ids[m])
+			merged--
+		}
+	}
+	// The matching maximizes internalized weight but may leave more than
+	// P clusters (zero-benefit merges are not in the edge set). Repair
+	// the count down by redistributing the smallest clusters.
+	if merged > opt.Processors {
+		return repairPartition(g, u.partition(), opt.Processors, b)
+	}
+	return u.partition(), nil
+}
+
+// greedyMerge is the paper's greedy pre-merge: process collapsed edges by
+// non-increasing weight, merging when the combined cluster stays within
+// maxSize, stopping once at most target clusters remain. It may stop
+// short if the edge list runs dry; callers repair afterwards.
+func greedyMerge(g *graph.TaskGraph, u *unionFind, target, maxSize int) {
+	type wedge struct {
+		a, b int
+		w    float64
+	}
+	var edges []wedge
+	for pair, w := range g.CollapsedWeights() {
+		edges = append(edges, wedge{pair[0], pair[1], w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+	for _, e := range edges {
+		if u.count <= target {
+			return
+		}
+		ra, rb := u.find(e.a), u.find(e.b)
+		if ra == rb || u.size[ra]+u.size[rb] > maxSize {
+			continue
+		}
+		u.union(ra, rb)
+	}
+}
+
+// repairPartition reduces the cluster count to at most target by
+// dissolving the smallest clusters: each of their tasks moves to the
+// cluster with spare capacity (size < maxSize) to which it communicates
+// the most. While the count exceeds the target, a cluster with spare
+// capacity must exist (otherwise total size would exceed
+// target*maxSize >= V), so the repair always terminates.
+func repairPartition(g *graph.TaskGraph, part []int, target, maxSize int) ([]int, error) {
+	w := g.CollapsedWeights()
+	for {
+		sizes := make(map[int]int)
+		for _, c := range part {
+			sizes[c]++
+		}
+		if len(sizes) <= target {
+			return densePartition(part), nil
+		}
+		// Smallest cluster (ties: smallest id).
+		smallest, best := -1, 1<<30
+		for c, s := range sizes {
+			if s < best || (s == best && c < smallest) {
+				smallest, best = c, s
+			}
+		}
+		var members []int
+		for t, c := range part {
+			if c == smallest {
+				members = append(members, t)
+			}
+		}
+		for _, t := range members {
+			// Destination with spare capacity maximizing adjacency.
+			dest, destW := -1, -1.0
+			for c, s := range sizes {
+				if c == smallest || s >= maxSize {
+					continue
+				}
+				aw := 0.0
+				for pair, wt := range w {
+					if (pair[0] == t && part[pair[1]] == c) || (pair[1] == t && part[pair[0]] == c) {
+						aw += wt
+					}
+				}
+				if aw > destW || (aw == destW && (dest == -1 || c < dest)) {
+					dest, destW = c, aw
+				}
+			}
+			if dest == -1 {
+				return nil, fmt.Errorf("contract: cannot place task %d within B=%d", t, maxSize)
+			}
+			part[t] = dest
+			sizes[dest]++
+			sizes[smallest]--
+		}
+	}
+}
+
+// densePartition renumbers cluster ids to 0..k-1 by smallest member.
+func densePartition(part []int) []int {
+	out := make([]int, len(part))
+	next := 0
+	id := make(map[int]int)
+	for t, c := range part {
+		d, ok := id[c]
+		if !ok {
+			d = next
+			id[c] = d
+			next++
+		}
+		out[t] = d
+	}
+	return out
+}
+
+// unionFindFromPartition rebuilds a union-find matching a partition.
+func unionFindFromPartition(part []int) *unionFind {
+	u := newUnionFind(len(part))
+	first := make(map[int]int)
+	for t, c := range part {
+		if f, ok := first[c]; ok {
+			u.union(f, t)
+		} else {
+			first[c] = t
+		}
+	}
+	return u
+}
+
+// GreedyOnly is the ablation baseline: the greedy heuristic alone,
+// merging to at most processors clusters within bound B.
+func GreedyOnly(g *graph.TaskGraph, processors, b int) ([]int, error) {
+	return MWMContract(g, Options{Processors: processors, MaxTasksPerProc: b, SkipMatching: true})
+}
+
+// Random is the naive baseline: a random balanced partition into exactly
+// min(processors, tasks) clusters.
+func Random(g *graph.TaskGraph, processors int, seed int64) []int {
+	r := rand.New(rand.NewSource(seed))
+	v := g.NumTasks
+	k := processors
+	if v < k {
+		k = v
+	}
+	order := r.Perm(v)
+	part := make([]int, v)
+	for i, t := range order {
+		part[t] = i % k
+	}
+	return part
+}
+
+// --- union-find ---------------------------------------------------------
+
+type unionFind struct {
+	parent []int
+	size   []int
+	count  int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n), count: n}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.count--
+}
+
+// clusters returns the current root ids and, aligned with them, sizes.
+func (u *unionFind) clusters() (ids []int, size map[int]int) {
+	size = make(map[int]int)
+	for x := range u.parent {
+		r := u.find(x)
+		if _, ok := size[r]; !ok {
+			ids = append(ids, r)
+		}
+		size[r]++
+	}
+	sort.Ints(ids)
+	sizes := make(map[int]int, len(ids))
+	for i, id := range ids {
+		sizes[i] = size[id]
+	}
+	return ids, sizes
+}
+
+// partition returns dense cluster ids per element, ordered by smallest
+// member.
+func (u *unionFind) partition() []int {
+	out := make([]int, len(u.parent))
+	next := 0
+	id := make(map[int]int)
+	for x := range u.parent {
+		r := u.find(x)
+		c, ok := id[r]
+		if !ok {
+			c = next
+			id[r] = c
+			next++
+		}
+		out[x] = c
+	}
+	return out
+}

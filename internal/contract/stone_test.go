@@ -1,0 +1,108 @@
+package contract
+
+import (
+	"math/rand"
+	"testing"
+
+	"oregami/internal/workload"
+)
+
+func TestTwoProcStoneOptimalVsMWM(t *testing.T) {
+	// On random heterogeneous instances, Stone's assignment must never
+	// cost more (under Stone's objective) than the balanced
+	// MWM-Contract partition: the optimum lower-bounds any heuristic.
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + r.Intn(12)
+		g := workload.RandomTaskGraph(n, 0.3, 10, int64(trial+500))
+		execA := make([]float64, n)
+		execB := make([]float64, n)
+		for i := 0; i < n; i++ {
+			execA[i] = float64(r.Intn(12))
+			execB[i] = float64(r.Intn(12))
+		}
+		stonePart, stoneCost, err := TwoProcStone(g, execA, execB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := AssignmentCost(g, stonePart, execA, execB); got != stoneCost {
+			t.Fatalf("trial %d: reported cost %g != evaluated %g", trial, stoneCost, got)
+		}
+		mwmPart, err := MWMContract(g, Options{Processors: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mwmCost := AssignmentCost(g, mwmPart, execA, execB); mwmCost < stoneCost {
+			t.Fatalf("trial %d: balanced MWM cost %g beats 'optimal' Stone %g", trial, mwmCost, stoneCost)
+		}
+	}
+}
+
+func TestTwoProcStoneFig5(t *testing.T) {
+	// With zero exec costs Stone minimizes pure IPC with no balance
+	// constraint: on the Fig 5 graph the optimum is the single weakest
+	// community boundary... in fact all tasks on one processor (cut 0).
+	g := workload.Fig5Graph()
+	zero := make([]float64, 12)
+	part, cost, err := TwoProcStone(g, zero, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("free-exec Stone cost = %g, want 0 (everything one side)", cost)
+	}
+	for i := 1; i < 12; i++ {
+		if part[i] != part[0] {
+			t.Errorf("zero-cost instance split the tasks: %v", part)
+			break
+		}
+	}
+	// Forcing balance via exec costs: processor 0 charges community 3's
+	// tasks, processor 1 charges everyone else heavily.
+	execA := make([]float64, 12)
+	execB := make([]float64, 12)
+	for i := 0; i < 8; i++ {
+		execB[i] = 100 // tasks 0..7 want processor 0
+	}
+	for i := 8; i < 12; i++ {
+		execA[i] = 100 // tasks 8..11 want processor 1
+	}
+	part, cost, err = TwoProcStone(g, execA, execB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut between communities {0..7} and {8..11}: edges (7,8,2) and
+	// (11,0,3) -> IPC 5, no exec cost.
+	if cost != 5 {
+		t.Errorf("skewed Stone cost = %g, want 5", cost)
+	}
+	for i := 0; i < 8; i++ {
+		if part[i] != 0 {
+			t.Errorf("task %d not on processor 0", i)
+		}
+	}
+	for i := 8; i < 12; i++ {
+		if part[i] != 1 {
+			t.Errorf("task %d not on processor 1", i)
+		}
+	}
+}
+
+func TestUniformExecCosts(t *testing.T) {
+	w, _ := workload.ByName("nbody")
+	c, _ := w.Compile(map[string]int{"n": 5, "s": 1})
+	costs := UniformExecCosts(c.Graph)
+	// compute1 + compute2, each cost n=5 -> 10 per task.
+	for t2, v := range costs {
+		if v != 10 {
+			t.Errorf("task %d cost %g, want 10", t2, v)
+		}
+	}
+}
+
+func TestTwoProcStoneErrors(t *testing.T) {
+	g := workload.Fig5Graph()
+	if _, _, err := TwoProcStone(g, make([]float64, 3), make([]float64, 12)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

@@ -1,0 +1,360 @@
+// Package core is MAPPER's dispatcher (paper, Fig 3): it classifies a
+// compiled LaRCS computation and drives the three mapping steps —
+// contraction, embedding, routing — with the algorithm family that fits:
+//
+//   - nameable task graphs -> canned contractions/embeddings (Section 4.1)
+//   - affine recurrences   -> systolic space-time mapping (Section 4.2.1)
+//   - node-symmetric graphs-> group-theoretic contraction (Section 4.2.2)
+//   - arbitrary graphs     -> MWM-Contract + NN-Embed (Section 4.3)
+//
+// and MM-Route for routing in every case (Section 4.4).
+package core
+
+import (
+	"fmt"
+
+	"oregami/internal/canned"
+	"oregami/internal/contract"
+	"oregami/internal/embed"
+	"oregami/internal/graph"
+	"oregami/internal/larcs"
+	"oregami/internal/mapping"
+	"oregami/internal/route"
+	"oregami/internal/systolic"
+	"oregami/internal/topology"
+)
+
+// Class identifies which MAPPER branch produced a mapping.
+type Class string
+
+const (
+	ClassCanned    Class = "canned"
+	ClassSystolic  Class = "systolic"
+	ClassGroup     Class = "group-theoretic"
+	ClassArbitrary Class = "arbitrary"
+)
+
+// Request asks MAPPER for a mapping of a compiled computation onto a
+// network.
+type Request struct {
+	Compiled *larcs.Compiled
+	Net      *topology.Network
+	// Force restricts the dispatcher to one class ("" or "auto" tries
+	// canned, systolic, group-theoretic, then arbitrary).
+	Force Class
+	// MaxTasksPerProc is the load-balance bound B for MWM-Contract
+	// (0 = default).
+	MaxTasksPerProc int
+	// Refine applies the classic local-search refinements after the
+	// constructive algorithms: Kernighan-Lin task swaps after
+	// MWM-Contract and Bokhari-style pairwise exchanges after NN-Embed.
+	Refine bool
+	// Route configures MM-Route.
+	Route route.Options
+}
+
+// Result is a complete mapping plus the evidence of how it was obtained.
+type Result struct {
+	Mapping *mapping.Mapping
+	Class   Class
+	// Detection is set for canned mappings.
+	Detection *canned.Detection
+	// GroupInfo is set for group-theoretic contractions.
+	GroupInfo *contract.GroupInfo
+	// Systolic is set for systolic mappings.
+	Systolic *systolic.Mapping
+	// RouteStats holds MM-Route statistics per phase.
+	RouteStats map[string]route.Stats
+	// Trail records the dispatcher's decisions for display.
+	Trail []string
+}
+
+// Map runs the dispatcher.
+func Map(req Request) (*Result, error) {
+	if req.Compiled == nil || req.Net == nil {
+		return nil, fmt.Errorf("core: request needs a compiled program and a network")
+	}
+	g := req.Compiled.Graph
+	if g.NumTasks == 0 {
+		return nil, fmt.Errorf("core: empty task graph")
+	}
+	res := &Result{}
+	trail := func(format string, args ...interface{}) {
+		res.Trail = append(res.Trail, fmt.Sprintf(format, args...))
+	}
+
+	// Systolic comes first: it only applies to affine recurrences headed
+	// for a mesh or linear array, and is the most specialized method;
+	// then canned lookups, group theory, and the general fallback.
+	tryOrder := []Class{ClassSystolic, ClassCanned, ClassGroup, ClassArbitrary}
+	if req.Force != "" && req.Force != "auto" {
+		tryOrder = []Class{req.Force}
+	}
+	var lastErr error
+	for _, class := range tryOrder {
+		var m *mapping.Mapping
+		var err error
+		switch class {
+		case ClassCanned:
+			m, err = mapCanned(req, res, trail)
+		case ClassSystolic:
+			m, err = mapSystolic(req, res, trail)
+		case ClassGroup:
+			m, err = mapGroup(req, res, trail)
+		case ClassArbitrary:
+			m, err = mapArbitrary(req, res, trail)
+		default:
+			return nil, fmt.Errorf("core: unknown class %q", class)
+		}
+		if err != nil {
+			trail("%s: %v", class, err)
+			lastErr = err
+			continue
+		}
+		res.Mapping = m
+		res.Class = class
+		stats, err := route.RouteAll(m, req.Route)
+		if err != nil {
+			return nil, err
+		}
+		res.RouteStats = stats
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("core: produced invalid mapping: %w", err)
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("core: no mapping class applied: %w", lastErr)
+}
+
+// mapCanned detects a nameable family and uses the canned library,
+// folding first when there are more tasks than processors.
+func mapCanned(req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	g := req.Compiled.Graph
+	det := canned.Detect(g)
+	if det == nil {
+		return nil, fmt.Errorf("task graph matches no nameable family")
+	}
+	res.Detection = det
+	trail("canned: detected %s", det)
+	m := mapping.New(g, req.Net)
+
+	if g.NumTasks > req.Net.N {
+		foldPart, err := canned.Fold(det, req.Net.N)
+		if err != nil {
+			return nil, err
+		}
+		m.Part = make([]int, g.NumTasks)
+		for t := 0; t < g.NumTasks; t++ {
+			m.Part[t] = foldPart[det.Canon[t]]
+		}
+		trail("canned: folded %d tasks onto %d clusters (quotient network)", g.NumTasks, req.Net.N)
+		// The quotient of a nameable graph is usually nameable again:
+		// detect and embed it; otherwise fall back to NN-Embed.
+		cg := m.ClusterGraph()
+		if qdet := canned.Detect(cg); qdet != nil {
+			if e := canned.Lookup(qdet, req.Net); e != nil {
+				m.Place = make([]int, cg.NumTasks)
+				for c := 0; c < cg.NumTasks; c++ {
+					m.Place[c] = e.Proc[qdet.Canon[c]]
+				}
+				m.Method = "canned:fold+" + e.Name
+				trail("canned: quotient embedded via %s", e.Name)
+				return m, nil
+			}
+		}
+		place, err := embed.NNEmbed(cg, req.Net)
+		if err != nil {
+			return nil, err
+		}
+		m.Place = place
+		m.Method = "canned:fold+nn-embed"
+		trail("canned: quotient embedded via NN-Embed")
+		return m, nil
+	}
+
+	e := canned.Lookup(det, req.Net)
+	if e == nil {
+		return nil, fmt.Errorf("no canned embedding of %s into %s", det, req.Net.Name)
+	}
+	if err := m.IdentityContraction(); err != nil {
+		return nil, err
+	}
+	m.Place = make([]int, g.NumTasks)
+	for t := 0; t < g.NumTasks; t++ {
+		m.Place[t] = e.Proc[det.Canon[t]]
+	}
+	m.Method = "canned:" + e.Name
+	trail("canned: embedded via %s", e.Name)
+	return m, nil
+}
+
+// mapSystolic runs the affine checks and space-time synthesis; the
+// resulting virtual PE array must fit the target mesh or linear array.
+func mapSystolic(req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	if req.Net.Kind != "mesh" && req.Net.Kind != "linear" && req.Net.Kind != "torus" {
+		return nil, fmt.Errorf("target %s is not a systolic array or MIMD mesh", req.Net.Name)
+	}
+	a, err := systolic.Analyze(req.Compiled.Program, req.Compiled.Bindings)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := systolic.Synthesize(a)
+	if err != nil {
+		return nil, err
+	}
+	if err := systolic.Verify(a, sm); err != nil {
+		return nil, err
+	}
+	res.Systolic = sm
+	trail("systolic: schedule lambda=%v, project dim %d, latency %d, PEs %v",
+		sm.Lambda, sm.ProjectDim, sm.Latency, sm.PEExtent)
+
+	// Processor id for a PE coordinate vector.
+	peProc := func(coord []int) (int, error) {
+		switch {
+		case len(coord) == 1 && req.Net.Kind == "linear":
+			if coord[0] >= req.Net.N {
+				return 0, fmt.Errorf("PE %v outside %s", coord, req.Net.Name)
+			}
+			return coord[0], nil
+		case len(coord) == 1 && (req.Net.Kind == "mesh" || req.Net.Kind == "torus"):
+			// Lay the linear PE array along the mesh rows (snake) so
+			// consecutive PEs stay adjacent.
+			if coord[0] >= req.Net.N {
+				return 0, fmt.Errorf("PE %v outside %s", coord, req.Net.Name)
+			}
+			cdim := req.Net.Dims[1]
+			r := coord[0] / cdim
+			c := coord[0] % cdim
+			if r%2 == 1 {
+				c = cdim - 1 - c
+			}
+			return r*cdim + c, nil
+		case len(coord) == 2 && (req.Net.Kind == "mesh" || req.Net.Kind == "torus"):
+			if coord[0] >= req.Net.Dims[0] || coord[1] >= req.Net.Dims[1] {
+				return 0, fmt.Errorf("PE %v outside %s", coord, req.Net.Name)
+			}
+			return coord[0]*req.Net.Dims[1] + coord[1], nil
+		}
+		return 0, fmt.Errorf("cannot place a %d-D PE array on %s", len(coord), req.Net.Name)
+	}
+
+	g := req.Compiled.Graph
+	info := req.Compiled.NodeTypes[0]
+	m := mapping.New(g, req.Net)
+	m.Part = make([]int, g.NumTasks)
+	procOfCluster := make(map[int]int) // dense cluster id -> processor
+	clusterOfProc := make(map[int]int)
+	next := 0
+	for t := 0; t < g.NumTasks; t++ {
+		idx := info.Index(t)
+		p, err := peProc(sm.Place(idx))
+		if err != nil {
+			return nil, err
+		}
+		c, ok := clusterOfProc[p]
+		if !ok {
+			c = next
+			next++
+			clusterOfProc[p] = c
+			procOfCluster[c] = p
+		}
+		m.Part[t] = c
+	}
+	m.Place = make([]int, next)
+	for c, p := range procOfCluster {
+		m.Place[c] = p
+	}
+	m.Method = fmt.Sprintf("systolic:lambda=%v/proj=%d", sm.Lambda, sm.ProjectDim)
+	return m, nil
+}
+
+// mapGroup contracts via the Cayley-graph quotient construction and
+// embeds the (node-symmetric) cluster graph greedily.
+func mapGroup(req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	g := req.Compiled.Graph
+	clusters := req.Net.N
+	if g.NumTasks < clusters {
+		clusters = g.NumTasks
+	}
+	part, info, err := contract.GroupContract(g, clusters)
+	if err != nil {
+		return nil, err
+	}
+	res.GroupInfo = info
+	gen := info.FromGenerator
+	if gen == "" {
+		gen = "subgroup lattice"
+	}
+	trail("group: |G|=%d, subgroup of order %d from %s (normal=%v, sylow=%v)",
+		info.Group.Order(), len(info.Subgroup), gen, info.Normal, info.SylowGuaranteed)
+	m := mapping.New(g, req.Net)
+	m.Part = part
+	place, err := embed.NNEmbed(m.ClusterGraph(), req.Net)
+	if err != nil {
+		return nil, err
+	}
+	m.Place = place
+	m.Method = "group-contract+nn-embed"
+	return m, nil
+}
+
+// mapArbitrary is the fallback: MWM-Contract then NN-Embed.
+func mapArbitrary(req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	g := req.Compiled.Graph
+	m := mapping.New(g, req.Net)
+	if g.NumTasks <= req.Net.N {
+		if err := m.IdentityContraction(); err != nil {
+			return nil, err
+		}
+		trail("arbitrary: %d tasks fit %d processors; no contraction", g.NumTasks, req.Net.N)
+	} else {
+		part, err := contract.MWMContract(g, contract.Options{
+			Processors:      req.Net.N,
+			MaxTasksPerProc: req.MaxTasksPerProc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.Part = part
+		trail("arbitrary: MWM-Contract to %d clusters (IPC %g)", m.NumClusters(), m.TotalIPC())
+		if req.Refine {
+			_, moves := contract.KLRefine(g, m.Part, 0, 8)
+			trail("arbitrary: KL refinement applied %d moves (IPC %g)", moves, m.TotalIPC())
+		}
+	}
+	cg := m.ClusterGraph()
+	place, err := embed.NNEmbed(cg, req.Net)
+	if err != nil {
+		return nil, err
+	}
+	m.Place = place
+	m.Method = "mwm-contract+nn-embed"
+	if req.Refine {
+		_, moves := embed.SwapRefine(cg, req.Net, m.Place, 8)
+		trail("arbitrary: swap refinement applied %d moves", moves)
+		m.Method += "+refine"
+	}
+	return m, nil
+}
+
+// MapGraph is a convenience for callers with a bare task graph and no
+// LaRCS program (e.g. benchmarks): it wraps the graph in a minimal
+// compiled form and dispatches without the systolic branch.
+func MapGraph(g *graph.TaskGraph, net *topology.Network, force Class) (*Result, error) {
+	prog := &larcs.Program{Name: g.Name}
+	comp := &larcs.Compiled{Program: prog, Graph: g}
+	req := Request{Compiled: comp, Net: net, Force: force}
+	if force == "" || force == "auto" {
+		res, err := Map(Request{Compiled: comp, Net: net, Force: ClassCanned})
+		if err == nil {
+			return res, nil
+		}
+		res, err = Map(Request{Compiled: comp, Net: net, Force: ClassGroup})
+		if err == nil {
+			return res, nil
+		}
+		return Map(Request{Compiled: comp, Net: net, Force: ClassArbitrary})
+	}
+	return Map(req)
+}

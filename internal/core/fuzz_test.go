@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"oregami/internal/larcs"
+	"oregami/internal/metrics"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+// TestRandomGraphsEndToEnd drives the whole pipeline on random task
+// graphs and random networks and checks only invariants: the mapping
+// validates, every task is placed, load respects the derived bound, and
+// metrics computation succeeds. This is the robustness net under all
+// the per-algorithm unit tests.
+func TestRandomGraphsEndToEnd(t *testing.T) {
+	r := rand.New(rand.NewSource(20260705))
+	nets := []func() *topology.Network{
+		func() *topology.Network { return topology.Ring(8) },
+		func() *topology.Network { return topology.Mesh(3, 4) },
+		func() *topology.Network { return topology.Hypercube(3) },
+		func() *topology.Network { return topology.Torus(3, 3) },
+		func() *topology.Network { return topology.CompleteBinaryTree(3) },
+		func() *topology.Network { return topology.Star(9) },
+		func() *topology.Network { return topology.Butterfly(2) },
+	}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(40)
+		density := 0.05 + r.Float64()*0.5
+		g := workload.RandomTaskGraph(n, density, 30, int64(trial))
+		net := nets[trial%len(nets)]()
+		res, err := MapGraph(g, net, "")
+		if err != nil {
+			// Only acceptable failure: infeasible load bound; never for
+			// these sizes (n <= 42 <= N*B by construction of bound).
+			t.Fatalf("trial %d (n=%d, %s): %v", trial, n, net.Name, err)
+		}
+		if err := res.Mapping.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid mapping: %v", trial, err)
+		}
+		rep, err := metrics.Compute(res.Mapping)
+		if err != nil {
+			t.Fatalf("trial %d: metrics: %v", trial, err)
+		}
+		if rep.TotalIPC > rep.TotalVolume {
+			t.Fatalf("trial %d: IPC %g exceeds volume %g", trial, rep.TotalIPC, rep.TotalVolume)
+		}
+		// Every phase routed.
+		for _, p := range g.Comm {
+			if _, ok := res.Mapping.Routes[p.Name]; !ok {
+				t.Fatalf("trial %d: phase %q unrouted", trial, p.Name)
+			}
+		}
+	}
+}
+
+// TestWorkloadsOnAllNetworks cross-products the corpus with a set of
+// targets large enough to hold each workload, exercising every
+// dispatcher branch repeatedly.
+func TestWorkloadsOnAllNetworks(t *testing.T) {
+	targets := []*topology.Network{
+		topology.Hypercube(4),
+		topology.Mesh(4, 4),
+		topology.Torus(4, 4),
+		topology.Ring(16),
+		topology.Complete(16),
+	}
+	for _, w := range workload.All() {
+		c, err := w.Compile(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, net := range targets {
+			res, err := Map(Request{Compiled: c, Net: net})
+			if err != nil {
+				// Workloads larger than the target must still map via
+				// contraction; only report hard failures.
+				t.Errorf("%s -> %s: %v", w.Name, net.Name, err)
+				continue
+			}
+			if err := res.Mapping.Validate(); err != nil {
+				t.Errorf("%s -> %s: %v", w.Name, net.Name, err)
+			}
+		}
+	}
+}
+
+func TestDispatchMatMulTorusCanned(t *testing.T) {
+	w, _ := workload.ByName("matmul")
+	c, err := w.Compile(map[string]int{"n": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(Request{Compiled: c, Net: topology.Hypercube(6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassCanned || !strings.Contains(res.Mapping.Method, "torus->hypercube") {
+		t.Errorf("matmul(8): class=%s method=%s", res.Class, res.Mapping.Method)
+	}
+	// Dilation 1 everywhere: all routes single-hop.
+	for name, routes := range res.Mapping.Routes {
+		for i, rt := range routes {
+			if len(rt) > 1 {
+				t.Errorf("phase %s edge %d: %d hops", name, i, len(rt))
+			}
+		}
+	}
+}
+
+// TestRefineOptionNeverHurts maps random graphs with and without the
+// refinement option and compares total weighted cost (IPC, then the
+// embedding objective via metrics' dilation-weighted volume).
+func TestRefineOptionNeverHurts(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		n := 12 + r.Intn(20)
+		g := workload.RandomTaskGraph(n, 0.25, 15, int64(trial+3000))
+		net := topology.Hypercube(3)
+		comp := &larcs.Compiled{Program: &larcs.Program{Name: g.Name}, Graph: g}
+		plain, err := Map(Request{Compiled: comp, Net: net, Force: ClassArbitrary})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := Map(Request{Compiled: comp, Net: net, Force: ClassArbitrary, Refine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refined.Mapping.TotalIPC() > plain.Mapping.TotalIPC() {
+			t.Errorf("trial %d: refinement raised IPC %g -> %g",
+				trial, plain.Mapping.TotalIPC(), refined.Mapping.TotalIPC())
+		}
+		if err := refined.Mapping.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDispatchParametricFFT(t *testing.T) {
+	// The parametric FFT's stage union is the k-cube for any k; the
+	// canned identity embedding applies at every size.
+	for _, k := range []int{3, 4, 5} {
+		w, _ := workload.ByName("fftn")
+		c, err := w.Compile(map[string]int{"k": k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Graph.Comm) != k {
+			t.Fatalf("k=%d: %d stages", k, len(c.Graph.Comm))
+		}
+		res, err := Map(Request{Compiled: c, Net: topology.Hypercube(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != ClassCanned || !strings.Contains(res.Mapping.Method, "hypercube->hypercube") {
+			t.Errorf("k=%d: class=%s method=%s", k, res.Class, res.Mapping.Method)
+		}
+		for name, routes := range res.Mapping.Routes {
+			for i, rt := range routes {
+				if len(rt) != 1 {
+					t.Errorf("k=%d phase %s edge %d: %d hops, want 1", k, name, i, len(rt))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package embed implements Algorithm NN-Embed (paper, Section 4.3): a
+// greedy embedding that places highly communicating clusters on adjacent
+// processors of the network, plus the identity and random baselines used
+// by the evaluation harness.
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"oregami/internal/graph"
+	"oregami/internal/topology"
+)
+
+// NNEmbed assigns each node of the cluster graph cg (at most net.N
+// nodes) to a distinct processor. The heaviest-communicating pair is
+// placed on adjacent processors first; thereafter the unplaced cluster
+// with the largest total traffic to already-placed clusters is placed on
+// the free processor minimizing the traffic-weighted distance to its
+// placed partners.
+func NNEmbed(cg *graph.TaskGraph, net *topology.Network) ([]int, error) {
+	k := cg.NumTasks
+	if k > net.N {
+		return nil, fmt.Errorf("embed: %d clusters exceed %d processors", k, net.N)
+	}
+	if k == 0 {
+		return nil, fmt.Errorf("embed: empty cluster graph")
+	}
+	w := make([][]float64, k)
+	for i := range w {
+		w[i] = make([]float64, k)
+	}
+	type cedge struct {
+		a, b int
+		w    float64
+	}
+	var edges []cedge
+	for pair, wt := range cg.CollapsedWeights() {
+		w[pair[0]][pair[1]] = wt
+		w[pair[1]][pair[0]] = wt
+		edges = append(edges, cedge{pair[0], pair[1], wt})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	place := make([]int, k)
+	for i := range place {
+		place[i] = -1
+	}
+	freeProc := make([]bool, net.N)
+	for i := range freeProc {
+		freeProc[i] = true
+	}
+	placed := 0
+	occupy := func(cluster, proc int) {
+		place[cluster] = proc
+		freeProc[proc] = false
+		placed++
+	}
+
+	// Seed: the heaviest edge goes on the highest-degree processor and
+	// one of its neighbors (adjacency guaranteed).
+	seedProc := 0
+	for p := 1; p < net.N; p++ {
+		if net.Degree(p) > net.Degree(seedProc) {
+			seedProc = p
+		}
+	}
+	if len(edges) > 0 {
+		occupy(edges[0].a, seedProc)
+		occupy(edges[0].b, net.Neighbors(seedProc)[0])
+	} else {
+		occupy(0, seedProc)
+	}
+
+	for placed < k {
+		// Unplaced cluster with max traffic to placed clusters; fall
+		// back to the lowest-id unplaced cluster for isolated nodes.
+		best, bestW := -1, -1.0
+		for c := 0; c < k; c++ {
+			if place[c] != -1 {
+				continue
+			}
+			t := 0.0
+			for d := 0; d < k; d++ {
+				if place[d] != -1 {
+					t += w[c][d]
+				}
+			}
+			if t > bestW {
+				best, bestW = c, t
+			}
+		}
+		// Free processor minimizing weighted distance to partners.
+		bestProc, bestCost := -1, 0.0
+		for p := 0; p < net.N; p++ {
+			if !freeProc[p] {
+				continue
+			}
+			cost := 0.0
+			for d := 0; d < k; d++ {
+				if place[d] != -1 && w[best][d] > 0 {
+					cost += w[best][d] * float64(net.Distance(p, place[d]))
+				}
+			}
+			if bestProc == -1 || cost < bestCost {
+				bestProc, bestCost = p, cost
+			}
+		}
+		occupy(best, bestProc)
+	}
+	return place, nil
+}
+
+// Identity places cluster c on processor c.
+func Identity(k int, net *topology.Network) ([]int, error) {
+	if k > net.N {
+		return nil, fmt.Errorf("embed: %d clusters exceed %d processors", k, net.N)
+	}
+	place := make([]int, k)
+	for i := range place {
+		place[i] = i
+	}
+	return place, nil
+}
+
+// Random places clusters on a random set of distinct processors.
+func Random(k int, net *topology.Network, seed int64) ([]int, error) {
+	if k > net.N {
+		return nil, fmt.Errorf("embed: %d clusters exceed %d processors", k, net.N)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(net.N)
+	return perm[:k], nil
+}
+
+// WeightedDilation evaluates an embedding: the total over collapsed
+// cluster-graph edges of weight x hop distance, and the maximum hop
+// distance (max dilation). Lower is better; dilation 1 everywhere means
+// the cluster graph is a subgraph of the network.
+func WeightedDilation(cg *graph.TaskGraph, net *topology.Network, place []int) (total float64, maxHops int) {
+	for pair, wt := range cg.CollapsedWeights() {
+		d := net.Distance(place[pair[0]], place[pair[1]])
+		total += wt * float64(d)
+		if d > maxHops {
+			maxHops = d
+		}
+	}
+	return total, maxHops
+}

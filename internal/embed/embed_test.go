@@ -1,0 +1,240 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"oregami/internal/graph"
+	"oregami/internal/topology"
+)
+
+func ringCluster(n int) *graph.TaskGraph {
+	g := graph.New("ring", n)
+	p := g.AddCommPhase("c")
+	for i := 0; i < n; i++ {
+		g.AddEdge(p, i, (i+1)%n, 1)
+	}
+	return g
+}
+
+func checkInjective(t *testing.T, place []int, n int) {
+	t.Helper()
+	seen := make(map[int]bool)
+	for c, p := range place {
+		if p < 0 || p >= n {
+			t.Fatalf("cluster %d on processor %d out of range", c, p)
+		}
+		if seen[p] {
+			t.Fatalf("processor %d double-booked", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestNNEmbedRingOnRing(t *testing.T) {
+	cg := ringCluster(8)
+	net := topology.Ring(8)
+	place, err := NNEmbed(cg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInjective(t, place, net.N)
+	total, _ := WeightedDilation(cg, net, place)
+	// Identity achieves 8 (every edge dilation 1); greedy should be
+	// close. Bound it by 2x optimal.
+	if total > 16 {
+		t.Errorf("NN-Embed ring-on-ring weighted dilation = %g", total)
+	}
+}
+
+func TestNNEmbedHeaviestPairAdjacent(t *testing.T) {
+	g := graph.New("g", 4)
+	p := g.AddCommPhase("c")
+	g.AddEdge(p, 2, 3, 100)
+	g.AddEdge(p, 0, 1, 1)
+	net := topology.Mesh(2, 4)
+	place, err := NNEmbed(g, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInjective(t, place, net.N)
+	if net.Distance(place[2], place[3]) != 1 {
+		t.Errorf("heaviest pair not adjacent: %v", place)
+	}
+}
+
+func TestNNEmbedBeatsRandomOnAverage(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var nnTotal, randTotal float64
+	for trial := 0; trial < 20; trial++ {
+		k := 6 + r.Intn(6)
+		g := graph.New("g", k)
+		p := g.AddCommPhase("c")
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if r.Intn(2) == 0 {
+					g.AddEdge(p, a, b, float64(1+r.Intn(10)))
+				}
+			}
+		}
+		net := topology.Mesh(4, 4)
+		nn, err := NNEmbed(g, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkInjective(t, nn, net.N)
+		rd, err := Random(k, net, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := WeightedDilation(g, net, nn)
+		b, _ := WeightedDilation(g, net, rd)
+		nnTotal += a
+		randTotal += b
+	}
+	if nnTotal >= randTotal {
+		t.Errorf("NN-Embed (%g) not better than random (%g) on average", nnTotal, randTotal)
+	}
+}
+
+func TestNNEmbedDisconnectedClusters(t *testing.T) {
+	// Clusters with no communication still get placed.
+	g := graph.New("iso", 5)
+	g.AddCommPhase("c")
+	net := topology.Linear(6)
+	place, err := NNEmbed(g, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInjective(t, place, net.N)
+	if len(place) != 5 {
+		t.Errorf("placed %d clusters", len(place))
+	}
+}
+
+func TestEmbedErrors(t *testing.T) {
+	if _, err := NNEmbed(ringCluster(9), topology.Ring(8)); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	if _, err := NNEmbed(graph.New("e", 0), topology.Ring(3)); err == nil {
+		t.Error("empty cluster graph accepted")
+	}
+	if _, err := Identity(9, topology.Ring(8)); err == nil {
+		t.Error("identity oversubscription accepted")
+	}
+	if _, err := Random(9, topology.Ring(8), 1); err == nil {
+		t.Error("random oversubscription accepted")
+	}
+}
+
+func TestIdentityAndRandom(t *testing.T) {
+	net := topology.Hypercube(3)
+	id, _ := Identity(5, net)
+	for i, p := range id {
+		if p != i {
+			t.Errorf("identity[%d] = %d", i, p)
+		}
+	}
+	rd, _ := Random(5, net, 7)
+	checkInjective(t, rd, net.N)
+	rd2, _ := Random(5, net, 7)
+	for i := range rd {
+		if rd[i] != rd2[i] {
+			t.Error("random embedding not deterministic for equal seed")
+		}
+	}
+}
+
+func TestWeightedDilationIdentityRing(t *testing.T) {
+	cg := ringCluster(6)
+	net := topology.Ring(6)
+	place, _ := Identity(6, net)
+	total, max := WeightedDilation(cg, net, place)
+	if total != 6 || max != 1 {
+		t.Errorf("identity ring dilation = %g/%d, want 6/1", total, max)
+	}
+}
+
+func TestSwapRefineNeverWorse(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		k := 6 + r.Intn(8)
+		g := graph.New("g", k)
+		p := g.AddCommPhase("c")
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if r.Intn(2) == 0 {
+					g.AddEdge(p, a, b, float64(1+r.Intn(10)))
+				}
+			}
+		}
+		net := topology.Mesh(4, 4)
+		place, err := Random(k, net, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, _ := WeightedDilation(g, net, place)
+		refined, moves := SwapRefine(g, net, place, 10)
+		after, _ := WeightedDilation(g, net, refined)
+		if after > before {
+			t.Fatalf("trial %d: refinement worsened %g -> %g", trial, before, after)
+		}
+		if moves > 0 && after >= before {
+			t.Fatalf("trial %d: %d moves with no improvement", trial, moves)
+		}
+		checkInjective(t, refined, net.N)
+	}
+}
+
+func TestSwapRefineBeatsNNEmbedSometimes(t *testing.T) {
+	// Refinement applied after NN-Embed should help on at least some
+	// instances and never hurt.
+	r := rand.New(rand.NewSource(43))
+	helped := 0
+	for trial := 0; trial < 20; trial++ {
+		k := 8 + r.Intn(8)
+		g := graph.New("g", k)
+		p := g.AddCommPhase("c")
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if r.Intn(3) == 0 {
+					g.AddEdge(p, a, b, float64(1+r.Intn(10)))
+				}
+			}
+		}
+		net := topology.Hypercube(4)
+		place, err := NNEmbed(g, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, _ := WeightedDilation(g, net, place)
+		refined, _ := SwapRefine(g, net, place, 10)
+		after, _ := WeightedDilation(g, net, refined)
+		if after > before {
+			t.Fatalf("trial %d: refinement hurt NN-Embed %g -> %g", trial, before, after)
+		}
+		if after < before {
+			helped++
+		}
+	}
+	if helped == 0 {
+		t.Error("swap refinement never improved NN-Embed across 20 trials")
+	}
+}
+
+func TestSwapRefineUsesFreeProcessors(t *testing.T) {
+	// Two heavy communicators placed far apart with free processors
+	// between them: refinement must pull them together.
+	g := graph.New("pair", 2)
+	p := g.AddCommPhase("c")
+	g.AddEdge(p, 0, 1, 10)
+	net := topology.Linear(8)
+	place := []int{0, 7}
+	refined, moves := SwapRefine(g, net, place, 10)
+	if moves == 0 {
+		t.Fatal("no moves made")
+	}
+	if d := net.Distance(refined[0], refined[1]); d != 1 {
+		t.Errorf("pair still %d apart", d)
+	}
+}

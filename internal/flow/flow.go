@@ -1,0 +1,177 @@
+// Package flow implements a maximum-flow / minimum-cut solver (Dinic's
+// algorithm) and, on top of it, Stone's classic two-processor task
+// assignment. The paper grounds its arbitrary-graph mapping in this
+// line of work ("our mapping algorithms are similar to those of Stone
+// and Bokhari because of their foundation in network flow algorithms",
+// Section 2); the Stone assignment serves the evaluation harness as an
+// *optimal* baseline for two-processor contractions.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network is a flow network on nodes 0..N-1.
+type Network struct {
+	n    int
+	arcs []arc
+	head [][]int // node -> arc indices
+}
+
+type arc struct {
+	to, rev int
+	cap     float64
+}
+
+// NewNetwork creates an empty flow network with n nodes.
+func NewNetwork(n int) *Network {
+	return &Network{n: n, head: make([][]int, n)}
+}
+
+// AddEdge adds a directed edge u->v with the given capacity (and a
+// zero-capacity reverse arc).
+func (f *Network) AddEdge(u, v int, capacity float64) {
+	if u < 0 || u >= f.n || v < 0 || v >= f.n {
+		panic(fmt.Sprintf("flow: edge (%d,%d) out of range", u, v))
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	f.head[u] = append(f.head[u], len(f.arcs))
+	f.arcs = append(f.arcs, arc{to: v, rev: len(f.arcs) + 1, cap: capacity})
+	f.head[v] = append(f.head[v], len(f.arcs))
+	f.arcs = append(f.arcs, arc{to: u, rev: len(f.arcs) - 1, cap: 0})
+}
+
+// AddUndirected adds capacity in both directions (two directed edges).
+func (f *Network) AddUndirected(u, v int, capacity float64) {
+	f.AddEdge(u, v, capacity)
+	f.AddEdge(v, u, capacity)
+}
+
+// MaxFlow computes the maximum s-t flow with Dinic's algorithm,
+// O(V^2 E). The network is consumed (capacities become residuals).
+func (f *Network) MaxFlow(s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	total := 0.0
+	level := make([]int, f.n)
+	iter := make([]int, f.n)
+	for f.bfs(s, t, level) {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			pushed := f.dfs(s, t, math.Inf(1), level, iter)
+			if pushed == 0 {
+				break
+			}
+			total += pushed
+		}
+	}
+	return total
+}
+
+func (f *Network) bfs(s, t int, level []int) bool {
+	for i := range level {
+		level[i] = -1
+	}
+	level[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ai := range f.head[v] {
+			a := f.arcs[ai]
+			if a.cap > 0 && level[a.to] == -1 {
+				level[a.to] = level[v] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return level[t] >= 0
+}
+
+func (f *Network) dfs(v, t int, limit float64, level, iter []int) float64 {
+	if v == t {
+		return limit
+	}
+	for ; iter[v] < len(f.head[v]); iter[v]++ {
+		ai := f.head[v][iter[v]]
+		a := &f.arcs[ai]
+		if a.cap <= 0 || level[a.to] != level[v]+1 {
+			continue
+		}
+		pushed := f.dfs(a.to, t, math.Min(limit, a.cap), level, iter)
+		if pushed > 0 {
+			a.cap -= pushed
+			f.arcs[a.rev].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// MinCutSide returns, after MaxFlow has run, the set membership of each
+// node: true if the node is on the source side of the minimum cut
+// (reachable in the residual network).
+func (f *Network) MinCutSide(s int) []bool {
+	side := make([]bool, f.n)
+	side[s] = true
+	queue := []int{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ai := range f.head[v] {
+			a := f.arcs[ai]
+			if a.cap > 0 && !side[a.to] {
+				side[a.to] = true
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return side
+}
+
+// StoneAssignment solves Stone's two-processor assignment problem:
+// task t costs ExecA[t] on processor A and ExecB[t] on processor B;
+// Comm[i][j] is the communication cost paid iff i and j are assigned to
+// different processors. The returned onA minimizes total execution plus
+// communication cost; the optimal cost is also returned.
+//
+// Construction (Stone 1977): source = A, sink = B; edge A->t with
+// capacity ExecB[t] (cost of *not* being on A), t->B with ExecA[t], and
+// undirected t<->u with Comm[t][u]. The min cut equals the optimal
+// assignment cost.
+func StoneAssignment(execA, execB []float64, comm [][]float64) (onA []bool, cost float64, err error) {
+	n := len(execA)
+	if len(execB) != n || len(comm) != n {
+		return nil, 0, fmt.Errorf("flow: inconsistent input sizes")
+	}
+	src, sink := n, n+1
+	f := NewNetwork(n + 2)
+	for t := 0; t < n; t++ {
+		if execA[t] < 0 || execB[t] < 0 {
+			return nil, 0, fmt.Errorf("flow: negative execution cost for task %d", t)
+		}
+		f.AddEdge(src, t, execB[t])
+		f.AddEdge(t, sink, execA[t])
+		for u := t + 1; u < n; u++ {
+			if comm[t][u] != comm[u][t] {
+				return nil, 0, fmt.Errorf("flow: asymmetric communication cost (%d,%d)", t, u)
+			}
+			if comm[t][u] < 0 {
+				return nil, 0, fmt.Errorf("flow: negative communication cost (%d,%d)", t, u)
+			}
+			if comm[t][u] > 0 {
+				f.AddUndirected(t, u, comm[t][u])
+			}
+		}
+	}
+	cost = f.MaxFlow(src, sink)
+	side := f.MinCutSide(src)
+	onA = side[:n]
+	return onA, cost, nil
+}

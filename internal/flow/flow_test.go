@@ -1,0 +1,167 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowSimple(t *testing.T) {
+	// Classic diamond: s=0, t=3; two disjoint paths of capacity 2 and 3.
+	f := NewNetwork(4)
+	f.AddEdge(0, 1, 2)
+	f.AddEdge(1, 3, 2)
+	f.AddEdge(0, 2, 3)
+	f.AddEdge(2, 3, 3)
+	if got := f.MaxFlow(0, 3); got != 5 {
+		t.Errorf("max flow = %g, want 5", got)
+	}
+}
+
+func TestMaxFlowBottleneck(t *testing.T) {
+	// s -> a -> b -> t with middle bottleneck 1.
+	f := NewNetwork(4)
+	f.AddEdge(0, 1, 10)
+	f.AddEdge(1, 2, 1)
+	f.AddEdge(2, 3, 10)
+	if got := f.MaxFlow(0, 3); got != 1 {
+		t.Errorf("max flow = %g, want 1", got)
+	}
+	side := f.MinCutSide(0)
+	if !side[0] || !side[1] || side[2] || side[3] {
+		t.Errorf("cut side = %v, want {0,1}", side)
+	}
+}
+
+func TestMaxFlowSelf(t *testing.T) {
+	f := NewNetwork(2)
+	f.AddEdge(0, 1, 5)
+	if f.MaxFlow(1, 1) != 0 {
+		t.Error("s == t should give zero flow")
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	f := NewNetwork(3)
+	f.AddEdge(0, 1, 4)
+	if got := f.MaxFlow(0, 2); got != 0 {
+		t.Errorf("disconnected flow = %g", got)
+	}
+}
+
+// bruteStone enumerates all 2^n assignments.
+func bruteStone(execA, execB []float64, comm [][]float64) float64 {
+	n := len(execA)
+	best := -1.0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		cost := 0.0
+		for t := 0; t < n; t++ {
+			if mask&(1<<uint(t)) != 0 {
+				cost += execA[t]
+			} else {
+				cost += execB[t]
+			}
+			for u := t + 1; u < n; u++ {
+				if (mask>>uint(t))&1 != (mask>>uint(u))&1 {
+					cost += comm[t][u]
+				}
+			}
+		}
+		if best < 0 || cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+func assignmentCost(onA []bool, execA, execB []float64, comm [][]float64) float64 {
+	cost := 0.0
+	n := len(execA)
+	for t := 0; t < n; t++ {
+		if onA[t] {
+			cost += execA[t]
+		} else {
+			cost += execB[t]
+		}
+		for u := t + 1; u < n; u++ {
+			if onA[t] != onA[u] {
+				cost += comm[t][u]
+			}
+		}
+	}
+	return cost
+}
+
+func TestStoneAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(9)
+		execA := make([]float64, n)
+		execB := make([]float64, n)
+		comm := make([][]float64, n)
+		for i := range comm {
+			comm[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			execA[i] = float64(r.Intn(20))
+			execB[i] = float64(r.Intn(20))
+			for j := i + 1; j < n; j++ {
+				if r.Intn(2) == 0 {
+					w := float64(1 + r.Intn(15))
+					comm[i][j], comm[j][i] = w, w
+				}
+			}
+		}
+		onA, cost, err := StoneAssignment(execA, execB, comm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteStone(execA, execB, comm)
+		if cost != want {
+			t.Fatalf("trial %d: min-cut cost %g, brute force %g", trial, cost, want)
+		}
+		if got := assignmentCost(onA, execA, execB, comm); got != want {
+			t.Fatalf("trial %d: returned assignment costs %g, optimum %g", trial, got, want)
+		}
+	}
+}
+
+func TestStoneSkewForcesOneSide(t *testing.T) {
+	// Processor A is free, B is expensive: everything goes to A.
+	execA := []float64{0, 0, 0}
+	execB := []float64{100, 100, 100}
+	comm := [][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}}
+	onA, cost, err := StoneAssignment(execA, execB, comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range onA {
+		if !a {
+			t.Errorf("task %d not on A", i)
+		}
+	}
+	if cost != 0 {
+		t.Errorf("cost = %g, want 0", cost)
+	}
+}
+
+func TestStoneErrors(t *testing.T) {
+	if _, _, err := StoneAssignment([]float64{1}, []float64{1, 2}, [][]float64{{0}}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, _, err := StoneAssignment([]float64{-1}, []float64{1}, [][]float64{{0}}); err == nil {
+		t.Error("negative exec cost accepted")
+	}
+	if _, _, err := StoneAssignment([]float64{1, 1}, []float64{1, 1},
+		[][]float64{{0, 1}, {2, 0}}); err == nil {
+		t.Error("asymmetric comm accepted")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	NewNetwork(2).AddEdge(0, 5, 1)
+}

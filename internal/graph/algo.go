@@ -1,0 +1,75 @@
+package graph
+
+// Components returns the connected components of the collapsed static
+// graph, each as a sorted slice of task ids, ordered by smallest member.
+func (g *TaskGraph) Components() [][]int {
+	adj := g.Undirected()
+	seen := make([]bool, g.NumTasks)
+	var comps [][]int
+	for s := 0; s < g.NumTasks; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		for q := []int{s}; len(q) > 0; {
+			v := q[0]
+			q = q[1:]
+			for _, nb := range adj[v] {
+				if !seen[nb.To] {
+					seen[nb.To] = true
+					comp = append(comp, nb.To)
+					q = append(q, nb.To)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// BFSDistances returns hop distances from src in the collapsed static
+// graph; unreachable tasks get -1.
+func (g *TaskGraph) BFSDistances(src int) []int {
+	adj := g.Undirected()
+	dist := make([]int, g.NumTasks)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	for q := []int{src}; len(q) > 0; {
+		v := q[0]
+		q = q[1:]
+		for _, nb := range adj[v] {
+			if dist[nb.To] == -1 {
+				dist[nb.To] = dist[v] + 1
+				q = append(q, nb.To)
+			}
+		}
+	}
+	return dist
+}
+
+// MaxDegree returns the maximum collapsed-graph degree over all tasks.
+func (g *TaskGraph) MaxDegree() int {
+	max := 0
+	for _, l := range g.Undirected() {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// EdgeCut returns the total collapsed communication weight between tasks
+// assigned to different parts under the given partition (part[v] = part id
+// of task v). This is the "total IPC" objective of MWM-Contract.
+func (g *TaskGraph) EdgeCut(part []int) float64 {
+	var cut float64
+	for pair, w := range g.CollapsedWeights() {
+		if part[pair[0]] != part[pair[1]] {
+			cut += w
+		}
+	}
+	return cut
+}

@@ -1,0 +1,356 @@
+// Package graph implements the OREGAMI task-graph model: a weighted,
+// colored directed graph G = (V, E1, ..., Ec) in which each edge set Ek
+// corresponds to one communication phase of the parallel computation
+// (paper, Section 2). Node weights are per-execution-phase execution
+// costs; edge weights are per-message communication volumes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a directed communication edge between two tasks. Weight is the
+// message volume transmitted on this edge during its phase.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// CommPhase is one "color" of the task graph: the set of edges involved in
+// a single synchronous communication phase.
+type CommPhase struct {
+	Name  string
+	Edges []Edge
+}
+
+// ExecPhase is a computation phase bracketed by communication phases.
+// Cost[v] is the (approximate) execution time of task v during this phase;
+// a nil Cost means the phase has uniform cost Uniform on every task.
+type ExecPhase struct {
+	Name    string
+	Uniform float64
+	Cost    []float64
+}
+
+// TaskGraph is the paper's model of a parallel computation: a static set
+// of tasks, a set of colored communication phases, and a set of execution
+// phases. Tasks are identified by dense indices 0..NumTasks-1; Labels
+// carries the user-visible LaRCS labels.
+type TaskGraph struct {
+	Name     string
+	NumTasks int
+	Labels   []string
+	Comm     []*CommPhase
+	Exec     []*ExecPhase
+
+	commIndex map[string]int
+	execIndex map[string]int
+}
+
+// New creates an empty task graph with n tasks labeled "0".."n-1".
+func New(name string, n int) *TaskGraph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative task count %d", n))
+	}
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = fmt.Sprint(i)
+	}
+	return &TaskGraph{
+		Name:      name,
+		NumTasks:  n,
+		Labels:    labels,
+		commIndex: make(map[string]int),
+		execIndex: make(map[string]int),
+	}
+}
+
+// AddCommPhase registers a new, empty communication phase and returns it.
+// Phase names must be unique across communication phases.
+func (g *TaskGraph) AddCommPhase(name string) *CommPhase {
+	if _, dup := g.commIndex[name]; dup {
+		panic(fmt.Sprintf("graph: duplicate comm phase %q", name))
+	}
+	p := &CommPhase{Name: name}
+	g.commIndex[name] = len(g.Comm)
+	g.Comm = append(g.Comm, p)
+	return p
+}
+
+// AddExecPhase registers a new execution phase with a uniform per-task
+// cost and returns it. Phase names must be unique across execution phases.
+func (g *TaskGraph) AddExecPhase(name string, uniform float64) *ExecPhase {
+	if _, dup := g.execIndex[name]; dup {
+		panic(fmt.Sprintf("graph: duplicate exec phase %q", name))
+	}
+	p := &ExecPhase{Name: name, Uniform: uniform}
+	g.execIndex[name] = len(g.Exec)
+	g.Exec = append(g.Exec, p)
+	return p
+}
+
+// CommPhaseByName returns the named communication phase, or nil.
+func (g *TaskGraph) CommPhaseByName(name string) *CommPhase {
+	if i, ok := g.commIndex[name]; ok {
+		return g.Comm[i]
+	}
+	return nil
+}
+
+// ExecPhaseByName returns the named execution phase, or nil.
+func (g *TaskGraph) ExecPhaseByName(name string) *ExecPhase {
+	if i, ok := g.execIndex[name]; ok {
+		return g.Exec[i]
+	}
+	return nil
+}
+
+// AddEdge appends a directed edge to phase p, validating endpoints.
+func (g *TaskGraph) AddEdge(p *CommPhase, from, to int, weight float64) {
+	if from < 0 || from >= g.NumTasks || to < 0 || to >= g.NumTasks {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.NumTasks))
+	}
+	if weight < 0 {
+		panic(fmt.Sprintf("graph: negative edge weight %g", weight))
+	}
+	p.Edges = append(p.Edges, Edge{From: from, To: to, Weight: weight})
+}
+
+// TaskCost returns task v's execution cost in exec phase p.
+func (p *ExecPhase) TaskCost(v int) float64 {
+	if p.Cost != nil {
+		return p.Cost[v]
+	}
+	return p.Uniform
+}
+
+// NumEdges returns the total number of edges over all communication phases.
+func (g *TaskGraph) NumEdges() int {
+	n := 0
+	for _, p := range g.Comm {
+		n += len(p.Edges)
+	}
+	return n
+}
+
+// AllEdges returns every communication edge of every phase, in phase order.
+func (g *TaskGraph) AllEdges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for _, p := range g.Comm {
+		out = append(out, p.Edges...)
+	}
+	return out
+}
+
+// TotalVolume is the sum of all edge weights over all phases.
+func (g *TaskGraph) TotalVolume() float64 {
+	var v float64
+	for _, p := range g.Comm {
+		for _, e := range p.Edges {
+			v += e.Weight
+		}
+	}
+	return v
+}
+
+// TotalExecCost returns the sum over tasks of the cost of exec phase p; it
+// is the sequential work of that phase.
+func (p *ExecPhase) TotalExecCost(numTasks int) float64 {
+	if p.Cost != nil {
+		var s float64
+		for _, c := range p.Cost {
+			s += c
+		}
+		return s
+	}
+	return p.Uniform * float64(numTasks)
+}
+
+// Validate checks structural invariants: endpoint ranges, label count, and
+// per-phase cost vector lengths. It returns the first violation found.
+func (g *TaskGraph) Validate() error {
+	if len(g.Labels) != g.NumTasks {
+		return fmt.Errorf("graph %q: %d labels for %d tasks", g.Name, len(g.Labels), g.NumTasks)
+	}
+	for _, p := range g.Comm {
+		for _, e := range p.Edges {
+			if e.From < 0 || e.From >= g.NumTasks || e.To < 0 || e.To >= g.NumTasks {
+				return fmt.Errorf("graph %q phase %q: edge (%d,%d) out of range", g.Name, p.Name, e.From, e.To)
+			}
+			if e.Weight < 0 {
+				return fmt.Errorf("graph %q phase %q: negative weight on edge (%d,%d)", g.Name, p.Name, e.From, e.To)
+			}
+		}
+	}
+	for _, p := range g.Exec {
+		if p.Cost != nil && len(p.Cost) != g.NumTasks {
+			return fmt.Errorf("graph %q exec phase %q: %d costs for %d tasks", g.Name, p.Name, len(p.Cost), g.NumTasks)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the task graph.
+func (g *TaskGraph) Clone() *TaskGraph {
+	c := New(g.Name, g.NumTasks)
+	copy(c.Labels, g.Labels)
+	for _, p := range g.Comm {
+		cp := c.AddCommPhase(p.Name)
+		cp.Edges = append([]Edge(nil), p.Edges...)
+	}
+	for _, p := range g.Exec {
+		ep := c.AddExecPhase(p.Name, p.Uniform)
+		if p.Cost != nil {
+			ep.Cost = append([]float64(nil), p.Cost...)
+		}
+	}
+	return c
+}
+
+// CollapsedWeights returns, as a symmetric weight map keyed by ordered
+// pairs, the total communication volume between each pair of distinct
+// tasks summed over all phases and both directions. This "static task
+// graph" view is what contraction algorithms consume.
+func (g *TaskGraph) CollapsedWeights() map[[2]int]float64 {
+	w := make(map[[2]int]float64)
+	for _, p := range g.Comm {
+		for _, e := range p.Edges {
+			if e.From == e.To {
+				continue
+			}
+			a, b := e.From, e.To
+			if a > b {
+				a, b = b, a
+			}
+			w[[2]int{a, b}] += e.Weight
+		}
+	}
+	return w
+}
+
+// Undirected returns the collapsed static graph as adjacency lists of
+// (neighbor, weight) pairs, one entry per unordered task pair.
+func (g *TaskGraph) Undirected() [][]WeightedNeighbor {
+	adj := make([][]WeightedNeighbor, g.NumTasks)
+	for pair, w := range g.CollapsedWeights() {
+		adj[pair[0]] = append(adj[pair[0]], WeightedNeighbor{To: pair[1], Weight: w})
+		adj[pair[1]] = append(adj[pair[1]], WeightedNeighbor{To: pair[0], Weight: w})
+	}
+	for _, l := range adj {
+		sort.Slice(l, func(i, j int) bool { return l[i].To < l[j].To })
+	}
+	return adj
+}
+
+// WeightedNeighbor is one endpoint of an undirected weighted edge.
+type WeightedNeighbor struct {
+	To     int
+	Weight float64
+}
+
+// Degree returns the number of distinct neighbors of task v in the
+// collapsed static graph.
+func (g *TaskGraph) Degree(v int) int {
+	seen := make(map[int]bool)
+	for _, p := range g.Comm {
+		for _, e := range p.Edges {
+			if e.From == v && e.To != v {
+				seen[e.To] = true
+			}
+			if e.To == v && e.From != v {
+				seen[e.From] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// IsNodeSymmetricCandidate reports whether every communication phase is a
+// bijection on tasks (each task has exactly one outgoing and one incoming
+// edge per phase) — the precondition for the group-theoretic contraction
+// of Section 4.2.2.
+func (g *TaskGraph) IsNodeSymmetricCandidate() bool {
+	for _, p := range g.Comm {
+		if len(p.Edges) != g.NumTasks {
+			return false
+		}
+		out := make([]int, g.NumTasks)
+		in := make([]int, g.NumTasks)
+		for _, e := range p.Edges {
+			out[e.From]++
+			in[e.To]++
+		}
+		for v := 0; v < g.NumTasks; v++ {
+			if out[v] != 1 || in[v] != 1 {
+				return false
+			}
+		}
+	}
+	return len(g.Comm) > 0
+}
+
+// PhasePermutation returns, for a bijective phase, the permutation image
+// p(i) = the unique target of task i, and ok=false if the phase is not a
+// bijection.
+func (g *TaskGraph) PhasePermutation(p *CommPhase) ([]int, bool) {
+	img := make([]int, g.NumTasks)
+	for i := range img {
+		img[i] = -1
+	}
+	in := make([]int, g.NumTasks)
+	for _, e := range p.Edges {
+		if img[e.From] != -1 {
+			return nil, false
+		}
+		img[e.From] = e.To
+		in[e.To]++
+	}
+	for v := 0; v < g.NumTasks; v++ {
+		if img[v] == -1 || in[v] != 1 {
+			return nil, false
+		}
+	}
+	return img, true
+}
+
+// String renders a compact human-readable summary.
+func (g *TaskGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "task graph %q: %d tasks, %d comm phases, %d exec phases\n",
+		g.Name, g.NumTasks, len(g.Comm), len(g.Exec))
+	for _, p := range g.Comm {
+		fmt.Fprintf(&b, "  comm %-12s %4d edges, volume %g\n", p.Name, len(p.Edges), phaseVolume(p))
+	}
+	for _, p := range g.Exec {
+		fmt.Fprintf(&b, "  exec %-12s total cost %g\n", p.Name, p.TotalExecCost(g.NumTasks))
+	}
+	return b.String()
+}
+
+func phaseVolume(p *CommPhase) float64 {
+	var v float64
+	for _, e := range p.Edges {
+		v += e.Weight
+	}
+	return v
+}
+
+// DOT renders the collapsed static graph in Graphviz format, one style
+// per phase color.
+func (g *TaskGraph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	for v := 0; v < g.NumTasks; v++ {
+		fmt.Fprintf(&b, "  %d [label=%q];\n", v, g.Labels[v])
+	}
+	for ci, p := range g.Comm {
+		for _, e := range p.Edges {
+			fmt.Fprintf(&b, "  %d -> %d [label=%q colorscheme=paired12 color=%d];\n",
+				e.From, e.To, p.Name, ci%12+1)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package group
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oregami/internal/perm"
+)
+
+// Property: generated groups satisfy the group axioms on their
+// multiplication table — closure, identity, inverses, associativity
+// (spot-checked).
+func TestGroupAxiomsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(4)
+		// Two random generators; cutoff keeps the group small enough.
+		g1 := perm.Perm(r.Perm(n))
+		g2 := perm.Perm(r.Perm(n))
+		g, ok := Generate([]perm.Perm{g1, g2}, 200)
+		if !ok {
+			return true // group too large for the cutoff; nothing to check
+		}
+		order := g.Order()
+		// Identity and inverses.
+		for i := 0; i < order; i++ {
+			if g.Mul(0, i) != i || g.Mul(i, 0) != i {
+				return false
+			}
+			if g.Mul(i, g.Inv(i)) != 0 {
+				return false
+			}
+		}
+		// Closure + associativity spot checks.
+		for trial := 0; trial < 20; trial++ {
+			a, b, c := r.Intn(order), r.Intn(order), r.Intn(order)
+			ab := g.Mul(a, b)
+			if ab < 0 || ab >= order {
+				return false
+			}
+			if g.Mul(ab, c) != g.Mul(a, g.Mul(b, c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: right cosets of any enumerated subgroup partition the group
+// into equal-size classes (Lagrange).
+func TestLagrangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(4)
+		g1 := perm.Perm(r.Perm(n))
+		g2 := perm.Perm(r.Perm(n))
+		g, ok := Generate([]perm.Perm{g1, g2}, 24)
+		if !ok {
+			return true
+		}
+		order := g.Order()
+		for k := 1; k <= order && k <= 6; k++ {
+			if order%k != 0 {
+				if len(g.Subgroups(k)) != 0 {
+					return false
+				}
+				continue
+			}
+			for _, sub := range g.Subgroups(k) {
+				cosets := g.RightCosets(sub)
+				if len(cosets) != order/k {
+					return false
+				}
+				total := 0
+				for _, c := range cosets {
+					if len(c) != k {
+						return false
+					}
+					total += len(c)
+				}
+				if total != order {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package larcs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed LaRCS description.
+type Program struct {
+	Name   string
+	Params []string // algorithm parameters, bound at compile time
+	// Imports are variables imported from the host-language source
+	// (Section 3, item 2); like Params they are bound at compile time.
+	Imports []string
+	Consts  []ConstDecl
+	// NodeTypes declares the labeled task sets (Section 3, item 3).
+	NodeTypes []NodeTypeDecl
+	// NodeSymmetric is the user's assertion that the task graph is node
+	// symmetric, a hint for the group-theoretic mapper.
+	NodeSymmetric bool
+	CommPhases    []CommPhaseDecl
+	ExecPhases    []ExecPhaseDecl
+	// PhaseExpr describes the dynamic behavior (Section 3, item 6);
+	// nil if the program omits a phases declaration.
+	PhaseExpr PExpr
+
+	// Source is the original text, retained so tools can report the
+	// description's size (the paper's compactness claim).
+	Source string
+}
+
+// ConstDecl is a named constant: const k = expr;
+type ConstDecl struct {
+	Name string
+	Val  Expr
+}
+
+// NodeTypeDecl declares a (possibly multi-dimensional) family of task
+// nodes, e.g. "nodetype cell 0..n-1, 0..n-1;". Each dimension is an
+// inclusive range.
+type NodeTypeDecl struct {
+	Name string
+	Dims []RangeExpr
+	Line int
+}
+
+// RangeExpr is an inclusive integer range lo..hi.
+type RangeExpr struct {
+	Lo, Hi Expr
+}
+
+// CommPhaseDecl declares one communication phase as a set of edge rules.
+// A declaration with Param != "" is a parameterized *family*
+// ("comphase stage(s) in 0..k-1 { ... }"): one phase per value of the
+// range, named name(v), with Param bound inside the rules. Families are
+// referenced from phase expressions as name(expr) — the paper's
+// "parameterized for loop" repetition.
+type CommPhaseDecl struct {
+	Name  string
+	Param string
+	Range RangeExpr // valid when Param != ""
+	Rules []CommRule
+	Line  int
+}
+
+// CommRule generates edges: forall vars in ranges [if guard]:
+// from -> to [volume expr];
+// A rule without quantifiers has empty Vars/Ranges.
+type CommRule struct {
+	Vars   []string
+	Ranges []RangeExpr
+	Guard  Expr // nil if absent
+	From   NodeRef
+	To     NodeRef
+	Volume Expr // nil means volume 1
+	Line   int
+}
+
+// NodeRef names a task: nodetype(indexExpr, ...).
+type NodeRef struct {
+	Type string
+	Idx  []Expr
+	Line int
+}
+
+// ExecPhaseDecl declares an execution phase with a per-task cost
+// expression. If At is non-empty the cost expression may reference the
+// task's index variables (one per dimension of the nodetype AtType),
+// giving per-task costs; otherwise the cost is uniform.
+type ExecPhaseDecl struct {
+	Name   string
+	Cost   Expr // nil means cost 1
+	AtType string
+	At     []string // index variable names, e.g. cost i+1 at cell(i,j)
+	Line   int
+}
+
+// --- Arithmetic / boolean expressions ---------------------------------
+
+// Expr is an arithmetic or boolean expression over integer values.
+type Expr interface {
+	fmt.Stringer
+	isExprNode()
+}
+
+// Num is an integer literal.
+type Num struct {
+	V int
+}
+
+// Var references a parameter, import, const, or quantifier variable.
+type Var struct {
+	Name string
+	Line int
+	Col  int
+}
+
+// Unary is -x or not x.
+type Unary struct {
+	Op string // "-" or "not"
+	X  Expr
+}
+
+// Binary is a binary operation. Op is one of
+// + - * / div mod % == != < <= > >= and or.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+	Col  int
+}
+
+func (Num) isExprNode()    {}
+func (Var) isExprNode()    {}
+func (Unary) isExprNode()  {}
+func (Binary) isExprNode() {}
+
+func (n Num) String() string   { return fmt.Sprint(n.V) }
+func (v Var) String() string   { return v.Name }
+func (u Unary) String() string { return u.Op + " " + u.X.String() }
+func (b Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// --- Phase expressions (parametric) ------------------------------------
+
+// PExpr is a parametric phase expression; repetition counts are
+// arithmetic expressions evaluated at compile time.
+type PExpr interface {
+	fmt.Stringer
+	isPExpr()
+}
+
+// PIdle is epsilon.
+type PIdle struct{}
+
+// PRef names a communication or execution phase. Index is non-nil when
+// referencing one member of a parameterized family, e.g. stage(s).
+type PRef struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// PForall is the paper's parameterized for-loop over phase expressions:
+// forall v in lo..hi : body, expanding to the sequence of bodies with v
+// bound to each value.
+type PForall struct {
+	Var   string
+	Range RangeExpr
+	Body  PExpr
+}
+
+// PSeq is sequential composition.
+type PSeq struct {
+	Parts []PExpr
+}
+
+// PPar is parallel composition.
+type PPar struct {
+	Parts []PExpr
+}
+
+// PRep is repetition body^count.
+type PRep struct {
+	Body  PExpr
+	Count Expr
+}
+
+func (PIdle) isPExpr()   {}
+func (PRef) isPExpr()    {}
+func (PSeq) isPExpr()    {}
+func (PPar) isPExpr()    {}
+func (PRep) isPExpr()    {}
+func (PForall) isPExpr() {}
+
+func (PIdle) String() string { return "eps" }
+func (r PRef) String() string {
+	if r.Index != nil {
+		return r.Name + "(" + r.Index.String() + ")"
+	}
+	return r.Name
+}
+func (f PForall) String() string {
+	return "forall " + f.Var + " in " + f.Range.Lo.String() + ".." +
+		f.Range.Hi.String() + " : " + pparen(f.Body)
+}
+func (s PSeq) String() string {
+	parts := make([]string, len(s.Parts))
+	for i, p := range s.Parts {
+		parts[i] = pparen(p)
+	}
+	return strings.Join(parts, "; ")
+}
+func (p PPar) String() string {
+	parts := make([]string, len(p.Parts))
+	for i, q := range p.Parts {
+		parts[i] = pparen(q)
+	}
+	return strings.Join(parts, " || ")
+}
+func (r PRep) String() string {
+	return pparen(r.Body) + "^" + r.Count.String()
+}
+
+func pparen(e PExpr) string {
+	switch e.(type) {
+	case PSeq, PPar:
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}

@@ -1,0 +1,461 @@
+package larcs
+
+import (
+	"fmt"
+	"strings"
+
+	"oregami/internal/graph"
+	"oregami/internal/phase"
+)
+
+// Limits bound the expansion of a LaRCS program, guarding against
+// runaway parameter values. Zero fields mean the corresponding default.
+type Limits struct {
+	MaxTasks int // default 1 << 20
+	MaxEdges int // default 1 << 22
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxTasks == 0 {
+		l.MaxTasks = 1 << 20
+	}
+	if l.MaxEdges == 0 {
+		l.MaxEdges = 1 << 22
+	}
+	return l
+}
+
+// NodeTypeInfo describes one compiled nodetype: its dense task-id block
+// and its evaluated dimension bounds.
+type NodeTypeInfo struct {
+	Name   string
+	Offset int   // first task id of this type
+	Size   int   // number of tasks of this type
+	Lo, Hi []int // inclusive bounds per dimension
+	Extent []int // Hi[d]-Lo[d]+1 per dimension
+}
+
+// TaskID linearizes a multi-dimensional node index (row-major) into a
+// global task id, or returns an error if any index is out of bounds.
+func (nt *NodeTypeInfo) TaskID(idx []int) (int, error) {
+	if len(idx) != len(nt.Lo) {
+		return 0, fmt.Errorf("larcs: nodetype %q expects %d indices, got %d", nt.Name, len(nt.Lo), len(idx))
+	}
+	id := 0
+	for d, v := range idx {
+		if v < nt.Lo[d] || v > nt.Hi[d] {
+			return 0, fmt.Errorf("larcs: nodetype %q index %d = %d out of range %d..%d",
+				nt.Name, d, v, nt.Lo[d], nt.Hi[d])
+		}
+		id = id*nt.Extent[d] + (v - nt.Lo[d])
+	}
+	return nt.Offset + id, nil
+}
+
+// Index inverts TaskID for a task belonging to this nodetype.
+func (nt *NodeTypeInfo) Index(task int) []int {
+	rel := task - nt.Offset
+	idx := make([]int, len(nt.Lo))
+	for d := len(nt.Lo) - 1; d >= 0; d-- {
+		idx[d] = rel%nt.Extent[d] + nt.Lo[d]
+		rel /= nt.Extent[d]
+	}
+	return idx
+}
+
+// Compiled is the output of compiling a LaRCS program against concrete
+// parameter bindings: the data structures MAPPER and METRICS consume.
+type Compiled struct {
+	Program  *Program
+	Bindings map[string]int
+	Graph    *graph.TaskGraph
+	// Phases is the ground phase expression, or nil if the program has
+	// no phases declaration.
+	Phases    phase.Expr
+	NodeTypes []NodeTypeInfo
+}
+
+// Compile expands the program for the given parameter/import bindings.
+// All declared params and imports must be bound.
+func (prog *Program) Compile(bindings map[string]int, lim Limits) (*Compiled, error) {
+	lim = lim.withDefaults()
+	en := env{}
+	for _, p := range prog.Params {
+		v, ok := bindings[p]
+		if !ok {
+			return nil, fmt.Errorf("larcs: parameter %q not bound", p)
+		}
+		en[p] = v
+	}
+	for _, im := range prog.Imports {
+		v, ok := bindings[im]
+		if !ok {
+			return nil, fmt.Errorf("larcs: imported variable %q not bound", im)
+		}
+		en[im] = v
+	}
+	for _, c := range prog.Consts {
+		v, err := eval(c.Val, en)
+		if err != nil {
+			return nil, err
+		}
+		en[c.Name] = v
+	}
+
+	// Node types.
+	var infos []NodeTypeInfo
+	total := 0
+	for _, nt := range prog.NodeTypes {
+		info := NodeTypeInfo{Name: nt.Name, Offset: total, Size: 1}
+		for _, d := range nt.Dims {
+			lo, err := eval(d.Lo, en)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := eval(d.Hi, en)
+			if err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("larcs: nodetype %q has empty range %d..%d", nt.Name, lo, hi)
+			}
+			info.Lo = append(info.Lo, lo)
+			info.Hi = append(info.Hi, hi)
+			info.Extent = append(info.Extent, hi-lo+1)
+			info.Size *= hi - lo + 1
+			if info.Size > lim.MaxTasks {
+				return nil, fmt.Errorf("larcs: nodetype %q exceeds task limit %d", nt.Name, lim.MaxTasks)
+			}
+		}
+		total += info.Size
+		if total > lim.MaxTasks {
+			return nil, fmt.Errorf("larcs: program exceeds task limit %d", lim.MaxTasks)
+		}
+		infos = append(infos, info)
+	}
+
+	g := graph.New(prog.Name, total)
+	// Labels: single 1-D nodetype keeps the paper's bare numeric labels;
+	// everything else gets name(i,j,...) labels.
+	if len(infos) == 1 && len(infos[0].Lo) == 1 {
+		for t := 0; t < total; t++ {
+			g.Labels[t] = fmt.Sprint(infos[0].Lo[0] + t)
+		}
+	} else {
+		for ti := range infos {
+			info := &infos[ti]
+			for t := info.Offset; t < info.Offset+info.Size; t++ {
+				idx := info.Index(t)
+				parts := make([]string, len(idx))
+				for d, v := range idx {
+					parts[d] = fmt.Sprint(v)
+				}
+				g.Labels[t] = fmt.Sprintf("%s(%s)", info.Name, strings.Join(parts, ","))
+			}
+		}
+	}
+	typeByName := make(map[string]*NodeTypeInfo)
+	for i := range infos {
+		typeByName[infos[i].Name] = &infos[i]
+	}
+
+	// Communication phases. Parameterized families expand to one phase
+	// per range value, named name(v).
+	edgeCount := 0
+	commNames := make(map[string]bool)
+	for _, cp := range prog.CommPhases {
+		if cp.Param == "" {
+			gp := g.AddCommPhase(cp.Name)
+			commNames[cp.Name] = true
+			for _, rule := range cp.Rules {
+				if err := expandRule(g, gp, rule, en, typeByName, lim, &edgeCount); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		lo, err := eval(cp.Range.Lo, en)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := eval(cp.Range.Hi, en)
+		if err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("larcs: phase family %q has empty range %d..%d", cp.Name, lo, hi)
+		}
+		if hi-lo+1 > 4096 {
+			return nil, fmt.Errorf("larcs: phase family %q expands to %d phases", cp.Name, hi-lo+1)
+		}
+		for v := lo; v <= hi; v++ {
+			name := fmt.Sprintf("%s(%d)", cp.Name, v)
+			gp := g.AddCommPhase(name)
+			commNames[name] = true
+			famEnv := env{}
+			for k, val := range en {
+				famEnv[k] = val
+			}
+			famEnv[cp.Param] = v
+			for _, rule := range cp.Rules {
+				if err := expandRule(g, gp, rule, famEnv, typeByName, lim, &edgeCount); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Execution phases.
+	for _, ep := range prog.ExecPhases {
+		if ep.Cost == nil {
+			g.AddExecPhase(ep.Name, 1)
+			continue
+		}
+		if ep.AtType == "" {
+			c, err := eval(ep.Cost, en)
+			if err != nil {
+				return nil, err
+			}
+			g.AddExecPhase(ep.Name, float64(c))
+			continue
+		}
+		// Per-task cost over one nodetype; other tasks cost 0.
+		info := typeByName[ep.AtType]
+		gp := g.AddExecPhase(ep.Name, 0)
+		gp.Cost = make([]float64, total)
+		idx := append([]int(nil), info.Lo...)
+		for {
+			local := env{}
+			for k, v := range en {
+				local[k] = v
+			}
+			for d, name := range ep.At {
+				local[name] = idx[d]
+			}
+			c, err := eval(ep.Cost, local)
+			if err != nil {
+				return nil, err
+			}
+			id, err := info.TaskID(idx)
+			if err != nil {
+				return nil, err
+			}
+			gp.Cost[id] = float64(c)
+			if !increment(idx, info.Lo, info.Hi) {
+				break
+			}
+		}
+	}
+
+	// Phase expression.
+	var ground phase.Expr
+	if prog.PhaseExpr != nil {
+		var err error
+		ground, err = groundPExpr(prog.PhaseExpr, en, commNames)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Program:   prog,
+		Bindings:  bindings,
+		Graph:     g,
+		Phases:    ground,
+		NodeTypes: infos,
+	}, nil
+}
+
+// expandRule iterates the rule's quantifiers and emits edges.
+func expandRule(g *graph.TaskGraph, gp *graph.CommPhase, rule CommRule, en env,
+	types map[string]*NodeTypeInfo, lim Limits, edgeCount *int) error {
+	local := env{}
+	for k, v := range en {
+		local[k] = v
+	}
+	var rec func(d int) error
+	rec = func(d int) error {
+		if d < len(rule.Vars) {
+			lo, err := eval(rule.Ranges[d].Lo, local)
+			if err != nil {
+				return err
+			}
+			hi, err := eval(rule.Ranges[d].Hi, local)
+			if err != nil {
+				return err
+			}
+			for v := lo; v <= hi; v++ {
+				local[rule.Vars[d]] = v
+				if err := rec(d + 1); err != nil {
+					return err
+				}
+			}
+			delete(local, rule.Vars[d])
+			return nil
+		}
+		if rule.Guard != nil {
+			ok, err := eval(rule.Guard, local)
+			if err != nil {
+				return err
+			}
+			if ok == 0 {
+				return nil
+			}
+		}
+		from, err := resolveRef(rule.From, local, types)
+		if err != nil {
+			return err
+		}
+		to, err := resolveRef(rule.To, local, types)
+		if err != nil {
+			return err
+		}
+		vol := 1
+		if rule.Volume != nil {
+			vol, err = eval(rule.Volume, local)
+			if err != nil {
+				return err
+			}
+			if vol < 0 {
+				return fmt.Errorf("larcs: negative volume %d in phase %q", vol, gp.Name)
+			}
+		}
+		*edgeCount++
+		if *edgeCount > lim.MaxEdges {
+			return fmt.Errorf("larcs: program exceeds edge limit %d", lim.MaxEdges)
+		}
+		g.AddEdge(gp, from, to, float64(vol))
+		return nil
+	}
+	return rec(0)
+}
+
+func resolveRef(ref NodeRef, en env, types map[string]*NodeTypeInfo) (int, error) {
+	info := types[ref.Type]
+	idx := make([]int, len(ref.Idx))
+	for d, e := range ref.Idx {
+		v, err := eval(e, en)
+		if err != nil {
+			return 0, err
+		}
+		idx[d] = v
+	}
+	return info.TaskID(idx)
+}
+
+// increment advances idx through the box [lo, hi] row-major; it returns
+// false after the last combination.
+func increment(idx, lo, hi []int) bool {
+	for d := len(idx) - 1; d >= 0; d-- {
+		idx[d]++
+		if idx[d] <= hi[d] {
+			return true
+		}
+		idx[d] = lo[d]
+	}
+	return false
+}
+
+// groundPExpr evaluates repetition counts, family indices, and
+// parameterized for-loops to produce a ground phase expression.
+func groundPExpr(e PExpr, en env, commNames map[string]bool) (phase.Expr, error) {
+	switch v := e.(type) {
+	case PIdle:
+		return phase.Idle{}, nil
+	case PRef:
+		if v.Index != nil {
+			ix, err := eval(v.Index, en)
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("%s(%d)", v.Name, ix)
+			if !commNames[name] {
+				return nil, fmt.Errorf("larcs: phase %s is outside the family's range", name)
+			}
+			return phase.Ref{Name: name, Comm: true}, nil
+		}
+		return phase.Ref{Name: v.Name, Comm: commNames[v.Name]}, nil
+	case PSeq:
+		parts := make([]phase.Expr, len(v.Parts))
+		for i, p := range v.Parts {
+			g, err := groundPExpr(p, en, commNames)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = g
+		}
+		return phase.Seq{Parts: parts}, nil
+	case PPar:
+		parts := make([]phase.Expr, len(v.Parts))
+		for i, p := range v.Parts {
+			g, err := groundPExpr(p, en, commNames)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = g
+		}
+		return phase.Par{Parts: parts}, nil
+	case PRep:
+		body, err := groundPExpr(v.Body, en, commNames)
+		if err != nil {
+			return nil, err
+		}
+		count, err := eval(v.Count, en)
+		if err != nil {
+			return nil, err
+		}
+		if count < 0 {
+			return nil, fmt.Errorf("larcs: repetition count %s evaluates to %d", v.Count, count)
+		}
+		return phase.Rep{Body: body, Count: count}, nil
+	case PForall:
+		lo, err := eval(v.Range.Lo, en)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := eval(v.Range.Hi, en)
+		if err != nil {
+			return nil, err
+		}
+		var parts []phase.Expr
+		for val := lo; val <= hi; val++ {
+			inner := env{}
+			for k, x := range en {
+				inner[k] = x
+			}
+			inner[v.Var] = val
+			g, err := groundPExpr(v.Body, inner, commNames)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, g)
+		}
+		switch len(parts) {
+		case 0:
+			return phase.Idle{}, nil
+		case 1:
+			return parts[0], nil
+		}
+		return phase.Seq{Parts: parts}, nil
+	}
+	return nil, fmt.Errorf("larcs: unknown phase expression %T", e)
+}
+
+// DescriptionSize returns the size in bytes of the LaRCS source after
+// stripping comments and whitespace — the quantity behind the paper's
+// claim that a LaRCS description is an order of magnitude smaller than
+// the expanded graph.
+func (prog *Program) DescriptionSize() int {
+	toks, err := lexAll(prog.Source)
+	if err != nil {
+		return len(prog.Source)
+	}
+	n := 0
+	for _, t := range toks {
+		n += len(t.text)
+	}
+	return n
+}

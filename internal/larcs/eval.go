@@ -1,0 +1,121 @@
+package larcs
+
+// env binds identifiers to integer values during compilation. Booleans
+// are represented as 0/1, as in the guard expressions.
+type env map[string]int
+
+// eval evaluates an arithmetic/boolean expression. Division and modulo
+// by zero are reported as errors. "mod" is mathematical (result in
+// [0, m) for m > 0), matching the paper's label arithmetic such as
+// (i+1) mod n; "/" and "div" truncate toward zero like the host
+// languages LaRCS imports variables from.
+func eval(e Expr, en env) (int, error) {
+	switch v := e.(type) {
+	case Num:
+		return v.V, nil
+	case Var:
+		val, ok := en[v.Name]
+		if !ok {
+			return 0, errf(v.Line, v.Col, "unbound identifier %q at evaluation time", v.Name)
+		}
+		return val, nil
+	case Unary:
+		x, err := eval(v.X, en)
+		if err != nil {
+			return 0, err
+		}
+		if v.Op == "-" {
+			return -x, nil
+		}
+		// not
+		if x == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case Binary:
+		l, err := eval(v.L, en)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit booleans.
+		switch v.Op {
+		case "and":
+			if l == 0 {
+				return 0, nil
+			}
+			r, err := eval(v.R, en)
+			if err != nil {
+				return 0, err
+			}
+			return b2i(r != 0), nil
+		case "or":
+			if l != 0 {
+				return 1, nil
+			}
+			r, err := eval(v.R, en)
+			if err != nil {
+				return 0, err
+			}
+			return b2i(r != 0), nil
+		}
+		r, err := eval(v.R, en)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/", "div":
+			if r == 0 {
+				return 0, errf(v.Line, v.Col, "division by zero")
+			}
+			return l / r, nil
+		case "mod":
+			if r == 0 {
+				return 0, errf(v.Line, v.Col, "modulo by zero")
+			}
+			m := l % r
+			if m != 0 && (m < 0) != (r < 0) {
+				m += r
+			}
+			return m, nil
+		case "^":
+			if r < 0 {
+				return 0, errf(v.Line, v.Col, "negative exponent %d", r)
+			}
+			pow := 1
+			for i := 0; i < r; i++ {
+				pow *= l
+				if pow > 1<<40 || pow < -(1<<40) {
+					return 0, errf(v.Line, v.Col, "exponentiation overflows")
+				}
+			}
+			return pow, nil
+		case "==":
+			return b2i(l == r), nil
+		case "!=":
+			return b2i(l != r), nil
+		case "<":
+			return b2i(l < r), nil
+		case "<=":
+			return b2i(l <= r), nil
+		case ">":
+			return b2i(l > r), nil
+		case ">=":
+			return b2i(l >= r), nil
+		}
+		return 0, errf(v.Line, v.Col, "unknown operator %q", v.Op)
+	}
+	return 0, errf(0, 0, "unknown expression node %T", e)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

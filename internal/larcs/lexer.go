@@ -1,0 +1,166 @@
+package larcs
+
+// lexer turns LaRCS source into tokens. Comments run from "--" or "//"
+// to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// next returns the next token, or an error for an illegal character or
+// malformed number.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '-' && l.peekByte2() == '-', c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.advance()
+	mk := func(k tokenKind, text string) (token, error) {
+		return token{kind: k, text: text, line: line, col: col}, nil
+	}
+	switch {
+	case isDigit(c):
+		v := int(c - '0')
+		text := string(c)
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			d := l.advance()
+			v = v*10 + int(d-'0')
+			text += string(d)
+			if v < 0 {
+				return token{}, errf(line, col, "integer literal overflows")
+			}
+		}
+		if l.pos < len(l.src) && isLetter(l.peekByte()) {
+			return token{}, errf(line, col, "malformed number %q", text+string(l.peekByte()))
+		}
+		return token{kind: tokNumber, text: text, val: v, line: line, col: col}, nil
+	case isLetter(c):
+		text := string(c)
+		for l.pos < len(l.src) && (isLetter(l.peekByte()) || isDigit(l.peekByte())) {
+			text += string(l.advance())
+		}
+		if k, ok := keywords[text]; ok {
+			return mk(k, text)
+		}
+		return mk(tokIdent, text)
+	}
+	two := func(second byte, k2 tokenKind, k1 tokenKind) (token, error) {
+		if l.pos < len(l.src) && l.peekByte() == second {
+			l.advance()
+			return mk(k2, string(c)+string(second))
+		}
+		if k1 == tokEOF {
+			return token{}, errf(line, col, "unexpected character %q", string(c))
+		}
+		return mk(k1, string(c))
+	}
+	switch c {
+	case '(':
+		return mk(tokLParen, "(")
+	case ')':
+		return mk(tokRParen, ")")
+	case '{':
+		return mk(tokLBrace, "{")
+	case '}':
+		return mk(tokRBrace, "}")
+	case ';':
+		return mk(tokSemi, ";")
+	case ',':
+		return mk(tokComma, ",")
+	case ':':
+		return mk(tokColon, ":")
+	case '^':
+		return mk(tokCaret, "^")
+	case '+':
+		return mk(tokPlus, "+")
+	case '*':
+		return mk(tokStar, "*")
+	case '/':
+		return mk(tokSlash, "/")
+	case '%':
+		return mk(tokPercent, "%")
+	case '.':
+		return two('.', tokDotDot, tokEOF)
+	case '-':
+		return two('>', tokArrow, tokMinus)
+	case '|':
+		return two('|', tokParallel, tokEOF)
+	case '=':
+		return two('=', tokEq, tokAssign)
+	case '!':
+		return two('=', tokNeq, tokEOF)
+	case '<':
+		return two('=', tokLe, tokLt)
+	case '>':
+		return two('=', tokGe, tokGt)
+	}
+	return token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole input (including the trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

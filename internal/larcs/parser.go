@@ -1,0 +1,684 @@
+package larcs
+
+// Parse parses LaRCS source into a Program. Errors carry line/column
+// positions.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	prog.Source = src
+	if err := Analyze(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, errf(t.line, t.col, "expected %v, found %v %q", k, t.kind, t.text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(k tokenKind) bool {
+	if p.cur().kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	if _, err := p.expect(tokAlgorithm); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	prog.Name = name.text
+	if p.accept(tokLParen) {
+		for {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			prog.Params = append(prog.Params, id.text)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	for p.cur().kind != tokEOF {
+		if err := p.parseDecl(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseDecl(prog *Program) error {
+	t := p.cur()
+	switch t.kind {
+	case tokImport:
+		p.advance()
+		for {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			prog.Imports = append(prog.Imports, id.text)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		_, err := p.expect(tokSemi)
+		return err
+	case tokConst:
+		p.advance()
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		prog.Consts = append(prog.Consts, ConstDecl{Name: id.text, Val: e})
+		_, err = p.expect(tokSemi)
+		return err
+	case tokNodetype:
+		p.advance()
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		decl := NodeTypeDecl{Name: id.text, Line: id.line}
+		for {
+			r, err := p.parseRange()
+			if err != nil {
+				return err
+			}
+			decl.Dims = append(decl.Dims, r)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		prog.NodeTypes = append(prog.NodeTypes, decl)
+		_, err = p.expect(tokSemi)
+		return err
+	case tokNodesymmetric:
+		p.advance()
+		prog.NodeSymmetric = true
+		_, err := p.expect(tokSemi)
+		return err
+	case tokComphase:
+		return p.parseCommPhase(prog)
+	case tokExphase:
+		return p.parseExecPhase(prog)
+	case tokPhases:
+		p.advance()
+		e, err := p.parsePExpr()
+		if err != nil {
+			return err
+		}
+		if prog.PhaseExpr != nil {
+			return errf(t.line, t.col, "duplicate phases declaration")
+		}
+		prog.PhaseExpr = e
+		_, err = p.expect(tokSemi)
+		return err
+	default:
+		return errf(t.line, t.col, "expected a declaration, found %v %q", t.kind, t.text)
+	}
+}
+
+func (p *parser) parseRange() (RangeExpr, error) {
+	lo, err := p.parseExpr()
+	if err != nil {
+		return RangeExpr{}, err
+	}
+	if _, err := p.expect(tokDotDot); err != nil {
+		return RangeExpr{}, err
+	}
+	hi, err := p.parseExpr()
+	if err != nil {
+		return RangeExpr{}, err
+	}
+	return RangeExpr{Lo: lo, Hi: hi}, nil
+}
+
+func (p *parser) parseCommPhase(prog *Program) error {
+	kw := p.advance() // comphase
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	decl := CommPhaseDecl{Name: id.text, Line: kw.line}
+	if p.accept(tokLParen) {
+		param, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokIn); err != nil {
+			return err
+		}
+		r, err := p.parseRange()
+		if err != nil {
+			return err
+		}
+		decl.Param = param.text
+		decl.Range = r
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.cur().kind != tokRBrace {
+		rule, err := p.parseCommRule()
+		if err != nil {
+			return err
+		}
+		decl.Rules = append(decl.Rules, rule)
+	}
+	p.advance() // }
+	prog.CommPhases = append(prog.CommPhases, decl)
+	return nil
+}
+
+func (p *parser) parseCommRule() (CommRule, error) {
+	rule := CommRule{Line: p.cur().line}
+	if p.accept(tokForall) {
+		for {
+			id, err := p.expect(tokIdent)
+			if err != nil {
+				return rule, err
+			}
+			if _, err := p.expect(tokIn); err != nil {
+				return rule, err
+			}
+			r, err := p.parseRange()
+			if err != nil {
+				return rule, err
+			}
+			rule.Vars = append(rule.Vars, id.text)
+			rule.Ranges = append(rule.Ranges, r)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		if p.accept(tokIf) {
+			g, err := p.parseExpr()
+			if err != nil {
+				return rule, err
+			}
+			rule.Guard = g
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return rule, err
+		}
+	}
+	from, err := p.parseNodeRef()
+	if err != nil {
+		return rule, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return rule, err
+	}
+	to, err := p.parseNodeRef()
+	if err != nil {
+		return rule, err
+	}
+	rule.From, rule.To = from, to
+	if p.accept(tokVolume) {
+		v, err := p.parseExpr()
+		if err != nil {
+			return rule, err
+		}
+		rule.Volume = v
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return rule, err
+	}
+	return rule, nil
+}
+
+func (p *parser) parseNodeRef() (NodeRef, error) {
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return NodeRef{}, err
+	}
+	ref := NodeRef{Type: id.text, Line: id.line}
+	if _, err := p.expect(tokLParen); err != nil {
+		return ref, err
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return ref, err
+		}
+		ref.Idx = append(ref.Idx, e)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ref, err
+	}
+	return ref, nil
+}
+
+func (p *parser) parseExecPhase(prog *Program) error {
+	kw := p.advance() // exphase
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	decl := ExecPhaseDecl{Name: id.text, Line: kw.line}
+	if p.accept(tokCost) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		decl.Cost = e
+		if p.accept(tokAt) {
+			ty, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			decl.AtType = ty.text
+			if _, err := p.expect(tokLParen); err != nil {
+				return err
+			}
+			for {
+				v, err := p.expect(tokIdent)
+				if err != nil {
+					return err
+				}
+				decl.At = append(decl.At, v.text)
+				if !p.accept(tokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return err
+			}
+		}
+	}
+	prog.ExecPhases = append(prog.ExecPhases, decl)
+	_, err = p.expect(tokSemi)
+	return err
+}
+
+// --- Phase expressions --------------------------------------------------
+
+func (p *parser) parsePExpr() (PExpr, error) {
+	return p.parsePSeq()
+}
+
+func (p *parser) parsePSeq() (PExpr, error) {
+	first, err := p.parsePForallOrPar()
+	if err != nil {
+		return nil, err
+	}
+	parts := []PExpr{first}
+	for p.cur().kind == tokSemi && p.startsPAtom(p.peek()) {
+		p.advance()
+		next, err := p.parsePForallOrPar()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return PSeq{Parts: parts}, nil
+}
+
+// parsePForallOrPar parses either a parameterized for-loop element
+// ("forall s in lo..hi : body") or a plain parallel composition.
+func (p *parser) parsePForallOrPar() (PExpr, error) {
+	if p.cur().kind != tokForall {
+		return p.parsePPar()
+	}
+	p.advance()
+	v, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIn); err != nil {
+		return nil, err
+	}
+	r, err := p.parseRange()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	body, err := p.parsePPar()
+	if err != nil {
+		return nil, err
+	}
+	return PForall{Var: v.text, Range: r, Body: body}, nil
+}
+
+// startsPAtom reports whether tok can begin a phase expression element,
+// used to decide if a ';' continues a sequence or terminates the
+// declaration.
+func (p *parser) startsPAtom(t token) bool {
+	return t.kind == tokIdent || t.kind == tokLParen || t.kind == tokEps || t.kind == tokForall
+}
+
+func (p *parser) parsePPar() (PExpr, error) {
+	first, err := p.parsePRep()
+	if err != nil {
+		return nil, err
+	}
+	parts := []PExpr{first}
+	for p.accept(tokParallel) {
+		next, err := p.parsePRep()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return PPar{Parts: parts}, nil
+}
+
+func (p *parser) parsePRep() (PExpr, error) {
+	atom, err := p.parsePAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokCaret) {
+		count, err := p.parsePCount()
+		if err != nil {
+			return nil, err
+		}
+		atom = PRep{Body: atom, Count: count}
+	}
+	return atom, nil
+}
+
+// parsePCount parses the repetition count: a number, an identifier, or a
+// parenthesized arithmetic expression.
+func (p *parser) parsePCount() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return Num{V: t.val}, nil
+	case tokIdent:
+		p.advance()
+		return Var{Name: t.text, Line: t.line, Col: t.col}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.line, t.col, "expected repetition count, found %v %q", t.kind, t.text)
+}
+
+func (p *parser) parsePAtom() (PExpr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokEps:
+		p.advance()
+		return PIdle{}, nil
+	case tokIdent:
+		p.advance()
+		ref := PRef{Name: t.text, Line: t.line}
+		// A parenthesized index selects one member of a phase family.
+		if p.accept(tokLParen) {
+			ix, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			ref.Index = ix
+		}
+		return ref, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parsePExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.line, t.col, "expected phase expression, found %v %q", t.kind, t.text)
+}
+
+// --- Arithmetic / boolean expressions ----------------------------------
+
+// Precedence (loosest to tightest): or, and, not, comparisons,
+// additive, multiplicative, unary minus.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOr {
+		t := p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "or", L: l, R: r, Line: t.line, Col: t.col}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokAnd {
+		t := p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "and", L: l, R: r, Line: t.line, Col: t.col}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.cur().kind == tokNot {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "not", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[tokenKind]string{
+	tokEq: "==", tokNeq: "!=", tokLt: "<", tokLe: "<=", tokGt: ">", tokGe: ">=",
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().kind]; ok {
+		t := p.advance()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: op, L: l, R: r, Line: t.line, Col: t.col}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		t := p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r, Line: t.line, Col: t.col}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokStar:
+			op = "*"
+		case tokSlash:
+			op = "/"
+		case tokPercent, tokMod:
+			op = "mod"
+		case tokDiv:
+			op = "div"
+		default:
+			return l, nil
+		}
+		t := p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r, Line: t.line, Col: t.col}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur().kind == tokMinus {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePow()
+}
+
+// parsePow parses right-associative exponentiation: 2^k. Inside
+// arithmetic expressions '^' is exponentiation; in phase expressions it
+// is repetition (the two contexts never overlap).
+func (p *parser) parsePow() (Expr, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokCaret {
+		t := p.advance()
+		exp, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: "^", L: base, R: exp, Line: t.line, Col: t.col}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return Num{V: t.val}, nil
+	case tokIdent:
+		p.advance()
+		return Var{Name: t.text, Line: t.line, Col: t.col}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.line, t.col, "expected expression, found %v %q", t.kind, t.text)
+}

@@ -1,0 +1,148 @@
+// Package larcs implements the LaRCS description language (Language for
+// Regular Communication Structures, Section 3 of the paper): a lexer,
+// parser, semantic analyzer, and compiler that turns a compact parametric
+// description of a parallel computation into the task-graph and
+// phase-schedule data structures consumed by MAPPER and METRICS.
+//
+// The concrete syntax follows the paper's prose; the running n-body
+// example reads:
+//
+//	algorithm nbody(n);
+//	nodetype body 0..n-1;
+//	nodesymmetric;
+//	comphase ring {
+//	    forall i in 0..n-1 : body(i) -> body((i+1) mod n) volume 1;
+//	}
+//	comphase chordal {
+//	    forall i in 0..n-1 : body(i) -> body((i + (n+1)/2) mod n) volume 1;
+//	}
+//	exphase compute1 cost n;
+//	exphase compute2 cost n;
+//	phases ((ring; compute1)^((n+1)/2); chordal; compute2)^2;
+package larcs
+
+import "fmt"
+
+// tokenKind enumerates the lexical classes of LaRCS.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	// punctuation
+	tokLParen   // (
+	tokRParen   // )
+	tokLBrace   // {
+	tokRBrace   // }
+	tokSemi     // ;
+	tokComma    // ,
+	tokColon    // :
+	tokDotDot   // ..
+	tokArrow    // ->
+	tokCaret    // ^
+	tokParallel // ||
+	// operators
+	tokPlus    // +
+	tokMinus   // -
+	tokStar    // *
+	tokSlash   // /
+	tokPercent // %
+	tokEq      // ==
+	tokNeq     // !=
+	tokLt      // <
+	tokLe      // <=
+	tokGt      // >
+	tokGe      // >=
+	tokAssign  // =
+	// keywords
+	tokAlgorithm
+	tokImport
+	tokConst
+	tokNodetype
+	tokNodesymmetric
+	tokComphase
+	tokExphase
+	tokPhases
+	tokForall
+	tokIn
+	tokIf
+	tokVolume
+	tokCost
+	tokMod
+	tokDiv
+	tokAnd
+	tokOr
+	tokNot
+	tokEps
+	tokAt
+)
+
+var keywords = map[string]tokenKind{
+	"algorithm":     tokAlgorithm,
+	"import":        tokImport,
+	"const":         tokConst,
+	"nodetype":      tokNodetype,
+	"nodesymmetric": tokNodesymmetric,
+	"comphase":      tokComphase,
+	"exphase":       tokExphase,
+	"phases":        tokPhases,
+	"forall":        tokForall,
+	"in":            tokIn,
+	"if":            tokIf,
+	"volume":        tokVolume,
+	"cost":          tokCost,
+	"mod":           tokMod,
+	"div":           tokDiv,
+	"and":           tokAnd,
+	"or":            tokOr,
+	"not":           tokNot,
+	"eps":           tokEps,
+	"at":            tokAt,
+}
+
+var kindNames = map[tokenKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokNumber: "number",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokSemi: "';'", tokComma: "','", tokColon: "':'", tokDotDot: "'..'",
+	tokArrow: "'->'", tokCaret: "'^'", tokParallel: "'||'",
+	tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'", tokSlash: "'/'",
+	tokPercent: "'%'", tokEq: "'=='", tokNeq: "'!='", tokLt: "'<'",
+	tokLe: "'<='", tokGt: "'>'", tokGe: "'>='", tokAssign: "'='",
+	tokAlgorithm: "'algorithm'", tokImport: "'import'", tokConst: "'const'",
+	tokNodetype: "'nodetype'", tokNodesymmetric: "'nodesymmetric'",
+	tokComphase: "'comphase'", tokExphase: "'exphase'", tokPhases: "'phases'",
+	tokForall: "'forall'", tokIn: "'in'", tokIf: "'if'", tokVolume: "'volume'",
+	tokCost: "'cost'", tokMod: "'mod'", tokDiv: "'div'", tokAnd: "'and'",
+	tokOr: "'or'", tokNot: "'not'", tokEps: "'eps'", tokAt: "'at'",
+}
+
+func (k tokenKind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	val  int // for tokNumber
+	line int
+	col  int
+}
+
+// Error is a LaRCS front-end error carrying a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("larcs:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

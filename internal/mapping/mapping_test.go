@@ -1,0 +1,191 @@
+package mapping
+
+import (
+	"testing"
+
+	"oregami/internal/graph"
+	"oregami/internal/topology"
+)
+
+func ringGraph(n int) *graph.TaskGraph {
+	g := graph.New("ring", n)
+	p := g.AddCommPhase("ring")
+	for i := 0; i < n; i++ {
+		g.AddEdge(p, i, (i+1)%n, 2)
+	}
+	g.AddExecPhase("work", 3)
+	return g
+}
+
+func TestIdentityContraction(t *testing.T) {
+	g := ringGraph(4)
+	m := New(g, topology.Ring(4))
+	if err := m.IdentityContraction(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClusters() != 4 {
+		t.Errorf("clusters = %d", m.NumClusters())
+	}
+	m2 := New(ringGraph(5), topology.Ring(4))
+	if err := m2.IdentityContraction(); err == nil {
+		t.Error("oversubscribed identity accepted")
+	}
+}
+
+func TestProcOfAndClusters(t *testing.T) {
+	g := ringGraph(6)
+	m := New(g, topology.Ring(3))
+	m.Part = []int{0, 0, 1, 1, 2, 2}
+	m.Place = []int{2, 0, 1}
+	if m.ProcOf(0) != 2 || m.ProcOf(3) != 0 || m.ProcOf(5) != 1 {
+		t.Errorf("ProcOf wrong: %d %d %d", m.ProcOf(0), m.ProcOf(3), m.ProcOf(5))
+	}
+	cl := m.Clusters()
+	if len(cl) != 3 || len(cl[1]) != 2 || cl[1][0] != 2 {
+		t.Errorf("clusters = %v", cl)
+	}
+	tpp := m.TasksPerProc()
+	for p, n := range tpp {
+		if n != 2 {
+			t.Errorf("proc %d has %d tasks", p, n)
+		}
+	}
+}
+
+func TestValidateCatchesBadStates(t *testing.T) {
+	g := ringGraph(4)
+	net := topology.Ring(4)
+
+	m := New(g, net)
+	m.Part = []int{0, 1, 2} // short
+	if m.Validate() == nil {
+		t.Error("short Part accepted")
+	}
+
+	m = New(g, net)
+	m.Part = []int{0, 2, 2, 2} // cluster 1 missing
+	if m.Validate() == nil {
+		t.Error("non-dense clusters accepted")
+	}
+
+	m = New(g, net)
+	m.Part = []int{0, 0, 1, 1}
+	m.Place = []int{0, 0} // double booking
+	if m.Validate() == nil {
+		t.Error("double-booked processor accepted")
+	}
+
+	m = New(g, net)
+	m.Place = []int{0} // place without part
+	if m.Validate() == nil {
+		t.Error("Place without Part accepted")
+	}
+
+	m = New(g, net)
+	m.Part = []int{0, 0, 1, 1}
+	m.Place = []int{0, 5} // out of range
+	if m.Validate() == nil {
+		t.Error("out-of-range processor accepted")
+	}
+
+	// Route for unknown phase.
+	m = New(g, net)
+	m.Part = []int{0, 0, 1, 1}
+	m.Place = []int{0, 1}
+	m.Routes["nosuch"] = make([]topology.Route, 0)
+	if m.Validate() == nil {
+		t.Error("route for unknown phase accepted")
+	}
+
+	// Wrong route count.
+	m.Routes = map[string][]topology.Route{"ring": {}}
+	if m.Validate() == nil {
+		t.Error("wrong route count accepted")
+	}
+}
+
+func TestValidateRouteWalks(t *testing.T) {
+	g := ringGraph(4)
+	net := topology.Ring(4)
+	m := New(g, net)
+	m.Part = []int{0, 1, 2, 3}
+	m.Place = []int{0, 1, 2, 3}
+	// Correct routes: each edge i->i+1 over the single link.
+	routes := make([]topology.Route, 4)
+	for i := 0; i < 4; i++ {
+		id, _ := net.LinkBetween(i, (i+1)%4)
+		routes[i] = topology.Route{id}
+	}
+	m.Routes["ring"] = routes
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Break one route.
+	routes[2] = topology.Route{routes[0][0]}
+	if m.Validate() == nil {
+		t.Error("wrong route accepted")
+	}
+	// Intraprocessor edge with a nonempty route.
+	m.Part = []int{0, 0, 1, 2}
+	m.Place = []int{0, 2, 3}
+	m.Routes["ring"] = []topology.Route{{0}, nil, nil, nil}
+	if m.Validate() == nil {
+		t.Error("routed intraprocessor edge accepted")
+	}
+}
+
+func TestClusterGraphAggregation(t *testing.T) {
+	g := ringGraph(6)
+	m := New(g, topology.Ring(3))
+	m.Part = []int{0, 0, 1, 1, 2, 2}
+	cg := m.ClusterGraph()
+	if cg.NumTasks != 3 {
+		t.Fatalf("cluster graph nodes = %d", cg.NumTasks)
+	}
+	// Ring(6) with pairs: intercluster edges 1->2, 3->4, 5->0 become
+	// cluster edges 0->1, 1->2, 2->0 each weight 2.
+	p := cg.CommPhaseByName("ring")
+	if len(p.Edges) != 3 {
+		t.Fatalf("cluster edges = %d, want 3", len(p.Edges))
+	}
+	for _, e := range p.Edges {
+		if e.Weight != 2 {
+			t.Errorf("cluster edge weight %g, want 2", e.Weight)
+		}
+	}
+	// Exec costs aggregate: 2 tasks x cost 3 per cluster.
+	ep := cg.ExecPhaseByName("work")
+	for c := 0; c < 3; c++ {
+		if ep.TaskCost(c) != 6 {
+			t.Errorf("cluster %d exec cost %g, want 6", c, ep.TaskCost(c))
+		}
+	}
+}
+
+func TestClusterGraphDeterministic(t *testing.T) {
+	g := ringGraph(8)
+	m := New(g, topology.Ring(4))
+	m.Part = []int{0, 0, 1, 1, 2, 2, 3, 3}
+	a := m.ClusterGraph()
+	b := m.ClusterGraph()
+	for i := range a.Comm[0].Edges {
+		if a.Comm[0].Edges[i] != b.Comm[0].Edges[i] {
+			t.Fatal("cluster graph edge order not deterministic")
+		}
+	}
+}
+
+func TestIPCAndInternalized(t *testing.T) {
+	g := ringGraph(6) // 6 edges weight 2 = total 12
+	m := New(g, topology.Ring(3))
+	m.Part = []int{0, 0, 1, 1, 2, 2}
+	if ipc := m.TotalIPC(); ipc != 6 {
+		t.Errorf("IPC = %g, want 6 (three crossing edges of weight 2)", ipc)
+	}
+	if iv := m.InternalizedVolume(); iv != 6 {
+		t.Errorf("internalized = %g, want 6", iv)
+	}
+	if m.TotalIPC()+m.InternalizedVolume() != g.TotalVolume() {
+		t.Error("IPC + internalized != total volume")
+	}
+}

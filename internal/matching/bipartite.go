@@ -1,0 +1,113 @@
+package matching
+
+// Bipartite represents a bipartite graph with nx left vertices ("X", the
+// task-graph communication edges in MM-Route) and ny right vertices ("Y",
+// the network links). Adj[x] lists the right vertices adjacent to x.
+type Bipartite struct {
+	NX, NY int
+	Adj    [][]int
+}
+
+// NewBipartite creates an empty bipartite graph.
+func NewBipartite(nx, ny int) *Bipartite {
+	return &Bipartite{NX: nx, NY: ny, Adj: make([][]int, nx)}
+}
+
+// AddEdge connects left vertex x to right vertex y.
+func (b *Bipartite) AddEdge(x, y int) {
+	if x < 0 || x >= b.NX || y < 0 || y >= b.NY {
+		panic("matching: bipartite edge out of range")
+	}
+	b.Adj[x] = append(b.Adj[x], y)
+}
+
+// MaximalMatching computes a (greedy, inclusion-maximal) matching: it
+// scans left vertices in order and matches each to its first free
+// neighbor. This is the O(|X| |Y|)-per-call matching the paper's MM-Route
+// uses. Returns matchX (y matched to x, or -1) and matchY.
+func (b *Bipartite) MaximalMatching() (matchX, matchY []int) {
+	matchX = filled(b.NX, -1)
+	matchY = filled(b.NY, -1)
+	for x := 0; x < b.NX; x++ {
+		for _, y := range b.Adj[x] {
+			if matchY[y] == -1 {
+				matchX[x] = y
+				matchY[y] = x
+				break
+			}
+		}
+	}
+	return matchX, matchY
+}
+
+// MaximumMatching computes a maximum-cardinality bipartite matching with
+// the Hopcroft-Karp algorithm in O(E sqrt(V)). It is the optional
+// replacement for the greedy maximal matching in MM-Route (the ablation
+// of Section "Design choices" in DESIGN.md).
+func (b *Bipartite) MaximumMatching() (matchX, matchY []int) {
+	const inf = int(^uint(0) >> 1)
+	matchX = filled(b.NX, -1)
+	matchY = filled(b.NY, -1)
+	dist := make([]int, b.NX)
+
+	bfs := func() bool {
+		queue := make([]int, 0, b.NX)
+		for x := 0; x < b.NX; x++ {
+			if matchX[x] == -1 {
+				dist[x] = 0
+				queue = append(queue, x)
+			} else {
+				dist[x] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range b.Adj[x] {
+				nx := matchY[y]
+				if nx == -1 {
+					found = true
+				} else if dist[nx] == inf {
+					dist[nx] = dist[x] + 1
+					queue = append(queue, nx)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(x int) bool
+	dfs = func(x int) bool {
+		for _, y := range b.Adj[x] {
+			nx := matchY[y]
+			if nx == -1 || (dist[nx] == dist[x]+1 && dfs(nx)) {
+				matchX[x] = y
+				matchY[y] = x
+				return true
+			}
+		}
+		dist[x] = inf
+		return false
+	}
+
+	for bfs() {
+		for x := 0; x < b.NX; x++ {
+			if matchX[x] == -1 {
+				dfs(x)
+			}
+		}
+	}
+	return matchX, matchY
+}
+
+// Size returns the cardinality of a matching given matchX.
+func Size(matchX []int) int {
+	n := 0
+	for _, y := range matchX {
+		if y != -1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaximalMatchingGreedy(t *testing.T) {
+	b := NewBipartite(3, 3)
+	b.AddEdge(0, 0)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 1)
+	// Maximum here is 2: only y0 and y1 exist for x0..x2.
+	mx, my := b.MaximalMatching()
+	if Size(mx) != 2 {
+		t.Errorf("greedy matched %d, want 2 (mx=%v)", Size(mx), mx)
+	}
+	for x, y := range mx {
+		if y != -1 && my[y] != x {
+			t.Errorf("inconsistent match arrays: mx=%v my=%v", mx, my)
+		}
+	}
+}
+
+func TestMaximalIsMaximal(t *testing.T) {
+	// After greedy matching no edge may join two unmatched vertices.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		nx, ny := 1+r.Intn(8), 1+r.Intn(8)
+		b := NewBipartite(nx, ny)
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				if r.Intn(3) == 0 {
+					b.AddEdge(x, y)
+				}
+			}
+		}
+		mx, my := b.MaximalMatching()
+		for x := 0; x < nx; x++ {
+			if mx[x] != -1 {
+				continue
+			}
+			for _, y := range b.Adj[x] {
+				if my[y] == -1 {
+					t.Fatalf("trial %d: matching not maximal, edge (%d,%d) free", trial, x, y)
+				}
+			}
+		}
+	}
+}
+
+// bruteBipartiteMax finds maximum matching cardinality by augmenting-path
+// search (Kuhn's algorithm), a simple independent oracle.
+func bruteBipartiteMax(b *Bipartite) int {
+	matchY := filled(b.NY, -1)
+	var try func(x int, seen []bool) bool
+	try = func(x int, seen []bool) bool {
+		for _, y := range b.Adj[x] {
+			if seen[y] {
+				continue
+			}
+			seen[y] = true
+			if matchY[y] == -1 || try(matchY[y], seen) {
+				matchY[y] = x
+				return true
+			}
+		}
+		return false
+	}
+	count := 0
+	for x := 0; x < b.NX; x++ {
+		if try(x, make([]bool, b.NY)) {
+			count++
+		}
+	}
+	return count
+}
+
+func TestHopcroftKarpAgainstKuhn(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nx, ny := 1+r.Intn(10), 1+r.Intn(10)
+		b := NewBipartite(nx, ny)
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				if r.Intn(3) == 0 {
+					b.AddEdge(x, y)
+				}
+			}
+		}
+		mx, my := b.MaximumMatching()
+		got := Size(mx)
+		want := bruteBipartiteMax(b)
+		if got != want {
+			t.Fatalf("trial %d: HK size %d, want %d", trial, got, want)
+		}
+		// Validity.
+		for x, y := range mx {
+			if y != -1 {
+				if my[y] != x {
+					t.Fatalf("trial %d: inconsistent matching", trial)
+				}
+				found := false
+				for _, yy := range b.Adj[x] {
+					if yy == y {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: matched non-edge (%d,%d)", trial, x, y)
+				}
+			}
+		}
+		// Maximal >= half of maximum.
+		gx, _ := b.MaximalMatching()
+		if 2*Size(gx) < want {
+			t.Fatalf("trial %d: maximal matching %d below half of maximum %d", trial, Size(gx), want)
+		}
+	}
+}
+
+func TestBipartiteEdgeRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad edge did not panic")
+		}
+	}()
+	NewBipartite(2, 2).AddEdge(0, 5)
+}
+
+func TestHopcroftKarpPerfect(t *testing.T) {
+	// Complete bipartite K(5,5): perfect matching of size 5.
+	b := NewBipartite(5, 5)
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			b.AddEdge(x, y)
+		}
+	}
+	mx, _ := b.MaximumMatching()
+	if Size(mx) != 5 {
+		t.Errorf("K55 matching = %d, want 5", Size(mx))
+	}
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oregami/internal/mapping"
+)
+
+// DOT renders the mapping in Graphviz format: one cluster subgraph per
+// processor containing its tasks, task-graph edges colored by phase
+// (solid when interprocessor, dashed when internalized) — the static
+// analogue of the METRICS color display.
+func DOT(m *mapping.Mapping) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  compound=true;\n", m.Graph.Name+"@"+m.Net.Name)
+	tasksOf := make(map[int][]int)
+	for t := 0; t < m.Graph.NumTasks; t++ {
+		p := m.ProcOf(t)
+		tasksOf[p] = append(tasksOf[p], t)
+	}
+	var procs []int
+	for p := range tasksOf {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		fmt.Fprintf(&b, "  subgraph cluster_p%d {\n    label=\"proc %d\";\n", p, p)
+		for _, t := range tasksOf[p] {
+			fmt.Fprintf(&b, "    t%d [label=%q];\n", t, m.Graph.Labels[t])
+		}
+		b.WriteString("  }\n")
+	}
+	for ci, phase := range m.Graph.Comm {
+		for _, e := range phase.Edges {
+			style := "solid"
+			if m.ProcOf(e.From) == m.ProcOf(e.To) {
+				style = "dashed"
+			}
+			fmt.Fprintf(&b, "  t%d -> t%d [label=%q style=%s colorscheme=paired12 color=%d];\n",
+				e.From, e.To, phase.Name, style, ci%12+1)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package phase
+
+// Normalize simplifies a phase expression without changing its flattened
+// schedule: nested sequences and parallels are spliced inline, idle
+// atoms are dropped from sequences, single-part compositions collapse,
+// r^1 unwraps, r^0 becomes idle, and directly nested repetitions
+// multiply (r^a)^b = r^(a*b).
+func Normalize(e Expr) Expr {
+	switch v := e.(type) {
+	case Idle, Ref:
+		return e
+	case Seq:
+		var parts []Expr
+		for _, p := range v.Parts {
+			n := Normalize(p)
+			switch s := n.(type) {
+			case Idle:
+				// drop
+			case Seq:
+				parts = append(parts, s.Parts...)
+			default:
+				parts = append(parts, n)
+			}
+		}
+		switch len(parts) {
+		case 0:
+			return Idle{}
+		case 1:
+			return parts[0]
+		}
+		return Seq{Parts: parts}
+	case Par:
+		var parts []Expr
+		for _, p := range v.Parts {
+			n := Normalize(p)
+			switch s := n.(type) {
+			case Idle:
+				// an idle branch contributes no steps: drop it
+			case Par:
+				parts = append(parts, s.Parts...)
+			default:
+				parts = append(parts, n)
+			}
+		}
+		switch len(parts) {
+		case 0:
+			return Idle{}
+		case 1:
+			return parts[0]
+		}
+		return Par{Parts: parts}
+	case Rep:
+		body := Normalize(v.Body)
+		count := v.Count
+		if inner, ok := body.(Rep); ok {
+			body = inner.Body
+			count *= inner.Count
+		}
+		if count == 0 {
+			return Idle{}
+		}
+		if _, idle := body.(Idle); idle {
+			return Idle{}
+		}
+		if count == 1 {
+			return body
+		}
+		return Rep{Body: body, Count: count}
+	}
+	return e
+}
+
+// Steps returns the total number of schedule steps the expression
+// flattens to, without materializing the schedule.
+func Steps(e Expr) int {
+	switch v := e.(type) {
+	case Idle:
+		return 0
+	case Ref:
+		return 1
+	case Seq:
+		n := 0
+		for _, p := range v.Parts {
+			n += Steps(p)
+		}
+		return n
+	case Par:
+		max := 0
+		for _, p := range v.Parts {
+			if s := Steps(p); s > max {
+				max = s
+			}
+		}
+		return max
+	case Rep:
+		if v.Count <= 0 {
+			return 0
+		}
+		return v.Count * Steps(v.Body)
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package phase
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeCases(t *testing.T) {
+	a := Ref{"a", true}
+	b := Ref{"b", false}
+	cases := []struct {
+		name string
+		in   Expr
+		want Expr
+	}{
+		{"idle", Idle{}, Idle{}},
+		{"ref", a, a},
+		{"seq-splice", Seq{Parts: []Expr{a, Seq{Parts: []Expr{b, a}}}}, Seq{Parts: []Expr{a, b, a}}},
+		{"seq-drop-idle", Seq{Parts: []Expr{Idle{}, a, Idle{}}}, a},
+		{"seq-empty", Seq{Parts: []Expr{Idle{}, Idle{}}}, Idle{}},
+		{"par-splice", Par{Parts: []Expr{a, Par{Parts: []Expr{b}}}}, Par{Parts: []Expr{a, b}}},
+		{"par-single", Par{Parts: []Expr{a}}, a},
+		{"rep-zero", Rep{Body: a, Count: 0}, Idle{}},
+		{"rep-one", Rep{Body: a, Count: 1}, a},
+		{"rep-idle", Rep{Body: Idle{}, Count: 9}, Idle{}},
+		{"rep-nested", Rep{Body: Rep{Body: a, Count: 3}, Count: 2}, Rep{Body: a, Count: 6}},
+	}
+	for _, tc := range cases {
+		got := Normalize(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: Normalize(%v) = %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// randomExpr builds a random phase expression of bounded depth.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Idle{}
+		case 1:
+			return Ref{"a", true}
+		default:
+			return Ref{"b", false}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := 1 + r.Intn(3)
+		parts := make([]Expr, n)
+		for i := range parts {
+			parts[i] = randomExpr(r, depth-1)
+		}
+		return Seq{Parts: parts}
+	case 1:
+		n := 1 + r.Intn(3)
+		parts := make([]Expr, n)
+		for i := range parts {
+			parts[i] = randomExpr(r, depth-1)
+		}
+		return Par{Parts: parts}
+	default:
+		return Rep{Body: randomExpr(r, depth-1), Count: r.Intn(4)}
+	}
+}
+
+// Property: normalization preserves the flattened schedule.
+func TestNormalizePreservesSchedule(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		e := randomExpr(r, 4)
+		before, err1 := Flatten(e, 1<<14)
+		after, err2 := Flatten(Normalize(e), 1<<14)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error mismatch %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if len(before) != len(after) {
+			t.Fatalf("trial %d: %d steps became %d\n%v\n%v", trial, len(before), len(after), e, Normalize(e))
+		}
+		for i := range before {
+			if len(before[i].Phases) != len(after[i].Phases) {
+				t.Fatalf("trial %d step %d: width changed", trial, i)
+			}
+			for j := range before[i].Phases {
+				if before[i].Phases[j] != after[i].Phases[j] {
+					t.Fatalf("trial %d step %d: %v vs %v", trial, i, before[i], after[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: Steps agrees with the materialized schedule length.
+func TestStepsMatchesFlatten(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		e := randomExpr(r, 4)
+		steps, err := Flatten(e, 1<<14)
+		if err != nil {
+			continue
+		}
+		if got := Steps(e); got != len(steps) {
+			t.Fatalf("trial %d: Steps = %d, flatten = %d for %v", trial, got, len(steps), e)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package phase implements ground phase expressions: the paper's
+// notation for the dynamic behavior of a parallel computation
+// (Section 3, item 6). A phase expression composes communication and
+// execution phases by sequencing (r;s), repetition (r^k), and
+// parallelism (r||s); epsilon denotes an idle task.
+//
+// Expressions here are "ground": repetition counts are concrete integers.
+// The LaRCS compiler evaluates the parametric counts of the source
+// program into this form.
+package phase
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a ground phase expression.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Idle is the empty phase expression (epsilon).
+type Idle struct{}
+
+// Ref names a single communication or execution phase.
+type Ref struct {
+	Name string
+	// Comm records whether the name refers to a communication phase
+	// (true) or an execution phase (false).
+	Comm bool
+}
+
+// Seq is sequential composition r1; r2; ...; rn.
+type Seq struct {
+	Parts []Expr
+}
+
+// Par is parallel composition r1 || r2 || ... || rn.
+type Par struct {
+	Parts []Expr
+}
+
+// Rep is repetition r^Count.
+type Rep struct {
+	Body  Expr
+	Count int
+}
+
+func (Idle) isExpr() {}
+func (Ref) isExpr()  {}
+func (Seq) isExpr()  {}
+func (Par) isExpr()  {}
+func (Rep) isExpr()  {}
+
+func (Idle) String() string { return "eps" }
+func (r Ref) String() string {
+	return r.Name
+}
+func (s Seq) String() string {
+	parts := make([]string, len(s.Parts))
+	for i, p := range s.Parts {
+		parts[i] = maybeParen(p)
+	}
+	return strings.Join(parts, "; ")
+}
+func (p Par) String() string {
+	parts := make([]string, len(p.Parts))
+	for i, q := range p.Parts {
+		parts[i] = maybeParen(q)
+	}
+	return strings.Join(parts, " || ")
+}
+func (r Rep) String() string {
+	return fmt.Sprintf("%s^%d", maybeParen(r.Body), r.Count)
+}
+
+func maybeParen(e Expr) string {
+	switch e.(type) {
+	case Seq, Par:
+		return "(" + e.String() + ")"
+	}
+	return e.String()
+}
+
+// Step is one synchronous step of the flattened schedule: the set of
+// phase names that execute concurrently during that step. A nil/empty
+// set is an idle step.
+type Step struct {
+	Phases []Ref
+}
+
+// Flatten expands the expression into its schedule of sequential steps.
+// Parallel branches are zipped step-by-step (shorter branches idle once
+// exhausted), matching the lock-step synchronous execution model of the
+// paper's computations. Expansion aborts with an error once more than
+// maxSteps steps would be produced (guarding against huge repetition
+// counts); maxSteps <= 0 means no limit.
+func Flatten(e Expr, maxSteps int) ([]Step, error) {
+	steps, err := flatten(e, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	return steps, nil
+}
+
+func flatten(e Expr, limit int) ([]Step, error) {
+	switch v := e.(type) {
+	case Idle:
+		return nil, nil
+	case Ref:
+		return []Step{{Phases: []Ref{v}}}, nil
+	case Seq:
+		var out []Step
+		for _, p := range v.Parts {
+			sub, err := flatten(p, limitMinus(limit, len(out)))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			if limit > 0 && len(out) > limit {
+				return nil, fmt.Errorf("phase: schedule exceeds %d steps", limit)
+			}
+		}
+		return out, nil
+	case Par:
+		var branches [][]Step
+		maxLen := 0
+		for _, p := range v.Parts {
+			sub, err := flatten(p, limit)
+			if err != nil {
+				return nil, err
+			}
+			branches = append(branches, sub)
+			if len(sub) > maxLen {
+				maxLen = len(sub)
+			}
+		}
+		out := make([]Step, maxLen)
+		for _, b := range branches {
+			for i, s := range b {
+				out[i].Phases = append(out[i].Phases, s.Phases...)
+			}
+		}
+		return out, nil
+	case Rep:
+		if v.Count < 0 {
+			return nil, fmt.Errorf("phase: negative repetition count %d", v.Count)
+		}
+		body, err := flatten(v.Body, limit)
+		if err != nil {
+			return nil, err
+		}
+		if limit > 0 && len(body)*v.Count > limit {
+			return nil, fmt.Errorf("phase: schedule exceeds %d steps (%d x %d)", limit, len(body), v.Count)
+		}
+		out := make([]Step, 0, len(body)*v.Count)
+		for i := 0; i < v.Count; i++ {
+			out = append(out, body...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("phase: unknown expression %T", e)
+	}
+}
+
+func limitMinus(limit, used int) int {
+	if limit <= 0 {
+		return limit
+	}
+	if used >= limit {
+		return 1 // force overflow detection in the callee
+	}
+	return limit - used
+}
+
+// Occurrences counts how many times each phase name appears in the
+// flattened schedule, without materializing it (repetition multiplies).
+func Occurrences(e Expr) map[string]int {
+	out := make(map[string]int)
+	var walk func(e Expr, mult int)
+	walk = func(e Expr, mult int) {
+		switch v := e.(type) {
+		case Ref:
+			out[v.Name] += mult
+		case Seq:
+			for _, p := range v.Parts {
+				walk(p, mult)
+			}
+		case Par:
+			for _, p := range v.Parts {
+				walk(p, mult)
+			}
+		case Rep:
+			if v.Count > 0 {
+				walk(v.Body, mult*v.Count)
+			}
+		}
+	}
+	walk(e, 1)
+	return out
+}
+
+// Names returns the distinct phase names referenced by the expression.
+func Names(e Expr) []string {
+	occ := Occurrences(e)
+	var names []string
+	for n := range occ {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Validate checks that every referenced phase name is declared: comm
+// names must be in commNames and exec names in execNames.
+func Validate(e Expr, commNames, execNames map[string]bool) error {
+	var err error
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if err != nil {
+			return
+		}
+		switch v := e.(type) {
+		case Ref:
+			if v.Comm && !commNames[v.Name] {
+				err = fmt.Errorf("phase: undeclared communication phase %q", v.Name)
+			} else if !v.Comm && !execNames[v.Name] {
+				err = fmt.Errorf("phase: undeclared execution phase %q", v.Name)
+			}
+		case Seq:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case Par:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case Rep:
+			walk(v.Body)
+		}
+	}
+	walk(e)
+	return err
+}

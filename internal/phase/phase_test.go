@@ -1,0 +1,157 @@
+package phase
+
+import (
+	"strings"
+	"testing"
+)
+
+// nbodyExpr builds the paper's n-body phase expression:
+// ((ring; compute1)^((n+1)/2); chordal; compute2)^s
+func nbodyExpr(n, s int) Expr {
+	return Rep{
+		Body: Seq{Parts: []Expr{
+			Rep{
+				Body:  Seq{Parts: []Expr{Ref{"ring", true}, Ref{"compute1", false}}},
+				Count: (n + 1) / 2,
+			},
+			Ref{"chordal", true},
+			Ref{"compute2", false},
+		}},
+		Count: s,
+	}
+}
+
+func TestNBodyFlatten(t *testing.T) {
+	e := nbodyExpr(15, 2)
+	steps, err := Flatten(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per outer iteration: 8*(ring+compute1) + chordal + compute2 = 18 steps.
+	if len(steps) != 36 {
+		t.Fatalf("steps = %d, want 36", len(steps))
+	}
+	if steps[0].Phases[0].Name != "ring" || steps[1].Phases[0].Name != "compute1" {
+		t.Errorf("schedule starts %v", steps[:2])
+	}
+	if steps[16].Phases[0].Name != "chordal" || steps[17].Phases[0].Name != "compute2" {
+		t.Errorf("steps 16,17 = %v %v", steps[16], steps[17])
+	}
+}
+
+func TestOccurrences(t *testing.T) {
+	occ := Occurrences(nbodyExpr(15, 3))
+	if occ["ring"] != 24 || occ["compute1"] != 24 || occ["chordal"] != 3 || occ["compute2"] != 3 {
+		t.Errorf("occurrences = %v", occ)
+	}
+}
+
+func TestIdle(t *testing.T) {
+	steps, err := Flatten(Idle{}, 0)
+	if err != nil || len(steps) != 0 {
+		t.Errorf("idle flatten = %v, %v", steps, err)
+	}
+	if len(Occurrences(Idle{})) != 0 {
+		t.Error("idle has occurrences")
+	}
+}
+
+func TestParZips(t *testing.T) {
+	e := Par{Parts: []Expr{
+		Seq{Parts: []Expr{Ref{"a", true}, Ref{"b", true}, Ref{"c", true}}},
+		Ref{"x", false},
+	}}
+	steps, err := Flatten(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("par steps = %d, want 3", len(steps))
+	}
+	if len(steps[0].Phases) != 2 {
+		t.Errorf("step 0 should run a and x concurrently: %v", steps[0])
+	}
+	if len(steps[1].Phases) != 1 || steps[1].Phases[0].Name != "b" {
+		t.Errorf("step 1 = %v", steps[1])
+	}
+}
+
+func TestRepZeroAndNegative(t *testing.T) {
+	steps, err := Flatten(Rep{Body: Ref{"a", true}, Count: 0}, 0)
+	if err != nil || len(steps) != 0 {
+		t.Errorf("r^0 = %v, %v", steps, err)
+	}
+	if _, err := Flatten(Rep{Body: Ref{"a", true}, Count: -1}, 0); err == nil {
+		t.Error("negative repetition accepted")
+	}
+}
+
+func TestFlattenLimit(t *testing.T) {
+	e := Rep{Body: Ref{"a", true}, Count: 1000000}
+	if _, err := Flatten(e, 100); err == nil {
+		t.Error("limit not enforced on repetition")
+	}
+	seq := Seq{Parts: []Expr{Rep{Body: Ref{"a", true}, Count: 60}, Rep{Body: Ref{"b", true}, Count: 60}}}
+	if _, err := Flatten(seq, 100); err == nil {
+		t.Error("limit not enforced across sequence")
+	}
+	if _, err := Flatten(seq, 0); err != nil {
+		t.Errorf("no-limit flatten failed: %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := nbodyExpr(15, 2).String()
+	for _, want := range []string{"ring", "compute1", "^8", "chordal", "^2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if got := (Par{Parts: []Expr{Ref{"a", true}, Ref{"b", true}}}).String(); got != "a || b" {
+		t.Errorf("par string = %q", got)
+	}
+	if got := (Idle{}).String(); got != "eps" {
+		t.Errorf("idle string = %q", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	comm := map[string]bool{"ring": true, "chordal": true}
+	exec := map[string]bool{"compute1": true, "compute2": true}
+	if err := Validate(nbodyExpr(5, 1), comm, exec); err != nil {
+		t.Errorf("valid expr rejected: %v", err)
+	}
+	bad := Seq{Parts: []Expr{Ref{"nosuch", true}}}
+	if err := Validate(bad, comm, exec); err == nil {
+		t.Error("undeclared comm phase accepted")
+	}
+	bad2 := Seq{Parts: []Expr{Ref{"ring", false}}}
+	if err := Validate(bad2, comm, exec); err == nil {
+		t.Error("comm name as exec phase accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names(nbodyExpr(3, 1))
+	if len(names) != 4 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestNestedPar(t *testing.T) {
+	// (a || (b; c))^2 — 2 steps per rep, 4 total.
+	e := Rep{Body: Par{Parts: []Expr{
+		Ref{"a", true},
+		Seq{Parts: []Expr{Ref{"b", false}, Ref{"c", false}}},
+	}}, Count: 2}
+	steps, err := Flatten(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(steps))
+	}
+	if len(steps[0].Phases) != 2 || len(steps[1].Phases) != 1 {
+		t.Errorf("zip wrong: %v", steps)
+	}
+}

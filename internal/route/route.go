@@ -1,0 +1,396 @@
+// Package route implements Algorithm MM-Route (paper, Section 4.4):
+// per-phase routing that assigns the communication edges of each
+// synchronous phase to network links hop by hop, using repeated bipartite
+// maximal matchings between unrouted edges (X) and links (Y) so that each
+// matching round reuses no link — minimizing link contention within a
+// phase. Dimension-ordered and random oblivious routers serve as
+// baselines.
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"oregami/internal/mapping"
+	"oregami/internal/matching"
+	"oregami/internal/topology"
+)
+
+// Options parameterizes MM-Route.
+type Options struct {
+	// UseMaximum replaces the paper's greedy maximal matching with a
+	// Hopcroft-Karp maximum matching per round (an ablation; more work
+	// per round, potentially fewer rounds).
+	UseMaximum bool
+	// NoRefine disables the post-pass that reroutes edges through
+	// less-loaded shortest paths (an ablation; the pure hop-by-hop
+	// matching can strand load on hot links).
+	NoRefine bool
+}
+
+// Stats reports per-phase routing quality.
+type Stats struct {
+	// Rounds is the number of matching rounds summed over hops.
+	Rounds int
+	// MaxContention is the maximum number of routes of this phase that
+	// traverse any single link.
+	MaxContention int
+	// TotalHops is the sum of route lengths.
+	TotalHops int
+}
+
+// MMRoute routes one communication phase: pairs[i] = (srcProc, dstProc)
+// for each edge of the phase (pairs with src == dst get empty routes).
+// It returns one route per pair plus statistics.
+func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Route, Stats) {
+	routes := make([]topology.Route, len(pairs))
+	pos := make([]int, len(pairs))
+	active := make([]int, 0, len(pairs))
+	for i, p := range pairs {
+		pos[i] = p[0]
+		if p[0] != p[1] {
+			active = append(active, i)
+		}
+	}
+	var stats Stats
+	linkUse := make([]int, net.NumLinks())
+
+	// budget is the per-link usage ceiling currently allowed; it only
+	// grows when some edge cannot progress under it, so link load is
+	// leveled across the whole phase ("evenly distribute the edges of a
+	// given color to the links").
+	budget := 1
+	for len(active) > 0 {
+		// One hop round: every active edge must obtain a link for its
+		// next hop via repeated matchings under the budget.
+		remaining := append([]int(nil), active...)
+		for len(remaining) > 0 {
+			stats.Rounds++
+			// X = remaining edges, Y = links; candidates are the links
+			// on shortest next hops with usage below the budget, tried
+			// coldest first. Most-constrained edges match first.
+			cands := make([][]int, len(remaining))
+			for xi, ei := range remaining {
+				for _, h := range net.NextHops(pos[ei], pairs[ei][1]) {
+					id, ok := net.LinkBetween(pos[ei], h)
+					if !ok || linkUse[id] >= budget {
+						continue
+					}
+					cands[xi] = append(cands[xi], id)
+				}
+				sort.Slice(cands[xi], func(a, c int) bool {
+					la, lc := cands[xi][a], cands[xi][c]
+					if linkUse[la] != linkUse[lc] {
+						return linkUse[la] < linkUse[lc]
+					}
+					return la < lc
+				})
+			}
+			order := make([]int, len(remaining))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(a, c int) bool {
+				if len(cands[order[a]]) != len(cands[order[c]]) {
+					return len(cands[order[a]]) < len(cands[order[c]])
+				}
+				return order[a] < order[c]
+			})
+			b := matching.NewBipartite(len(remaining), net.NumLinks())
+			for _, xi := range order {
+				for _, id := range cands[xi] {
+					b.AddEdge(xi, id)
+				}
+			}
+			var matchX []int
+			if opt.UseMaximum {
+				matchX, _ = b.MaximumMatching()
+			} else {
+				matchX, _ = greedyInOrder(b, order)
+			}
+			var next []int
+			progressed := false
+			for xi, ei := range remaining {
+				link := matchX[xi]
+				if link == -1 {
+					next = append(next, ei)
+					continue
+				}
+				progressed = true
+				routes[ei] = append(routes[ei], link)
+				linkUse[link]++
+				l := net.Link(link)
+				if pos[ei] == l.A {
+					pos[ei] = l.B
+				} else {
+					pos[ei] = l.A
+				}
+			}
+			if !progressed {
+				// Every remaining edge is blocked by the budget (or the
+				// network is disconnected); relax the budget.
+				if budget > net.NumLinks()*len(pairs)+1 {
+					break // defensive: cannot happen on connected nets
+				}
+				budget++
+			}
+			remaining = next
+		}
+		// Advance: drop edges that reached their destination.
+		var still []int
+		for _, ei := range active {
+			if pos[ei] != pairs[ei][1] {
+				still = append(still, ei)
+			}
+		}
+		active = still
+	}
+	if !opt.NoRefine {
+		refineRoutes(net, pairs, routes, linkUse)
+	}
+	for _, u := range linkUse {
+		if u > stats.MaxContention {
+			stats.MaxContention = u
+		}
+	}
+	for _, r := range routes {
+		stats.TotalHops += len(r)
+	}
+	return routes, stats
+}
+
+// refineRoutes levels link load: each route is removed and replaced by
+// the shortest path minimizing (max link load, total link load) over the
+// shortest-path DAG, repeating until a sweep makes no change.
+func refineRoutes(net *topology.Network, pairs [][2]int, routes []topology.Route, linkUse []int) {
+	for sweep := 0; sweep < 4; sweep++ {
+		changed := false
+		for i, p := range pairs {
+			if p[0] == p[1] {
+				continue
+			}
+			for _, id := range routes[i] {
+				linkUse[id]--
+			}
+			nr := minCongestionRoute(net, p[0], p[1], linkUse)
+			if len(nr) == len(routes[i]) {
+				same := true
+				for j := range nr {
+					if nr[j] != routes[i][j] {
+						same = false
+						break
+					}
+				}
+				if !same {
+					changed = true
+				}
+			} else {
+				changed = true
+			}
+			routes[i] = nr
+			for _, id := range nr {
+				linkUse[id]++
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// minCongestionRoute finds, among shortest src->dst paths, one minimizing
+// first the maximum link load and then the total load, by dynamic
+// programming over the shortest-path DAG.
+func minCongestionRoute(net *topology.Network, src, dst int, linkUse []int) topology.Route {
+	type value struct {
+		max, sum, hop int // hop: next link id on the best path
+		set           bool
+	}
+	best := map[int]value{dst: {set: true, hop: -1}}
+	var solve func(v int) value
+	solve = func(v int) value {
+		if val, ok := best[v]; ok {
+			return val
+		}
+		dv := net.Distance(v, dst)
+		cur := value{}
+		for _, u := range net.Neighbors(v) {
+			if net.Distance(u, dst) != dv-1 {
+				continue
+			}
+			id, _ := net.LinkBetween(v, u)
+			sub := solve(u)
+			m := sub.max
+			if linkUse[id] > m {
+				m = linkUse[id]
+			}
+			s := sub.sum + linkUse[id]
+			if !cur.set || m < cur.max || (m == cur.max && s < cur.sum) {
+				cur = value{max: m, sum: s, hop: id, set: true}
+			}
+		}
+		best[v] = cur
+		return cur
+	}
+	var route topology.Route
+	at := src
+	for at != dst {
+		val := solve(at)
+		if !val.set {
+			return route
+		}
+		route = append(route, val.hop)
+		l := net.Link(val.hop)
+		if at == l.A {
+			at = l.B
+		} else {
+			at = l.A
+		}
+	}
+	return route
+}
+
+// greedyInOrder runs the greedy maximal matching scanning X vertices in
+// the given order (most-constrained-first) rather than index order.
+func greedyInOrder(b *matching.Bipartite, order []int) (matchX, matchY []int) {
+	matchX = make([]int, b.NX)
+	matchY = make([]int, b.NY)
+	for i := range matchX {
+		matchX[i] = -1
+	}
+	for i := range matchY {
+		matchY[i] = -1
+	}
+	for _, x := range order {
+		for _, y := range b.Adj[x] {
+			if matchY[y] == -1 {
+				matchX[x] = y
+				matchY[y] = x
+				break
+			}
+		}
+	}
+	return matchX, matchY
+}
+
+// ECube routes each pair with the deterministic dimension-ordered route:
+// e-cube on hypercubes, XY on meshes/tori, and the lexicographically
+// first shortest path elsewhere. This is the communication-oblivious
+// baseline of the paper's introduction.
+func ECube(net *topology.Network, pairs [][2]int) []topology.Route {
+	routes := make([]topology.Route, len(pairs))
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			continue
+		}
+		if r, ok := net.DimensionOrderRoute(p[0], p[1]); ok {
+			routes[i] = r
+			continue
+		}
+		if r, ok := net.XYRoute(p[0], p[1]); ok {
+			routes[i] = r
+			continue
+		}
+		routes[i] = firstShortest(net, p[0], p[1])
+	}
+	return routes
+}
+
+// RandomShortest routes each pair along an independently random shortest
+// path.
+func RandomShortest(net *topology.Network, pairs [][2]int, seed int64) []topology.Route {
+	r := rand.New(rand.NewSource(seed))
+	routes := make([]topology.Route, len(pairs))
+	for i, p := range pairs {
+		at := p[0]
+		for at != p[1] {
+			hops := net.NextHops(at, p[1])
+			h := hops[r.Intn(len(hops))]
+			id, _ := net.LinkBetween(at, h)
+			routes[i] = append(routes[i], id)
+			at = h
+		}
+	}
+	return routes
+}
+
+func firstShortest(net *topology.Network, src, dst int) topology.Route {
+	var route topology.Route
+	at := src
+	for at != dst {
+		hops := net.NextHops(at, dst)
+		if len(hops) == 0 {
+			return nil
+		}
+		id, _ := net.LinkBetween(at, hops[0])
+		route = append(route, id)
+		at = hops[0]
+	}
+	return route
+}
+
+// MaxContention returns the maximum per-link usage of a route set.
+func MaxContention(net *topology.Network, routes []topology.Route) int {
+	use := make([]int, net.NumLinks())
+	max := 0
+	for _, r := range routes {
+		for _, id := range r {
+			use[id]++
+			if use[id] > max {
+				max = use[id]
+			}
+		}
+	}
+	return max
+}
+
+// PhasePairs extracts the (srcProc, dstProc) pair list for one phase of
+// a contracted+embedded mapping.
+func PhasePairs(m *mapping.Mapping, phaseName string) ([][2]int, error) {
+	p := m.Graph.CommPhaseByName(phaseName)
+	if p == nil {
+		return nil, fmt.Errorf("route: unknown phase %q", phaseName)
+	}
+	pairs := make([][2]int, len(p.Edges))
+	for i, e := range p.Edges {
+		pairs[i] = [2]int{m.ProcOf(e.From), m.ProcOf(e.To)}
+	}
+	return pairs, nil
+}
+
+// RouteAll runs MM-Route on every communication phase of the mapping,
+// filling m.Routes. It returns per-phase statistics keyed by phase name.
+func RouteAll(m *mapping.Mapping, opt Options) (map[string]Stats, error) {
+	stats := make(map[string]Stats, len(m.Graph.Comm))
+	for _, p := range m.Graph.Comm {
+		pairs, err := PhasePairs(m, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		routes, st := MMRoute(m.Net, pairs, opt)
+		m.Routes[p.Name] = routes
+		stats[p.Name] = st
+	}
+	return stats, nil
+}
+
+// RouteAllBaseline fills m.Routes with the oblivious router, for
+// comparison experiments. kind is "ecube" or "random".
+func RouteAllBaseline(m *mapping.Mapping, kind string, seed int64) error {
+	for _, p := range m.Graph.Comm {
+		pairs, err := PhasePairs(m, p.Name)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case "ecube":
+			m.Routes[p.Name] = ECube(m.Net, pairs)
+		case "random":
+			m.Routes[p.Name] = RandomShortest(m.Net, pairs, seed)
+		default:
+			return fmt.Errorf("route: unknown baseline %q", kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package route
+
+import (
+	"testing"
+
+	"oregami/internal/topology"
+)
+
+func validateRoutes(t *testing.T, net *topology.Network, pairs [][2]int, routes []topology.Route) {
+	t.Helper()
+	if len(routes) != len(pairs) {
+		t.Fatalf("%d routes for %d pairs", len(routes), len(pairs))
+	}
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			if len(routes[i]) != 0 {
+				t.Errorf("pair %d: self route not empty", i)
+			}
+			continue
+		}
+		path, ok := net.RouteEndpoints(p[0], routes[i])
+		if !ok || path[len(path)-1] != p[1] {
+			t.Errorf("pair %d: route %v does not connect %d->%d", i, routes[i], p[0], p[1])
+		}
+	}
+}
+
+// fig6Pairs is the chordal phase of the 15-body problem embedded on the
+// 8-processor hypercube: after contraction, tasks 0..14 sit two-per-node
+// (task i on node i mod 8 under the paper's Fig 6a layout the clusters
+// are {i, i+8}); the chordal messages i -> i+8 mod 15 become the
+// processor pairs below.
+func fig6Pairs() [][2]int {
+	proc := func(task int) int { return task % 8 }
+	var pairs [][2]int
+	for i := 0; i < 15; i++ {
+		pairs = append(pairs, [2]int{proc(i), proc((i + 8) % 15)})
+	}
+	return pairs
+}
+
+func TestMMRouteFig6Chordal(t *testing.T) {
+	net := topology.Hypercube(3)
+	pairs := fig6Pairs()
+	routes, stats := MMRoute(net, pairs, Options{})
+	validateRoutes(t, net, pairs, routes)
+	// Shortest-path property: route lengths equal hypercube distance.
+	for i, p := range pairs {
+		if len(routes[i]) != net.Distance(p[0], p[1]) {
+			t.Errorf("pair %d: route length %d != distance %d", i, len(routes[i]), net.Distance(p[0], p[1]))
+		}
+	}
+	if stats.MaxContention < 1 {
+		t.Fatalf("stats missing: %+v", stats)
+	}
+	// The oblivious e-cube router must not beat MM-Route on contention.
+	ec := ECube(net, pairs)
+	validateRoutes(t, net, pairs, ec)
+	if MaxContention(net, routes) > MaxContention(net, ec) {
+		t.Errorf("MM-Route contention %d worse than e-cube %d",
+			MaxContention(net, routes), MaxContention(net, ec))
+	}
+}
+
+func TestMMRoutePermutationContention1(t *testing.T) {
+	// A single-phase permutation with disjoint shortest paths: opposite
+	// corners swap is hard, but a neighbor-shift permutation on a ring
+	// must give contention 1.
+	net := topology.Ring(8)
+	var pairs [][2]int
+	for i := 0; i < 8; i++ {
+		pairs = append(pairs, [2]int{i, (i + 1) % 8})
+	}
+	routes, stats := MMRoute(net, pairs, Options{})
+	validateRoutes(t, net, pairs, routes)
+	if stats.MaxContention != 1 {
+		t.Errorf("ring shift contention = %d, want 1", stats.MaxContention)
+	}
+}
+
+func TestMMRouteHypercubeShuffle(t *testing.T) {
+	// Bit-reversal permutation on hypercube(4): a classically bad case
+	// for e-cube. MM-Route should not be worse than e-cube.
+	net := topology.Hypercube(4)
+	rev := func(v int) int {
+		r := 0
+		for b := 0; b < 4; b++ {
+			if v&(1<<uint(b)) != 0 {
+				r |= 1 << uint(3-b)
+			}
+		}
+		return r
+	}
+	var pairs [][2]int
+	for v := 0; v < 16; v++ {
+		pairs = append(pairs, [2]int{v, rev(v)})
+	}
+	mm, _ := MMRoute(net, pairs, Options{})
+	validateRoutes(t, net, pairs, mm)
+	ec := ECube(net, pairs)
+	validateRoutes(t, net, pairs, ec)
+	if MaxContention(net, mm) > MaxContention(net, ec) {
+		t.Errorf("MM-Route %d worse than e-cube %d on bit reversal",
+			MaxContention(net, mm), MaxContention(net, ec))
+	}
+}
+
+func TestMMRouteMaximumAblation(t *testing.T) {
+	net := topology.Hypercube(3)
+	pairs := fig6Pairs()
+	greedy, gs := MMRoute(net, pairs, Options{})
+	maximum, ms := MMRoute(net, pairs, Options{UseMaximum: true})
+	validateRoutes(t, net, pairs, greedy)
+	validateRoutes(t, net, pairs, maximum)
+	if ms.TotalHops != gs.TotalHops {
+		t.Errorf("hop totals differ: greedy %d, maximum %d (both must be shortest)",
+			gs.TotalHops, ms.TotalHops)
+	}
+}
+
+func TestECubeOnMeshAndRing(t *testing.T) {
+	mesh := topology.Mesh(4, 4)
+	pairs := [][2]int{{0, 15}, {3, 12}, {5, 5}}
+	routes := ECube(mesh, pairs)
+	validateRoutes(t, mesh, pairs, routes)
+	ring := topology.Ring(6)
+	pairs = [][2]int{{0, 3}, {4, 1}}
+	routes = ECube(ring, pairs)
+	validateRoutes(t, ring, pairs, routes)
+}
+
+func TestRandomShortestValidAndSeeded(t *testing.T) {
+	net := topology.Hypercube(4)
+	pairs := [][2]int{{0, 15}, {1, 14}, {2, 13}}
+	a := RandomShortest(net, pairs, 42)
+	b := RandomShortest(net, pairs, 42)
+	validateRoutes(t, net, pairs, a)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Error("seeded random routing not deterministic")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Error("seeded random routing not deterministic")
+			}
+		}
+	}
+}
+
+func TestMMRouteEmptyAndSelf(t *testing.T) {
+	net := topology.Ring(4)
+	routes, stats := MMRoute(net, nil, Options{})
+	if len(routes) != 0 || stats.TotalHops != 0 {
+		t.Error("empty pair list mishandled")
+	}
+	routes, _ = MMRoute(net, [][2]int{{2, 2}}, Options{})
+	if len(routes[0]) != 0 {
+		t.Error("self pair routed")
+	}
+}
+
+func TestMaxContentionCounts(t *testing.T) {
+	net := topology.Linear(3) // links: 0-1 (id0), 1-2 (id1)
+	routes := []topology.Route{{0, 1}, {1}, {0}}
+	if got := MaxContention(net, routes); got != 2 {
+		t.Errorf("MaxContention = %d, want 2", got)
+	}
+}

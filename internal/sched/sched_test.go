@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"oregami/internal/core"
+	"oregami/internal/mapping"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+func mappedNBody(t *testing.T, n int) *mapping.Mapping {
+	t.Helper()
+	w, _ := workload.ByName("nbody")
+	c, err := w.Compile(map[string]int{"n": n, "s": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Map(core.Request{Compiled: c, Net: topology.Hypercube(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Mapping
+}
+
+func TestBuildInvariants(t *testing.T) {
+	m := mappedNBody(t, 15)
+	s, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 tasks on 8 procs: max 2 per proc -> 2 synchrony sets.
+	if len(s.Sets) != 2 {
+		t.Fatalf("sets = %d, want 2", len(s.Sets))
+	}
+	covered := 0
+	for si, set := range s.Sets {
+		procs := map[int]bool{}
+		for _, task := range set {
+			covered++
+			p := m.ProcOf(task)
+			if procs[p] {
+				t.Errorf("set %d has two tasks on processor %d", si, p)
+			}
+			procs[p] = true
+			if s.SlotOf[task] != si {
+				t.Errorf("SlotOf inconsistent for task %d", task)
+			}
+		}
+	}
+	if covered != 15 {
+		t.Errorf("covered %d tasks, want 15", covered)
+	}
+}
+
+func TestBuildRequiresEmbedding(t *testing.T) {
+	w, _ := workload.ByName("nbody")
+	c, _ := w.Compile(nil)
+	m := mapping.New(c.Graph, topology.Hypercube(3))
+	if _, err := Build(m); err == nil {
+		t.Error("unembedded mapping accepted")
+	}
+}
+
+func TestDirectivesPathExpressions(t *testing.T) {
+	m := mappedNBody(t, 15)
+	s, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPair := false
+	for p := 0; p < m.Net.N; p++ {
+		d := s.Directive(m, p)
+		if !strings.HasPrefix(d, "path ") || !strings.HasSuffix(d, " end") {
+			t.Errorf("directive %q not a path expression", d)
+		}
+		if strings.Count(d, ";") == 1 {
+			sawPair = true
+		}
+	}
+	if !sawPair {
+		t.Error("no processor multiplexes two tasks")
+	}
+	out := s.Render(m)
+	if !strings.Contains(out, "synchrony set 0") || !strings.Contains(out, "proc") {
+		t.Errorf("render output missing sections:\n%s", out)
+	}
+}
+
+func TestDirectiveEmptyProcessor(t *testing.T) {
+	// 4 tasks on 8 processors: some processors idle.
+	w, _ := workload.ByName("broadcast8")
+	c, _ := w.Compile(nil)
+	res, err := core.Map(core.Request{Compiled: c, Net: topology.Hypercube(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sets) != 1 {
+		t.Errorf("1:1 mapping should give one synchrony set, got %d", len(s.Sets))
+	}
+}
+
+func TestAlignmentMetric(t *testing.T) {
+	m := mappedNBody(t, 15)
+	s, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Alignment(m, "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < 0 || a > 1 {
+		t.Errorf("alignment = %g out of range", a)
+	}
+	if _, err := s.Alignment(m, "nosuch"); err == nil {
+		t.Error("unknown phase accepted")
+	}
+	// A 1:1 mapping has a single slot, so alignment is trivially 1.
+	w, _ := workload.ByName("fft16")
+	c, _ := w.Compile(nil)
+	res, err := core.Map(core.Request{Compiled: c, Net: topology.Hypercube(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Build(res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := s2.Alignment(res.Mapping, "stage0")
+	if a2 != 1 {
+		t.Errorf("1:1 alignment = %g, want 1", a2)
+	}
+}
+
+// Alignment of the partner-aware schedule should not be worse than a
+// naive id-ordered slot assignment.
+func TestAlignmentBeatsNaive(t *testing.T) {
+	m := mappedNBody(t, 31) // denser multiplexing on hypercube(3)? need new mapping
+	w, _ := workload.ByName("nbody")
+	c, _ := w.Compile(map[string]int{"n": 31, "s": 1})
+	res, err := core.Map(core.Request{Compiled: c, Net: topology.Hypercube(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = res.Mapping
+	s, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := naiveSchedule(m)
+	for _, phase := range []string{"ring", "chordal"} {
+		smart, _ := s.Alignment(m, phase)
+		base := naiveAlignment(m, naive, phase)
+		if smart < base {
+			t.Errorf("phase %s: partner-aware alignment %.3f worse than naive %.3f", phase, smart, base)
+		}
+	}
+}
+
+// naiveSchedule assigns each processor's tasks to slots in task-id
+// order.
+func naiveSchedule(m *mapping.Mapping) []int {
+	slot := make([]int, m.Graph.NumTasks)
+	next := make([]int, m.Net.N)
+	for t := 0; t < m.Graph.NumTasks; t++ {
+		p := m.ProcOf(t)
+		slot[t] = next[p]
+		next[p]++
+	}
+	return slot
+}
+
+func naiveAlignment(m *mapping.Mapping, slot []int, phaseName string) float64 {
+	p := m.Graph.CommPhaseByName(phaseName)
+	aligned, total := 0, 0
+	for _, e := range p.Edges {
+		if e.From == e.To || m.ProcOf(e.From) == m.ProcOf(e.To) {
+			continue
+		}
+		total++
+		if slot[e.From] == slot[e.To] {
+			aligned++
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(aligned) / float64(total)
+}

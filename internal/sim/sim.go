@@ -1,0 +1,230 @@
+// Package sim executes a mapped computation's phase schedule on a model
+// of the message-passing machine: lock-step synchronous phases
+// (Section 6's "synchronous in nature" computations), store-and-forward
+// links that serialize the messages routed over them, and processors
+// that serialize the execution of their assigned tasks. It produces the
+// completion-time metric that METRICS reports and that the evaluation
+// harness uses to compare mappings end to end.
+//
+// This simulator is the repository's substitute for the paper's target
+// hardware (iPSC/2, NCUBE, Transputer): the paper reports graph-level
+// metrics only, and the simulator exercises the same mapped
+// communication structure (see DESIGN.md, Substitutions).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"oregami/internal/mapping"
+	"oregami/internal/phase"
+)
+
+// Config models the machine.
+type Config struct {
+	// LinkBandwidth is volume units transferred per tick per link
+	// (default 1).
+	LinkBandwidth float64
+	// HopLatency is the fixed per-hop overhead in ticks (default 1).
+	HopLatency float64
+	// ExecSpeed is execution cost units per tick (default 1).
+	ExecSpeed float64
+	// CutThrough switches from store-and-forward (a message is fully
+	// received before the next hop begins — the iPSC/1-era model the
+	// paper's machines used) to cut-through/wormhole switching: the
+	// header advances after HopLatency while the body streams behind,
+	// so an uncontended message takes hops*HopLatency + volume/bw
+	// instead of hops*(HopLatency + volume/bw). Each link is still
+	// occupied for the body's full streaming time.
+	CutThrough bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkBandwidth == 0 {
+		c.LinkBandwidth = 1
+	}
+	if c.HopLatency == 0 {
+		c.HopLatency = 1
+	}
+	if c.ExecSpeed == 0 {
+		c.ExecSpeed = 1
+	}
+	return c
+}
+
+// StepTime is the simulated duration of one schedule step.
+type StepTime struct {
+	// Names of the phases active in the step.
+	Phases []string
+	Time   float64
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Total float64
+	Steps []StepTime
+}
+
+// Run simulates the mapping's flattened phase schedule. The mapping must
+// be routed (every comm phase present in the schedule needs routes).
+func Run(m *mapping.Mapping, steps []phase.Step, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	for _, step := range steps {
+		var commPhases, execPhases []string
+		for _, ref := range step.Phases {
+			if ref.Comm {
+				commPhases = append(commPhases, ref.Name)
+			} else {
+				execPhases = append(execPhases, ref.Name)
+			}
+		}
+		t := 0.0
+		if len(commPhases) > 0 {
+			ct, err := simulateComm(m, commPhases, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t = math.Max(t, ct)
+		}
+		for _, name := range execPhases {
+			et, err := simulateExec(m, name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t = math.Max(t, et)
+		}
+		var names []string
+		for _, ref := range step.Phases {
+			names = append(names, ref.Name)
+		}
+		res.Steps = append(res.Steps, StepTime{Phases: names, Time: t})
+		res.Total += t
+	}
+	return res, nil
+}
+
+// simulateExec: each processor executes its tasks' costs serially; the
+// phase ends when the slowest processor finishes.
+func simulateExec(m *mapping.Mapping, name string, cfg Config) (float64, error) {
+	ep := m.Graph.ExecPhaseByName(name)
+	if ep == nil {
+		return 0, fmt.Errorf("sim: unknown exec phase %q", name)
+	}
+	per := make([]float64, m.Net.N)
+	for t := 0; t < m.Graph.NumTasks; t++ {
+		per[m.ProcOf(t)] += ep.TaskCost(t)
+	}
+	max := 0.0
+	for _, c := range per {
+		if c > max {
+			max = c
+		}
+	}
+	return max / cfg.ExecSpeed, nil
+}
+
+// message is one in-flight transfer during a comm phase.
+type message struct {
+	id     int
+	route  []int // remaining link ids
+	volume float64
+	ready  float64 // earliest time the next hop can start
+}
+
+// msgHeap orders messages by readiness (ties by id for determinism).
+type msgHeap []*message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].id < h[j].id
+}
+func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(*message)) }
+func (h *msgHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// simulateComm runs the store-and-forward model for all messages of the
+// given (concurrent) phases: a message occupies each link on its route
+// for hopLatency + volume/bandwidth ticks, links serve one message at a
+// time in readiness order.
+func simulateComm(m *mapping.Mapping, names []string, cfg Config) (float64, error) {
+	var h msgHeap
+	id := 0
+	for _, name := range names {
+		p := m.Graph.CommPhaseByName(name)
+		if p == nil {
+			return 0, fmt.Errorf("sim: unknown comm phase %q", name)
+		}
+		routes, ok := m.Routes[name]
+		if !ok {
+			return 0, fmt.Errorf("sim: phase %q is not routed", name)
+		}
+		for i, e := range p.Edges {
+			if m.ProcOf(e.From) == m.ProcOf(e.To) {
+				continue // local delivery is free in this model
+			}
+			h = append(h, &message{id: id, route: routes[i], volume: e.Weight})
+			id++
+		}
+	}
+	heap.Init(&h)
+	linkBusy := make([]float64, m.Net.NumLinks())
+	end := 0.0
+	for h.Len() > 0 {
+		msg := heap.Pop(&h).(*message)
+		link := msg.route[0]
+		start := math.Max(msg.ready, linkBusy[link])
+		stream := msg.volume / cfg.LinkBandwidth
+		var done float64
+		if cfg.CutThrough {
+			// The header leaves after HopLatency; the link streams the
+			// body until start + HopLatency + stream but the next hop
+			// can begin once the header arrives.
+			linkBusy[link] = start + stream
+			done = start + cfg.HopLatency
+			if len(msg.route) == 1 {
+				done += stream // the tail must fully arrive at the end
+			}
+		} else {
+			done = start + cfg.HopLatency + stream
+			linkBusy[link] = done
+		}
+		msg.route = msg.route[1:]
+		msg.ready = done
+		if len(msg.route) == 0 {
+			if done > end {
+				end = done
+			}
+			continue
+		}
+		heap.Push(&h, msg)
+	}
+	return end, nil
+}
+
+// Makespan is a convenience: flatten the mapping's compiled phase
+// expression (bounded) and run the simulation.
+func Makespan(m *mapping.Mapping, expr phase.Expr, cfg Config, maxSteps int) (float64, error) {
+	if expr == nil {
+		return 0, fmt.Errorf("sim: computation has no phase expression")
+	}
+	steps, err := phase.Flatten(expr, maxSteps)
+	if err != nil {
+		return 0, err
+	}
+	res, err := Run(m, steps, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Total, nil
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"oregami/internal/core"
+	"oregami/internal/graph"
+	"oregami/internal/mapping"
+	"oregami/internal/phase"
+	"oregami/internal/route"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+func mapped(t *testing.T, name string, overrides map[string]int, net *topology.Network) (*mapping.Mapping, phase.Expr) {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.Compile(overrides)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Map(core.Request{Compiled: c, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Mapping, c.Phases
+}
+
+func TestExecPhaseTime(t *testing.T) {
+	m, _ := mapped(t, "nbody", map[string]int{"n": 15, "s": 1}, topology.Hypercube(3))
+	// compute1 cost n=15 per task; busiest processor hosts 2 tasks.
+	steps := []phase.Step{{Phases: []phase.Ref{{Name: "compute1", Comm: false}}}}
+	res, err := Run(m, steps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 30 {
+		t.Errorf("exec step time = %g, want 30 (2 tasks x cost 15)", res.Total)
+	}
+	// Doubling execution speed halves the time.
+	res, _ = Run(m, steps, Config{ExecSpeed: 2})
+	if res.Total != 15 {
+		t.Errorf("exec at speed 2 = %g, want 15", res.Total)
+	}
+}
+
+func TestCommPhaseSerializesOnLinks(t *testing.T) {
+	// Two messages forced over one link: ring(4), both 0->1.
+	g, net := lineGraph(t)
+	m := mapping.New(g, net)
+	if err := m.IdentityContraction(); err != nil {
+		t.Fatal(err)
+	}
+	m.Place = []int{0, 1}
+	if _, err := route.RouteAll(m, route.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	steps := []phase.Step{{Phases: []phase.Ref{{Name: "c", Comm: true}}}}
+	res, err := Run(m, steps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each message: 1 (latency) + 3 (volume) = 4 ticks; serialized = 8.
+	if res.Total != 8 {
+		t.Errorf("comm step = %g, want 8", res.Total)
+	}
+	// Double bandwidth: 1 + 1.5 each, serialized = 5.
+	res, _ = Run(m, steps, Config{LinkBandwidth: 2})
+	if res.Total != 5 {
+		t.Errorf("comm at bw 2 = %g, want 5", res.Total)
+	}
+}
+
+// lineGraph: 2 tasks, one phase with two parallel 0->1 messages of
+// volume 3, on a 2-node linear network.
+func lineGraph(t *testing.T) (*graph.TaskGraph, *topology.Network) {
+	t.Helper()
+	g := graph.New("two", 2)
+	p := g.AddCommPhase("c")
+	g.AddEdge(p, 0, 1, 3)
+	g.AddEdge(p, 0, 1, 3)
+	return g, topology.Linear(2)
+}
+
+func TestIntraprocessorCommIsFree(t *testing.T) {
+	g := graph.New("local", 2)
+	p := g.AddCommPhase("c")
+	g.AddEdge(p, 0, 1, 100)
+	m := mapping.New(g, topology.Linear(2))
+	m.Part = []int{0, 0}
+	m.Place = []int{0}
+	if _, err := route.RouteAll(m, route.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	steps := []phase.Step{{Phases: []phase.Ref{{Name: "c", Comm: true}}}}
+	res, err := Run(m, steps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 {
+		t.Errorf("intraprocessor message cost %g, want 0", res.Total)
+	}
+}
+
+func TestMakespanNBody(t *testing.T) {
+	m, expr := mapped(t, "nbody", map[string]int{"n": 15, "s": 2}, topology.Hypercube(3))
+	total, err := Makespan(m, expr, Config{}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatalf("makespan = %g", total)
+	}
+	// s=2 doubles s=1's makespan exactly (same schedule repeated).
+	half, err := Makespan(m, mustFlattenHalf(t, expr), Config{}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2*half {
+		t.Errorf("makespan(s=2) = %g, want 2 x %g", total, half)
+	}
+}
+
+// mustFlattenHalf rebuilds the s=1 expression from the s=2 one.
+func mustFlattenHalf(t *testing.T, expr phase.Expr) phase.Expr {
+	rep, ok := expr.(phase.Rep)
+	if !ok {
+		t.Fatalf("nbody phases should be a repetition, got %T", expr)
+	}
+	return phase.Rep{Body: rep.Body, Count: rep.Count / 2}
+}
+
+func TestRunErrors(t *testing.T) {
+	m, _ := mapped(t, "nbody", map[string]int{"n": 15, "s": 1}, topology.Hypercube(3))
+	if _, err := Run(m, []phase.Step{{Phases: []phase.Ref{{Name: "zzz", Comm: true}}}}, Config{}); err == nil {
+		t.Error("unknown comm phase accepted")
+	}
+	if _, err := Run(m, []phase.Step{{Phases: []phase.Ref{{Name: "zzz", Comm: false}}}}, Config{}); err == nil {
+		t.Error("unknown exec phase accepted")
+	}
+	if _, err := Makespan(m, nil, Config{}, 10); err == nil {
+		t.Error("nil phase expression accepted")
+	}
+	// Unrouted phase: clear the routes and expect an error.
+	m.Routes = map[string][]topology.Route{}
+	if _, err := Run(m, []phase.Step{{Phases: []phase.Ref{{Name: "ring", Comm: true}}}}, Config{}); err == nil {
+		t.Error("unrouted phase accepted")
+	}
+}
+
+func TestBetterMappingSimulatesFaster(t *testing.T) {
+	// Jacobi on the matching mesh (canned, dilation 1) must beat a
+	// deliberately scrambled embedding under the simulator.
+	w, _ := workload.ByName("jacobi")
+	c, _ := w.Compile(map[string]int{"n": 4, "iters": 2})
+	net := topology.Mesh(4, 4)
+	good, err := core.Map(core.Request{Compiled: c, Net: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodT, err := Makespan(good.Mapping, c.Phases, Config{}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scrambled: reverse the placement.
+	bad := mapping.New(c.Graph, net)
+	if err := bad.IdentityContraction(); err != nil {
+		t.Fatal(err)
+	}
+	bad.Place = make([]int, 16)
+	for i := range bad.Place {
+		bad.Place[i] = (i*7 + 3) % 16
+	}
+	if _, err := route.RouteAll(bad, route.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	badT, err := Makespan(bad, c.Phases, Config{}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodT >= badT {
+		t.Errorf("canned mapping (%g) not faster than scrambled (%g)", goodT, badT)
+	}
+}
+
+func TestCutThroughPipelines(t *testing.T) {
+	// One message over 3 hops, volume 6: SAF = 3*(1+6) = 21;
+	// cut-through = 3*1 + 6 = 9.
+	g := graph.New("pipe", 2)
+	p := g.AddCommPhase("c")
+	g.AddEdge(p, 0, 1, 6)
+	net := topology.Linear(4)
+	m := mapping.New(g, net)
+	m.Part = []int{0, 1}
+	m.Place = []int{0, 3}
+	if _, err := route.RouteAll(m, route.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	steps := []phase.Step{{Phases: []phase.Ref{{Name: "c", Comm: true}}}}
+	saf, err := Run(m, steps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saf.Total != 21 {
+		t.Errorf("store-and-forward = %g, want 21", saf.Total)
+	}
+	ct, err := Run(m, steps, Config{CutThrough: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Total != 9 {
+		t.Errorf("cut-through = %g, want 9", ct.Total)
+	}
+}
+
+func TestCutThroughNeverSlower(t *testing.T) {
+	for _, wl := range []string{"nbody", "jacobi", "fft16"} {
+		w, _ := workload.ByName(wl)
+		c, err := w.Compile(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := topology.Hypercube(4)
+		if c.Graph.NumTasks > net.N*4 {
+			continue
+		}
+		res, err := core.Map(core.Request{Compiled: c, Net: net})
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		saf, err := Makespan(res.Mapping, c.Phases, Config{}, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := Makespan(res.Mapping, c.Phases, Config{CutThrough: true}, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct > saf {
+			t.Errorf("%s: cut-through %g slower than store-and-forward %g", wl, ct, saf)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m, expr := mapped(t, "nbody", map[string]int{"n": 15, "s": 1}, topology.Hypercube(3))
+	steps, err := phase.Flatten(expr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Utilize(m, steps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := Run(m, steps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Total != total.Total {
+		t.Errorf("Utilize total %g != Run total %g", u.Total, total.Total)
+	}
+	if u.ProcUtilization <= 0 || u.ProcUtilization > 1 {
+		t.Errorf("proc utilization = %g", u.ProcUtilization)
+	}
+	if u.LinkUtilization <= 0 || u.LinkUtilization > 1 {
+		t.Errorf("link utilization = %g", u.LinkUtilization)
+	}
+	// Busiest processor hosts 2 tasks: exec busy = 2*(8*15 + 15) = 270?
+	// compute1 runs 8x at cost 15 and compute2 once at cost 15 per task.
+	wantBusy := 2.0 * (8*15 + 15)
+	found := false
+	for _, b := range u.ProcBusy {
+		if b == wantBusy {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no processor has expected busy time %g: %v", wantBusy, u.ProcBusy)
+	}
+	out := u.Render()
+	if !strings.Contains(out, "utilization") || !strings.Contains(out, "proc") {
+		t.Errorf("render missing sections:\n%s", out)
+	}
+}
+
+func TestUtilizationErrors(t *testing.T) {
+	m, _ := mapped(t, "nbody", map[string]int{"n": 15, "s": 1}, topology.Hypercube(3))
+	if _, err := Utilize(m, []phase.Step{{Phases: []phase.Ref{{Name: "zzz", Comm: true}}}}, Config{}); err == nil {
+		t.Error("unknown comm phase accepted")
+	}
+	if _, err := Utilize(m, []phase.Step{{Phases: []phase.Ref{{Name: "zzz", Comm: false}}}}, Config{}); err == nil {
+		t.Error("unknown exec phase accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oregami/internal/mapping"
+	"oregami/internal/phase"
+)
+
+// Utilization summarizes how busy each resource was over a simulated
+// schedule, the efficiency view METRICS displays alongside raw
+// completion time.
+type Utilization struct {
+	// Total is the simulated completion time.
+	Total float64
+	// ProcBusy[p] is the total execution time spent on processor p.
+	ProcBusy []float64
+	// LinkBusy[l] is the total transfer time on link l.
+	LinkBusy []float64
+	// ProcUtilization is mean(ProcBusy)/Total (0 when Total is 0).
+	ProcUtilization float64
+	// LinkUtilization is mean over used links of LinkBusy/Total.
+	LinkUtilization float64
+}
+
+// Utilize runs the schedule like Run but also accounts busy time per
+// processor and per link.
+func Utilize(m *mapping.Mapping, steps []phase.Step, cfg Config) (*Utilization, error) {
+	cfg = cfg.withDefaults()
+	u := &Utilization{
+		ProcBusy: make([]float64, m.Net.N),
+		LinkBusy: make([]float64, m.Net.NumLinks()),
+	}
+	for _, step := range steps {
+		stepTime := 0.0
+		for _, ref := range step.Phases {
+			if ref.Comm {
+				p := m.Graph.CommPhaseByName(ref.Name)
+				if p == nil {
+					return nil, fmt.Errorf("sim: unknown comm phase %q", ref.Name)
+				}
+				routes, ok := m.Routes[ref.Name]
+				if !ok {
+					return nil, fmt.Errorf("sim: phase %q is not routed", ref.Name)
+				}
+				for i, e := range p.Edges {
+					if m.ProcOf(e.From) == m.ProcOf(e.To) {
+						continue
+					}
+					for _, id := range routes[i] {
+						u.LinkBusy[id] += cfg.HopLatency + e.Weight/cfg.LinkBandwidth
+					}
+				}
+				t, err := simulateComm(m, []string{ref.Name}, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if t > stepTime {
+					stepTime = t
+				}
+			} else {
+				ep := m.Graph.ExecPhaseByName(ref.Name)
+				if ep == nil {
+					return nil, fmt.Errorf("sim: unknown exec phase %q", ref.Name)
+				}
+				for task := 0; task < m.Graph.NumTasks; task++ {
+					u.ProcBusy[m.ProcOf(task)] += ep.TaskCost(task) / cfg.ExecSpeed
+				}
+				t, err := simulateExec(m, ref.Name, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if t > stepTime {
+					stepTime = t
+				}
+			}
+		}
+		u.Total += stepTime
+	}
+	if u.Total > 0 {
+		sum := 0.0
+		for _, b := range u.ProcBusy {
+			sum += b
+		}
+		u.ProcUtilization = sum / float64(m.Net.N) / u.Total
+		used, sumL := 0, 0.0
+		for _, b := range u.LinkBusy {
+			if b > 0 {
+				used++
+				sumL += b
+			}
+		}
+		if used > 0 {
+			u.LinkUtilization = sumL / float64(used) / u.Total
+		}
+	}
+	return u, nil
+}
+
+// Render prints the utilization as a compact table: the busiest
+// processors and links with shares of the makespan.
+func (u *Utilization) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completion %g ticks; mean processor utilization %.1f%%, mean used-link utilization %.1f%%\n",
+		u.Total, 100*u.ProcUtilization, 100*u.LinkUtilization)
+	type row struct {
+		id   int
+		busy float64
+	}
+	top := func(name string, busy []float64) {
+		var rows []row
+		for id, v := range busy {
+			if v > 0 {
+				rows = append(rows, row{id, v})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].busy != rows[j].busy {
+				return rows[i].busy > rows[j].busy
+			}
+			return rows[i].id < rows[j].id
+		})
+		if len(rows) > 5 {
+			rows = rows[:5]
+		}
+		for _, r := range rows {
+			share := 0.0
+			if u.Total > 0 {
+				share = r.busy / u.Total * 100
+			}
+			fmt.Fprintf(&b, "  %s %3d: busy %8.6g (%5.1f%%)\n", name, r.id, r.busy, share)
+		}
+	}
+	top("proc", u.ProcBusy)
+	top("link", u.LinkBusy)
+	return b.String()
+}

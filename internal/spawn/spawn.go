@@ -1,0 +1,203 @@
+// Package spawn implements the dynamically-spawned-tasks extension
+// sketched in the paper's Section 6: computations whose task set grows
+// at run time in a *regular, predictable* pattern — the paper's example
+// is parallel divide and conquer, which "will produce a full binary
+// tree" a priori. A Spawner describes the growth pattern; the
+// incremental mapper assigns each new generation of tasks to processors
+// without moving already-placed tasks, keeping children near their
+// parents.
+package spawn
+
+import (
+	"fmt"
+
+	"oregami/internal/graph"
+	"oregami/internal/topology"
+)
+
+// Spawner describes a regular spawning pattern: a sequence of
+// generations, each adding tasks with known parents.
+type Spawner interface {
+	// Name identifies the pattern.
+	Name() string
+	// Generations is the total number of spawning steps.
+	Generations() int
+	// TasksAt returns the number of tasks that exist after generation
+	// g (0-based; TasksAt(0) is the initial task count).
+	TasksAt(g int) int
+	// ParentOf returns the parent of task t (-1 for initial tasks).
+	ParentOf(t int) int
+	// GraphAt materializes the task graph after generation g, with one
+	// "spawn" communication phase holding the parent-child edges.
+	GraphAt(g int) *graph.TaskGraph
+}
+
+// BinaryTree spawns a full binary tree, the paper's divide-and-conquer
+// pattern: generation 0 is the root; generation g adds 2^g tasks, two
+// children per leaf, in heap order (children of t are 2t+1, 2t+2).
+type BinaryTree struct {
+	Depth int
+}
+
+// NewBinaryTree creates a full-binary-tree spawner of the given depth
+// (depth 0 = just the root).
+func NewBinaryTree(depth int) (*BinaryTree, error) {
+	if depth < 0 || depth > 24 {
+		return nil, fmt.Errorf("spawn: depth %d out of range", depth)
+	}
+	return &BinaryTree{Depth: depth}, nil
+}
+
+// Name implements Spawner.
+func (b *BinaryTree) Name() string { return fmt.Sprintf("binary-tree(%d)", b.Depth) }
+
+// Generations implements Spawner.
+func (b *BinaryTree) Generations() int { return b.Depth }
+
+// TasksAt implements Spawner: 2^(g+1)-1 tasks after generation g.
+func (b *BinaryTree) TasksAt(g int) int {
+	if g > b.Depth {
+		g = b.Depth
+	}
+	return 1<<uint(g+1) - 1
+}
+
+// ParentOf implements Spawner.
+func (b *BinaryTree) ParentOf(t int) int {
+	if t == 0 {
+		return -1
+	}
+	return (t - 1) / 2
+}
+
+// GraphAt implements Spawner.
+func (b *BinaryTree) GraphAt(g int) *graph.TaskGraph {
+	n := b.TasksAt(g)
+	tg := graph.New(b.Name(), n)
+	p := tg.AddCommPhase("spawn")
+	for t := 1; t < n; t++ {
+		tg.AddEdge(p, b.ParentOf(t), t, 1)
+		tg.AddEdge(p, t, b.ParentOf(t), 1)
+	}
+	tg.AddExecPhase("solve", 1)
+	return tg
+}
+
+// IncrementalMapping tracks the growing assignment.
+type IncrementalMapping struct {
+	Net *topology.Network
+	// Proc[t] is the processor of task t for all spawned-so-far tasks.
+	Proc []int
+	// Load[p] is the number of tasks on processor p.
+	Load       []int
+	generation int
+	sp         Spawner
+}
+
+// NewIncrementalMapping places generation 0 (the initial tasks) and
+// returns the tracker. Initial tasks go on the processor(s) with the
+// highest degree (the natural hub).
+func NewIncrementalMapping(sp Spawner, net *topology.Network) (*IncrementalMapping, error) {
+	im := &IncrementalMapping{Net: net, Load: make([]int, net.N), sp: sp}
+	hub := 0
+	for p := 1; p < net.N; p++ {
+		if net.Degree(p) > net.Degree(hub) {
+			hub = p
+		}
+	}
+	for t := 0; t < sp.TasksAt(0); t++ {
+		im.Proc = append(im.Proc, hub)
+		im.Load[hub]++
+	}
+	return im, nil
+}
+
+// Generation returns the number of completed spawning steps.
+func (im *IncrementalMapping) Generation() int { return im.generation }
+
+// Step spawns the next generation and places each new task on the
+// least-loaded processor nearest its parent (parent's own processor is
+// allowed; placed tasks never move — the paper's "accommodate
+// dynamically growing computations" requirement). It reports whether a
+// generation remained to spawn.
+func (im *IncrementalMapping) Step() bool {
+	if im.generation >= im.sp.Generations() {
+		return false
+	}
+	im.generation++
+	from := len(im.Proc)
+	to := im.sp.TasksAt(im.generation)
+	for t := from; t < to; t++ {
+		parent := im.sp.ParentOf(t)
+		pp := im.Proc[parent]
+		// Choose by (load, distance-to-parent, id): spread first, stay
+		// close second.
+		best := -1
+		for p := 0; p < im.Net.N; p++ {
+			if best == -1 {
+				best = p
+				continue
+			}
+			ld, lb := im.Load[p], im.Load[best]
+			dd, db := im.Net.Distance(p, pp), im.Net.Distance(best, pp)
+			if ld != lb {
+				if ld < lb {
+					best = p
+				}
+				continue
+			}
+			if dd != db {
+				if dd < db {
+					best = p
+				}
+				continue
+			}
+		}
+		im.Proc = append(im.Proc, best)
+		im.Load[best]++
+	}
+	return true
+}
+
+// RunAll spawns every generation.
+func (im *IncrementalMapping) RunAll() {
+	for im.Step() {
+	}
+}
+
+// MaxLoad returns the maximum tasks per processor.
+func (im *IncrementalMapping) MaxLoad() int {
+	max := 0
+	for _, l := range im.Load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// AvgParentDistance returns the mean hop distance between each spawned
+// task and its parent — the locality metric for the incremental mapper.
+func (im *IncrementalMapping) AvgParentDistance() float64 {
+	total, count := 0, 0
+	for t := range im.Proc {
+		parent := im.sp.ParentOf(t)
+		if parent < 0 {
+			continue
+		}
+		total += im.Net.Distance(im.Proc[t], im.Proc[parent])
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+// Snapshot converts the current state into a complete static mapping
+// (one cluster per processor in use) for METRICS or the simulator.
+func (im *IncrementalMapping) Snapshot() (*graph.TaskGraph, []int) {
+	g := im.sp.GraphAt(im.generation)
+	proc := append([]int(nil), im.Proc...)
+	return g, proc
+}

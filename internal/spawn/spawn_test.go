@@ -1,0 +1,141 @@
+package spawn
+
+import (
+	"testing"
+
+	"oregami/internal/canned"
+	"oregami/internal/topology"
+)
+
+func TestBinaryTreePattern(t *testing.T) {
+	b, err := NewBinaryTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Generations() != 3 {
+		t.Errorf("generations = %d", b.Generations())
+	}
+	wantTasks := []int{1, 3, 7, 15}
+	for g, want := range wantTasks {
+		if got := b.TasksAt(g); got != want {
+			t.Errorf("TasksAt(%d) = %d, want %d", g, got, want)
+		}
+	}
+	if b.ParentOf(0) != -1 || b.ParentOf(5) != 2 || b.ParentOf(14) != 6 {
+		t.Error("ParentOf wrong")
+	}
+	if _, err := NewBinaryTree(-1); err == nil {
+		t.Error("negative depth accepted")
+	}
+}
+
+func TestGraphAtIsCompleteBinaryTree(t *testing.T) {
+	b, _ := NewBinaryTree(3)
+	g := b.GraphAt(3)
+	if g.NumTasks != 15 {
+		t.Fatalf("tasks = %d", g.NumTasks)
+	}
+	det := canned.Detect(g)
+	if det == nil || det.Family != canned.FamilyCBTree || det.Params[0] != 3 {
+		t.Errorf("spawned graph detected as %v, want cbtree(3)", det)
+	}
+	// Partial generation.
+	g1 := b.GraphAt(1)
+	if g1.NumTasks != 3 || g1.NumEdges() != 4 {
+		t.Errorf("generation-1 graph: %d tasks %d edges", g1.NumTasks, g1.NumEdges())
+	}
+}
+
+func TestIncrementalMappingStability(t *testing.T) {
+	b, _ := NewBinaryTree(4) // 31 tasks
+	net := topology.Hypercube(4)
+	im, err := NewIncrementalMapping(b, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history [][]int
+	history = append(history, append([]int(nil), im.Proc...))
+	for im.Step() {
+		history = append(history, append([]int(nil), im.Proc...))
+	}
+	if im.Generation() != 4 {
+		t.Fatalf("ran %d generations", im.Generation())
+	}
+	// Stability: earlier assignments never change.
+	for g := 1; g < len(history); g++ {
+		prev, cur := history[g-1], history[g]
+		for task := range prev {
+			if cur[task] != prev[task] {
+				t.Fatalf("generation %d moved task %d from %d to %d", g, task, prev[task], cur[task])
+			}
+		}
+	}
+	// 31 tasks on 16 processors: max load must be 2 (perfect spreading).
+	if im.MaxLoad() != 2 {
+		t.Errorf("max load = %d, want 2", im.MaxLoad())
+	}
+}
+
+func TestIncrementalMappingLocality(t *testing.T) {
+	b, _ := NewBinaryTree(4)
+	net := topology.Hypercube(4)
+	im, _ := NewIncrementalMapping(b, net)
+	im.RunAll()
+	avg := im.AvgParentDistance()
+	if avg <= 0 || avg > float64(net.Diameter()) {
+		t.Fatalf("avg parent distance = %g", avg)
+	}
+	// The greedy placer balances load first, so parents can be far; but
+	// on a 16-node hypercube (diameter 4) the average must stay well
+	// inside the diameter.
+	if avg > 3 {
+		t.Errorf("avg parent distance %g too large", avg)
+	}
+}
+
+func TestSnapshotValidMapping(t *testing.T) {
+	b, _ := NewBinaryTree(3)
+	net := topology.Mesh(4, 4)
+	im, _ := NewIncrementalMapping(b, net)
+	im.Step()
+	im.Step()
+	g, proc := im.Snapshot()
+	if g.NumTasks != 7 || len(proc) != 7 {
+		t.Fatalf("snapshot: %d tasks, %d procs", g.NumTasks, len(proc))
+	}
+	for t2, p := range proc {
+		if p < 0 || p >= net.N {
+			t.Errorf("task %d on processor %d", t2, p)
+		}
+	}
+}
+
+func TestStepPastEnd(t *testing.T) {
+	b, _ := NewBinaryTree(1)
+	net := topology.Ring(4)
+	im, _ := NewIncrementalMapping(b, net)
+	if !im.Step() {
+		t.Fatal("first step failed")
+	}
+	if im.Step() {
+		t.Error("step past final generation succeeded")
+	}
+	if im.Generation() != 1 {
+		t.Errorf("generation = %d", im.Generation())
+	}
+}
+
+func TestOverloadedNetworkStillPlaces(t *testing.T) {
+	// 15 tasks on 2 processors: everything must still be placed,
+	// balanced to 8/7.
+	b, _ := NewBinaryTree(3)
+	net := topology.Linear(2)
+	im, _ := NewIncrementalMapping(b, net)
+	im.RunAll()
+	if len(im.Proc) != 15 {
+		t.Fatalf("placed %d tasks", len(im.Proc))
+	}
+	if im.MaxLoad() != 8 {
+		t.Errorf("max load = %d, want 8", im.MaxLoad())
+	}
+}

@@ -1,0 +1,185 @@
+package systolic
+
+import "fmt"
+
+// Mapping is a synthesized space-time mapping for a uniform recurrence:
+// lattice point i executes at time Lambda . i (plus an offset making
+// times non-negative) on the processor obtained by deleting dimension
+// ProjectDim from i.
+type Mapping struct {
+	Lambda     []int
+	ProjectDim int
+	// TimeOffset makes Time(i) >= 0 over the domain.
+	TimeOffset int
+	// PEExtent is the processor-array extent per remaining dimension:
+	// one entry for a linear array, two for a mesh.
+	PEExtent []int
+	// Latency is the makespan: max Time(i) + 1.
+	Latency int
+
+	lo []int
+}
+
+// Time returns the execution step of lattice point idx.
+func (m *Mapping) Time(idx []int) int {
+	t := m.TimeOffset
+	for d, x := range idx {
+		t += m.Lambda[d] * x
+	}
+	return t
+}
+
+// Place returns the processor coordinates of lattice point idx (the
+// point with dimension ProjectDim deleted, shifted to start at 0).
+func (m *Mapping) Place(idx []int) []int {
+	out := make([]int, 0, len(idx)-1)
+	for d, x := range idx {
+		if d == m.ProjectDim {
+			continue
+		}
+		out = append(out, x-m.lo[d])
+	}
+	return out
+}
+
+// Synthesize finds a space-time mapping for the analyzed uniform
+// recurrence: a small integer schedule vector lambda with
+// lambda . d >= 1 for every dependence, and a unit projection direction
+// u = e_j with lambda_j != 0 (so no two points on one processor share a
+// time step). Among feasible choices it minimizes the latency
+// max(lambda . i) - min(lambda . i) + 1 over the domain box, then the
+// processor count. Domains of rank 1 and 2 map to linear arrays; rank 3
+// maps to a mesh.
+func Synthesize(a *Analysis) (*Mapping, error) {
+	if !a.Uniform {
+		return nil, fmt.Errorf("systolic: dependencies are affine but not uniform; space-time synthesis needs constant dependence vectors")
+	}
+	if a.Dims < 1 || a.Dims > 3 {
+		return nil, fmt.Errorf("systolic: synthesis supports 1-3 dimensional domains, have %d", a.Dims)
+	}
+	const bound = 3
+	lambdas := enumerate(a.Dims, bound)
+	bestScore := [2]int{1 << 30, 1 << 30}
+	var best *Mapping
+	for _, lam := range lambdas {
+		ok := true
+		for _, dep := range a.Deps {
+			dot := 0
+			for d := range lam {
+				dot += lam[d] * dep.D[d]
+			}
+			if dot < 1 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for j := 0; j < a.Dims; j++ {
+			if lam[j] == 0 && a.Dims > 1 {
+				continue // projection would collide in time
+			}
+			m := &Mapping{Lambda: append([]int(nil), lam...), ProjectDim: j, lo: a.Lo}
+			// Latency over the box domain.
+			minT, maxT := 0, 0
+			for d := 0; d < a.Dims; d++ {
+				lo := lam[d] * a.Lo[d]
+				hi := lam[d] * (a.Lo[d] + a.Extent[d] - 1)
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				minT += lo
+				maxT += hi
+			}
+			m.TimeOffset = -minT
+			m.Latency = maxT - minT + 1
+			pes := 1
+			for d := 0; d < a.Dims; d++ {
+				if d == j {
+					continue
+				}
+				m.PEExtent = append(m.PEExtent, a.Extent[d])
+				pes *= a.Extent[d]
+			}
+			score := [2]int{m.Latency, pes}
+			if score[0] < bestScore[0] || (score[0] == bestScore[0] && score[1] < bestScore[1]) {
+				bestScore = score
+				best = m
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("systolic: no schedule vector with |coeff| <= %d satisfies the dependencies", bound)
+	}
+	return best, nil
+}
+
+// Verify exhaustively checks the mapping over the domain: dependencies
+// strictly advance time, and no processor executes two points in one
+// step.
+func Verify(a *Analysis, m *Mapping) error {
+	seen := make(map[string]bool)
+	idx := append([]int(nil), a.Lo...)
+	for {
+		t := m.Time(idx)
+		if t < 0 {
+			return fmt.Errorf("systolic: negative time %d at %v", t, idx)
+		}
+		key := fmt.Sprint(m.Place(idx), "@", t)
+		if seen[key] {
+			return fmt.Errorf("systolic: collision at %v", idx)
+		}
+		seen[key] = true
+		for _, dep := range a.Deps {
+			tgt := make([]int, len(idx))
+			inside := true
+			for d := range idx {
+				tgt[d] = idx[d] + dep.D[d]
+				if tgt[d] < a.Lo[d] || tgt[d] >= a.Lo[d]+a.Extent[d] {
+					inside = false
+				}
+			}
+			if inside && m.Time(tgt) <= t {
+				return fmt.Errorf("systolic: dependence %v not respected at %v", dep.D, idx)
+			}
+		}
+		if !inc(idx, a.Lo, a.Extent) {
+			return nil
+		}
+	}
+}
+
+func inc(idx, lo, extent []int) bool {
+	for d := len(idx) - 1; d >= 0; d-- {
+		idx[d]++
+		if idx[d] < lo[d]+extent[d] {
+			return true
+		}
+		idx[d] = lo[d]
+	}
+	return false
+}
+
+// enumerate lists all integer vectors of the given rank with
+// coefficients in [-bound, bound], excluding the zero vector.
+func enumerate(rank, bound int) [][]int {
+	var out [][]int
+	cur := make([]int, rank)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == rank {
+			if !allZero(cur) {
+				out = append(out, append([]int(nil), cur...))
+			}
+			return
+		}
+		for v := -bound; v <= bound; v++ {
+			cur[d] = v
+			rec(d + 1)
+		}
+		cur[d] = 0
+	}
+	rec(0)
+	return out
+}

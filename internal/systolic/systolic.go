@@ -1,0 +1,271 @@
+// Package systolic implements Section 4.2.1 of the paper: mapping affine
+// recurrences onto systolic arrays. It performs the paper's syntactic
+// checks on the LaRCS program — node labels form an integer lattice,
+// label ranges are bounded by linear inequalities, communication
+// functions are affine — and, for uniform (constant-vector) dependencies,
+// synthesizes a space-time mapping: a schedule vector lambda with
+// lambda . d >= 1 for every dependence d, and a projection direction
+// that allocates lattice points to processors of a linear array or mesh.
+package systolic
+
+import (
+	"fmt"
+
+	"oregami/internal/larcs"
+)
+
+// Dependence is one uniform dependence vector extracted from a
+// communication rule: the message goes from lattice point i to i + D.
+type Dependence struct {
+	Phase string
+	D     []int
+}
+
+// Analysis is the result of the affine checks.
+type Analysis struct {
+	// Dims is the dimensionality of the lattice (nodetype rank).
+	Dims int
+	// Extent is the size of each dimension for the bound parameters.
+	Extent []int
+	// Lo is the lower bound of each dimension.
+	Lo []int
+	// Deps are the uniform dependence vectors.
+	Deps []Dependence
+	// Affine reports that all communication functions were affine;
+	// Uniform additionally reports that they were uniform (i = i + d),
+	// which the space-time synthesis requires.
+	Affine  bool
+	Uniform bool
+}
+
+// Analyze runs the paper's syntactic checks against a parsed program and
+// concrete parameter bindings. It fails if the program has multiple
+// nodetypes (the lattice must be a single convex polytope), non-affine
+// bounds, or non-affine communication functions.
+func Analyze(prog *larcs.Program, bindings map[string]int) (*Analysis, error) {
+	if len(prog.NodeTypes) != 1 {
+		return nil, fmt.Errorf("systolic: recurrence domain must be a single nodetype, have %d", len(prog.NodeTypes))
+	}
+	nt := prog.NodeTypes[0]
+	params := make(map[string]int, len(bindings))
+	for k, v := range bindings {
+		params[k] = v
+	}
+	// Constants fold into params for the linear-form extraction.
+	for _, c := range prog.Consts {
+		lf, ok := linearForm(c.Val, nil, params)
+		if !ok || len(lf.coeff) != 0 {
+			return nil, fmt.Errorf("systolic: constant %q is not parameter-affine", c.Name)
+		}
+		params[c.Name] = lf.konst
+	}
+
+	a := &Analysis{Dims: len(nt.Dims), Affine: true, Uniform: true}
+	// Check 2: ranges bounded by linear inequalities (here: bounds are
+	// affine in the parameters — a convex box polytope).
+	for _, d := range nt.Dims {
+		lo, ok1 := linearForm(d.Lo, nil, params)
+		hi, ok2 := linearForm(d.Hi, nil, params)
+		if !ok1 || !ok2 || len(lo.coeff) != 0 || len(hi.coeff) != 0 {
+			return nil, fmt.Errorf("systolic: nodetype %q has non-affine bounds", nt.Name)
+		}
+		if hi.konst < lo.konst {
+			return nil, fmt.Errorf("systolic: nodetype %q has empty range", nt.Name)
+		}
+		a.Lo = append(a.Lo, lo.konst)
+		a.Extent = append(a.Extent, hi.konst-lo.konst+1)
+	}
+
+	// Check 3: communication functions are affine; record uniform
+	// dependence vectors.
+	for _, cp := range prog.CommPhases {
+		for _, rule := range cp.Rules {
+			if len(rule.Vars) != a.Dims {
+				return nil, fmt.Errorf("systolic: phase %q rule quantifies %d of %d dimensions",
+					cp.Name, len(rule.Vars), a.Dims)
+			}
+			varIdx := make(map[string]int, len(rule.Vars))
+			for i, v := range rule.Vars {
+				varIdx[v] = i
+			}
+			// The source must be the identity reference node(i,j,...).
+			for d, ix := range rule.From.Idx {
+				lf, ok := linearForm(ix, varIdx, params)
+				if !ok {
+					a.Affine = false
+					return a, fmt.Errorf("systolic: phase %q source index %d not affine", cp.Name, d)
+				}
+				if lf.konst != 0 || !isUnit(lf.coeff, d, a.Dims) {
+					return nil, fmt.Errorf("systolic: phase %q source must be the identity reference", cp.Name)
+				}
+			}
+			dep := Dependence{Phase: cp.Name, D: make([]int, a.Dims)}
+			for d, ix := range rule.To.Idx {
+				lf, ok := linearForm(ix, varIdx, params)
+				if !ok {
+					a.Affine = false
+					return a, fmt.Errorf("systolic: phase %q target index %d not affine", cp.Name, d)
+				}
+				if !isUnit(lf.coeff, d, a.Dims) {
+					a.Uniform = false
+				}
+				dep.D[d] = lf.konst
+			}
+			if allZero(dep.D) {
+				return nil, fmt.Errorf("systolic: phase %q has a zero dependence (self message)", cp.Name)
+			}
+			a.Deps = append(a.Deps, dep)
+		}
+	}
+	if len(a.Deps) == 0 {
+		return nil, fmt.Errorf("systolic: program has no dependencies")
+	}
+	return a, nil
+}
+
+func isUnit(coeff []int, d, dims int) bool {
+	for i := 0; i < dims; i++ {
+		want := 0
+		if i == d {
+			want = 1
+		}
+		if coeff[i] != want {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(v []int) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- linear forms -------------------------------------------------------
+
+// lform is coeff . vars + konst, with coeff indexed by quantifier
+// variable position (dense, zero-filled).
+type lform struct {
+	coeff []int
+	konst int
+}
+
+// linearForm extracts the affine form of e over the quantifier variables
+// in varIdx, with params supplying constant values for everything else.
+// It returns ok=false for non-affine constructs (mod, div, ^, products
+// of variables, comparisons).
+func linearForm(e larcs.Expr, varIdx map[string]int, params map[string]int) (lform, bool) {
+	dims := len(varIdx)
+	zero := func() lform { return lform{coeff: make([]int, dims)} }
+	switch v := e.(type) {
+	case larcs.Num:
+		f := zero()
+		f.konst = v.V
+		return f, true
+	case larcs.Var:
+		f := zero()
+		if i, ok := varIdx[v.Name]; ok {
+			f.coeff[i] = 1
+			return f, true
+		}
+		if val, ok := params[v.Name]; ok {
+			f.konst = val
+			return f, true
+		}
+		return f, false
+	case larcs.Unary:
+		if v.Op != "-" {
+			return zero(), false
+		}
+		f, ok := linearForm(v.X, varIdx, params)
+		if !ok {
+			return f, false
+		}
+		for i := range f.coeff {
+			f.coeff[i] = -f.coeff[i]
+		}
+		f.konst = -f.konst
+		return f, true
+	case larcs.Binary:
+		l, okl := linearForm(v.L, varIdx, params)
+		r, okr := linearForm(v.R, varIdx, params)
+		if !okl || !okr {
+			return zero(), false
+		}
+		switch v.Op {
+		case "+":
+			for i := range l.coeff {
+				l.coeff[i] += r.coeff[i]
+			}
+			l.konst += r.konst
+			return l, true
+		case "-":
+			for i := range l.coeff {
+				l.coeff[i] -= r.coeff[i]
+			}
+			l.konst -= r.konst
+			return l, true
+		case "*":
+			// One side must be constant.
+			if isConstant(l) {
+				for i := range r.coeff {
+					r.coeff[i] *= l.konst
+				}
+				r.konst *= l.konst
+				return r, true
+			}
+			if isConstant(r) {
+				for i := range l.coeff {
+					l.coeff[i] *= r.konst
+				}
+				l.konst *= r.konst
+				return l, true
+			}
+			return zero(), false
+		case "^":
+			// Constant exponentiation folds; anything else is
+			// non-affine.
+			if isConstant(l) && isConstant(r) && r.konst >= 0 {
+				f := zero()
+				f.konst = 1
+				for i := 0; i < r.konst; i++ {
+					f.konst *= l.konst
+				}
+				return f, true
+			}
+			return zero(), false
+		case "/", "div", "mod":
+			// Constant folding only.
+			if isConstant(l) && isConstant(r) && r.konst != 0 {
+				f := zero()
+				switch v.Op {
+				case "mod":
+					m := l.konst % r.konst
+					if m != 0 && (m < 0) != (r.konst < 0) {
+						m += r.konst
+					}
+					f.konst = m
+				default:
+					f.konst = l.konst / r.konst
+				}
+				return f, true
+			}
+			return zero(), false
+		}
+		return zero(), false
+	}
+	return zero(), false
+}
+
+func isConstant(f lform) bool {
+	for _, c := range f.coeff {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package systolic
+
+import (
+	"testing"
+
+	"oregami/internal/larcs"
+	"oregami/internal/workload"
+)
+
+func analyzeWorkload(t *testing.T, name string, bindings map[string]int) (*Analysis, error) {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := larcs.Parse(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make(map[string]int)
+	for k, v := range w.Defaults {
+		all[k] = v
+	}
+	for k, v := range bindings {
+		all[k] = v
+	}
+	return Analyze(prog, all)
+}
+
+func TestAnalyzeSystolicMM(t *testing.T) {
+	a, err := analyzeWorkload(t, "systolicmm", map[string]int{"n": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Affine || !a.Uniform {
+		t.Fatalf("systolicmm should be affine+uniform: %+v", a)
+	}
+	if a.Dims != 2 || a.Extent[0] != 5 || a.Extent[1] != 5 {
+		t.Errorf("domain = %dD %v", a.Dims, a.Extent)
+	}
+	if len(a.Deps) != 2 {
+		t.Fatalf("deps = %v", a.Deps)
+	}
+	want := map[string][2]int{"aflow": {0, 1}, "bflow": {1, 0}}
+	for _, d := range a.Deps {
+		w := want[d.Phase]
+		if d.D[0] != w[0] || d.D[1] != w[1] {
+			t.Errorf("dep %s = %v, want %v", d.Phase, d.D, w)
+		}
+	}
+}
+
+func TestAnalyzeFIR(t *testing.T) {
+	a, err := analyzeWorkload(t, "fir", map[string]int{"n": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dims != 1 || len(a.Deps) != 1 || a.Deps[0].D[0] != 1 {
+		t.Errorf("fir analysis = %+v", a)
+	}
+}
+
+func TestAnalyzeRejectsModular(t *testing.T) {
+	// Cannon's matmul uses mod: affine check must fail.
+	if _, err := analyzeWorkload(t, "matmul", nil); err == nil {
+		t.Error("wraparound shifts accepted as affine")
+	}
+	// n-body chordal uses mod too.
+	if _, err := analyzeWorkload(t, "nbody", nil); err == nil {
+		t.Error("n-body accepted as affine")
+	}
+}
+
+func TestAnalyzeRejectsMultipleNodeTypes(t *testing.T) {
+	prog, err := larcs.Parse(`
+algorithm two;
+nodetype a 0..3;
+nodetype b 0..3;
+comphase c { forall i in 0..2 : a(i) -> a(i+1); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Error("multiple nodetypes accepted")
+	}
+}
+
+func TestAnalyzeRequiresIdentitySource(t *testing.T) {
+	prog, err := larcs.Parse(`
+algorithm rev(n);
+nodetype a 0..n-1;
+comphase c { forall i in 0..n-2 : a(i+1) -> a(i); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, map[string]int{"n": 4}); err == nil {
+		t.Error("non-identity source accepted")
+	}
+}
+
+func TestAnalyzeNonUniform(t *testing.T) {
+	// Target 2*i is affine but not uniform.
+	prog, err := larcs.Parse(`
+algorithm dbl(n);
+nodetype a 0..n-1;
+comphase c { forall i in 0..1 : a(i) -> a(2*i + 1); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(prog, map[string]int{"n": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Affine || a.Uniform {
+		t.Errorf("2i+1 should be affine but not uniform: %+v", a)
+	}
+	if _, err := Synthesize(a); err == nil {
+		t.Error("synthesis accepted non-uniform dependence")
+	}
+}
+
+func TestSynthesizeMM(t *testing.T) {
+	a, err := analyzeWorkload(t, "systolicmm", map[string]int{"n": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Synthesize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(a, m); err != nil {
+		t.Fatal(err)
+	}
+	// Deps (0,1) and (1,0): the classic schedule is lambda = (1,1),
+	// latency 2n-1, projected onto a linear array of n PEs.
+	if m.Latency != 11 {
+		t.Errorf("latency = %d, want 11 (= 2n-1)", m.Latency)
+	}
+	if len(m.PEExtent) != 1 || m.PEExtent[0] != 6 {
+		t.Errorf("PE array = %v, want [6]", m.PEExtent)
+	}
+}
+
+func TestSynthesizeFIR(t *testing.T) {
+	a, err := analyzeWorkload(t, "fir", map[string]int{"n": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Synthesize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(a, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Latency != 8 {
+		t.Errorf("fir latency = %d, want 8", m.Latency)
+	}
+}
+
+func TestSynthesize3D(t *testing.T) {
+	// Full 3-D matrix-multiply recurrence: deps e1, e2, e3.
+	prog, err := larcs.Parse(`
+algorithm mm3(n);
+nodetype p 0..n-1, 0..n-1, 0..n-1;
+comphase a { forall i in 0..n-1, j in 0..n-1, k in 0..n-2 : p(i,j,k) -> p(i,j,k+1); }
+comphase b { forall i in 0..n-1, j in 0..n-2, k in 0..n-1 : p(i,j,k) -> p(i,j+1,k); }
+comphase c { forall i in 0..n-2, j in 0..n-1, k in 0..n-1 : p(i,j,k) -> p(i+1,j,k); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(prog, map[string]int{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Synthesize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(a, m); err != nil {
+		t.Fatal(err)
+	}
+	// lambda = (1,1,1), latency 3n-2 = 10, mesh of n x n PEs.
+	if m.Latency != 10 {
+		t.Errorf("3D latency = %d, want 10", m.Latency)
+	}
+	if len(m.PEExtent) != 2 {
+		t.Errorf("3D projection PE array = %v, want a mesh", m.PEExtent)
+	}
+}
+
+func TestNegativeDependence(t *testing.T) {
+	prog, err := larcs.Parse(`
+algorithm wave(n);
+nodetype p 0..n-1, 0..n-1;
+comphase a { forall i in 0..n-1, j in 0..n-2 : p(i,j) -> p(i,j+1); }
+comphase b { forall i in 0..n-2, j in 1..n-1 : p(i,j) -> p(i+1,j-1); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(prog, map[string]int{"n": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Synthesize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(a, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDependenceRejected(t *testing.T) {
+	prog, err := larcs.Parse(`
+algorithm self(n);
+nodetype p 0..n-1;
+comphase a { forall i in 0..n-1 : p(i) -> p(i); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, map[string]int{"n": 4}); err == nil {
+		t.Error("zero dependence accepted")
+	}
+}

@@ -1,0 +1,519 @@
+// Package topology models the regular interconnection networks OREGAMI
+// targets (ring, linear array, mesh, torus, hypercube, trees, butterfly,
+// complete, star). A Network is an undirected graph of homogeneous
+// processors with identified links; it answers the distance and
+// shortest-route queries that the embedding and routing algorithms
+// (Sections 4.3-4.4 of the paper) depend on.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is a bidirectional physical channel between processors A and B.
+// IDs are dense, 0..NumLinks-1, mirroring the paper's numbered links in
+// Fig 6.
+type Link struct {
+	ID   int
+	A, B int
+}
+
+// Network is an undirected processor graph.
+type Network struct {
+	// Kind is the family name ("hypercube", "mesh", ...); Name is the
+	// parameterized instance name ("hypercube(3)").
+	Kind string
+	Name string
+	// N is the number of processors.
+	N int
+	// Dims carries shape metadata: mesh/torus row/col counts, hypercube
+	// dimension, tree depth, etc. Interpretation depends on Kind.
+	Dims []int
+
+	adj    [][]int
+	links  []Link
+	linkID map[[2]int]int
+	dist   [][]int16 // lazily computed all-pairs hop distances
+}
+
+func newNetwork(kind, name string, n int, dims ...int) *Network {
+	return &Network{
+		Kind:   kind,
+		Name:   name,
+		N:      n,
+		Dims:   dims,
+		adj:    make([][]int, n),
+		linkID: make(map[[2]int]int),
+	}
+}
+
+// addLink inserts an undirected link a-b if not already present.
+func (nw *Network) addLink(a, b int) {
+	if a == b {
+		panic(fmt.Sprintf("topology: self link at %d", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	if _, dup := nw.linkID[key]; dup {
+		return
+	}
+	id := len(nw.links)
+	nw.linkID[key] = id
+	nw.links = append(nw.links, Link{ID: id, A: a, B: b})
+	nw.adj[a] = append(nw.adj[a], b)
+	nw.adj[b] = append(nw.adj[b], a)
+}
+
+func (nw *Network) finish() *Network {
+	for _, l := range nw.adj {
+		sort.Ints(l)
+	}
+	return nw
+}
+
+// Neighbors returns the sorted neighbor list of processor v. The returned
+// slice is shared; callers must not modify it.
+func (nw *Network) Neighbors(v int) []int { return nw.adj[v] }
+
+// Degree returns the number of links incident to processor v.
+func (nw *Network) Degree(v int) int { return len(nw.adj[v]) }
+
+// NumLinks returns the number of physical links.
+func (nw *Network) NumLinks() int { return len(nw.links) }
+
+// Links returns all links. The returned slice is shared; callers must not
+// modify it.
+func (nw *Network) Links() []Link { return nw.links }
+
+// LinkBetween returns the link id joining a and b, if adjacent.
+func (nw *Network) LinkBetween(a, b int) (int, bool) {
+	if a > b {
+		a, b = b, a
+	}
+	id, ok := nw.linkID[[2]int{a, b}]
+	return id, ok
+}
+
+// Link returns the link with the given id.
+func (nw *Network) Link(id int) Link { return nw.links[id] }
+
+// Distance returns the hop distance between processors a and b. Regular
+// families (mesh, torus, hypercube, complete, star, ring, linear) are
+// answered analytically; other families fall back to a cached all-pairs
+// BFS.
+func (nw *Network) Distance(a, b int) int {
+	if d, ok := nw.analyticDistance(a, b); ok {
+		return d
+	}
+	nw.ensureDist()
+	return int(nw.dist[a][b])
+}
+
+func (nw *Network) analyticDistance(a, b int) (int, bool) {
+	switch nw.Kind {
+	case "mesh":
+		c := nw.Dims[1]
+		return iabs(a/c-b/c) + iabs(a%c-b%c), true
+	case "torus":
+		r, c := nw.Dims[0], nw.Dims[1]
+		dr := iabs(a/c - b/c)
+		if r > 2 && r-dr < dr {
+			dr = r - dr
+		}
+		dc := iabs(a%c - b%c)
+		if c > 2 && c-dc < dc {
+			dc = c - dc
+		}
+		return dr + dc, true
+	case "hypercube":
+		d := 0
+		for x := a ^ b; x != 0; x &= x - 1 {
+			d++
+		}
+		return d, true
+	case "complete":
+		if a == b {
+			return 0, true
+		}
+		return 1, true
+	case "star":
+		switch {
+		case a == b:
+			return 0, true
+		case a == 0 || b == 0:
+			return 1, true
+		default:
+			return 2, true
+		}
+	case "ring":
+		d := iabs(a - b)
+		if nw.N-d < d {
+			d = nw.N - d
+		}
+		return d, true
+	case "linear":
+		return iabs(a - b), true
+	}
+	return 0, false
+}
+
+func iabs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Diameter returns the maximum pairwise hop distance.
+func (nw *Network) Diameter() int {
+	d := 0
+	for a := 0; a < nw.N; a++ {
+		for b := a + 1; b < nw.N; b++ {
+			if dd := nw.Distance(a, b); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}
+
+func (nw *Network) ensureDist() {
+	if nw.dist != nil {
+		return
+	}
+	nw.dist = make([][]int16, nw.N)
+	for s := 0; s < nw.N; s++ {
+		d := make([]int16, nw.N)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		for q := []int{s}; len(q) > 0; {
+			v := q[0]
+			q = q[1:]
+			for _, u := range nw.adj[v] {
+				if d[u] == -1 {
+					d[u] = d[v] + 1
+					q = append(q, u)
+				}
+			}
+		}
+		nw.dist[s] = d
+	}
+}
+
+// NextHops returns the neighbors of src that lie on some shortest path
+// from src to dst. For src == dst it returns nil.
+func (nw *Network) NextHops(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	var hops []int
+	base := nw.Distance(src, dst)
+	for _, u := range nw.adj[src] {
+		if nw.Distance(u, dst) == base-1 {
+			hops = append(hops, u)
+		}
+	}
+	return hops
+}
+
+// Connected reports whether the network is a single connected component.
+func (nw *Network) Connected() bool {
+	if nw.N == 0 {
+		return true
+	}
+	seen := make([]bool, nw.N)
+	seen[0] = true
+	count := 1
+	for q := []int{0}; len(q) > 0; {
+		v := q[0]
+		q = q[1:]
+		for _, u := range nw.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				q = append(q, u)
+			}
+		}
+	}
+	return count == nw.N
+}
+
+// --- Constructors -----------------------------------------------------
+
+// Ring builds a cycle of n processors (n >= 3).
+func Ring(n int) *Network {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: ring needs n >= 3, got %d", n))
+	}
+	nw := newNetwork("ring", fmt.Sprintf("ring(%d)", n), n, n)
+	for i := 0; i < n; i++ {
+		nw.addLink(i, (i+1)%n)
+	}
+	return nw.finish()
+}
+
+// Linear builds a linear array (path) of n processors (n >= 1).
+func Linear(n int) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: linear needs n >= 1, got %d", n))
+	}
+	nw := newNetwork("linear", fmt.Sprintf("linear(%d)", n), n, n)
+	for i := 0; i+1 < n; i++ {
+		nw.addLink(i, i+1)
+	}
+	return nw.finish()
+}
+
+// Mesh builds an r x c two-dimensional mesh. Processor (i,j) has index
+// i*c + j.
+func Mesh(r, c int) *Network {
+	if r < 1 || c < 1 {
+		panic(fmt.Sprintf("topology: mesh needs positive dims, got %dx%d", r, c))
+	}
+	nw := newNetwork("mesh", fmt.Sprintf("mesh(%dx%d)", r, c), r*c, r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := i*c + j
+			if j+1 < c {
+				nw.addLink(v, v+1)
+			}
+			if i+1 < r {
+				nw.addLink(v, v+c)
+			}
+		}
+	}
+	return nw.finish()
+}
+
+// Torus builds an r x c two-dimensional torus (wraparound mesh). Wrap
+// links are omitted along a dimension of extent < 3 to avoid duplicating
+// the mesh link.
+func Torus(r, c int) *Network {
+	if r < 1 || c < 1 {
+		panic(fmt.Sprintf("topology: torus needs positive dims, got %dx%d", r, c))
+	}
+	nw := newNetwork("torus", fmt.Sprintf("torus(%dx%d)", r, c), r*c, r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := i*c + j
+			if c > 1 && (j+1 < c || c > 2) {
+				nw.addLink(v, i*c+(j+1)%c)
+			}
+			if r > 1 && (i+1 < r || r > 2) {
+				nw.addLink(v, ((i+1)%r)*c+j)
+			}
+		}
+	}
+	return nw.finish()
+}
+
+// MeshCoord returns the (row, col) coordinates of processor v in a mesh
+// or torus network.
+func (nw *Network) MeshCoord(v int) (int, int) {
+	if nw.Kind != "mesh" && nw.Kind != "torus" {
+		panic("topology: MeshCoord on " + nw.Kind)
+	}
+	c := nw.Dims[1]
+	return v / c, v % c
+}
+
+// Hypercube builds a d-dimensional binary hypercube with 2^d processors;
+// u and v are adjacent iff their labels differ in exactly one bit.
+func Hypercube(d int) *Network {
+	if d < 0 || d > 20 {
+		panic(fmt.Sprintf("topology: hypercube dimension %d out of range", d))
+	}
+	n := 1 << uint(d)
+	nw := newNetwork("hypercube", fmt.Sprintf("hypercube(%d)", d), n, d)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << uint(b))
+			if u > v {
+				nw.addLink(v, u)
+			}
+		}
+	}
+	return nw.finish()
+}
+
+// CompleteBinaryTree builds the complete binary tree of the given depth
+// (depth 0 = single node), with 2^(depth+1)-1 processors in heap order:
+// node v has children 2v+1 and 2v+2.
+func CompleteBinaryTree(depth int) *Network {
+	if depth < 0 || depth > 20 {
+		panic(fmt.Sprintf("topology: tree depth %d out of range", depth))
+	}
+	n := 1<<uint(depth+1) - 1
+	nw := newNetwork("cbtree", fmt.Sprintf("cbtree(%d)", depth), n, depth)
+	for v := 0; 2*v+2 < n; v++ {
+		nw.addLink(v, 2*v+1)
+		nw.addLink(v, 2*v+2)
+	}
+	return nw.finish()
+}
+
+// BinomialTree builds the binomial tree B_k with 2^k processors. Node
+// labels are bitmasks; the parent of v != 0 clears v's lowest set bit.
+// B_k is a spanning tree of the k-cube, which is why it embeds in the
+// hypercube with dilation 1.
+func BinomialTree(k int) *Network {
+	if k < 0 || k > 20 {
+		panic(fmt.Sprintf("topology: binomial order %d out of range", k))
+	}
+	n := 1 << uint(k)
+	nw := newNetwork("binomial", fmt.Sprintf("binomial(%d)", k), n, k)
+	for v := 1; v < n; v++ {
+		nw.addLink(v, v&(v-1))
+	}
+	return nw.finish()
+}
+
+// Butterfly builds the k-dimensional butterfly with (k+1)*2^k processors.
+// Node (level l, row r) has index l*2^k + r; level l < k connects to
+// level l+1 at the same row (straight edge) and at the row with bit l
+// flipped (cross edge).
+func Butterfly(k int) *Network {
+	if k < 1 || k > 16 {
+		panic(fmt.Sprintf("topology: butterfly order %d out of range", k))
+	}
+	rows := 1 << uint(k)
+	n := (k + 1) * rows
+	nw := newNetwork("butterfly", fmt.Sprintf("butterfly(%d)", k), n, k)
+	for l := 0; l < k; l++ {
+		for r := 0; r < rows; r++ {
+			v := l*rows + r
+			nw.addLink(v, (l+1)*rows+r)
+			nw.addLink(v, (l+1)*rows+(r^(1<<uint(l))))
+		}
+	}
+	return nw.finish()
+}
+
+// CubeConnectedCycles builds the CCC of order k (k >= 3): each vertex of
+// the k-cube is replaced by a k-cycle, node (v, p) has index v*k + p,
+// and (v, p) connects to its cycle neighbors and across the cube
+// dimension p. CCC is itself a Cayley graph — the group-theoretic view
+// of interconnection networks the paper cites ([AK89]).
+func CubeConnectedCycles(k int) *Network {
+	if k < 3 || k > 16 {
+		panic(fmt.Sprintf("topology: CCC order %d out of range (3..16)", k))
+	}
+	n := k * (1 << uint(k))
+	nw := newNetwork("ccc", fmt.Sprintf("ccc(%d)", k), n, k)
+	id := func(v, p int) int { return v*k + p }
+	for v := 0; v < 1<<uint(k); v++ {
+		for p := 0; p < k; p++ {
+			nw.addLink(id(v, p), id(v, (p+1)%k))
+			u := v ^ (1 << uint(p))
+			if u > v {
+				nw.addLink(id(v, p), id(u, p))
+			}
+		}
+	}
+	return nw.finish()
+}
+
+// Complete builds the complete graph on n processors.
+func Complete(n int) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("topology: complete needs n >= 1, got %d", n))
+	}
+	nw := newNetwork("complete", fmt.Sprintf("complete(%d)", n), n, n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			nw.addLink(a, b)
+		}
+	}
+	return nw.finish()
+}
+
+// Star builds a star: processor 0 is the hub connected to 1..n-1.
+func Star(n int) *Network {
+	if n < 2 {
+		panic(fmt.Sprintf("topology: star needs n >= 2, got %d", n))
+	}
+	nw := newNetwork("star", fmt.Sprintf("star(%d)", n), n, n)
+	for v := 1; v < n; v++ {
+		nw.addLink(0, v)
+	}
+	return nw.finish()
+}
+
+// ByName constructs a network from a family name and parameters, the hook
+// used by the CLIs: ring, linear, mesh, torus, hypercube, cbtree,
+// binomial, butterfly, complete, star.
+func ByName(kind string, params ...int) (*Network, error) {
+	need := func(k int) error {
+		if len(params) != k {
+			return fmt.Errorf("topology: %s takes %d parameter(s), got %d", kind, k, len(params))
+		}
+		return nil
+	}
+	var nw *Network
+	var err error
+	build := func(f func() *Network) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("topology: %v", r)
+			}
+		}()
+		nw = f()
+	}
+	switch kind {
+	case "ring":
+		if err = need(1); err == nil {
+			build(func() *Network { return Ring(params[0]) })
+		}
+	case "linear":
+		if err = need(1); err == nil {
+			build(func() *Network { return Linear(params[0]) })
+		}
+	case "mesh":
+		if err = need(2); err == nil {
+			build(func() *Network { return Mesh(params[0], params[1]) })
+		}
+	case "torus":
+		if err = need(2); err == nil {
+			build(func() *Network { return Torus(params[0], params[1]) })
+		}
+	case "hypercube":
+		if err = need(1); err == nil {
+			build(func() *Network { return Hypercube(params[0]) })
+		}
+	case "cbtree":
+		if err = need(1); err == nil {
+			build(func() *Network { return CompleteBinaryTree(params[0]) })
+		}
+	case "binomial":
+		if err = need(1); err == nil {
+			build(func() *Network { return BinomialTree(params[0]) })
+		}
+	case "butterfly":
+		if err = need(1); err == nil {
+			build(func() *Network { return Butterfly(params[0]) })
+		}
+	case "ccc":
+		if err = need(1); err == nil {
+			build(func() *Network { return CubeConnectedCycles(params[0]) })
+		}
+	case "complete":
+		if err = need(1); err == nil {
+			build(func() *Network { return Complete(params[0]) })
+		}
+	case "star":
+		if err = need(1); err == nil {
+			build(func() *Network { return Star(params[0]) })
+		}
+	default:
+		err = fmt.Errorf("topology: unknown network family %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return nw, nil
+}

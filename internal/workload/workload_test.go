@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"oregami/internal/phase"
+)
+
+func TestAllCompile(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			c, err := w.Compile(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Graph.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if c.Graph.NumTasks == 0 || c.Graph.NumEdges() == 0 {
+				t.Fatalf("degenerate graph: %d tasks, %d edges", c.Graph.NumTasks, c.Graph.NumEdges())
+			}
+			if c.Phases == nil {
+				t.Fatal("workload has no phase expression")
+			}
+			if _, err := phase.Flatten(c.Phases, 1<<16); err != nil {
+				t.Fatalf("flatten: %v", err)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("jacobi")
+	if err != nil || w.Name != "jacobi" {
+		t.Fatalf("ByName(jacobi) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestNBodyOverride(t *testing.T) {
+	w, _ := ByName("nbody")
+	c, err := w.Compile(map[string]int{"n": 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumTasks != 31 {
+		t.Errorf("override ignored: %d tasks", c.Graph.NumTasks)
+	}
+}
+
+func TestBroadcast8IsZ8(t *testing.T) {
+	w, _ := ByName("broadcast8")
+	c, err := w.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Graph.IsNodeSymmetricCandidate() {
+		t.Error("broadcast8 phases should be bijections")
+	}
+	for i, want := range map[string]int{"comm1": 1, "comm2": 2, "comm3": 4} {
+		p := c.Graph.CommPhaseByName(i)
+		img, ok := c.Graph.PhasePermutation(p)
+		if !ok {
+			t.Fatalf("%s not a permutation", i)
+		}
+		for x, to := range img {
+			if to != (x+want)%8 {
+				t.Errorf("%s(%d) = %d, want %d", i, x, to, (x+want)%8)
+			}
+		}
+	}
+}
+
+func TestJacobiStencil(t *testing.T) {
+	w, _ := ByName("jacobi")
+	c, err := w.Compile(map[string]int{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x4 grid: 2*(4*3)*2 = 48 directed stencil edges.
+	if got := c.Graph.NumEdges(); got != 48 {
+		t.Errorf("jacobi edges = %d, want 48", got)
+	}
+	// Interior cell has degree 4; corner degree 2.
+	if d := c.Graph.Degree(5); d != 4 {
+		t.Errorf("interior degree = %d, want 4", d)
+	}
+	if d := c.Graph.Degree(0); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+}
+
+func TestSORHalfSweeps(t *testing.T) {
+	w, _ := ByName("sor")
+	c, err := w.Compile(map[string]int{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := c.Graph.CommPhaseByName("redtoblack")
+	black := c.Graph.CommPhaseByName("blacktored")
+	if len(red.Edges)+len(black.Edges) != 48 {
+		t.Errorf("sor total edges = %d, want 48", len(red.Edges)+len(black.Edges))
+	}
+	for _, e := range red.Edges {
+		i, j := e.From/4, e.From%4
+		if (i+j)%2 != 0 {
+			t.Errorf("red edge from black cell (%d,%d)", i, j)
+		}
+	}
+}
+
+func TestMatMulTorusShifts(t *testing.T) {
+	w, _ := ByName("matmul")
+	c, err := w.Compile(map[string]int{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Graph.IsNodeSymmetricCandidate() {
+		t.Error("matmul shifts should be bijections")
+	}
+	left := c.Graph.CommPhaseByName("shiftleft")
+	img, _ := c.Graph.PhasePermutation(left)
+	// pe(0,0) -> pe(0,3): task 0 -> task 3.
+	if img[0] != 3 {
+		t.Errorf("shiftleft(0) = %d, want 3", img[0])
+	}
+}
+
+func TestFFT16Stages(t *testing.T) {
+	w, _ := ByName("fft16")
+	c, err := w.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, bit := range []int{1, 2, 4, 8} {
+		p := c.Graph.CommPhaseByName([]string{"stage0", "stage1", "stage2", "stage3"}[s])
+		img, ok := c.Graph.PhasePermutation(p)
+		if !ok {
+			t.Fatalf("stage %d not a permutation", s)
+		}
+		for x, to := range img {
+			if to != x^bit {
+				t.Errorf("stage%d(%d) = %d, want %d", s, x, to, x^bit)
+			}
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	w, _ := ByName("binomial")
+	c, err := w.Compile(map[string]int{"k": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumTasks != 32 || c.Graph.NumEdges() != 31 {
+		t.Errorf("B5: %d tasks %d edges", c.Graph.NumTasks, c.Graph.NumEdges())
+	}
+	comps := c.Graph.Components()
+	if len(comps) != 1 {
+		t.Errorf("binomial tree disconnected: %d components", len(comps))
+	}
+}
+
+func TestVotingRounds(t *testing.T) {
+	w, _ := ByName("voting")
+	c, err := w.Compile(map[string]int{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 3 and 4 are guarded off for n=4.
+	if len(c.Graph.CommPhaseByName("round3").Edges) != 0 {
+		t.Error("round3 should be empty at n=4")
+	}
+	if len(c.Graph.CommPhaseByName("round1").Edges) != 4 {
+		t.Error("round1 should have 4 edges at n=4")
+	}
+}
+
+func TestDescriptionCompactness(t *testing.T) {
+	// The paper's compactness claim: description an order of magnitude
+	// smaller than the graph for large instances.
+	for _, tc := range []struct {
+		name      string
+		overrides map[string]int
+	}{
+		{"nbody", map[string]int{"n": 1001}},
+		{"jacobi", map[string]int{"n": 32}},
+		{"matmul", map[string]int{"n": 40}},
+	} {
+		w, _ := ByName(tc.name)
+		c, err := w.Compile(tc.overrides)
+		if err != nil {
+			t.Fatal(err)
+		}
+		desc := c.Program.DescriptionSize()
+		gsize := c.Graph.NumTasks + c.Graph.NumEdges()
+		if desc*10 > gsize {
+			t.Errorf("%s: description %dB vs graph %d elements — not 10x smaller", tc.name, desc, gsize)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package oregami is a Go reproduction of the OREGAMI mapping tools
+// (Lo, Rajopadhye, Gupta, Keldsen, Mohamed, Telle: "OREGAMI: Software
+// Tools for Mapping Parallel Computations to Parallel Architectures",
+// University of Oregon, 1990): LaRCS, a description language for regular
+// parallel computations; MAPPER, a library of contraction, embedding,
+// and routing algorithms; and METRICS, mapping analysis with a
+// modify-and-recompute loop.
+//
+// The typical flow is three calls:
+//
+//	comp, err := oregami.Compile(larcsSource, map[string]int{"n": 15, "s": 2})
+//	net, err := oregami.NewNetwork("hypercube", 3)
+//	m, err := comp.Map(net, nil)
+//
+// after which m exposes the mapping, its metrics, an ASCII rendering,
+// and a completion-time simulation.
+package oregami
+
+import (
+	"fmt"
+
+	"oregami/internal/aggregate"
+	"oregami/internal/core"
+	"oregami/internal/graph"
+	"oregami/internal/larcs"
+	"oregami/internal/metrics"
+	"oregami/internal/phase"
+	"oregami/internal/route"
+	"oregami/internal/sched"
+	"oregami/internal/sim"
+	"oregami/internal/spawn"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+// Computation is a compiled LaRCS program: the expanded task graph plus
+// the ground phase expression.
+type Computation struct {
+	compiled *larcs.Compiled
+}
+
+// Network is a processor interconnection topology.
+type Network = topology.Network
+
+// NewNetwork constructs a network by family name: ring(n), linear(n),
+// mesh(r,c), torus(r,c), hypercube(d), cbtree(depth), binomial(k),
+// butterfly(k), ccc(k), complete(n), star(n).
+func NewNetwork(kind string, params ...int) (*Network, error) {
+	return topology.ByName(kind, params...)
+}
+
+// Compile parses a LaRCS source program and expands it for the given
+// parameter/import bindings.
+func Compile(src string, bindings map[string]int) (*Computation, error) {
+	prog, err := larcs.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := prog.Compile(bindings, larcs.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	return &Computation{compiled: c}, nil
+}
+
+// CompileWorkload compiles one of the bundled example workloads (see
+// Workloads) with optional parameter overrides.
+func CompileWorkload(name string, overrides map[string]int) (*Computation, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := w.Compile(overrides)
+	if err != nil {
+		return nil, err
+	}
+	return &Computation{compiled: c}, nil
+}
+
+// Workloads lists the bundled example workload names with one-line
+// descriptions.
+func Workloads() map[string]string {
+	out := make(map[string]string)
+	for _, w := range workload.All() {
+		out[w.Name] = w.About
+	}
+	return out
+}
+
+// NumTasks returns the number of tasks in the expanded task graph.
+func (c *Computation) NumTasks() int { return c.compiled.Graph.NumTasks }
+
+// NumEdges returns the number of communication edges over all phases.
+func (c *Computation) NumEdges() int { return c.compiled.Graph.NumEdges() }
+
+// Graph returns the underlying task graph (read-only use expected).
+func (c *Computation) Graph() *graph.TaskGraph { return c.compiled.Graph }
+
+// PhaseExpression renders the ground phase expression, or "".
+func (c *Computation) PhaseExpression() string {
+	if c.compiled.Phases == nil {
+		return ""
+	}
+	return c.compiled.Phases.String()
+}
+
+// DescriptionSize returns the LaRCS description size in bytes (comments
+// and whitespace stripped), the quantity behind the paper's compactness
+// claim.
+func (c *Computation) DescriptionSize() int {
+	return c.compiled.Program.DescriptionSize()
+}
+
+// MapOptions tune the MAPPER dispatcher.
+type MapOptions struct {
+	// Force restricts the dispatcher to one algorithm class: "canned",
+	// "systolic", "group-theoretic", or "arbitrary". Empty tries all.
+	Force string
+	// MaxTasksPerProc is MWM-Contract's load-balance bound B (0 =
+	// derive from task and processor counts).
+	MaxTasksPerProc int
+	// MaximumMatchingRouter swaps MM-Route's greedy maximal matching
+	// for a maximum matching per round.
+	MaximumMatchingRouter bool
+	// Refine applies local-search refinement (Kernighan-Lin swaps after
+	// contraction, pairwise exchange after embedding) on the arbitrary
+	// path.
+	Refine bool
+}
+
+// Mapping is a completed mapping with its provenance.
+type Mapping struct {
+	res  *core.Result
+	comp *larcs.Compiled
+}
+
+// Map runs MAPPER: contraction, embedding, and routing.
+func (c *Computation) Map(net *Network, opts *MapOptions) (*Mapping, error) {
+	if opts == nil {
+		opts = &MapOptions{}
+	}
+	res, err := core.Map(core.Request{
+		Compiled:        c.compiled,
+		Net:             net,
+		Force:           core.Class(opts.Force),
+		MaxTasksPerProc: opts.MaxTasksPerProc,
+		Refine:          opts.Refine,
+		Route:           route.Options{UseMaximum: opts.MaximumMatchingRouter},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{res: res, comp: c.compiled}, nil
+}
+
+// Class reports which MAPPER algorithm class produced the mapping:
+// "canned", "systolic", "group-theoretic", or "arbitrary".
+func (m *Mapping) Class() string { return string(m.res.Class) }
+
+// Method describes the concrete algorithms used.
+func (m *Mapping) Method() string { return m.res.Mapping.Method }
+
+// Trail returns the dispatcher's decision log.
+func (m *Mapping) Trail() []string { return append([]string(nil), m.res.Trail...) }
+
+// ProcessorOf returns the processor hosting the given task.
+func (m *Mapping) ProcessorOf(task int) int { return m.res.Mapping.ProcOf(task) }
+
+// TasksPerProcessor returns the task count per processor.
+func (m *Mapping) TasksPerProcessor() []int { return m.res.Mapping.TasksPerProc() }
+
+// TotalIPC returns the total interprocessor communication volume.
+func (m *Mapping) TotalIPC() float64 { return m.res.Mapping.TotalIPC() }
+
+// Metrics computes the METRICS report for the mapping.
+type Metrics = metrics.Report
+
+// Metrics computes load, link, and overall metrics.
+func (m *Mapping) Metrics() (*Metrics, error) {
+	return metrics.Compute(m.res.Mapping)
+}
+
+// Render produces the ASCII METRICS display.
+func (m *Mapping) Render() (string, error) {
+	r, err := m.Metrics()
+	if err != nil {
+		return "", err
+	}
+	return metrics.Render(m.res.Mapping, r), nil
+}
+
+// SimConfig configures the completion-time simulation.
+type SimConfig = sim.Config
+
+// Simulate executes the computation's phase schedule on the mapped
+// machine model and returns the completion time. maxSteps bounds the
+// flattened schedule length (0 = unbounded).
+func (m *Mapping) Simulate(cfg SimConfig, maxSteps int) (float64, error) {
+	return sim.Makespan(m.res.Mapping, m.comp.Phases, cfg, maxSteps)
+}
+
+// SimulateSteps runs the simulation and returns the per-step breakdown.
+func (m *Mapping) SimulateSteps(cfg SimConfig, maxSteps int) (*sim.Result, error) {
+	if m.comp.Phases == nil {
+		return nil, fmt.Errorf("oregami: computation has no phase expression")
+	}
+	steps, err := phase.Flatten(m.comp.Phases, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(m.res.Mapping, steps, cfg)
+}
+
+// ReassignTask moves a task to a processor (the METRICS modification
+// loop); routes are invalidated and recomputed.
+func (m *Mapping) ReassignTask(task, proc int) error {
+	if err := metrics.ReassignTask(m.res.Mapping, task, proc); err != nil {
+		return err
+	}
+	_, err := route.RouteAll(m.res.Mapping, route.Options{})
+	return err
+}
+
+// RouteOf returns the link-id route of the k-th edge of a phase.
+func (m *Mapping) RouteOf(phaseName string, edge int) ([]int, error) {
+	routes, ok := m.res.Mapping.Routes[phaseName]
+	if !ok {
+		return nil, fmt.Errorf("oregami: phase %q is not routed", phaseName)
+	}
+	if edge < 0 || edge >= len(routes) {
+		return nil, fmt.Errorf("oregami: edge %d out of range", edge)
+	}
+	return append([]int(nil), routes[edge]...), nil
+}
+
+// Validate re-checks all structural invariants of the mapping.
+func (m *Mapping) Validate() error { return m.res.Mapping.Validate() }
+
+// --- Section 6 extensions -----------------------------------------------
+
+// Schedule computes task synchrony sets and per-processor scheduling
+// directives (the paper's Section 6 scheduling extension).
+type Schedule = sched.Schedule
+
+// Schedule builds the synchrony-set schedule for this mapping.
+func (m *Mapping) Schedule() (*Schedule, error) {
+	return sched.Build(m.res.Mapping)
+}
+
+// RenderSchedule renders the synchrony sets and path-expression
+// directives.
+func (m *Mapping) RenderSchedule() (string, error) {
+	s, err := m.Schedule()
+	if err != nil {
+		return "", err
+	}
+	return s.Render(m.res.Mapping), nil
+}
+
+// AggregationAnalysis compares the literal routing of a single-collector
+// phase against a synthesized spanning-tree aggregation (the paper's
+// Section 6 "avoid overspecification" extension).
+type AggregationAnalysis = aggregate.Result
+
+// AnalyzeAggregation runs the comparison for the named phase.
+func (m *Mapping) AnalyzeAggregation(phaseName string) (*AggregationAnalysis, error) {
+	return aggregate.Replace(m.res.Mapping, phaseName)
+}
+
+// BinaryTreeSpawner builds the Section 6 dynamic-spawning tracker for a
+// full binary tree of the given depth on a network: tasks spawn
+// generation by generation and are placed incrementally without moving
+// earlier tasks.
+func BinaryTreeSpawner(depth int, net *Network) (*spawn.IncrementalMapping, error) {
+	b, err := spawn.NewBinaryTree(depth)
+	if err != nil {
+		return nil, err
+	}
+	return spawn.NewIncrementalMapping(b, net)
+}

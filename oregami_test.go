@@ -1,0 +1,152 @@
+package oregami
+
+import (
+	"strings"
+	"testing"
+)
+
+const nbodySrc = `
+algorithm nbody(n);
+import s;
+nodetype body 0..n-1;
+nodesymmetric;
+comphase ring {
+    forall i in 0..n-1 : body(i) -> body((i+1) mod n) volume 1;
+}
+comphase chordal {
+    forall i in 0..n-1 : body(i) -> body((i + (n+1)/2) mod n) volume 1;
+}
+exphase compute1 cost n;
+exphase compute2 cost n;
+phases ((ring; compute1)^((n+1)/2); chordal; compute2)^s;
+`
+
+func TestEndToEndNBody(t *testing.T) {
+	comp, err := Compile(nbodySrc, map[string]int{"n": 15, "s": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumTasks() != 15 || comp.NumEdges() != 30 {
+		t.Fatalf("tasks=%d edges=%d", comp.NumTasks(), comp.NumEdges())
+	}
+	if !strings.Contains(comp.PhaseExpression(), "chordal") {
+		t.Errorf("phase expr = %q", comp.PhaseExpression())
+	}
+	net, err := NewNetwork("hypercube", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := comp.Map(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Class() != "arbitrary" {
+		t.Errorf("class = %s", m.Class())
+	}
+	rep, err := m.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalIPC <= 0 {
+		t.Error("no IPC reported")
+	}
+	out, err := m.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total IPC") {
+		t.Errorf("render missing summary: %s", out)
+	}
+	total, err := m.Simulate(SimConfig{}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Errorf("makespan = %g", total)
+	}
+	steps, err := m.SimulateSteps(SimConfig{}, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps.Steps) != 36 {
+		t.Errorf("steps = %d, want 36", len(steps.Steps))
+	}
+}
+
+func TestWorkloadsListAndCompile(t *testing.T) {
+	ws := Workloads()
+	if len(ws) < 10 {
+		t.Fatalf("only %d workloads", len(ws))
+	}
+	for name := range ws {
+		if _, err := CompileWorkload(name, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := CompileWorkload("nosuch", nil); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestMapOptionsForce(t *testing.T) {
+	comp, err := CompileWorkload("jacobi", map[string]int{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork("mesh", 4, 4)
+	m, err := comp.Map(net, &MapOptions{Force: "arbitrary"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Class() != "arbitrary" {
+		t.Errorf("force ignored: %s", m.Class())
+	}
+	if len(m.Trail()) == 0 {
+		t.Error("no trail")
+	}
+}
+
+func TestReassignLoop(t *testing.T) {
+	comp, _ := CompileWorkload("nbody", map[string]int{"n": 15, "s": 1})
+	net, _ := NewNetwork("hypercube", 3)
+	m, err := comp.Map(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := m.Simulate(SimConfig{}, 0)
+	old := m.ProcessorOf(0)
+	if err := m.ReassignTask(0, (old+1)%8); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.Simulate(SimConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= 0 || before <= 0 {
+		t.Error("simulation failed after reassignment")
+	}
+	if _, err := m.RouteOf("ring", 0); err != nil {
+		t.Error(err)
+	}
+	if _, err := m.RouteOf("zzz", 0); err == nil {
+		t.Error("unknown phase accepted")
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	if _, err := Compile("algorithm broken(", nil); err == nil {
+		t.Error("syntax error accepted")
+	}
+	if _, err := Compile(nbodySrc, map[string]int{"n": 5}); err == nil {
+		t.Error("missing binding accepted")
+	}
+	if _, err := NewNetwork("nosuch", 1); err == nil {
+		t.Error("unknown network accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package oregami
+
+import (
+	"testing"
+)
+
+// TestScaleNBody maps a 4095-body problem onto a 256-processor
+// hypercube: LaRCS expansion, MWM-Contract over 4095 tasks, NN-Embed,
+// MM-Route, metrics, and one outer simulation step all have to complete
+// in reasonable time. Guarded by -short.
+func TestScaleNBody(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	comp, err := CompileWorkload("nbody", map[string]int{"n": 4095, "s": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumTasks() != 4095 {
+		t.Fatalf("tasks = %d", comp.NumTasks())
+	}
+	net, err := NewNetwork("hypercube", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := comp.Map(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tpp := m.TasksPerProcessor()
+	for p, n := range tpp {
+		if n > 16 {
+			t.Errorf("processor %d has %d tasks (B=16)", p, n)
+		}
+	}
+	rep, err := m.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalIPC <= 0 || rep.TotalIPC > rep.TotalVolume {
+		t.Errorf("IPC %g of %g", rep.TotalIPC, rep.TotalVolume)
+	}
+}
+
+// TestScaleJacobiFold folds a 64x64 Jacobi grid onto a 8x8 mesh via the
+// canned quotient path.
+func TestScaleJacobiFold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	comp, err := CompileWorkload("jacobi", map[string]int{"n": 64, "iters": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork("mesh", 8, 8)
+	m, err := comp.Map(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Class() != "canned" {
+		t.Errorf("class = %s (trail %v)", m.Class(), m.Trail())
+	}
+	for p, n := range m.TasksPerProcessor() {
+		if n != 64 {
+			t.Errorf("processor %d has %d tasks, want 64", p, n)
+		}
+	}
+	total, err := m.Simulate(SimConfig{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Errorf("makespan = %g", total)
+	}
+}
+
+// TestScaleBinomialMesh embeds B_16 (65536 nodes) into the 256x256 mesh
+// via the paper's construction and re-checks the 1.2 average-dilation
+// bound at scale.
+func TestScaleBinomialMesh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	comp, err := CompileWorkload("binomial", map[string]int{"k": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork("mesh", 256, 256)
+	m, err := comp.Map(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lm := range rep.Links {
+		if lm.AvgDilation > 1.2 {
+			t.Errorf("phase %s avg dilation %.4f exceeds 1.2", lm.Phase, lm.AvgDilation)
+		}
+	}
+}
