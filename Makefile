@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race fuzz check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the repair invariants (seed corpus + 10s).
+fuzz:
+	$(GO) test -run=FuzzRepair -fuzz=FuzzRepair -fuzztime=10s ./internal/fault/
+
+# The CI gate: static checks plus the full suite under the race detector.
+check: vet race

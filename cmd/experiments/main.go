@@ -244,7 +244,10 @@ func runF6() {
 	pairs := workload.Fig6Pairs()
 	fmt.Println("chordal phase of the 15-body problem on hypercube(3); clusters {i, i+8} on node i")
 	fmt.Printf("%-10s %-10s %-8s %-22s %s\n", "message", "src->dst", "#routes", "choices (first two)", "assigned route (links)")
-	routes, stats := route.MMRoute(net, pairs, route.Options{})
+	routes, stats, err := route.MMRoute(net, pairs, route.Options{})
+	if err != nil {
+		panic(err)
+	}
 	for i, p := range pairs {
 		count := net.CountShortestRoutes(p[0], p[1])
 		desc, choices := "local", "-"

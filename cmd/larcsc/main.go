@@ -6,6 +6,7 @@
 //
 //	larcsc -file nbody.larcs -D n=15 -D s=2 [-dot] [-edges]
 //	larcsc -workload nbody -D n=31
+//	larcsc -workload nbody -D n=4095 -max-tasks 1000   # refuse huge expansions
 package main
 
 import (
@@ -49,6 +50,8 @@ func run() error {
 	wname := flag.String("workload", "", "bundled workload name instead of -file")
 	dot := flag.Bool("dot", false, "emit the task graph in Graphviz DOT format")
 	edges := flag.Bool("edges", false, "list every communication edge")
+	maxTasks := flag.Int("max-tasks", 0, "cap on the expanded task count (0 = default 1048576)")
+	maxEdges := flag.Int("max-edges", 0, "cap on the expanded edge count (0 = default 4194304)")
 	binds := bindings{}
 	flag.Var(binds, "D", "parameter binding name=value (repeatable)")
 	flag.Parse()
@@ -82,7 +85,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	c, err := prog.Compile(defaults, larcs.Limits{})
+	c, err := prog.Compile(defaults, larcs.Limits{MaxTasks: *maxTasks, MaxEdges: *maxEdges})
 	if err != nil {
 		return err
 	}

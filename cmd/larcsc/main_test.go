@@ -72,3 +72,21 @@ func TestCLIErrors(t *testing.T) {
 		t.Error("malformed binding accepted")
 	}
 }
+
+func TestCLIExpansionLimits(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "nbody", "-max-tasks", "4").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expansion over -max-tasks accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "task limit 4") {
+		t.Errorf("limit error not surfaced:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-workload", "nbody", "-max-edges", "5").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expansion over -max-edges accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "edge limit 5") {
+		t.Errorf("limit error not surfaced:\n%s", out)
+	}
+}

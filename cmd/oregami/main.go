@@ -4,10 +4,18 @@
 // the mapping, move tasks between processors, and watch the metrics and
 // simulated completion time recompute.
 //
+// Fault tolerance: -fail-procs/-fail-links mask hardware before mapping
+// (the pipeline only places and routes on the live machine), and
+// -inject-faults fails hardware mid-simulation, repairing the mapping in
+// degraded mode between schedule steps. -max-tasks/-max-edges bound the
+// LaRCS expansion (defaults 1048576 tasks / 4194304 edges).
+//
 // Usage:
 //
 //	oregami -workload nbody -D n=15 -D s=2 -net hypercube:3
 //	oregami -file prog.larcs -D n=64 -net mesh:8,8 -force arbitrary -shell
+//	oregami -workload nbody -net hypercube:3 -fail-procs 5 -fail-links 0
+//	oregami -workload nbody -net hypercube:3 -inject-faults step=1,proc=5
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"strings"
 
 	"oregami/internal/core"
+	"oregami/internal/fault"
 	"oregami/internal/larcs"
 	"oregami/internal/metrics"
 	"oregami/internal/phase"
@@ -52,6 +61,36 @@ func (b bindings) Set(s string) error {
 	return nil
 }
 
+// eventList collects repeatable -inject-faults flags.
+type eventList []sim.FaultEvent
+
+func (e *eventList) String() string { return fmt.Sprint([]sim.FaultEvent(*e)) }
+
+func (e *eventList) Set(s string) error {
+	ev, err := sim.ParseFaultEvent(s)
+	if err != nil {
+		return err
+	}
+	*e = append(*e, ev)
+	return nil
+}
+
+// parseIDList parses "0,5,7" into ids.
+func parseIDList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("id list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // parseNet parses "hypercube:3" or "mesh:4,4".
 func parseNet(s string) (*topology.Network, error) {
 	parts := strings.SplitN(s, ":", 2)
@@ -77,6 +116,12 @@ func run(out *os.File) error {
 	doSim := flag.Bool("sim", true, "simulate the phase schedule and report completion time")
 	dot := flag.Bool("dot", false, "emit the mapping as Graphviz DOT and exit")
 	shell := flag.Bool("shell", false, "open the interactive metrics shell after mapping")
+	maxTasks := flag.Int("max-tasks", 0, "cap on the expanded task count (0 = default 1048576)")
+	maxEdges := flag.Int("max-edges", 0, "cap on the expanded edge count (0 = default 4194304)")
+	failProcs := flag.String("fail-procs", "", "comma-separated processor ids failed before mapping")
+	failLinks := flag.String("fail-links", "", "comma-separated link ids failed before mapping")
+	var injected eventList
+	flag.Var(&injected, "inject-faults", "mid-simulation fault event, e.g. step=2,proc=1,link=5 (repeatable)")
 	binds := bindings{}
 	flag.Var(binds, "D", "parameter binding name=value (repeatable)")
 	flag.Parse()
@@ -87,6 +132,27 @@ func run(out *os.File) error {
 	net, err := parseNet(*netSpec)
 	if err != nil {
 		return err
+	}
+	preProcs, err := parseIDList(*failProcs)
+	if err != nil {
+		return err
+	}
+	preLinks, err := parseIDList(*failLinks)
+	if err != nil {
+		return err
+	}
+	if len(preProcs) > 0 || len(preLinks) > 0 {
+		model := fault.NewModel()
+		for _, p := range preProcs {
+			model.FailProcessor(p)
+		}
+		for _, l := range preLinks {
+			model.FailLink(l)
+		}
+		net, err = model.Mask(net)
+		if err != nil {
+			return err
+		}
 	}
 
 	var src string
@@ -117,7 +183,7 @@ func run(out *os.File) error {
 	if err != nil {
 		return err
 	}
-	c, err := prog.Compile(all, larcs.Limits{})
+	c, err := prog.Compile(all, larcs.Limits{MaxTasks: *maxTasks, MaxEdges: *maxEdges})
 	if err != nil {
 		return err
 	}
@@ -129,6 +195,10 @@ func run(out *os.File) error {
 		fmt.Fprint(out, metrics.DOT(res.Mapping))
 		return nil
 	}
+	if net.Degraded() {
+		fmt.Fprintf(out, "degraded machine: failed procs %v, failed links %v (%d live)\n",
+			net.FailedProcessors(), net.FailedLinks(), net.NumLive())
+	}
 	fmt.Fprintf(out, "MAPPER class: %s\n", res.Class)
 	for _, line := range res.Trail {
 		fmt.Fprintf(out, "  %s\n", line)
@@ -138,7 +208,23 @@ func run(out *os.File) error {
 		return err
 	}
 	fmt.Fprint(out, metrics.Render(res.Mapping, rep))
-	if *doSim && c.Phases != nil {
+	if len(injected) > 0 {
+		if c.Phases == nil {
+			return fmt.Errorf("-inject-faults needs a phase expression to schedule")
+		}
+		steps, err := phase.Flatten(c.Phases, 1<<20)
+		if err != nil {
+			return err
+		}
+		fres, err := sim.RunWithFaults(res.Mapping, steps, sim.Config{}, injected)
+		if err != nil {
+			return err
+		}
+		for _, r := range fres.Reports {
+			fmt.Fprintf(out, "%s\n", r)
+		}
+		fmt.Fprintf(out, "simulated completion time under faults: %g ticks\n", fres.Total)
+	} else if *doSim && c.Phases != nil {
 		total, err := sim.Makespan(res.Mapping, c.Phases, sim.Config{}, 1<<20)
 		if err != nil {
 			return err

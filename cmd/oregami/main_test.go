@@ -74,6 +74,62 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+func TestCLIPreFailedHardware(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "nbody", "-net", "hypercube:3",
+		"-fail-procs", "5", "-fail-links", "0", "-sim=false").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"degraded machine: failed procs [5]", "MAPPER class: arbitrary"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Processor 5 must host no tasks in the rendered layout.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "proc   5:") && !strings.HasSuffix(line, "-") {
+			t.Errorf("failed processor 5 hosts tasks: %q", line)
+		}
+	}
+}
+
+func TestCLIInjectFaults(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "nbody", "-net", "hypercube:3",
+		"-inject-faults", "step=1,proc=5", "-inject-faults", "step=2,link=3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"repair: failed procs [5]",
+		"repair: failed procs [] links [3]",
+		"simulated completion time under faults",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Malformed event syntax must be rejected at flag parse time.
+	if out, err := exec.Command(bin, "-workload", "nbody", "-net", "hypercube:3",
+		"-inject-faults", "step=1").CombinedOutput(); err == nil {
+		t.Errorf("event with no proc/link accepted:\n%s", out)
+	}
+}
+
+func TestCLIExpansionLimits(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "nbody", "-net", "hypercube:3", "-max-tasks", "4").CombinedOutput()
+	if err == nil {
+		t.Fatalf("expansion over -max-tasks accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "task limit 4") {
+		t.Errorf("limit error not surfaced:\n%s", out)
+	}
+}
+
 func TestCLIDot(t *testing.T) {
 	bin := buildCmd(t)
 	out, err := exec.Command(bin, "-workload", "broadcast8", "-net", "hypercube:2", "-dot").CombinedOutput()

@@ -1,0 +1,173 @@
+package oregami
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func mappedNBody(t *testing.T, opts *MapOptions) *Mapping {
+	t.Helper()
+	comp, err := CompileWorkload("nbody", map[string]int{"n": 15, "s": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork("hypercube", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := comp.Map(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMapWithFaultModel(t *testing.T) {
+	model := NewFaultModel()
+	model.FailProcessor(5)
+	model.FailLink(0)
+	m := mappedNBody(t, &MapOptions{Faults: model})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < 15; task++ {
+		if m.ProcessorOf(task) == 5 {
+			t.Errorf("task %d placed on failed processor 5", task)
+		}
+	}
+}
+
+func TestMappingRepair(t *testing.T) {
+	m := mappedNBody(t, nil)
+	victim := m.ProcessorOf(0)
+	model := NewFaultModel()
+	model.FailProcessor(victim)
+	report, err := m.Repair(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MigratedTasks() == 0 {
+		t.Error("repair of an occupied processor migrated nothing")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < 15; task++ {
+		if m.ProcessorOf(task) == victim {
+			t.Errorf("task %d still on failed processor %d", task, victim)
+		}
+	}
+	// The mapping still simulates after repair.
+	if _, err := m.Simulate(SimConfig{}, 1<<20); err != nil {
+		t.Fatalf("simulation after repair: %v", err)
+	}
+}
+
+func TestSimulateWithFaults(t *testing.T) {
+	m := mappedNBody(t, nil)
+	victim := m.ProcessorOf(0)
+	res, err := m.SimulateWithFaults(SimConfig{}, 1<<20, []FaultEvent{{Step: 1, Procs: []int{victim}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 1 || res.Total <= 0 {
+		t.Fatalf("reports=%d total=%g", len(res.Reports), res.Total)
+	}
+	if m.ProcessorOf(0) != victim {
+		t.Error("SimulateWithFaults mutated the mapping")
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	comp, err := CompileWorkload("nbody", map[string]int{"n": 15, "s": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork("hypercube", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = comp.MapContext(ctx, net, nil)
+	var pe *PipelineError
+	if !errors.As(err, &pe) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MapContext returned %v, want *PipelineError wrapping Canceled", err)
+	}
+	// An absurd Timeout in MapOptions behaves the same way.
+	_, err = comp.Map(net, &MapOptions{Timeout: time.Nanosecond, Force: "arbitrary"})
+	if !errors.As(err, &pe) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out Map returned %v, want *PipelineError wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestReassignTaskRejectsDeadProcessor(t *testing.T) {
+	model := NewFaultModel()
+	model.FailProcessor(5)
+	m := mappedNBody(t, &MapOptions{Faults: model})
+	before := make([]int, 15)
+	for task := range before {
+		before[task] = m.ProcessorOf(task)
+	}
+	if err := m.ReassignTask(0, 5); err == nil {
+		t.Fatal("reassignment onto a failed processor accepted")
+	}
+	for task, p := range before {
+		if m.ProcessorOf(task) != p {
+			t.Errorf("task %d moved from %d to %d by a rejected reassignment", task, p, m.ProcessorOf(task))
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassignTaskRollsBackOnRouteFailure(t *testing.T) {
+	// Regression: a failed RouteAll used to leave the mapping moved but
+	// unrouted. Force the router to fail by disconnecting the network
+	// under an otherwise-legal move: on a ring, masking two opposite
+	// processors splits the survivors, so routes between the halves
+	// cannot exist.
+	comp, err := CompileWorkload("nbody", map[string]int{"n": 6, "s": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork("ring", 6)
+	m, err := comp.Map(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a split machine behind the mapping's back (tasks stay on
+	// live processors, but the two arcs {2,3} and {5,0} are mutually
+	// unreachable).
+	masked, err := net.Masked([]int{1, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := m.res.Mapping
+	inner.Net = masked
+
+	snapPart := append([]int(nil), inner.Part...)
+	snapPlace := append([]int(nil), inner.Place...)
+	target := -1
+	for p := 0; p < 6 && target == -1; p++ {
+		if masked.Alive(p) && inner.ProcOf(0) != p {
+			target = p
+		}
+	}
+	if err := m.ReassignTask(0, target); err == nil {
+		t.Fatal("reassignment on a disconnected machine accepted")
+	}
+	for i := range snapPart {
+		if inner.Part[i] != snapPart[i] {
+			t.Fatal("failed reassignment left Part modified")
+		}
+	}
+	for i := range snapPlace {
+		if inner.Place[i] != snapPlace[i] {
+			t.Fatal("failed reassignment left Place modified")
+		}
+	}
+	if len(inner.Routes) == 0 {
+		t.Fatal("failed reassignment discarded the routes")
+	}
+}

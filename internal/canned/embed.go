@@ -481,8 +481,13 @@ func log2(n int) (int, bool) {
 
 // Lookup dispatches a detected family to the matching canned embedding
 // for the target network, trying the constructions in order. It returns
-// nil if no canned mapping applies.
+// nil if no canned mapping applies. Degraded networks are refused: the
+// canned constructions assume the pristine regular topology, and placing
+// on failed processors would invalidate the mapping.
 func Lookup(det *Detection, net *topology.Network) *Embedding {
+	if net.Degraded() {
+		return nil
+	}
 	try := func(e *Embedding, err error) *Embedding {
 		if err != nil {
 			return nil

@@ -6,6 +6,7 @@
 package contract
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -30,6 +31,16 @@ type Options struct {
 	// (ablation): the greedy heuristic runs all the way down to
 	// Processors clusters by itself.
 	SkipMatching bool
+	// Ctx carries cooperative cancellation into the O(E V log V) merge
+	// and repair loops (nil means no cancellation).
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 func (o Options) bound(numTasks int) (int, error) {
@@ -57,6 +68,7 @@ func (o Options) bound(numTasks int) (int, error) {
 //
 // It returns part with part[t] = cluster of task t.
 func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
+	ctx := opt.ctx()
 	if opt.Processors < 1 {
 		return nil, fmt.Errorf("contract: need at least one processor")
 	}
@@ -71,12 +83,14 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	u := newUnionFind(v)
 
 	if !opt.SkipGreedy && v > 2*opt.Processors {
-		greedyMerge(g, u, 2*opt.Processors, b/2)
+		if err := greedyMerge(ctx, g, u, 2*opt.Processors, b/2); err != nil {
+			return nil, err
+		}
 		if u.count > 2*opt.Processors {
 			// The edge list ran dry (or pairwise merges dead-ended);
 			// repair at task level. A partition into 2P clusters of
 			// B/2 always exists since V <= P*B.
-			part, err := repairPartition(g, u.partition(), 2*opt.Processors, b/2)
+			part, err := repairPartition(ctx, g, u.partition(), 2*opt.Processors, b/2)
 			if err != nil {
 				return nil, err
 			}
@@ -85,11 +99,16 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	}
 	if opt.SkipMatching {
 		// Ablation: greedy all the way to P clusters, allowing full B.
-		greedyMerge(g, u, opt.Processors, b)
+		if err := greedyMerge(ctx, g, u, opt.Processors, b); err != nil {
+			return nil, err
+		}
 		if u.count > opt.Processors {
-			return repairPartition(g, u.partition(), opt.Processors, b)
+			return repairPartition(ctx, g, u.partition(), opt.Processors, b)
 		}
 		return u.partition(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Matching stage. Cluster ids and sizes.
@@ -137,7 +156,7 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	// P clusters (zero-benefit merges are not in the edge set). Repair
 	// the count down by redistributing the smallest clusters.
 	if merged > opt.Processors {
-		return repairPartition(g, u.partition(), opt.Processors, b)
+		return repairPartition(ctx, g, u.partition(), opt.Processors, b)
 	}
 	return u.partition(), nil
 }
@@ -145,8 +164,10 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 // greedyMerge is the paper's greedy pre-merge: process collapsed edges by
 // non-increasing weight, merging when the combined cluster stays within
 // maxSize, stopping once at most target clusters remain. It may stop
-// short if the edge list runs dry; callers repair afterwards.
-func greedyMerge(g *graph.TaskGraph, u *unionFind, target, maxSize int) {
+// short if the edge list runs dry; callers repair afterwards. The edge
+// scan checks ctx periodically so a deadline interrupts large graphs
+// mid-merge.
+func greedyMerge(ctx context.Context, g *graph.TaskGraph, u *unionFind, target, maxSize int) error {
 	type wedge struct {
 		a, b int
 		w    float64
@@ -154,6 +175,9 @@ func greedyMerge(g *graph.TaskGraph, u *unionFind, target, maxSize int) {
 	var edges []wedge
 	for pair, w := range g.CollapsedWeights() {
 		edges = append(edges, wedge{pair[0], pair[1], w})
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].w != edges[j].w {
@@ -164,9 +188,14 @@ func greedyMerge(g *graph.TaskGraph, u *unionFind, target, maxSize int) {
 		}
 		return edges[i].b < edges[j].b
 	})
-	for _, e := range edges {
+	for i, e := range edges {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if u.count <= target {
-			return
+			return nil
 		}
 		ra, rb := u.find(e.a), u.find(e.b)
 		if ra == rb || u.size[ra]+u.size[rb] > maxSize {
@@ -174,6 +203,7 @@ func greedyMerge(g *graph.TaskGraph, u *unionFind, target, maxSize int) {
 		}
 		u.union(ra, rb)
 	}
+	return nil
 }
 
 // repairPartition reduces the cluster count to at most target by
@@ -182,9 +212,12 @@ func greedyMerge(g *graph.TaskGraph, u *unionFind, target, maxSize int) {
 // the most. While the count exceeds the target, a cluster with spare
 // capacity must exist (otherwise total size would exceed
 // target*maxSize >= V), so the repair always terminates.
-func repairPartition(g *graph.TaskGraph, part []int, target, maxSize int) ([]int, error) {
+func repairPartition(ctx context.Context, g *graph.TaskGraph, part []int, target, maxSize int) ([]int, error) {
 	w := g.CollapsedWeights()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sizes := make(map[int]int)
 		for _, c := range part {
 			sizes[c]++

@@ -11,7 +11,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"oregami/internal/canned"
 	"oregami/internal/contract"
@@ -34,6 +37,20 @@ const (
 	ClassArbitrary Class = "arbitrary"
 )
 
+// PipelineError is the typed failure of one MAPPER pipeline stage: panics
+// are contained and converted into it, and cancellation or deadline
+// expiry surfaces through it, so callers can tell which stage failed and
+// why (Unwrap exposes context.Canceled / context.DeadlineExceeded).
+type PipelineError struct {
+	// Stage names the failed stage: "dispatch", a class name ("canned",
+	// "systolic", "group-theoretic", "arbitrary"), or "route".
+	Stage string
+	Err   error
+}
+
+func (e *PipelineError) Error() string { return fmt.Sprintf("core: stage %s: %v", e.Stage, e.Err) }
+func (e *PipelineError) Unwrap() error { return e.Err }
+
 // Request asks MAPPER for a mapping of a compiled computation onto a
 // network.
 type Request struct {
@@ -51,6 +68,16 @@ type Request struct {
 	Refine bool
 	// Route configures MM-Route.
 	Route route.Options
+	// Ctx carries deadlines and cancellation through contraction,
+	// embedding, and routing; the inner loops check it cooperatively.
+	// Nil means context.Background().
+	Ctx context.Context
+	// StageTimeout optionally bounds the expensive MWM contraction
+	// stage on its own sub-deadline: when the stage times out while the
+	// overall context is still live, the dispatcher degrades to the
+	// cheaper Stone/greedy contraction instead of failing, recording
+	// the downgrade in the Trail. Zero disables the stage bound.
+	StageTimeout time.Duration
 }
 
 // Result is a complete mapping plus the evidence of how it was obtained.
@@ -69,14 +96,56 @@ type Result struct {
 	Trail []string
 }
 
-// Map runs the dispatcher.
+// ctxErr reports whether err is a cancellation or deadline error.
+func ctxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// asPipelineError wraps err in a *PipelineError naming the stage, unless
+// it already is one.
+func asPipelineError(stage string, err error) *PipelineError {
+	var pe *PipelineError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return &PipelineError{Stage: stage, Err: err}
+}
+
+// safeStage runs one pipeline stage with panic containment: a panic is
+// recovered and converted into a *PipelineError naming the stage, so no
+// panic from a mapping algorithm ever escapes the public API.
+func safeStage(stage string, fn func() (*mapping.Mapping, error)) (m *mapping.Mapping, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m = nil
+			err = &PipelineError{Stage: stage, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
+	return fn()
+}
+
+// Map runs the dispatcher. Cancellation, deadline expiry, and contained
+// panics return a *PipelineError naming the failed stage; all other
+// per-class failures degrade down the try order (the degradation ladder:
+// systolic -> canned -> group-theoretic -> arbitrary -> greedy/Stone),
+// with every downgrade recorded in the Trail.
 func Map(req Request) (*Result, error) {
+	ctx := req.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if req.Compiled == nil || req.Net == nil {
 		return nil, fmt.Errorf("core: request needs a compiled program and a network")
 	}
 	g := req.Compiled.Graph
 	if g.NumTasks == 0 {
 		return nil, fmt.Errorf("core: empty task graph")
+	}
+	if req.Net.NumLive() == 0 {
+		return nil, fmt.Errorf("core: no live processors in %s", req.Net.Name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &PipelineError{Stage: "dispatch", Err: err}
 	}
 	res := &Result{}
 	trail := func(format string, args ...interface{}) {
@@ -92,29 +161,43 @@ func Map(req Request) (*Result, error) {
 	}
 	var lastErr error
 	for _, class := range tryOrder {
-		var m *mapping.Mapping
-		var err error
-		switch class {
-		case ClassCanned:
-			m, err = mapCanned(req, res, trail)
-		case ClassSystolic:
-			m, err = mapSystolic(req, res, trail)
-		case ClassGroup:
-			m, err = mapGroup(req, res, trail)
-		case ClassArbitrary:
-			m, err = mapArbitrary(req, res, trail)
-		default:
-			return nil, fmt.Errorf("core: unknown class %q", class)
-		}
+		class := class
+		m, err := safeStage(string(class), func() (*mapping.Mapping, error) {
+			switch class {
+			case ClassCanned:
+				return mapCanned(ctx, req, res, trail)
+			case ClassSystolic:
+				return mapSystolic(ctx, req, res, trail)
+			case ClassGroup:
+				return mapGroup(ctx, req, res, trail)
+			case ClassArbitrary:
+				return mapArbitrary(ctx, req, res, trail)
+			default:
+				return nil, fmt.Errorf("core: unknown class %q", class)
+			}
+		})
 		if err != nil {
+			if ctxErr(err) && ctx.Err() != nil {
+				return nil, asPipelineError(string(class), err)
+			}
 			trail("%s: %v", class, err)
 			lastErr = err
 			continue
 		}
 		res.Mapping = m
 		res.Class = class
-		stats, err := route.RouteAll(m, req.Route)
+		routeOpts := req.Route
+		routeOpts.Ctx = ctx
+		var stats map[string]route.Stats
+		_, err = safeStage("route", func() (*mapping.Mapping, error) {
+			var rerr error
+			stats, rerr = route.RouteAll(m, routeOpts)
+			return m, rerr
+		})
 		if err != nil {
+			if ctxErr(err) {
+				return nil, asPipelineError("route", err)
+			}
 			return nil, err
 		}
 		res.RouteStats = stats
@@ -123,16 +206,27 @@ func Map(req Request) (*Result, error) {
 		}
 		return res, nil
 	}
+	if ctxErr(lastErr) {
+		return nil, asPipelineError("dispatch", lastErr)
+	}
 	return nil, fmt.Errorf("core: no mapping class applied: %w", lastErr)
 }
 
 // mapCanned detects a nameable family and uses the canned library,
-// folding first when there are more tasks than processors.
-func mapCanned(req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+// folding first when there are more tasks than processors. Degraded
+// networks are refused up front: canned embeddings index the pristine
+// topology and would place tasks on failed processors.
+func mapCanned(ctx context.Context, req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	if req.Net.Degraded() {
+		return nil, fmt.Errorf("network %s is degraded; canned embeddings need the pristine topology", req.Net.Name)
+	}
 	g := req.Compiled.Graph
 	det := canned.Detect(g)
 	if det == nil {
 		return nil, fmt.Errorf("task graph matches no nameable family")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res.Detection = det
 	trail("canned: detected %s", det)
@@ -141,6 +235,9 @@ func mapCanned(req Request, res *Result, trail func(string, ...interface{})) (*m
 	if g.NumTasks > req.Net.N {
 		foldPart, err := canned.Fold(det, req.Net.N)
 		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		m.Part = make([]int, g.NumTasks)
@@ -162,7 +259,7 @@ func mapCanned(req Request, res *Result, trail func(string, ...interface{})) (*m
 				return m, nil
 			}
 		}
-		place, err := embed.NNEmbed(cg, req.Net)
+		place, err := embed.NNEmbedCtx(ctx, cg, req.Net)
 		if err != nil {
 			return nil, err
 		}
@@ -190,9 +287,15 @@ func mapCanned(req Request, res *Result, trail func(string, ...interface{})) (*m
 
 // mapSystolic runs the affine checks and space-time synthesis; the
 // resulting virtual PE array must fit the target mesh or linear array.
-func mapSystolic(req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+func mapSystolic(ctx context.Context, req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	if req.Net.Degraded() {
+		return nil, fmt.Errorf("network %s is degraded; systolic arrays need the pristine topology", req.Net.Name)
+	}
 	if req.Net.Kind != "mesh" && req.Net.Kind != "linear" && req.Net.Kind != "torus" {
 		return nil, fmt.Errorf("target %s is not a systolic array or MIMD mesh", req.Net.Name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	a, err := systolic.Analyze(req.Compiled.Program, req.Compiled.Bindings)
 	if err != nil {
@@ -271,7 +374,10 @@ func mapSystolic(req Request, res *Result, trail func(string, ...interface{})) (
 
 // mapGroup contracts via the Cayley-graph quotient construction and
 // embeds the (node-symmetric) cluster graph greedily.
-func mapGroup(req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+func mapGroup(ctx context.Context, req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	if req.Net.Degraded() {
+		return nil, fmt.Errorf("network %s is degraded; group-theoretic contraction targets the pristine machine", req.Net.Name)
+	}
 	g := req.Compiled.Graph
 	clusters := req.Net.N
 	if g.NumTasks < clusters {
@@ -279,6 +385,9 @@ func mapGroup(req Request, res *Result, trail func(string, ...interface{})) (*ma
 	}
 	part, info, err := contract.GroupContract(g, clusters)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	res.GroupInfo = info
@@ -290,7 +399,7 @@ func mapGroup(req Request, res *Result, trail func(string, ...interface{})) (*ma
 		info.Group.Order(), len(info.Subgroup), gen, info.Normal, info.SylowGuaranteed)
 	m := mapping.New(g, req.Net)
 	m.Part = part
-	place, err := embed.NNEmbed(m.ClusterGraph(), req.Net)
+	place, err := embed.NNEmbedCtx(ctx, m.ClusterGraph(), req.Net)
 	if err != nil {
 		return nil, err
 	}
@@ -299,32 +408,34 @@ func mapGroup(req Request, res *Result, trail func(string, ...interface{})) (*ma
 	return m, nil
 }
 
-// mapArbitrary is the fallback: MWM-Contract then NN-Embed.
-func mapArbitrary(req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+// mapArbitrary is the fallback: MWM-Contract then NN-Embed, contracting
+// to the number of live processors on degraded networks. It is itself
+// fault-tolerant: a panic or a StageTimeout expiry inside MWM-Contract
+// degrades to the cheap Stone (two live processors) or greedy-only
+// contraction, so a pathological input still gets mapped.
+func mapArbitrary(ctx context.Context, req Request, res *Result, trail func(string, ...interface{})) (*mapping.Mapping, error) {
 	g := req.Compiled.Graph
 	m := mapping.New(g, req.Net)
-	if g.NumTasks <= req.Net.N {
+	liveN := req.Net.NumLive()
+	if g.NumTasks <= liveN {
 		if err := m.IdentityContraction(); err != nil {
 			return nil, err
 		}
-		trail("arbitrary: %d tasks fit %d processors; no contraction", g.NumTasks, req.Net.N)
+		trail("arbitrary: %d tasks fit %d live processors; no contraction", g.NumTasks, liveN)
 	} else {
-		part, err := contract.MWMContract(g, contract.Options{
-			Processors:      req.Net.N,
-			MaxTasksPerProc: req.MaxTasksPerProc,
-		})
+		part, err := contractWithFallback(ctx, req, g, liveN, trail)
 		if err != nil {
 			return nil, err
 		}
 		m.Part = part
-		trail("arbitrary: MWM-Contract to %d clusters (IPC %g)", m.NumClusters(), m.TotalIPC())
+		trail("arbitrary: contracted to %d clusters (IPC %g)", m.NumClusters(), m.TotalIPC())
 		if req.Refine {
 			_, moves := contract.KLRefine(g, m.Part, 0, 8)
 			trail("arbitrary: KL refinement applied %d moves (IPC %g)", moves, m.TotalIPC())
 		}
 	}
 	cg := m.ClusterGraph()
-	place, err := embed.NNEmbed(cg, req.Net)
+	place, err := embed.NNEmbedCtx(ctx, cg, req.Net)
 	if err != nil {
 		return nil, err
 	}
@@ -336,6 +447,82 @@ func mapArbitrary(req Request, res *Result, trail func(string, ...interface{})) 
 		m.Method += "+refine"
 	}
 	return m, nil
+}
+
+// contractWithFallback runs MWM-Contract under the optional stage
+// deadline with panic containment, degrading to Stone (two processors)
+// or the greedy-only pass when the full algorithm times out or panics
+// while the overall context is still live.
+func contractWithFallback(ctx context.Context, req Request, g *graph.TaskGraph, liveN int, trail func(string, ...interface{})) ([]int, error) {
+	sctx := ctx
+	cancel := func() {}
+	if req.StageTimeout > 0 {
+		sctx, cancel = context.WithTimeout(ctx, req.StageTimeout)
+	}
+	part, err := safeContract(func() ([]int, error) {
+		return contract.MWMContract(g, contract.Options{
+			Processors:      liveN,
+			MaxTasksPerProc: req.MaxTasksPerProc,
+			Ctx:             sctx,
+		})
+	})
+	cancel()
+	if err == nil {
+		return part, nil
+	}
+	if ctx.Err() != nil {
+		// The overall deadline is gone: no point degrading.
+		return nil, err
+	}
+	// Degrade: Stone's optimal two-processor assignment when exactly two
+	// processors are live, else the greedy-only contraction.
+	if liveN == 2 {
+		trail("arbitrary: MWM-Contract failed (%v); downgrading to Stone two-processor assignment", err)
+		exec := contract.UniformExecCosts(g)
+		part, _, serr := contract.TwoProcStone(g, exec, exec)
+		if serr != nil {
+			return nil, fmt.Errorf("stone fallback after %v: %w", err, serr)
+		}
+		// Stone may leave everything on one side; cluster ids must stay
+		// dense for Validate.
+		onZero := false
+		for _, c := range part {
+			if c == 0 {
+				onZero = true
+				break
+			}
+		}
+		if !onZero {
+			for i := range part {
+				part[i] = 0
+			}
+		}
+		return part, nil
+	}
+	trail("arbitrary: MWM-Contract failed (%v); downgrading to greedy contraction", err)
+	part, gerr := safeContract(func() ([]int, error) {
+		return contract.MWMContract(g, contract.Options{
+			Processors:      liveN,
+			MaxTasksPerProc: req.MaxTasksPerProc,
+			SkipMatching:    true,
+			Ctx:             ctx,
+		})
+	})
+	if gerr != nil {
+		return nil, fmt.Errorf("greedy fallback after %v: %w", err, gerr)
+	}
+	return part, nil
+}
+
+// safeContract contains panics from a contraction algorithm.
+func safeContract(fn func() ([]int, error)) (part []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			part = nil
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn()
 }
 
 // MapGraph is a convenience for callers with a bare task graph and no

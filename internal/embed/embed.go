@@ -5,6 +5,7 @@
 package embed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -13,16 +14,24 @@ import (
 	"oregami/internal/topology"
 )
 
-// NNEmbed assigns each node of the cluster graph cg (at most net.N
-// nodes) to a distinct processor. The heaviest-communicating pair is
+// NNEmbed assigns each node of the cluster graph cg (at most net.NumLive()
+// nodes) to a distinct live processor. The heaviest-communicating pair is
 // placed on adjacent processors first; thereafter the unplaced cluster
 // with the largest total traffic to already-placed clusters is placed on
 // the free processor minimizing the traffic-weighted distance to its
-// placed partners.
+// placed partners. On a degraded network, failed processors are never
+// used.
 func NNEmbed(cg *graph.TaskGraph, net *topology.Network) ([]int, error) {
+	return NNEmbedCtx(context.Background(), cg, net)
+}
+
+// NNEmbedCtx is NNEmbed with cooperative cancellation: the placement loop
+// checks ctx between clusters and aborts with ctx.Err() when cancelled.
+func NNEmbedCtx(ctx context.Context, cg *graph.TaskGraph, net *topology.Network) ([]int, error) {
 	k := cg.NumTasks
-	if k > net.N {
-		return nil, fmt.Errorf("embed: %d clusters exceed %d processors", k, net.N)
+	live := net.NumLive()
+	if k > live {
+		return nil, fmt.Errorf("embed: %d clusters exceed %d live processors", k, live)
 	}
 	if k == 0 {
 		return nil, fmt.Errorf("embed: empty cluster graph")
@@ -57,7 +66,7 @@ func NNEmbed(cg *graph.TaskGraph, net *topology.Network) ([]int, error) {
 	}
 	freeProc := make([]bool, net.N)
 	for i := range freeProc {
-		freeProc[i] = true
+		freeProc[i] = net.Alive(i)
 	}
 	placed := 0
 	occupy := func(cluster, proc int) {
@@ -66,22 +75,41 @@ func NNEmbed(cg *graph.TaskGraph, net *topology.Network) ([]int, error) {
 		placed++
 	}
 
-	// Seed: the heaviest edge goes on the highest-degree processor and
-	// one of its neighbors (adjacency guaranteed).
-	seedProc := 0
-	for p := 1; p < net.N; p++ {
-		if net.Degree(p) > net.Degree(seedProc) {
+	// Seed: the heaviest edge goes on the highest-degree live processor
+	// and one of its neighbors (adjacent when the degree is positive;
+	// an isolated live processor can only host a singleton).
+	seedProc := -1
+	for p := 0; p < net.N; p++ {
+		if freeProc[p] && (seedProc == -1 || net.Degree(p) > net.Degree(seedProc)) {
 			seedProc = p
 		}
 	}
-	if len(edges) > 0 {
+	if len(edges) > 0 && k > 1 {
 		occupy(edges[0].a, seedProc)
-		occupy(edges[0].b, net.Neighbors(seedProc)[0])
+		second := -1
+		for _, u := range net.Neighbors(seedProc) {
+			if freeProc[u] {
+				second = u
+				break
+			}
+		}
+		if second == -1 {
+			for p := 0; p < net.N; p++ {
+				if freeProc[p] {
+					second = p
+					break
+				}
+			}
+		}
+		occupy(edges[0].b, second)
 	} else {
 		occupy(0, seedProc)
 	}
 
 	for placed < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Unplaced cluster with max traffic to placed clusters; fall
 		// back to the lowest-id unplaced cluster for isolated nodes.
 		best, bestW := -1, -1.0
@@ -108,7 +136,13 @@ func NNEmbed(cg *graph.TaskGraph, net *topology.Network) ([]int, error) {
 			cost := 0.0
 			for d := 0; d < k; d++ {
 				if place[d] != -1 && w[best][d] > 0 {
-					cost += w[best][d] * float64(net.Distance(p, place[d]))
+					hops := net.Distance(p, place[d])
+					if hops < 0 {
+						// Disconnected on a degraded network: worse than
+						// any reachable placement.
+						hops = net.N
+					}
+					cost += w[best][d] * float64(hops)
 				}
 			}
 			if bestProc == -1 || cost < bestCost {
@@ -127,18 +161,30 @@ func Identity(k int, net *topology.Network) ([]int, error) {
 	}
 	place := make([]int, k)
 	for i := range place {
+		if !net.Alive(i) {
+			return nil, fmt.Errorf("embed: identity placement hits failed processor %d", i)
+		}
 		place[i] = i
 	}
 	return place, nil
 }
 
-// Random places clusters on a random set of distinct processors.
+// Random places clusters on a random set of distinct live processors.
 func Random(k int, net *topology.Network, seed int64) ([]int, error) {
-	if k > net.N {
-		return nil, fmt.Errorf("embed: %d clusters exceed %d processors", k, net.N)
+	var liveProcs []int
+	for p := 0; p < net.N; p++ {
+		if net.Alive(p) {
+			liveProcs = append(liveProcs, p)
+		}
 	}
-	perm := rand.New(rand.NewSource(seed)).Perm(net.N)
-	return perm[:k], nil
+	if k > len(liveProcs) {
+		return nil, fmt.Errorf("embed: %d clusters exceed %d live processors", k, len(liveProcs))
+	}
+	place := make([]int, 0, k)
+	for _, i := range rand.New(rand.NewSource(seed)).Perm(len(liveProcs))[:k] {
+		place = append(place, liveProcs[i])
+	}
+	return place, nil
 }
 
 // WeightedDilation evaluates an embedding: the total over collapsed

@@ -1,0 +1,157 @@
+// Package fault adds fault tolerance to OREGAMI's mapping pipeline: a
+// model of failed processors and links, a deterministic seeded injector
+// for experiments, and degraded-mode repair that incrementally remaps a
+// computation around dead hardware instead of recomputing the mapping
+// from scratch (the modify-and-recompute philosophy of METRICS applied
+// to hardware failures).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"oregami/internal/topology"
+)
+
+// Model is a set of failed processors and failed links. The zero value
+// (or NewModel()) is the empty model: nothing has failed.
+type Model struct {
+	procs map[int]bool
+	links map[int]bool
+}
+
+// NewModel returns an empty fault model.
+func NewModel() *Model {
+	return &Model{procs: make(map[int]bool), links: make(map[int]bool)}
+}
+
+// Clone returns an independent copy of the model.
+func (m *Model) Clone() *Model {
+	c := NewModel()
+	for p := range m.procs {
+		c.procs[p] = true
+	}
+	for l := range m.links {
+		c.links[l] = true
+	}
+	return c
+}
+
+// FailProcessor marks processor p as failed.
+func (m *Model) FailProcessor(p int) {
+	if m.procs == nil {
+		m.procs = make(map[int]bool)
+	}
+	m.procs[p] = true
+}
+
+// FailLink marks link id as failed.
+func (m *Model) FailLink(id int) {
+	if m.links == nil {
+		m.links = make(map[int]bool)
+	}
+	m.links[id] = true
+}
+
+// Empty reports whether the model contains no failures.
+func (m *Model) Empty() bool {
+	return m == nil || (len(m.procs) == 0 && len(m.links) == 0)
+}
+
+// FailedProcessors returns the failed processor ids in ascending order.
+func (m *Model) FailedProcessors() []int {
+	if m == nil {
+		return nil
+	}
+	out := make([]int, 0, len(m.procs))
+	for p := range m.procs {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FailedLinks returns the failed link ids in ascending order.
+func (m *Model) FailedLinks() []int {
+	if m == nil {
+		return nil
+	}
+	out := make([]int, 0, len(m.links))
+	for l := range m.links {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ProcessorFailed reports whether processor p is failed in this model.
+func (m *Model) ProcessorFailed(p int) bool { return m != nil && m.procs[p] }
+
+// LinkFailed reports whether link id is failed in this model.
+func (m *Model) LinkFailed(id int) bool { return m != nil && m.links[id] }
+
+// String renders the model compactly, e.g. "procs[1 5] links[3]".
+func (m *Model) String() string {
+	if m.Empty() {
+		return "no faults"
+	}
+	return fmt.Sprintf("procs%v links%v", m.FailedProcessors(), m.FailedLinks())
+}
+
+// Mask applies the model to a network, returning the degraded view on
+// which embedding and routing only see live hardware. Masking an
+// already-degraded view unions the failures.
+func (m *Model) Mask(net *topology.Network) (*topology.Network, error) {
+	if m.Empty() {
+		return net, nil
+	}
+	return net.Masked(m.FailedProcessors(), m.FailedLinks())
+}
+
+// Injector draws random failures from a seeded source, so fault
+// experiments are reproducible. It never kills the last live processor.
+type Injector struct {
+	r *rand.Rand
+}
+
+// NewInjector returns an injector seeded for deterministic replay.
+func NewInjector(seed int64) *Injector {
+	return &Injector{r: rand.New(rand.NewSource(seed))}
+}
+
+// FailRandomProcessor picks a uniformly random processor that is live in
+// net and not already failed in model, adds it to model, and returns its
+// id. It refuses (-1, error) when fewer than two candidates remain, so a
+// fault sequence can never take down the whole machine.
+func (in *Injector) FailRandomProcessor(net *topology.Network, model *Model) (int, error) {
+	var live []int
+	for p := 0; p < net.N; p++ {
+		if net.Alive(p) && !model.ProcessorFailed(p) {
+			live = append(live, p)
+		}
+	}
+	if len(live) < 2 {
+		return -1, fmt.Errorf("fault: only %d live processors; refusing to fail more", len(live))
+	}
+	p := live[in.r.Intn(len(live))]
+	model.FailProcessor(p)
+	return p, nil
+}
+
+// FailRandomLink picks a uniformly random link that is live in net and
+// not already failed in model, adds it to model, and returns its id.
+func (in *Injector) FailRandomLink(net *topology.Network, model *Model) (int, error) {
+	var live []int
+	for id := 0; id < net.NumLinks(); id++ {
+		if net.LinkAlive(id) && !model.LinkFailed(id) {
+			live = append(live, id)
+		}
+	}
+	if len(live) == 0 {
+		return -1, fmt.Errorf("fault: no live links left to fail")
+	}
+	id := live[in.r.Intn(len(live))]
+	model.FailLink(id)
+	return id, nil
+}

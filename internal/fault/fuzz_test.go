@@ -1,0 +1,71 @@
+package fault_test
+
+import (
+	"testing"
+
+	"oregami/internal/fault"
+	"oregami/internal/topology"
+)
+
+// FuzzRepair drives a mapping through an arbitrary failure sequence
+// decoded from the fuzz input: each byte pair (kind, id) fails one
+// processor or one link, then repairs. The invariant under test is the
+// acceptance criterion of degraded-mode repair: after every successful
+// Repair the mapping validates, runs no task on dead hardware, and
+// routes over no dead link — and after a failed Repair (machine
+// disconnected or drained) the mapping is untouched and still valid.
+func FuzzRepair(f *testing.F) {
+	f.Add([]byte{0, 3})             // one processor failure
+	f.Add([]byte{1, 0})             // one link failure
+	f.Add([]byte{0, 5, 1, 2, 0, 1}) // proc, link, proc
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7}) // drain everything
+	f.Add([]byte{1, 1, 1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1, 7, 1, 8}) // shred links
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net := topology.Hypercube(3)
+		m := mapOnto(t, 12, net)
+		applied := fault.NewModel() // union of all committed failures
+		for i := 0; i+1 < len(data) && i < 40; i += 2 {
+			step := fault.NewModel()
+			if data[i]%2 == 0 {
+				step.FailProcessor(int(data[i+1]) % net.N)
+			} else {
+				step.FailLink(int(data[i+1]) % net.NumLinks())
+			}
+			placeBefore := append([]int(nil), m.Place...)
+			partBefore := append([]int(nil), m.Part...)
+			netBefore := m.Net
+
+			_, err := fault.Repair(m, step)
+			if err != nil {
+				// Atomicity: a failed repair must not have touched the
+				// mapping.
+				if m.Net != netBefore {
+					t.Fatal("failed repair replaced the network")
+				}
+				for i := range placeBefore {
+					if m.Place[i] != placeBefore[i] {
+						t.Fatal("failed repair mutated Place")
+					}
+				}
+				for i := range partBefore {
+					if m.Part[i] != partBefore[i] {
+						t.Fatal("failed repair mutated Part")
+					}
+				}
+			} else {
+				for _, p := range step.FailedProcessors() {
+					applied.FailProcessor(p)
+				}
+				for _, l := range step.FailedLinks() {
+					applied.FailLink(l)
+				}
+			}
+			// The standing invariant, success or failure.
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("mapping invalid after step %d (repair err: %v): %v", i/2, err, verr)
+			}
+			checkRepaired(t, m, applied)
+		}
+	})
+}

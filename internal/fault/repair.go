@@ -1,0 +1,284 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"oregami/internal/mapping"
+	"oregami/internal/metrics"
+	"oregami/internal/route"
+	"oregami/internal/topology"
+)
+
+// Migration records one cluster evacuated off a failed processor.
+type Migration struct {
+	// Cluster is the cluster id in the pre-repair mapping.
+	Cluster int
+	// Tasks are the member tasks that moved.
+	Tasks []int
+	// From is the failed processor; To is where the tasks now run.
+	From, To int
+	// Merged is true when no free live processor remained and the
+	// cluster was absorbed into the cluster already resident on To.
+	Merged bool
+}
+
+// RepairReport is METRICS' account of one repair: what failed, which
+// tasks moved where, which phases were rerouted, and the metric deltas.
+type RepairReport struct {
+	FailedProcessors []int
+	FailedLinks      []int
+	Migrations       []Migration
+	ReroutedPhases   []string
+	// Before and After are the full METRICS reports of the mapping
+	// around the repair (Before is nil when the pre-repair mapping was
+	// not yet routed enough to measure).
+	Before, After *metrics.Report
+}
+
+// MigratedTasks returns the total number of tasks that moved.
+func (r *RepairReport) MigratedTasks() int {
+	n := 0
+	for _, mg := range r.Migrations {
+		n += len(mg.Tasks)
+	}
+	return n
+}
+
+// IPCDelta returns After.TotalIPC - Before.TotalIPC (0 when either side
+// is unavailable).
+func (r *RepairReport) IPCDelta() float64 {
+	if r.Before == nil || r.After == nil {
+		return 0
+	}
+	return r.After.TotalIPC - r.Before.TotalIPC
+}
+
+// MaxDilationDelta returns the change in the worst per-phase maximum
+// dilation across the repair.
+func (r *RepairReport) MaxDilationDelta() int {
+	if r.Before == nil || r.After == nil {
+		return 0
+	}
+	return maxDilation(r.After) - maxDilation(r.Before)
+}
+
+func maxDilation(rep *metrics.Report) int {
+	max := 0
+	for _, lm := range rep.Links {
+		if lm.MaxDilation > max {
+			max = lm.MaxDilation
+		}
+	}
+	return max
+}
+
+// String summarizes the repair for the dispatcher trail and CLI output.
+func (r *RepairReport) String() string {
+	return fmt.Sprintf("repair: failed procs %v links %v; migrated %d tasks in %d clusters; rerouted %d phases; IPC delta %+g",
+		r.FailedProcessors, r.FailedLinks, r.MigratedTasks(), len(r.Migrations), len(r.ReroutedPhases), r.IPCDelta())
+}
+
+// Repair remaps m around the failures in model, in place and atomically:
+// it masks the network, evacuates every cluster resident on a failed
+// processor to the nearest live processor (merging into the nearest
+// live cluster when no free processor remains), reroutes exactly the
+// communication phases invalidated by dead links or migrations, and
+// commits only if the result validates. On error m is unchanged.
+//
+// Distances for evacuation are measured on the pre-repair network: the
+// failed processor has no adjacency in the masked view, but "nearest
+// surviving neighbor" is still meaningful on the machine as the mapping
+// knew it.
+func Repair(m *mapping.Mapping, model *Model) (*RepairReport, error) {
+	if m.Part == nil || m.Place == nil {
+		return nil, fmt.Errorf("fault: mapping is not contracted/embedded; nothing to repair")
+	}
+	oldNet := m.Net
+	newNet, err := model.Mask(oldNet)
+	if err != nil {
+		return nil, err
+	}
+	report := &RepairReport{
+		FailedProcessors: model.FailedProcessors(),
+		FailedLinks:      model.FailedLinks(),
+	}
+	if before, err := metrics.Compute(m); err == nil {
+		report.Before = before
+	}
+	if model.Empty() {
+		report.After = report.Before
+		return report, nil
+	}
+	if newNet.NumLive() == 0 {
+		return nil, fmt.Errorf("fault: no live processors remain")
+	}
+
+	work := m.Clone()
+	work.Net = newNet
+
+	moved, err := evacuate(work, oldNet, report)
+	if err != nil {
+		return nil, err
+	}
+	if err := reroute(work, moved, report); err != nil {
+		return nil, err
+	}
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: repair produced invalid mapping: %w", err)
+	}
+	work.Method = m.Method + "+repair"
+	if after, err := metrics.Compute(work); err == nil {
+		report.After = after
+	}
+	*m = *work
+	return report, nil
+}
+
+// evacuate moves every cluster placed on a failed processor to the
+// nearest live free processor, or merges it into the nearest live
+// cluster when the live machine is full. It returns the set of tasks
+// whose processor changed. Clusters are processed in id order so the
+// repair is deterministic.
+func evacuate(work *mapping.Mapping, oldNet *topology.Network, report *RepairReport) (map[int]bool, error) {
+	newNet := work.Net
+	members := work.Clusters()
+	occupied := make(map[int]int) // live processor -> cluster
+	for c, p := range work.Place {
+		if newNet.Alive(p) {
+			occupied[p] = c
+		}
+	}
+	mergeInto := make(map[int]int) // dead cluster -> surviving cluster
+	moved := make(map[int]bool)    // tasks whose processor changed
+
+	for c := 0; c < len(work.Place); c++ {
+		from := work.Place[c]
+		if newNet.Alive(from) {
+			continue
+		}
+		for _, t := range members[c] {
+			moved[t] = true
+		}
+		// Nearest free live processor, by pre-repair distance; ties go to
+		// the lowest id.
+		best, bestD := -1, -1
+		for q := 0; q < newNet.N; q++ {
+			if !newNet.Alive(q) {
+				continue
+			}
+			if _, used := occupied[q]; used {
+				continue
+			}
+			d := oldNet.Distance(from, q)
+			if d < 0 {
+				continue
+			}
+			if best == -1 || d < bestD {
+				best, bestD = q, d
+			}
+		}
+		if best >= 0 {
+			work.Place[c] = best
+			occupied[best] = c
+			report.Migrations = append(report.Migrations, Migration{
+				Cluster: c, Tasks: members[c], From: from, To: best,
+			})
+			continue
+		}
+		// Machine is full: merge into the nearest surviving cluster.
+		bestC := -1
+		bestD = -1
+		for oc, p := range work.Place {
+			if oc == c || !newNet.Alive(p) {
+				continue
+			}
+			d := oldNet.Distance(from, p)
+			if d < 0 {
+				continue
+			}
+			if bestC == -1 || d < bestD {
+				bestC, bestD = oc, d
+			}
+		}
+		if bestC == -1 {
+			return nil, fmt.Errorf("fault: no reachable live processor for cluster %d (from processor %d)", c, from)
+		}
+		mergeInto[c] = bestC
+		report.Migrations = append(report.Migrations, Migration{
+			Cluster: c, Tasks: members[c], From: from, To: work.Place[bestC], Merged: true,
+		})
+	}
+
+	if len(mergeInto) > 0 {
+		// Apply merges then compact cluster ids so Part stays dense.
+		for t, c := range work.Part {
+			if dst, ok := mergeInto[c]; ok {
+				work.Part[t] = dst
+			}
+		}
+		remap := make([]int, len(work.Place))
+		newPlace := make([]int, 0, len(work.Place)-len(mergeInto))
+		next := 0
+		for c := range work.Place {
+			if _, gone := mergeInto[c]; gone {
+				remap[c] = -1
+				continue
+			}
+			remap[c] = next
+			newPlace = append(newPlace, work.Place[c])
+			next++
+		}
+		for t, c := range work.Part {
+			work.Part[t] = remap[c]
+		}
+		work.Place = newPlace
+	}
+	return moved, nil
+}
+
+// reroute recomputes routes for exactly the phases invalidated by the
+// repair: a phase is dirty when any existing route crosses a dead link,
+// or any of its edges touches a migrated task (its endpoints moved, or
+// an inter/intraprocessor transition occurred).
+func reroute(work *mapping.Mapping, moved map[int]bool, report *RepairReport) error {
+	for _, p := range work.Graph.Comm {
+		routes, routed := work.Routes[p.Name]
+		if !routed {
+			continue
+		}
+		dirty := false
+		for i, e := range p.Edges {
+			if moved[e.From] || moved[e.To] {
+				dirty = true
+				break
+			}
+			if i < len(routes) {
+				for _, id := range routes[i] {
+					if !work.Net.LinkAlive(id) {
+						dirty = true
+						break
+					}
+				}
+			}
+			if dirty {
+				break
+			}
+		}
+		if !dirty {
+			continue
+		}
+		pairs, err := route.PhasePairs(work, p.Name)
+		if err != nil {
+			return err
+		}
+		fresh, _, err := route.MMRoute(work.Net, pairs, route.Options{})
+		if err != nil {
+			return fmt.Errorf("fault: rerouting phase %q: %w", p.Name, err)
+		}
+		work.Routes[p.Name] = fresh
+		report.ReroutedPhases = append(report.ReroutedPhases, p.Name)
+	}
+	sort.Strings(report.ReroutedPhases)
+	return nil
+}

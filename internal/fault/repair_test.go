@@ -1,0 +1,249 @@
+package fault_test
+
+import (
+	"fmt"
+	"testing"
+
+	"oregami/internal/core"
+	"oregami/internal/fault"
+	"oregami/internal/graph"
+	"oregami/internal/larcs"
+	"oregami/internal/mapping"
+	"oregami/internal/topology"
+)
+
+// ringTaskGraph builds a bare n-task ring with one comm and one exec
+// phase — enough structure to exercise contraction, embedding, routing,
+// and repair on any target.
+func ringTaskGraph(n int) *graph.TaskGraph {
+	g := graph.New(fmt.Sprintf("ring%d", n), n)
+	p := g.AddCommPhase("shift")
+	for i := 0; i < n; i++ {
+		g.AddEdge(p, i, (i+1)%n, 1)
+	}
+	g.AddExecPhase("work", 1)
+	return g
+}
+
+// mapOnto produces a routed mapping of an n-task ring onto net via the
+// arbitrary (MWM-Contract) pipeline.
+func mapOnto(t *testing.T, n int, net *topology.Network) *mapping.Mapping {
+	t.Helper()
+	g := ringTaskGraph(n)
+	comp := &larcs.Compiled{Program: &larcs.Program{Name: g.Name}, Graph: g}
+	res, err := core.Map(core.Request{Compiled: comp, Net: net, Force: core.ClassArbitrary})
+	if err != nil {
+		t.Fatalf("mapping ring%d onto %s: %v", n, net.Name, err)
+	}
+	return res.Mapping
+}
+
+func linkID(t *testing.T, net *topology.Network, a, b int) int {
+	t.Helper()
+	id, ok := net.LinkBetween(a, b)
+	if !ok {
+		t.Fatalf("no link %d-%d in %s", a, b, net.Name)
+	}
+	return id
+}
+
+// checkRepaired asserts the three acceptance properties: the mapping
+// validates, no task runs on a failed processor, and no route crosses a
+// failed link.
+func checkRepaired(t *testing.T, m *mapping.Mapping, model *fault.Model) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("repaired mapping invalid: %v", err)
+	}
+	for task := 0; task < m.Graph.NumTasks; task++ {
+		p := m.ProcOf(task)
+		if model.ProcessorFailed(p) || !m.Net.Alive(p) {
+			t.Errorf("task %d still on failed processor %d", task, p)
+		}
+	}
+	for phase, routes := range m.Routes {
+		for i, r := range routes {
+			for _, id := range r {
+				if model.LinkFailed(id) || !m.Net.LinkAlive(id) {
+					t.Errorf("phase %q edge %d routed over failed link %d", phase, i, id)
+				}
+			}
+		}
+	}
+}
+
+func TestRepairOneProcOneLink(t *testing.T) {
+	// One failed processor plus one failed link on each canonical
+	// topology. The "full" rows pack two tasks per processor so
+	// evacuation must merge clusters; the "sparse" rows leave free
+	// processors so evacuation migrates to the nearest one. On the ring
+	// the extra failed link is incident to the dead processor (any other
+	// choice disconnects the survivors).
+	cases := []struct {
+		name     string
+		net      *topology.Network
+		tasks    int
+		failProc int // -1: fail the (occupied) processor of task 0 and an incident link
+		linkA    int
+		linkB    int
+	}{
+		{"ring8-full", topology.Ring(8), 16, 0, 0, 1},
+		{"ring8-sparse", topology.Ring(8), 6, -1, 0, 0},
+		{"mesh3x4-full", topology.Mesh(3, 4), 24, 0, 5, 6},
+		{"mesh3x4-sparse", topology.Mesh(3, 4), 10, -1, 0, 0},
+		{"torus3x3-full", topology.Torus(3, 3), 18, 0, 4, 5},
+		{"torus3x3-sparse", topology.Torus(3, 3), 7, -1, 0, 0},
+		{"hypercube3-full", topology.Hypercube(3), 16, 5, 0, 1},
+		{"hypercube3-sparse", topology.Hypercube(3), 6, -1, 0, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m := mapOnto(t, tc.tasks, tc.net)
+			failProc, linkA, linkB := tc.failProc, tc.linkA, tc.linkB
+			if failProc == -1 {
+				// A link incident to the dead processor dies with it
+				// anyway, so the survivors stay connected on every
+				// topology here (ring minus a node is a path).
+				failProc = m.ProcOf(0)
+				linkA, linkB = failProc, tc.net.Neighbors(failProc)[0]
+			}
+			model := fault.NewModel()
+			model.FailProcessor(failProc)
+			model.FailLink(linkID(t, tc.net, linkA, linkB))
+
+			report, err := fault.Repair(m, model)
+			if err != nil {
+				t.Fatalf("repair: %v", err)
+			}
+			checkRepaired(t, m, model)
+			if !m.Net.Degraded() {
+				t.Error("repaired mapping still on the pristine network")
+			}
+			// The failed processor hosted at least one cluster in every
+			// configuration above, so something must have migrated.
+			if report.MigratedTasks() == 0 {
+				t.Errorf("no migrations reported: %v", report)
+			}
+			if report.After == nil {
+				t.Error("report has no post-repair metrics")
+			}
+		})
+	}
+}
+
+func TestRepairEmptyModelIsNoop(t *testing.T) {
+	m := mapOnto(t, 8, topology.Ring(8))
+	before := append([]int(nil), m.Place...)
+	report, err := fault.Repair(m, fault.NewModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MigratedTasks() != 0 || len(report.ReroutedPhases) != 0 {
+		t.Errorf("empty model caused work: %v", report)
+	}
+	for c, p := range m.Place {
+		if before[c] != p {
+			t.Error("empty model moved clusters")
+		}
+	}
+	if m.Net.Degraded() {
+		t.Error("empty model degraded the network")
+	}
+}
+
+func TestRepairIncrementalFaults(t *testing.T) {
+	// Two successive repairs must union the failures: the second repair
+	// starts from an already-degraded network.
+	net := topology.Hypercube(3)
+	m := mapOnto(t, 16, net)
+
+	first := fault.NewModel()
+	first.FailProcessor(3)
+	if _, err := fault.Repair(m, first); err != nil {
+		t.Fatalf("first repair: %v", err)
+	}
+	checkRepaired(t, m, first)
+
+	second := fault.NewModel()
+	second.FailProcessor(6)
+	if _, err := fault.Repair(m, second); err != nil {
+		t.Fatalf("second repair: %v", err)
+	}
+	// Both failures must hold on the final mapping.
+	both := fault.NewModel()
+	both.FailProcessor(3)
+	both.FailProcessor(6)
+	checkRepaired(t, m, both)
+	if m.Net.NumLive() != 6 {
+		t.Errorf("NumLive = %d after two processor failures, want 6", m.Net.NumLive())
+	}
+}
+
+func TestRepairFailsAtomically(t *testing.T) {
+	// Killing enough of a ring disconnects the survivors; Repair must
+	// error and leave the mapping untouched.
+	m := mapOnto(t, 12, topology.Ring(6))
+	place := append([]int(nil), m.Place...)
+	part := append([]int(nil), m.Part...)
+	model := fault.NewModel()
+	model.FailProcessor(1)
+	model.FailProcessor(4) // ring minus {1,4} splits into {2,3} and {5,0}
+	if _, err := fault.Repair(m, model); err == nil {
+		t.Fatal("repair across a disconnected machine succeeded")
+	}
+	for i := range place {
+		if m.Place[i] != place[i] {
+			t.Fatal("failed repair mutated Place")
+		}
+	}
+	for i := range part {
+		if m.Part[i] != part[i] {
+			t.Fatal("failed repair mutated Part")
+		}
+	}
+	if m.Net.Degraded() {
+		t.Error("failed repair swapped in the degraded network")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("mapping invalid after failed repair: %v", err)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	net := topology.Hypercube(3)
+	run := func() ([]int, []int) {
+		inj := fault.NewInjector(7)
+		model := fault.NewModel()
+		var procs, links []int
+		for i := 0; i < 3; i++ {
+			p, err := inj.FailRandomProcessor(net, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := inj.FailRandomLink(net, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs = append(procs, p)
+			links = append(links, l)
+		}
+		return procs, links
+	}
+	p1, l1 := run()
+	p2, l2 := run()
+	for i := range p1 {
+		if p1[i] != p2[i] || l1[i] != l2[i] {
+			t.Fatalf("seeded injector not deterministic: %v/%v vs %v/%v", p1, l1, p2, l2)
+		}
+	}
+	// The injector never drains the machine below one live processor.
+	model := fault.NewModel()
+	inj := fault.NewInjector(1)
+	for i := 0; i < net.N+2; i++ {
+		inj.FailRandomProcessor(net, model)
+	}
+	if got := len(model.FailedProcessors()); got != net.N-1 {
+		t.Errorf("injector failed %d of %d processors, want %d", got, net.N, net.N-1)
+	}
+}

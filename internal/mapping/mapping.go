@@ -39,6 +39,28 @@ func New(g *graph.TaskGraph, net *topology.Network) *Mapping {
 	return &Mapping{Graph: g, Net: net, Routes: make(map[string][]topology.Route)}
 }
 
+// Clone returns a deep copy of the mapping's mutable state (Part, Place,
+// Routes). Graph and Net are shared: both are treated as immutable, and
+// degraded-mode repair replaces Net wholesale rather than editing it.
+func (m *Mapping) Clone() *Mapping {
+	c := &Mapping{Graph: m.Graph, Net: m.Net, Method: m.Method}
+	if m.Part != nil {
+		c.Part = append([]int(nil), m.Part...)
+	}
+	if m.Place != nil {
+		c.Place = append([]int(nil), m.Place...)
+	}
+	c.Routes = make(map[string][]topology.Route, len(m.Routes))
+	for name, routes := range m.Routes {
+		rs := make([]topology.Route, len(routes))
+		for i, r := range routes {
+			rs[i] = append(topology.Route(nil), r...)
+		}
+		c.Routes[name] = rs
+	}
+	return c
+}
+
 // NumClusters returns the number of clusters of the contraction.
 func (m *Mapping) NumClusters() int {
 	max := -1
@@ -110,6 +132,9 @@ func (m *Mapping) Validate() error {
 		for c, p := range m.Place {
 			if p < 0 || p >= m.Net.N {
 				return fmt.Errorf("mapping: cluster %d on processor %d out of range", c, p)
+			}
+			if !m.Net.Alive(p) {
+				return fmt.Errorf("mapping: cluster %d on failed processor %d", c, p)
 			}
 			if prev, dup := used[p]; dup {
 				return fmt.Errorf("mapping: clusters %d and %d share processor %d", prev, c, p)

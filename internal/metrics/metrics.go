@@ -134,6 +134,9 @@ func ReassignTask(m *mapping.Mapping, task, proc int) error {
 	if proc < 0 || proc >= m.Net.N {
 		return fmt.Errorf("metrics: processor %d out of range", proc)
 	}
+	if !m.Net.Alive(proc) {
+		return fmt.Errorf("metrics: processor %d has failed", proc)
+	}
 	target := -1
 	for c, p := range m.Place {
 		if p == proc {

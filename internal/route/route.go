@@ -8,6 +8,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -27,6 +28,16 @@ type Options struct {
 	// less-loaded shortest paths (an ablation; the pure hop-by-hop
 	// matching can strand load on hot links).
 	NoRefine bool
+	// Ctx carries cooperative cancellation into the O(|X|^2 |Y|)
+	// matching rounds (nil means no cancellation).
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // Stats reports per-phase routing quality.
@@ -42,14 +53,20 @@ type Stats struct {
 
 // MMRoute routes one communication phase: pairs[i] = (srcProc, dstProc)
 // for each edge of the phase (pairs with src == dst get empty routes).
-// It returns one route per pair plus statistics.
-func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Route, Stats) {
+// It returns one route per pair plus statistics. It fails when a pair is
+// unreachable (a degraded network can be disconnected) or when
+// opt.Ctx is cancelled mid-phase.
+func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Route, Stats, error) {
+	ctx := opt.ctx()
 	routes := make([]topology.Route, len(pairs))
 	pos := make([]int, len(pairs))
 	active := make([]int, 0, len(pairs))
 	for i, p := range pairs {
 		pos[i] = p[0]
 		if p[0] != p[1] {
+			if net.Distance(p[0], p[1]) < 0 {
+				return nil, Stats{}, fmt.Errorf("route: no live path from processor %d to %d", p[0], p[1])
+			}
 			active = append(active, i)
 		}
 	}
@@ -66,6 +83,9 @@ func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Rou
 		// next hop via repeated matchings under the budget.
 		remaining := append([]int(nil), active...)
 		for len(remaining) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
 			stats.Rounds++
 			// X = remaining edges, Y = links; candidates are the links
 			// on shortest next hops with usage below the budget, tried
@@ -128,10 +148,11 @@ func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Rou
 				}
 			}
 			if !progressed {
-				// Every remaining edge is blocked by the budget (or the
-				// network is disconnected); relax the budget.
+				// Every remaining edge is blocked by the budget; relax it.
+				// Reachability was checked up front, so the walk always
+				// terminates — the guard is purely defensive.
 				if budget > net.NumLinks()*len(pairs)+1 {
-					break // defensive: cannot happen on connected nets
+					return nil, stats, fmt.Errorf("route: no progress with budget %d (disconnected network?)", budget)
 				}
 				budget++
 			}
@@ -157,7 +178,7 @@ func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Rou
 	for _, r := range routes {
 		stats.TotalHops += len(r)
 	}
-	return routes, stats
+	return routes, stats, nil
 }
 
 // refineRoutes levels link load: each route is removed and replaced by
@@ -306,6 +327,10 @@ func RandomShortest(net *topology.Network, pairs [][2]int, seed int64) []topolog
 		at := p[0]
 		for at != p[1] {
 			hops := net.NextHops(at, p[1])
+			if len(hops) == 0 {
+				routes[i] = nil // unreachable on a degraded network
+				break
+			}
 			h := hops[r.Intn(len(hops))]
 			id, _ := net.LinkBetween(at, h)
 			routes[i] = append(routes[i], id)
@@ -361,16 +386,24 @@ func PhasePairs(m *mapping.Mapping, phaseName string) ([][2]int, error) {
 
 // RouteAll runs MM-Route on every communication phase of the mapping,
 // filling m.Routes. It returns per-phase statistics keyed by phase name.
+// On failure (unreachable pair, cancellation) m.Routes is left untouched.
 func RouteAll(m *mapping.Mapping, opt Options) (map[string]Stats, error) {
 	stats := make(map[string]Stats, len(m.Graph.Comm))
+	fresh := make(map[string][]topology.Route, len(m.Graph.Comm))
 	for _, p := range m.Graph.Comm {
 		pairs, err := PhasePairs(m, p.Name)
 		if err != nil {
 			return nil, err
 		}
-		routes, st := MMRoute(m.Net, pairs, opt)
-		m.Routes[p.Name] = routes
+		routes, st, err := MMRoute(m.Net, pairs, opt)
+		if err != nil {
+			return nil, fmt.Errorf("route: phase %q: %w", p.Name, err)
+		}
+		fresh[p.Name] = routes
 		stats[p.Name] = st
+	}
+	for name, routes := range fresh {
+		m.Routes[name] = routes
 	}
 	return stats, nil
 }

@@ -42,7 +42,10 @@ func fig6Pairs() [][2]int {
 func TestMMRouteFig6Chordal(t *testing.T) {
 	net := topology.Hypercube(3)
 	pairs := fig6Pairs()
-	routes, stats := MMRoute(net, pairs, Options{})
+	routes, stats, err := MMRoute(net, pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	validateRoutes(t, net, pairs, routes)
 	// Shortest-path property: route lengths equal hypercube distance.
 	for i, p := range pairs {
@@ -71,7 +74,10 @@ func TestMMRoutePermutationContention1(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		pairs = append(pairs, [2]int{i, (i + 1) % 8})
 	}
-	routes, stats := MMRoute(net, pairs, Options{})
+	routes, stats, err := MMRoute(net, pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	validateRoutes(t, net, pairs, routes)
 	if stats.MaxContention != 1 {
 		t.Errorf("ring shift contention = %d, want 1", stats.MaxContention)
@@ -95,7 +101,10 @@ func TestMMRouteHypercubeShuffle(t *testing.T) {
 	for v := 0; v < 16; v++ {
 		pairs = append(pairs, [2]int{v, rev(v)})
 	}
-	mm, _ := MMRoute(net, pairs, Options{})
+	mm, _, err := MMRoute(net, pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	validateRoutes(t, net, pairs, mm)
 	ec := ECube(net, pairs)
 	validateRoutes(t, net, pairs, ec)
@@ -108,8 +117,14 @@ func TestMMRouteHypercubeShuffle(t *testing.T) {
 func TestMMRouteMaximumAblation(t *testing.T) {
 	net := topology.Hypercube(3)
 	pairs := fig6Pairs()
-	greedy, gs := MMRoute(net, pairs, Options{})
-	maximum, ms := MMRoute(net, pairs, Options{UseMaximum: true})
+	greedy, gs, err := MMRoute(net, pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximum, ms, err := MMRoute(net, pairs, Options{UseMaximum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	validateRoutes(t, net, pairs, greedy)
 	validateRoutes(t, net, pairs, maximum)
 	if ms.TotalHops != gs.TotalHops {
@@ -149,11 +164,17 @@ func TestRandomShortestValidAndSeeded(t *testing.T) {
 
 func TestMMRouteEmptyAndSelf(t *testing.T) {
 	net := topology.Ring(4)
-	routes, stats := MMRoute(net, nil, Options{})
+	routes, stats, err := MMRoute(net, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(routes) != 0 || stats.TotalHops != 0 {
 		t.Error("empty pair list mishandled")
 	}
-	routes, _ = MMRoute(net, [][2]int{{2, 2}}, Options{})
+	routes, _, err = MMRoute(net, [][2]int{{2, 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(routes[0]) != 0 {
 		t.Error("self pair routed")
 	}

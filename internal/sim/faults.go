@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oregami/internal/fault"
+	"oregami/internal/mapping"
+	"oregami/internal/phase"
+)
+
+// FaultEvent fails hardware just before schedule step Step executes
+// (step indices follow the flattened phase schedule, 0-based). Procs and
+// Links are processor and link ids of the mapping's network.
+type FaultEvent struct {
+	Step  int
+	Procs []int
+	Links []int
+}
+
+func (e FaultEvent) String() string {
+	return fmt.Sprintf("step %d: fail procs %v links %v", e.Step, e.Procs, e.Links)
+}
+
+// FaultyResult is a simulation that survived mid-run hardware failures.
+type FaultyResult struct {
+	Result
+	// Reports has one repair report per applied event, in step order.
+	Reports []*fault.RepairReport
+	// Final is the mapping as repaired after the last event (the input
+	// mapping is never modified).
+	Final *mapping.Mapping
+}
+
+// RunWithFaults simulates the schedule like Run, but applies each fault
+// event before its step: the hardware is masked, the mapping repaired in
+// degraded mode (fault.Repair), and the remaining steps execute on the
+// repaired mapping. Events beyond the schedule are ignored; events at or
+// before step 0 apply before execution starts. The input mapping is
+// cloned, not mutated. A repair that cannot succeed (machine drained or
+// disconnected) aborts the run with its error.
+func RunWithFaults(m *mapping.Mapping, steps []phase.Step, cfg Config, events []FaultEvent) (*FaultyResult, error) {
+	work := m.Clone()
+	byStep := make(map[int][]FaultEvent)
+	for _, e := range events {
+		s := e.Step
+		if s < 0 {
+			s = 0
+		}
+		byStep[s] = append(byStep[s], e)
+	}
+	res := &FaultyResult{Final: work}
+	for i, step := range steps {
+		for _, e := range byStep[i] {
+			model := fault.NewModel()
+			for _, p := range e.Procs {
+				model.FailProcessor(p)
+			}
+			for _, l := range e.Links {
+				model.FailLink(l)
+			}
+			report, err := fault.Repair(work, model)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", e, err)
+			}
+			res.Reports = append(res.Reports, report)
+		}
+		one, err := Run(work, []phase.Step{step}, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: step %d: %w", i, err)
+		}
+		res.Steps = append(res.Steps, one.Steps...)
+		res.Total += one.Total
+	}
+	return res, nil
+}
+
+// ParseFaultEvent parses the CLI syntax "step=2,proc=5,link=1" (proc=
+// and link= repeatable within one event; step defaults to 0).
+func ParseFaultEvent(s string) (FaultEvent, error) {
+	var e FaultEvent
+	seen := false
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, valStr, ok := strings.Cut(part, "=")
+		val, err := strconv.Atoi(valStr)
+		if !ok || err != nil {
+			return e, fmt.Errorf("sim: fault event part %q: want step=N, proc=N, or link=N", part)
+		}
+		switch key {
+		case "step":
+			e.Step = val
+		case "proc":
+			e.Procs = append(e.Procs, val)
+			seen = true
+		case "link":
+			e.Links = append(e.Links, val)
+			seen = true
+		default:
+			return e, fmt.Errorf("sim: fault event part %q: unknown key %q", part, key)
+		}
+	}
+	if !seen {
+		return e, fmt.Errorf("sim: fault event %q names no proc= or link=", s)
+	}
+	sort.Ints(e.Procs)
+	sort.Ints(e.Links)
+	return e, nil
+}

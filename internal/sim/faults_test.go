@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"oregami/internal/phase"
+	"oregami/internal/topology"
+)
+
+func TestRunWithFaultsNoEvents(t *testing.T) {
+	m, expr := mapped(t, "nbody", map[string]int{"n": 15, "s": 1}, topology.Hypercube(3))
+	steps, err := phase.Flatten(expr, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(m, steps, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := RunWithFaults(m, steps, Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Total != plain.Total {
+		t.Errorf("fault-free RunWithFaults = %g, Run = %g", faulty.Total, plain.Total)
+	}
+	if len(faulty.Reports) != 0 {
+		t.Errorf("no events but %d repair reports", len(faulty.Reports))
+	}
+}
+
+func TestRunWithFaultsMidSchedule(t *testing.T) {
+	m, expr := mapped(t, "nbody", map[string]int{"n": 15, "s": 1}, topology.Hypercube(3))
+	steps, err := phase.Flatten(expr, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 2 {
+		t.Fatalf("schedule too short (%d steps) to inject mid-run", len(steps))
+	}
+	failProc := m.ProcOf(0)
+	events := []FaultEvent{{Step: 1, Procs: []int{failProc}}}
+	res, err := RunWithFaults(m, steps, Config{}, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 1 {
+		t.Fatalf("%d repair reports, want 1", len(res.Reports))
+	}
+	if res.Reports[0].MigratedTasks() == 0 {
+		t.Error("failed an occupied processor but nothing migrated")
+	}
+	if err := res.Final.Validate(); err != nil {
+		t.Fatalf("final mapping invalid: %v", err)
+	}
+	for task := 0; task < res.Final.Graph.NumTasks; task++ {
+		if res.Final.ProcOf(task) == failProc {
+			t.Errorf("task %d still on failed processor %d", task, failProc)
+		}
+	}
+	if res.Total <= 0 {
+		t.Errorf("total = %g, want positive", res.Total)
+	}
+	// The caller's mapping must be untouched: same network, tasks still
+	// where they were.
+	if m.Net.Degraded() {
+		t.Error("RunWithFaults degraded the input mapping's network")
+	}
+	if m.ProcOf(0) != failProc {
+		t.Error("RunWithFaults moved tasks in the input mapping")
+	}
+}
+
+func TestRunWithFaultsDrainedMachineErrors(t *testing.T) {
+	m, expr := mapped(t, "nbody", map[string]int{"n": 15, "s": 1}, topology.Hypercube(3))
+	steps, err := phase.Flatten(expr, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []FaultEvent{{Step: 0, Procs: []int{0, 1, 2, 3, 4, 5, 6, 7}}}
+	if _, err := RunWithFaults(m, steps, Config{}, events); err == nil {
+		t.Fatal("draining every processor did not error")
+	}
+}
+
+func TestParseFaultEvent(t *testing.T) {
+	e, err := ParseFaultEvent("step=2,link=5,proc=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Step != 2 || len(e.Procs) != 1 || e.Procs[0] != 1 || len(e.Links) != 1 || e.Links[0] != 5 {
+		t.Errorf("parsed %+v", e)
+	}
+	e, err = ParseFaultEvent("proc=3")
+	if err != nil || e.Step != 0 {
+		t.Errorf("proc-only event: %+v, %v", e, err)
+	}
+	for _, bad := range []string{"", "step=2", "proc=x", "step2,proc=1", "nope=1,proc=2"} {
+		if _, err := ParseFaultEvent(bad); err == nil {
+			t.Errorf("ParseFaultEvent(%q) accepted", bad)
+		}
+	}
+}

@@ -71,12 +71,16 @@ func (nw *Network) CountShortestRoutes(src, dst int) int {
 
 // RouteEndpoints replays a route from src and returns the processor
 // sequence it visits, or ok=false if the link sequence is not a valid
-// walk starting at src.
+// walk starting at src. On a degraded view, a route traversing a failed
+// link is invalid.
 func (nw *Network) RouteEndpoints(src int, r Route) ([]int, bool) {
 	path := []int{src}
 	at := src
 	for _, id := range r {
 		if id < 0 || id >= len(nw.links) {
+			return nil, false
+		}
+		if nw.deadLink != nil && nw.deadLink[id] {
 			return nil, false
 		}
 		l := nw.links[id]

@@ -35,6 +35,13 @@ type Network struct {
 	links  []Link
 	linkID map[[2]int]int
 	dist   [][]int16 // lazily computed all-pairs hop distances
+
+	// Degraded views (see Masked): when degraded is set, deadProc and
+	// deadLink mark failed hardware, adj excludes dead links, and the
+	// analytic distance formulas are disabled in favor of BFS.
+	degraded bool
+	deadProc []bool
+	deadLink []bool
 }
 
 func newNetwork(kind, name string, n int, dims ...int) *Network {
@@ -88,12 +95,16 @@ func (nw *Network) NumLinks() int { return len(nw.links) }
 // modify it.
 func (nw *Network) Links() []Link { return nw.links }
 
-// LinkBetween returns the link id joining a and b, if adjacent.
+// LinkBetween returns the link id joining a and b, if adjacent. On a
+// degraded view, failed links do not join their endpoints.
 func (nw *Network) LinkBetween(a, b int) (int, bool) {
 	if a > b {
 		a, b = b, a
 	}
 	id, ok := nw.linkID[[2]int{a, b}]
+	if ok && nw.deadLink != nil && nw.deadLink[id] {
+		return 0, false
+	}
 	return id, ok
 }
 
@@ -102,11 +113,14 @@ func (nw *Network) Link(id int) Link { return nw.links[id] }
 
 // Distance returns the hop distance between processors a and b. Regular
 // families (mesh, torus, hypercube, complete, star, ring, linear) are
-// answered analytically; other families fall back to a cached all-pairs
-// BFS.
+// answered analytically; other families — and every degraded view, whose
+// failures invalidate the closed forms — fall back to a cached all-pairs
+// BFS. On a degraded view, unreachable pairs report distance -1.
 func (nw *Network) Distance(a, b int) int {
-	if d, ok := nw.analyticDistance(a, b); ok {
-		return d
+	if !nw.degraded {
+		if d, ok := nw.analyticDistance(a, b); ok {
+			return d
+		}
 	}
 	nw.ensureDist()
 	return int(nw.dist[a][b])
@@ -206,13 +220,17 @@ func (nw *Network) ensureDist() {
 }
 
 // NextHops returns the neighbors of src that lie on some shortest path
-// from src to dst. For src == dst it returns nil.
+// from src to dst. For src == dst, or when dst is unreachable from src
+// on a degraded view, it returns nil.
 func (nw *Network) NextHops(src, dst int) []int {
 	if src == dst {
 		return nil
 	}
 	var hops []int
 	base := nw.Distance(src, dst)
+	if base < 0 {
+		return nil
+	}
 	for _, u := range nw.adj[src] {
 		if nw.Distance(u, dst) == base-1 {
 			hops = append(hops, u)

@@ -17,10 +17,13 @@
 package oregami
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"oregami/internal/aggregate"
 	"oregami/internal/core"
+	"oregami/internal/fault"
 	"oregami/internal/graph"
 	"oregami/internal/larcs"
 	"oregami/internal/metrics"
@@ -126,7 +129,39 @@ type MapOptions struct {
 	// contraction, pairwise exchange after embedding) on the arbitrary
 	// path.
 	Refine bool
+	// Faults masks the named hardware as failed before dispatch: the
+	// pipeline only places tasks on and routes over the live machine.
+	Faults *FaultModel
+	// Timeout bounds the whole pipeline: when it expires, Map returns a
+	// *PipelineError wrapping context.DeadlineExceeded. Zero means no
+	// bound.
+	Timeout time.Duration
+	// StageTimeout bounds only the expensive MWM contraction stage; on
+	// expiry the dispatcher degrades to the cheaper Stone/greedy
+	// contraction (recorded in Trail) instead of failing. Zero disables.
+	StageTimeout time.Duration
 }
+
+// FaultModel is a set of failed processors and links.
+type FaultModel = fault.Model
+
+// NewFaultModel returns an empty fault model; add failures with
+// FailProcessor and FailLink.
+func NewFaultModel() *FaultModel { return fault.NewModel() }
+
+// FaultInjector draws random failures from a seeded source.
+type FaultInjector = fault.Injector
+
+// NewFaultInjector returns a deterministic seeded fault injector.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.NewInjector(seed) }
+
+// RepairReport describes one degraded-mode repair: what failed, which
+// tasks migrated where, which phases were rerouted, and metric deltas.
+type RepairReport = fault.RepairReport
+
+// PipelineError names the MAPPER pipeline stage that failed on
+// cancellation, deadline expiry, or a contained panic.
+type PipelineError = core.PipelineError
 
 // Mapping is a completed mapping with its provenance.
 type Mapping struct {
@@ -136,8 +171,27 @@ type Mapping struct {
 
 // Map runs MAPPER: contraction, embedding, and routing.
 func (c *Computation) Map(net *Network, opts *MapOptions) (*Mapping, error) {
+	return c.MapContext(context.Background(), net, opts)
+}
+
+// MapContext is Map with cancellation: the pipeline's inner loops check
+// ctx cooperatively, and cancellation or deadline expiry returns a
+// *PipelineError naming the interrupted stage.
+func (c *Computation) MapContext(ctx context.Context, net *Network, opts *MapOptions) (*Mapping, error) {
 	if opts == nil {
 		opts = &MapOptions{}
+	}
+	if opts.Faults != nil && !opts.Faults.Empty() {
+		masked, err := opts.Faults.Mask(net)
+		if err != nil {
+			return nil, err
+		}
+		net = masked
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
 	}
 	res, err := core.Map(core.Request{
 		Compiled:        c.compiled,
@@ -146,6 +200,8 @@ func (c *Computation) Map(net *Network, opts *MapOptions) (*Mapping, error) {
 		MaxTasksPerProc: opts.MaxTasksPerProc,
 		Refine:          opts.Refine,
 		Route:           route.Options{UseMaximum: opts.MaximumMatchingRouter},
+		Ctx:             ctx,
+		StageTimeout:    opts.StageTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -212,14 +268,49 @@ func (m *Mapping) SimulateSteps(cfg SimConfig, maxSteps int) (*sim.Result, error
 }
 
 // ReassignTask moves a task to a processor (the METRICS modification
-// loop); routes are invalidated and recomputed.
+// loop); routes are invalidated and recomputed. The move is atomic: if
+// rerouting fails (e.g. the target is unreachable on a degraded
+// machine), the mapping rolls back to its previous state.
 func (m *Mapping) ReassignTask(task, proc int) error {
-	if err := metrics.ReassignTask(m.res.Mapping, task, proc); err != nil {
+	inner := m.res.Mapping
+	snap := inner.Clone()
+	if err := metrics.ReassignTask(inner, task, proc); err != nil {
 		return err
 	}
-	_, err := route.RouteAll(m.res.Mapping, route.Options{})
-	return err
+	if _, err := route.RouteAll(inner, route.Options{}); err != nil {
+		inner.Part, inner.Place, inner.Routes = snap.Part, snap.Place, snap.Routes
+		return fmt.Errorf("oregami: reassigning task %d to processor %d: %w (mapping unchanged)", task, proc, err)
+	}
+	return nil
 }
+
+// Repair remaps around the failures in model without recomputing the
+// mapping from scratch: the network is masked, tasks on failed
+// processors evacuate to the nearest live processor, and the affected
+// phases are rerouted around dead links. The repair is atomic — on
+// error the mapping is unchanged. Successive repairs union their
+// failures.
+func (m *Mapping) Repair(model *FaultModel) (*RepairReport, error) {
+	return fault.Repair(m.res.Mapping, model)
+}
+
+// SimulateWithFaults executes the phase schedule while failing hardware
+// mid-run per the events, repairing the mapping in degraded mode between
+// steps. The mapping itself is not modified. maxSteps bounds the
+// flattened schedule length (0 = unbounded).
+func (m *Mapping) SimulateWithFaults(cfg SimConfig, maxSteps int, events []FaultEvent) (*sim.FaultyResult, error) {
+	if m.comp.Phases == nil {
+		return nil, fmt.Errorf("oregami: computation has no phase expression")
+	}
+	steps, err := phase.Flatten(m.comp.Phases, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunWithFaults(m.res.Mapping, steps, cfg, events)
+}
+
+// FaultEvent fails processors and links just before a schedule step.
+type FaultEvent = sim.FaultEvent
 
 // RouteOf returns the link-id route of the k-th edge of a phase.
 func (m *Mapping) RouteOf(phaseName string, edge int) ([]int, error) {
