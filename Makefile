@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz check
+.PHONY: build test vet race fuzz lint check
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,12 @@ race:
 fuzz:
 	$(GO) test -run=FuzzRepair -fuzz=FuzzRepair -fuzztime=10s ./internal/fault/
 
+# Static analysis: formatting, go vet, and the repository's custom
+# analyzers (tools/analyzers: panicmsg, exitcheck).
+lint: vet
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./tools/analyzers ./...
+
 # The CI gate: static checks plus the full suite under the race detector.
-check: vet race
+check: lint race

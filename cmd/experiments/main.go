@@ -246,7 +246,7 @@ func runF6() {
 	fmt.Printf("%-10s %-10s %-8s %-22s %s\n", "message", "src->dst", "#routes", "choices (first two)", "assigned route (links)")
 	routes, stats, err := route.MMRoute(net, pairs, route.Options{})
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("experiments: routing Fig 6 pairs: %v", err))
 	}
 	for i, p := range pairs {
 		count := net.CountShortestRoutes(p[0], p[1])

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -57,19 +59,131 @@ func TestCLIFileAndDot(t *testing.T) {
 	}
 }
 
+// exitCode runs the binary and returns its exit code plus output.
+func exitCode(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("run %v: %v\n%s", args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
 func TestCLIErrors(t *testing.T) {
 	bin := buildCmd(t)
-	// No input.
-	if out, err := exec.Command(bin).CombinedOutput(); err == nil {
-		t.Errorf("no-input accepted:\n%s", out)
+	// Usage failures exit 2: no input, unknown workload, malformed
+	// binding, unreadable file.
+	for _, args := range [][]string{
+		{},
+		{"-workload", "zzz"},
+		{"-workload", "nbody", "-D", "n"},
+		{"-file", filepath.Join(t.TempDir(), "missing.larcs")},
+		{"vet"},
+		{"vet", filepath.Join(t.TempDir(), "missing.larcs")},
+	} {
+		if code, out := exitCode(t, bin, args...); code != 2 {
+			t.Errorf("%v: exit %d, want 2\n%s", args, code, out)
+		}
 	}
-	// Unknown workload.
-	if _, err := exec.Command(bin, "-workload", "zzz").CombinedOutput(); err == nil {
-		t.Error("unknown workload accepted")
+	// Program defects exit 1: a parse error in the source.
+	bad := filepath.Join(t.TempDir(), "bad.larcs")
+	if err := os.WriteFile(bad, []byte("algorithm broken(\n"), 0o644); err != nil {
+		t.Fatal(err)
 	}
-	// Missing binding.
-	if _, err := exec.Command(bin, "-workload", "nbody", "-D", "n").CombinedOutput(); err == nil {
-		t.Error("malformed binding accepted")
+	if code, out := exitCode(t, bin, "-file", bad); code != 1 {
+		t.Errorf("parse error: exit %d, want 1\n%s", code, out)
+	}
+}
+
+func TestCLIVet(t *testing.T) {
+	bin := buildCmd(t)
+	dir := t.TempDir()
+	buggy := filepath.Join(dir, "buggy.larcs")
+	prog := "algorithm buggy(n);\nnodetype t 0..n-1;\ncomphase c { forall i in 0..n-1 : t(i) -> t(i+1); }\n"
+	if err := os.WriteFile(buggy, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := exitCode(t, bin, "vet", "-file", buggy)
+	if code != 1 {
+		t.Errorf("vet of buggy program: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[oob]") || !strings.Contains(out, "buggy.larcs:3:") {
+		t.Errorf("vet output missing oob diagnostic with position:\n%s", out)
+	}
+	// JSON mode decodes and carries the same code.
+	code, out = exitCode(t, bin, "vet", "-json", "-file", buggy)
+	if code != 1 {
+		t.Errorf("vet -json: exit %d, want 1\n%s", code, out)
+	}
+	var diags []map[string]interface{}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("vet -json output is not JSON: %v\n%s", err, out)
+	}
+	foundOOB := false
+	for _, d := range diags {
+		if d["code"] == "oob" {
+			foundOOB = true
+		}
+	}
+	if !foundOOB {
+		t.Errorf("vet -json missing oob diagnostic: %v", diags)
+	}
+
+	// A clean workload vets silently with exit 0 — no bindings needed.
+	code, out = exitCode(t, bin, "vet", "-workload", "nbody")
+	if code != 0 || out != "" {
+		t.Errorf("vet of nbody: exit %d output %q, want 0 and empty", code, out)
+	}
+
+	// Positional file arguments work too.
+	if code, _ := exitCode(t, bin, "vet", buggy); code != 1 {
+		t.Errorf("vet with positional file: exit %d, want 1", code)
+	}
+
+	// -vet on the compile path aborts compilation on errors...
+	code, out = exitCode(t, bin, "-vet", "-file", buggy, "-D", "n=4")
+	if code != 1 || !strings.Contains(out, "not compiling") {
+		t.Errorf("-vet did not abort compile: exit %d\n%s", code, out)
+	}
+	// ...and stays quiet on a clean program.
+	code, out = exitCode(t, bin, "-vet", "-workload", "nbody", "-D", "n=7")
+	if code != 0 || !strings.Contains(out, "description size") {
+		t.Errorf("-vet broke clean compile: exit %d\n%s", code, out)
+	}
+}
+
+func TestCLIEdgesSorted(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "nbody", "-D", "n=7", "-edges").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// Within each phase the "<from> -> <to>" lines must be sorted.
+	var prev string
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "phase ") {
+			prev = ""
+			continue
+		}
+		if !strings.Contains(line, " -> ") {
+			continue
+		}
+		if prev != "" && line < prev {
+			t.Fatalf("-edges output unsorted: %q after %q\n%s", line, prev, out)
+		}
+		prev = line
+	}
+	// And two runs agree byte for byte.
+	out2, err := exec.Command(bin, "-workload", "nbody", "-D", "n=7", "-edges").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out2)
+	}
+	if string(out) != string(out2) {
+		t.Error("-edges output not deterministic across runs")
 	}
 }
 

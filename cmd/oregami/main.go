@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"oregami/internal/analysis"
 	"oregami/internal/core"
 	"oregami/internal/fault"
 	"oregami/internal/larcs"
@@ -155,7 +156,7 @@ func run(out *os.File) error {
 		}
 	}
 
-	var src string
+	var src, srcName string
 	all := map[string]int{}
 	switch {
 	case *file != "":
@@ -164,12 +165,14 @@ func run(out *os.File) error {
 			return err
 		}
 		src = string(data)
+		srcName = *file
 	case *wname != "":
 		w, err := workload.ByName(*wname)
 		if err != nil {
 			return err
 		}
 		src = w.Source
+		srcName = "workload:" + w.Name
 		for k, v := range w.Defaults {
 			all[k] = v
 		}
@@ -178,6 +181,15 @@ func run(out *os.File) error {
 	}
 	for k, v := range binds {
 		all[k] = v
+	}
+	// Vet before compiling: warnings go to stderr and the pipeline
+	// continues; provable defects stop it before any expansion work.
+	diags := analysis.VetSource(src)
+	if len(diags) > 0 {
+		fmt.Fprint(os.Stderr, analysis.Render(srcName, diags))
+	}
+	if analysis.HasErrors(diags) {
+		return fmt.Errorf("%s has vet errors (see diagnostics above)", srcName)
 	}
 	prog, err := larcs.Parse(src)
 	if err != nil {

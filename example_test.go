@@ -2,6 +2,7 @@ package oregami_test
 
 import (
 	"fmt"
+	"os"
 
 	"oregami"
 )
@@ -33,6 +34,32 @@ phases ((ring; compute1)^((n+1)/2); chordal; compute2)^s;
 	// class: arbitrary
 	// tasks: 15 edges: 30
 	// IPC: 23
+}
+
+// ExampleVet runs the static analyzer over the deliberately defective
+// examples/vetdemo program. Every finding is symbolic — proven for all
+// values of n, with no parameter bindings — and carries a position and
+// a stable machine-readable code.
+func ExampleVet() {
+	src, err := os.ReadFile("examples/vetdemo/vetdemo.larcs")
+	if err != nil {
+		fmt.Println("read:", err)
+		return
+	}
+	diags := oregami.Vet(string(src))
+	for _, d := range diags {
+		fmt.Printf("%d:%d %s [%s]\n", d.Pos.Line, d.Pos.Col, d.Severity, d.Code)
+	}
+	fmt.Println("errors:", oregami.VetHasErrors(diags))
+	// Output:
+	// 5:10 warning [unusednodetype]
+	// 6:1 warning [unusedphase]
+	// 7:38 error [oob]
+	// 10:5 error [negvolume]
+	// 10:26 warning [selfloop]
+	// 12:1 warning [unusedphase]
+	// 13:19 warning [repzero]
+	// errors: true
 }
 
 // ExampleComputation_Map shows forcing a MAPPER class and reading the

@@ -1,0 +1,28 @@
+// Command vetdemo runs the LaRCS static analyzer over the deliberately
+// defective description embedded next to it (vetdemo.larcs) and prints
+// every diagnostic. Nothing is compiled and no parameter is bound: all
+// findings are symbolic, proven for every value of n the program could
+// be instantiated with.
+//
+//	go run ./examples/vetdemo
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+
+	"oregami"
+)
+
+//go:embed vetdemo.larcs
+var source string
+
+func main() {
+	diags := oregami.Vet(source)
+	fmt.Print(oregami.RenderDiagnostics("vetdemo.larcs", diags))
+	fmt.Printf("%d diagnostics; errors: %v\n", len(diags), oregami.VetHasErrors(diags))
+	if oregami.VetHasErrors(diags) {
+		os.Exit(1)
+	}
+}

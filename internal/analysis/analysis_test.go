@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden vets every testdata program and compares the rendered
+// diagnostics against the checked-in golden file. Each corpus file is
+// named after the diagnostic code it primarily exercises, and its
+// golden must actually contain that code (clean.larcs must be empty).
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.larcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 14 {
+		t.Fatalf("corpus has %d programs, want >= 14", len(files))
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".larcs")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := VetSource(string(src))
+			got := Render(filepath.Base(file), diags)
+			golden := strings.TrimSuffix(file, ".larcs") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if name == "clean" {
+				if len(diags) != 0 {
+					t.Errorf("clean program produced %d diagnostic(s)", len(diags))
+				}
+				return
+			}
+			found := false
+			for _, d := range diags {
+				if d.Code == name {
+					found = true
+					if d.Pos.Line <= 0 || d.Pos.Col <= 0 {
+						t.Errorf("code %s lacks a position: %v", name, d)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("program %s never triggers its namesake code; got:\n%s", file, got)
+			}
+		})
+	}
+}
+
+// TestCorpusCodeCoverage checks the acceptance bar: the corpus
+// exercises at least 8 distinct diagnostic codes.
+func TestCorpusCodeCoverage(t *testing.T) {
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.larcs"))
+	codes := map[string]bool{}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range VetSource(string(src)) {
+			codes[d.Code] = true
+		}
+	}
+	if len(codes) < 8 {
+		t.Errorf("corpus covers %d distinct codes, want >= 8: %v", len(codes), codes)
+	}
+}
+
+// TestAccumulation: one run reports many independent defects — no
+// first-error bail.
+func TestAccumulation(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "sema.larcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := VetSource(string(src))
+	if len(diags) < 4 {
+		t.Fatalf("sema corpus yields %d diagnostic(s), want >= 4:\n%s", len(diags), Render("sema", diags))
+	}
+}
+
+// TestJSONStable: two renders of the same program are byte-identical
+// and decode into the documented shape.
+func TestJSONStable(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "oob.larcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RenderJSON("oob.larcs", VetSource(string(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RenderJSON("oob.larcs", VetSource(string(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("JSON output is not stable across runs")
+	}
+	var decoded []map[string]interface{}
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, a)
+	}
+	if len(decoded) == 0 {
+		t.Fatal("no diagnostics in JSON")
+	}
+	for _, want := range []string{"file", "line", "col", "severity", "code", "message"} {
+		if _, ok := decoded[0][want]; !ok {
+			t.Errorf("JSON diagnostic lacks %q: %v", want, decoded[0])
+		}
+	}
+}
+
+// TestSymbolicProofs exercises the prover directly: facts derived from
+// nodetype declarations make mod-divisors provably safe, and the
+// out-of-bounds claim is genuinely symbolic (no bindings involved).
+func TestSymbolicProofs(t *testing.T) {
+	st := newSymtab()
+	n := varLin("n")
+	st.assume = append(st.assume, n.sub(constLin(1))) // n-1 >= 0, i.e. n >= 1
+	if !st.proveGE0(n.sub(constLin(1))) {
+		t.Error("cannot prove n-1 >= 0 from itself")
+	}
+	if !st.proveGE0(n.scale(2).sub(constLin(2))) {
+		t.Error("cannot prove 2n-2 >= 0 from n-1 >= 0")
+	}
+	if !st.proveGE0(n) {
+		t.Error("cannot prove n >= 0 from n >= 1")
+	}
+	if st.proveGE0(n.sub(constLin(2))) {
+		t.Error("proved n-2 >= 0 from n >= 1 (unsound)")
+	}
+	if st.proveGE0(varLin("m")) {
+		t.Error("proved m >= 0 with no facts about m (unsound)")
+	}
+	if !st.proveNeg(constLin(-1)) {
+		t.Error("cannot prove -1 < 0")
+	}
+}
+
+// TestVetCleanWorkloadNeedsNoBindings: vet runs on a parametric
+// program without any -D bindings and proves the nbody mod-divisors
+// safe from the nodetype declaration alone.
+func TestVetCleanWorkloadNeedsNoBindings(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "clean.larcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := VetSource(string(src)); len(diags) != 0 {
+		t.Errorf("clean nbody program produced:\n%s", Render("clean", diags))
+	}
+}

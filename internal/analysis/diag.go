@@ -1,0 +1,172 @@
+// Package analysis is the LaRCS static analyzer behind `larcsc vet`: a
+// multi-diagnostic pass over the parsed (unbound) AST that proves
+// properties of a *parametric* program for every parameter binding,
+// instead of waiting for Compile to trip over one concrete instance.
+//
+// It combines four analyses:
+//
+//   - accumulated semantic analysis (every name/arity defect, not just
+//     the first);
+//   - symbolic interval analysis of edge index expressions over the
+//     quantifier box, proving out-of-bounds node references, zero
+//     divisors, self-loops, and empty ranges without bindings;
+//   - a phase-expression pass flagging unreachable or never-referenced
+//     phases, ^0 repetitions, idle branches, and family indices outside
+//     the family's declared range;
+//   - a nodesymmetric-claim checker that refutes the annotation by
+//     exhibiting a small counterexample instantiation.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	// SevWarning marks a suspicious construct that still compiles.
+	SevWarning Severity = iota
+	// SevError marks a defect that breaks compilation for every binding
+	// (or a semantic error that breaks it before bindings matter).
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Diagnostic codes. Each code names one defect class; docs/LARCS.md
+// documents every code with an example.
+const (
+	CodeSyntax         = "syntax"         // lex/parse failure
+	CodeSema           = "sema"           // name/arity resolution failure
+	CodeOOB            = "oob"            // node index provably out of bounds
+	CodeDivZero        = "divzero"        // divisor provably zero
+	CodeMayDivZero     = "maydivzero"     // divisor may be zero for a valid binding
+	CodeSelfLoop       = "selfloop"       // edge provably a self-loop
+	CodeEmptyRange     = "emptyrange"     // range provably empty
+	CodeNegVolume      = "negvolume"      // volume provably negative
+	CodeRepZero        = "repzero"        // phase repetition ^0
+	CodeRepNeg         = "repneg"         // phase repetition provably negative
+	CodeFamRange       = "famrange"       // family index provably outside the family range
+	CodeUnusedPhase    = "unusedphase"    // phase declared but never reachable in phases
+	CodeUnusedNodeType = "unusednodetype" // nodetype never referenced
+	CodeIdleBranch     = "idlebranch"     // eps branch in a composition
+	CodeNoPhases       = "nophases"       // phases declaration missing entirely
+	CodeNotSymmetric   = "notsymmetric"   // nodesymmetric refuted by counterexample
+)
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// Diag is one diagnostic: a position, a severity, a stable machine
+// code, a human message, and an optional suggested fix.
+type Diag struct {
+	Pos          Pos      `json:"pos"`
+	Severity     Severity `json:"severity"`
+	Code         string   `json:"code"`
+	Message      string   `json:"message"`
+	SuggestedFix string   `json:"suggested_fix,omitempty"`
+}
+
+func (d Diag) String() string {
+	s := fmt.Sprintf("%d:%d: %s: %s [%s]", d.Pos.Line, d.Pos.Col, d.Severity, d.Message, d.Code)
+	if d.SuggestedFix != "" {
+		s += " (fix: " + d.SuggestedFix + ")"
+	}
+	return s
+}
+
+// Sort orders diagnostics by position, then severity (errors first),
+// then code, then message — the stable order every renderer uses.
+func Sort(diags []Diag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any diagnostic is SevError.
+func HasErrors(diags []Diag) bool {
+	for _, d := range diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats diagnostics as file:line:col text, one per line, in
+// Sort order.
+func Render(file string, diags []Diag) string {
+	Sort(diags)
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%s\n", file, d)
+	}
+	return b.String()
+}
+
+// jsonDiag is the stable wire shape of one diagnostic.
+type jsonDiag struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Severity     string `json:"severity"`
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	SuggestedFix string `json:"suggested_fix,omitempty"`
+}
+
+// RenderJSON formats diagnostics as an indented JSON array in Sort
+// order; field order and sorting are fixed, so output is stable.
+func RenderJSON(file string, diags []Diag) ([]byte, error) {
+	Sort(diags)
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:         file,
+			Line:         d.Pos.Line,
+			Col:          d.Pos.Col,
+			Severity:     d.Severity.String(),
+			Code:         d.Code,
+			Message:      d.Message,
+			SuggestedFix: d.SuggestedFix,
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oregami/internal/larcs"
+)
+
+// The symbolic domain: affine forms k + Σ c[v]·v over the program's
+// parameters and imports, interval bounds of expressions over the
+// quantifier box, and a small certificate-search prover over an
+// assumption set of known-nonnegative affine facts.
+//
+// Assumptions come from declarations that must be satisfiable for the
+// program to compile at all: every nodetype dimension lo..hi and every
+// phase-family range contributes hi-lo >= 0 (Compile rejects empty
+// ones), so "for all bindings" below means "for all bindings the
+// program accepts".
+
+// lin is an affine form over symbolic names.
+type lin struct {
+	k int
+	c map[string]int // symbol -> coefficient; entries are nonzero
+}
+
+func constLin(k int) lin { return lin{k: k} }
+
+func varLin(name string) lin { return lin{c: map[string]int{name: 1}} }
+
+func (l lin) clone() lin {
+	m := lin{k: l.k, c: make(map[string]int, len(l.c))}
+	for v, co := range l.c {
+		m.c[v] = co
+	}
+	return m
+}
+
+func (l lin) add(o lin) lin {
+	r := l.clone()
+	r.k += o.k
+	for v, co := range o.c {
+		if r.c == nil {
+			r.c = map[string]int{}
+		}
+		r.c[v] += co
+		if r.c[v] == 0 {
+			delete(r.c, v)
+		}
+	}
+	return r
+}
+
+func (l lin) neg() lin { return l.scale(-1) }
+
+func (l lin) sub(o lin) lin { return l.add(o.neg()) }
+
+func (l lin) scale(f int) lin {
+	r := lin{k: l.k * f}
+	if f == 0 {
+		return r
+	}
+	r.c = make(map[string]int, len(l.c))
+	for v, co := range l.c {
+		r.c[v] = co * f
+	}
+	return r
+}
+
+func (l lin) isConst() (int, bool) {
+	if len(l.c) == 0 {
+		return l.k, true
+	}
+	return 0, false
+}
+
+func (l lin) equal(o lin) bool {
+	d := l.sub(o)
+	k, ok := d.isConst()
+	return ok && k == 0
+}
+
+// String renders the affine form for diagnostics, e.g. "n - 1" or
+// "2*n + k".
+func (l lin) String() string {
+	var names []string
+	for v := range l.c {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, v := range names {
+		co := l.c[v]
+		switch {
+		case b.Len() == 0 && co == 1:
+			b.WriteString(v)
+		case b.Len() == 0 && co == -1:
+			b.WriteString("-" + v)
+		case b.Len() == 0:
+			fmt.Fprintf(&b, "%d*%s", co, v)
+		case co == 1:
+			b.WriteString(" + " + v)
+		case co == -1:
+			b.WriteString(" - " + v)
+		case co > 0:
+			fmt.Fprintf(&b, " + %d*%s", co, v)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -co, v)
+		}
+	}
+	if b.Len() == 0 {
+		return fmt.Sprint(l.k)
+	}
+	if l.k > 0 {
+		fmt.Fprintf(&b, " + %d", l.k)
+	} else if l.k < 0 {
+		fmt.Fprintf(&b, " - %d", -l.k)
+	}
+	return b.String()
+}
+
+// symRange is the symbolic value range of one bound variable.
+type symRange struct {
+	lo, hi lin
+	ok     bool // both bounds are affine
+}
+
+// symtab carries the quantifier scopes and assumption set of one
+// analysis point.
+type symtab struct {
+	vars   map[string]symRange // quantifier / family / loop variables
+	consts map[string]lin      // affine const definitions, inlined
+	assume []lin               // facts: each entry >= 0 for all bindings
+}
+
+func newSymtab() *symtab {
+	return &symtab{vars: map[string]symRange{}, consts: map[string]lin{}}
+}
+
+// child opens a nested scope sharing consts and assumptions.
+func (st *symtab) child() *symtab {
+	n := &symtab{
+		vars:   make(map[string]symRange, len(st.vars)),
+		consts: st.consts,
+		assume: append([]lin(nil), st.assume...),
+	}
+	for v, r := range st.vars {
+		n.vars[v] = r
+	}
+	return n
+}
+
+// bind adds a quantifier variable with the symbolic range of its
+// bounds, and — when the range is affine — assumes it nonempty (the
+// surrounding construct only executes for assignments inside it).
+func (st *symtab) bind(name string, r larcs.RangeExpr) {
+	lo := st.bounds(r.Lo)
+	hi := st.bounds(r.Hi)
+	sr := symRange{ok: lo.ok && hi.ok && lo.exact && hi.exact}
+	if sr.ok {
+		sr.lo, sr.hi = lo.lo, hi.hi
+		st.assume = append(st.assume, sr.hi.sub(sr.lo))
+	}
+	st.vars[name] = sr
+}
+
+// sbound is the symbolic interval of an expression over the quantifier
+// box: ok means affine bounds were derived; exact additionally means
+// both bounds are attained by executing instantiations (corner points
+// of the box), which diagnostics need before *claiming* a violation.
+type sbound struct {
+	lo, hi lin
+	ok     bool
+	exact  bool
+}
+
+func affine(l lin) sbound { return sbound{lo: l, hi: l, ok: true, exact: true} }
+
+func noBound() sbound { return sbound{} }
+
+// bounds computes the symbolic interval of e. Free symbols (parameters,
+// imports) are their own affine atoms; bound quantifier variables are
+// replaced by their range endpoints.
+func (st *symtab) bounds(e larcs.Expr) sbound {
+	switch v := e.(type) {
+	case larcs.Num:
+		return affine(constLin(v.V))
+	case larcs.Var:
+		if r, bound := st.vars[v.Name]; bound {
+			if !r.ok {
+				return noBound()
+			}
+			return sbound{lo: r.lo, hi: r.hi, ok: true, exact: true}
+		}
+		if def, ok := st.consts[v.Name]; ok {
+			return affine(def)
+		}
+		return affine(varLin(v.Name))
+	case larcs.Unary:
+		x := st.bounds(v.X)
+		if v.Op == "-" {
+			if !x.ok {
+				return noBound()
+			}
+			return sbound{lo: x.hi.neg(), hi: x.lo.neg(), ok: true, exact: x.exact}
+		}
+		// not: boolean result
+		return sbound{lo: constLin(0), hi: constLin(1), ok: true}
+	case larcs.Binary:
+		return st.binaryBounds(v)
+	}
+	return noBound()
+}
+
+func (st *symtab) binaryBounds(v larcs.Binary) sbound {
+	l := st.bounds(v.L)
+	r := st.bounds(v.R)
+	switch v.Op {
+	case "+":
+		if !l.ok || !r.ok {
+			return noBound()
+		}
+		return sbound{lo: l.lo.add(r.lo), hi: l.hi.add(r.hi), ok: true, exact: l.exact && r.exact}
+	case "-":
+		if !l.ok || !r.ok {
+			return noBound()
+		}
+		return sbound{lo: l.lo.sub(r.hi), hi: l.hi.sub(r.lo), ok: true, exact: l.exact && r.exact}
+	case "*":
+		if !l.ok || !r.ok {
+			return noBound()
+		}
+		// One side must be a known constant to stay affine.
+		if f, ok := r.lo.isConst(); ok && r.lo.equal(r.hi) {
+			return scaleBound(l, f)
+		}
+		if f, ok := l.lo.isConst(); ok && l.lo.equal(l.hi) {
+			return scaleBound(r, f)
+		}
+		return noBound()
+	case "/", "div":
+		// Constant-only: bounds of an integer division are not affine
+		// in general.
+		lk, lok := constInterval(l)
+		rk, rok := constInterval(r)
+		if lok && rok && rk != 0 {
+			return affine(constLin(lk / rk))
+		}
+		return noBound()
+	case "mod":
+		// e mod m lies in [0, m-1] once m >= 1 (mathematical mod).
+		// The bounds hold but are not necessarily attained.
+		if r.ok && r.exact && st.proveGE0(r.lo.sub(constLin(1))) {
+			return sbound{lo: constLin(0), hi: r.hi.sub(constLin(1)), ok: true}
+		}
+		return noBound()
+	case "^":
+		lk, lok := constInterval(l)
+		rk, rok := constInterval(r)
+		if lok && rok && rk >= 0 && rk < 32 {
+			p := 1
+			for i := 0; i < rk; i++ {
+				p *= lk
+				if p > 1<<40 || p < -(1<<40) {
+					return noBound()
+				}
+			}
+			return affine(constLin(p))
+		}
+		return noBound()
+	case "==", "!=", "<", "<=", ">", ">=", "and", "or":
+		return sbound{lo: constLin(0), hi: constLin(1), ok: true}
+	}
+	return noBound()
+}
+
+// constInterval extracts a known constant from a degenerate bound.
+func constInterval(b sbound) (int, bool) {
+	if !b.ok || !b.lo.equal(b.hi) {
+		return 0, false
+	}
+	return b.lo.isConst()
+}
+
+func scaleBound(b sbound, f int) sbound {
+	lo, hi := b.lo.scale(f), b.hi.scale(f)
+	if f < 0 {
+		lo, hi = hi, lo
+	}
+	return sbound{lo: lo, hi: hi, ok: true, exact: b.exact}
+}
+
+// proveGE0 reports whether l >= 0 holds for every integer assignment
+// satisfying the assumption set. It searches for a certificate: a sum
+// of assumptions (each usable several times, up to the depth bound)
+// whose subtraction from l leaves a nonnegative constant. Sound, not
+// complete: a false return means "could not prove", never "false".
+func (st *symtab) proveGE0(l lin) bool {
+	return st.prove(l, 5)
+}
+
+func (st *symtab) prove(l lin, depth int) bool {
+	if k, ok := l.isConst(); ok {
+		return k >= 0
+	}
+	if depth == 0 {
+		return false
+	}
+	for _, a := range st.assume {
+		if _, ok := a.isConst(); ok {
+			continue
+		}
+		if !sharesSymbol(l, a) {
+			continue
+		}
+		if st.prove(l.sub(a), depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+func sharesSymbol(l, a lin) bool {
+	for v := range a.c {
+		if l.c[v] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// proveNeg reports whether l < 0 for every valid binding.
+func (st *symtab) proveNeg(l lin) bool {
+	return st.proveGE0(l.neg().sub(constLin(1)))
+}
+
+// provablyZero reports whether l == 0 for every valid binding.
+func (st *symtab) provablyZero(l lin) bool {
+	return st.proveGE0(l) && st.proveGE0(l.neg())
+}

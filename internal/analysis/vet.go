@@ -1,0 +1,452 @@
+package analysis
+
+import (
+	"fmt"
+
+	"oregami/internal/larcs"
+)
+
+// VetSource parses src and runs every analysis pass, returning all
+// diagnostics in Sort order. A lex/parse failure yields a single
+// CodeSyntax error; a program with semantic defects still gets the
+// symbolic passes run over whatever resolves.
+func VetSource(src string) []Diag {
+	prog, err := larcs.ParseOnly(src)
+	if err != nil {
+		return []Diag{errDiag(err)}
+	}
+	return Vet(prog)
+}
+
+// Vet runs every analysis pass over a parsed program and returns all
+// diagnostics in Sort order. It never needs parameter bindings: the
+// symbolic passes reason over all bindings at once, and the symmetry
+// checker picks its own small trial instantiations.
+func Vet(prog *larcs.Program) []Diag {
+	v := &vetter{prog: prog}
+	v.semaPass()
+	v.buildSymtab()
+	v.rulesPass()
+	v.execPass()
+	v.phasePass()
+	v.usagePass()
+	v.symmetryPass()
+	Sort(v.diags)
+	return v.diags
+}
+
+// errDiag converts a front-end error into a positioned diagnostic.
+func errDiag(err error) Diag {
+	if le, ok := err.(*larcs.Error); ok {
+		return Diag{Pos: Pos{Line: le.Line, Col: le.Col}, Severity: SevError, Code: CodeSyntax, Message: le.Msg}
+	}
+	return Diag{Pos: Pos{Line: 1, Col: 1}, Severity: SevError, Code: CodeSyntax, Message: err.Error()}
+}
+
+type vetter struct {
+	prog  *larcs.Program
+	diags []Diag
+	st    *symtab
+	types map[string]*larcs.NodeTypeDecl
+	live  map[string]bool // phase names reachable from the phases expression
+}
+
+func (v *vetter) report(line, col int, sev Severity, code, msg, fix string) {
+	if line == 0 {
+		line = 1
+	}
+	if col == 0 {
+		col = 1
+	}
+	v.diags = append(v.diags, Diag{
+		Pos: Pos{Line: line, Col: col}, Severity: sev, Code: code, Message: msg, SuggestedFix: fix,
+	})
+}
+
+// semaPass converts every accumulated semantic defect into a CodeSema
+// diagnostic.
+func (v *vetter) semaPass() {
+	for _, e := range larcs.AnalyzeAll(v.prog) {
+		v.report(e.Line, e.Col, SevError, CodeSema, e.Msg, "")
+	}
+}
+
+// buildSymtab inlines affine consts and collects the global assumption
+// set: every nodetype dimension and phase-family range must be nonempty
+// for the program to compile, so hi-lo >= 0 holds for every accepted
+// binding. It also flags provably empty nodetype dimensions and family
+// ranges (errors: no binding can compile).
+func (v *vetter) buildSymtab() {
+	v.st = newSymtab()
+	for _, c := range v.prog.Consts {
+		if b := v.st.bounds(c.Val); b.ok && b.exact && b.lo.equal(b.hi) {
+			v.st.consts[c.Name] = b.lo
+		}
+	}
+	v.types = make(map[string]*larcs.NodeTypeDecl)
+	for i := range v.prog.NodeTypes {
+		nt := &v.prog.NodeTypes[i]
+		if _, dup := v.types[nt.Name]; !dup {
+			v.types[nt.Name] = nt
+		}
+		for _, d := range nt.Dims {
+			v.assumeNonempty(d, nt.Line, nt.Col, SevError,
+				fmt.Sprintf("nodetype %q dimension", nt.Name),
+				"no binding satisfies this range; widen it or fix the bounds")
+		}
+	}
+	for i := range v.prog.CommPhases {
+		cp := &v.prog.CommPhases[i]
+		if cp.Param == "" {
+			continue
+		}
+		v.assumeNonempty(cp.Range, cp.Line, cp.Col, SevError,
+			fmt.Sprintf("phase family %q range", cp.Name),
+			"no binding gives this family a member; fix the range")
+	}
+}
+
+// assumeNonempty adds hi-lo >= 0 for an affine range to the assumption
+// set, or reports the range as provably empty.
+func (v *vetter) assumeNonempty(r larcs.RangeExpr, line, col int, sev Severity, what, fix string) {
+	lo := v.st.bounds(r.Lo)
+	hi := v.st.bounds(r.Hi)
+	if !lo.ok || !hi.ok || !lo.exact || !hi.exact {
+		return
+	}
+	span := hi.hi.sub(lo.lo)
+	if v.st.proveNeg(span) {
+		v.report(line, col, sev, CodeEmptyRange,
+			fmt.Sprintf("%s %s..%s is empty for every binding", what, r.Lo, r.Hi), fix)
+		return
+	}
+	v.st.assume = append(v.st.assume, span)
+}
+
+// rulesPass runs the symbolic interval analysis over every
+// communication rule: zero divisors, out-of-bounds node indices,
+// self-loops, empty quantifier ranges, negative volumes.
+func (v *vetter) rulesPass() {
+	for i := range v.prog.CommPhases {
+		cp := &v.prog.CommPhases[i]
+		for ri := range cp.Rules {
+			rule := &cp.Rules[ri]
+			st := v.st.child()
+			if cp.Param != "" {
+				st.bind(cp.Param, cp.Range)
+			}
+			for vi, name := range rule.Vars {
+				r := rule.Ranges[vi]
+				// Range bounds are evaluated for every instantiation.
+				v.checkDivisors(r.Lo, st)
+				v.checkDivisors(r.Hi, st)
+				// A provably empty forall range means the rule can
+				// never emit an edge — legal, but surely a mistake.
+				lo, hi := st.bounds(r.Lo), st.bounds(r.Hi)
+				if lo.ok && hi.ok && lo.exact && hi.exact && st.proveNeg(hi.hi.sub(lo.lo)) {
+					v.report(r.Line, r.Col, SevWarning, CodeEmptyRange,
+						fmt.Sprintf("forall range %s..%s is empty for every binding; the rule emits no edges", r.Lo, r.Hi),
+						"swap or widen the bounds")
+				}
+				st.bind(name, r)
+			}
+			// A self-loop is syntactic: it holds for whatever the guard
+			// lets through.
+			v.checkSelfLoop(rule)
+			if rule.Guard != nil {
+				// The guard can exclude exactly the instantiations that
+				// would misbehave, so the box-wide proofs below would be
+				// unsound; only the guard expression itself (always
+				// evaluated) gets divisor checks.
+				v.checkDivisors(rule.Guard, st)
+				continue
+			}
+			exprs := []larcs.Expr{rule.Volume}
+			exprs = append(exprs, rule.From.Idx...)
+			exprs = append(exprs, rule.To.Idx...)
+			for _, e := range exprs {
+				v.checkDivisors(e, st)
+			}
+			v.checkRef(rule.From, st)
+			v.checkRef(rule.To, st)
+			if rule.Volume != nil {
+				if b := st.bounds(rule.Volume); b.ok && b.exact && st.proveNeg(b.hi) {
+					v.report(rule.Line, rule.Col, SevError, CodeNegVolume,
+						fmt.Sprintf("volume %s is negative for every binding", rule.Volume), "")
+				}
+			}
+		}
+	}
+}
+
+// checkDivisors walks e and judges every "/", "div", and "mod" divisor:
+// provably zero is an error for every binding; not provably nonzero is
+// a warning (some accepted binding divides by zero).
+func (v *vetter) checkDivisors(e larcs.Expr, st *symtab) {
+	switch x := e.(type) {
+	case larcs.Unary:
+		v.checkDivisors(x.X, st)
+	case larcs.Binary:
+		v.checkDivisors(x.L, st)
+		v.checkDivisors(x.R, st)
+		if x.Op != "/" && x.Op != "div" && x.Op != "mod" {
+			return
+		}
+		b := st.bounds(x.R)
+		if !b.ok {
+			return
+		}
+		if b.exact && b.lo.equal(b.hi) && st.provablyZero(b.lo) {
+			v.report(x.Line, x.Col, SevError, CodeDivZero,
+				fmt.Sprintf("divisor %s is zero for every binding", x.R), "")
+			return
+		}
+		// Safe iff divisor >= 1 or <= -1 for all valid bindings.
+		if st.proveGE0(b.lo.sub(constLin(1))) || st.proveGE0(b.hi.neg().sub(constLin(1))) {
+			return
+		}
+		v.report(x.Line, x.Col, SevWarning, CodeMayDivZero,
+			fmt.Sprintf("divisor %s may be zero for some binding", x.R),
+			"guard the rule, or declare a nodetype range that forces the divisor positive")
+	}
+}
+
+// checkRef proves a node reference in or out of its nodetype's declared
+// box. An OOB report means: for every accepted binding, some executing
+// instantiation of the rule indexes outside the nodetype — Compile is
+// guaranteed to fail.
+func (v *vetter) checkRef(ref larcs.NodeRef, st *symtab) {
+	nt, ok := v.types[ref.Type]
+	if !ok || len(ref.Idx) != len(nt.Dims) {
+		return // sema already reported
+	}
+	for d, ix := range ref.Idx {
+		b := st.bounds(ix)
+		if !b.ok || !b.exact {
+			continue
+		}
+		dimLo := st.bounds(nt.Dims[d].Lo)
+		dimHi := st.bounds(nt.Dims[d].Hi)
+		if !dimLo.ok || !dimHi.ok || !dimLo.exact || !dimHi.exact {
+			continue
+		}
+		if st.proveGE0(b.hi.sub(dimHi.hi).sub(constLin(1))) {
+			v.report(ref.Line, ref.Col, SevError, CodeOOB,
+				fmt.Sprintf("index %d of %s(...) reaches %s, above the declared bound %s of nodetype %q",
+					d, ref.Type, b.hi, dimHi.hi, ref.Type),
+				fmt.Sprintf("wrap the index with \"mod\" or tighten the forall range (e.g. %s)", ix))
+		}
+		if st.proveGE0(dimLo.lo.sub(b.lo).sub(constLin(1))) {
+			v.report(ref.Line, ref.Col, SevError, CodeOOB,
+				fmt.Sprintf("index %d of %s(...) reaches %s, below the declared bound %s of nodetype %q",
+					d, ref.Type, b.lo, dimLo.lo, ref.Type),
+				"wrap the index with \"mod\" or tighten the forall range")
+		}
+	}
+}
+
+// checkSelfLoop flags rules whose endpoints are syntactically identical
+// — every instantiation maps a task to itself, which contributes no
+// communication and usually signals an off-by-one.
+func (v *vetter) checkSelfLoop(rule *larcs.CommRule) {
+	if rule.From.Type != rule.To.Type || len(rule.From.Idx) != len(rule.To.Idx) {
+		return
+	}
+	for d := range rule.From.Idx {
+		if rule.From.Idx[d].String() != rule.To.Idx[d].String() {
+			return
+		}
+	}
+	v.report(rule.From.Line, rule.From.Col, SevWarning, CodeSelfLoop,
+		fmt.Sprintf("edge %s -> %s is a self-loop for every instantiation", refString(rule.From), refString(rule.To)),
+		"offset one endpoint's index")
+}
+
+func refString(r larcs.NodeRef) string {
+	s := r.Type + "("
+	for i, ix := range r.Idx {
+		if i > 0 {
+			s += ","
+		}
+		s += ix.String()
+	}
+	return s + ")"
+}
+
+// execPass checks exphase cost expressions for divisor defects, with
+// the 'at' index variables bound to their nodetype's box.
+func (v *vetter) execPass() {
+	for i := range v.prog.ExecPhases {
+		ep := &v.prog.ExecPhases[i]
+		if ep.Cost == nil {
+			continue
+		}
+		st := v.st.child()
+		if nt, ok := v.types[ep.AtType]; ok && len(ep.At) == len(nt.Dims) {
+			for d, name := range ep.At {
+				st.bind(name, nt.Dims[d])
+			}
+		}
+		v.checkDivisors(ep.Cost, st)
+	}
+}
+
+// phasePass is the automaton analysis over the phases expression:
+// repetition counts, family index ranges, idle branches, empty loops,
+// and liveness (which phases the schedule can ever reach).
+func (v *vetter) phasePass() {
+	if v.prog.PhaseExpr == nil {
+		if n := len(v.prog.CommPhases) + len(v.prog.ExecPhases); n > 0 {
+			line := 1
+			if len(v.prog.CommPhases) > 0 {
+				line = v.prog.CommPhases[0].Line
+			} else if len(v.prog.ExecPhases) > 0 {
+				line = v.prog.ExecPhases[0].Line
+			}
+			v.report(line, 1, SevWarning, CodeNoPhases,
+				fmt.Sprintf("%d phase(s) declared but the program has no phases expression; nothing will be scheduled", n),
+				"add a phases declaration")
+		}
+		return
+	}
+	v.walkPhase(v.prog.PhaseExpr, v.st.child(), true)
+}
+
+// reached records which declared phases the phases expression can
+// actually execute (references under ^0 are walked dead).
+func (v *vetter) reached() map[string]bool {
+	if v.live == nil {
+		v.live = map[string]bool{}
+	}
+	return v.live
+}
+
+func (v *vetter) walkPhase(e larcs.PExpr, st *symtab, live bool) {
+	switch x := e.(type) {
+	case larcs.PIdle:
+	case larcs.PRef:
+		if live {
+			v.reached()[x.Name] = true
+		}
+		if x.Index == nil {
+			return
+		}
+		fam := v.family(x.Name)
+		if fam == nil {
+			return // sema reported the non-family reference
+		}
+		b := st.bounds(x.Index)
+		famLo := st.bounds(fam.Range.Lo)
+		famHi := st.bounds(fam.Range.Hi)
+		if !b.ok || !b.exact || !famLo.ok || !famHi.ok || !famLo.exact || !famHi.exact {
+			return
+		}
+		if st.proveGE0(b.hi.sub(famHi.hi).sub(constLin(1))) {
+			v.report(x.Line, x.Col, SevError, CodeFamRange,
+				fmt.Sprintf("family index %s reaches %s, above the range %s..%s of %q",
+					x.Index, b.hi, fam.Range.Lo, fam.Range.Hi, x.Name), "")
+		}
+		if st.proveGE0(famLo.lo.sub(b.lo).sub(constLin(1))) {
+			v.report(x.Line, x.Col, SevError, CodeFamRange,
+				fmt.Sprintf("family index %s reaches %s, below the range %s..%s of %q",
+					x.Index, b.lo, fam.Range.Lo, fam.Range.Hi, x.Name), "")
+		}
+	case larcs.PSeq:
+		for _, p := range x.Parts {
+			if idle, ok := p.(larcs.PIdle); ok && len(x.Parts) > 1 {
+				v.report(idle.Line, idle.Col, SevWarning, CodeIdleBranch,
+					"eps step in a sequence does nothing", "drop it")
+			}
+			v.walkPhase(p, st, live)
+		}
+	case larcs.PPar:
+		for _, p := range x.Parts {
+			if idle, ok := p.(larcs.PIdle); ok && len(x.Parts) > 1 {
+				v.report(idle.Line, idle.Col, SevWarning, CodeIdleBranch,
+					"eps branch of a parallel composition does nothing", "drop it")
+			}
+			v.walkPhase(p, st, live)
+		}
+	case larcs.PRep:
+		inner := live
+		if b := st.bounds(x.Count); b.ok && b.exact {
+			if st.provablyZero(b.lo) && b.lo.equal(b.hi) {
+				v.report(x.Line, x.Col, SevWarning, CodeRepZero,
+					fmt.Sprintf("repetition ^%s repeats zero times for every binding; the body never runs", x.Count),
+					"raise the count or delete the repetition")
+				inner = false
+			} else if st.proveNeg(b.hi) {
+				v.report(x.Line, x.Col, SevError, CodeRepNeg,
+					fmt.Sprintf("repetition count %s is negative for every binding", x.Count), "")
+				inner = false
+			}
+		}
+		v.walkPhase(x.Body, st, inner)
+	case larcs.PForall:
+		lo, hi := st.bounds(x.Range.Lo), st.bounds(x.Range.Hi)
+		inner := live
+		if lo.ok && hi.ok && lo.exact && hi.exact && st.proveNeg(hi.hi.sub(lo.lo)) {
+			v.report(x.Line, x.Col, SevWarning, CodeEmptyRange,
+				fmt.Sprintf("phase loop range %s..%s is empty for every binding; the body never runs", x.Range.Lo, x.Range.Hi),
+				"swap or widen the bounds")
+			inner = false
+		}
+		child := st.child()
+		child.bind(x.Var, x.Range)
+		v.walkPhase(x.Body, child, inner)
+	}
+}
+
+func (v *vetter) family(name string) *larcs.CommPhaseDecl {
+	for i := range v.prog.CommPhases {
+		cp := &v.prog.CommPhases[i]
+		if cp.Name == name && cp.Param != "" {
+			return cp
+		}
+	}
+	return nil
+}
+
+// usagePass flags declared-but-unreachable phases and never-referenced
+// nodetypes.
+func (v *vetter) usagePass() {
+	if v.prog.PhaseExpr != nil {
+		live := v.reached()
+		for i := range v.prog.CommPhases {
+			cp := &v.prog.CommPhases[i]
+			if !live[cp.Name] {
+				v.report(cp.Line, cp.Col, SevWarning, CodeUnusedPhase,
+					fmt.Sprintf("comphase %q is never reached by the phases expression", cp.Name),
+					"reference it in phases or delete it")
+			}
+		}
+		for i := range v.prog.ExecPhases {
+			ep := &v.prog.ExecPhases[i]
+			if !live[ep.Name] {
+				v.report(ep.Line, ep.Col, SevWarning, CodeUnusedPhase,
+					fmt.Sprintf("exphase %q is never reached by the phases expression", ep.Name),
+					"reference it in phases or delete it")
+			}
+		}
+	}
+	used := map[string]bool{}
+	for i := range v.prog.CommPhases {
+		for _, rule := range v.prog.CommPhases[i].Rules {
+			used[rule.From.Type] = true
+			used[rule.To.Type] = true
+		}
+	}
+	for i := range v.prog.ExecPhases {
+		if at := v.prog.ExecPhases[i].AtType; at != "" {
+			used[at] = true
+		}
+	}
+	for i := range v.prog.NodeTypes {
+		nt := &v.prog.NodeTypes[i]
+		if !used[nt.Name] {
+			v.report(nt.Line, nt.Col, SevWarning, CodeUnusedNodeType,
+				fmt.Sprintf("nodetype %q is declared but no rule or cost references it", nt.Name),
+				"delete it or add the missing communication rules")
+		}
+	}
+}

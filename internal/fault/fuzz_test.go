@@ -15,9 +15,9 @@ import (
 // routes over no dead link — and after a failed Repair (machine
 // disconnected or drained) the mapping is untouched and still valid.
 func FuzzRepair(f *testing.F) {
-	f.Add([]byte{0, 3})             // one processor failure
-	f.Add([]byte{1, 0})             // one link failure
-	f.Add([]byte{0, 5, 1, 2, 0, 1}) // proc, link, proc
+	f.Add([]byte{0, 3})                                           // one processor failure
+	f.Add([]byte{1, 0})                                           // one link failure
+	f.Add([]byte{0, 5, 1, 2, 0, 1})                               // proc, link, proc
 	f.Add([]byte{0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7}) // drain everything
 	f.Add([]byte{1, 1, 1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1, 7, 1, 8}) // shred links
 

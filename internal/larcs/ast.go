@@ -18,8 +18,11 @@ type Program struct {
 	// NodeSymmetric is the user's assertion that the task graph is node
 	// symmetric, a hint for the group-theoretic mapper.
 	NodeSymmetric bool
-	CommPhases    []CommPhaseDecl
-	ExecPhases    []ExecPhaseDecl
+	// NodeSymmetricLine is the source line of the nodesymmetric
+	// declaration (0 when absent), for diagnostics that refute it.
+	NodeSymmetricLine int
+	CommPhases        []CommPhaseDecl
+	ExecPhases        []ExecPhaseDecl
 	// PhaseExpr describes the dynamic behavior (Section 3, item 6);
 	// nil if the program omits a phases declaration.
 	PhaseExpr PExpr
@@ -33,6 +36,8 @@ type Program struct {
 type ConstDecl struct {
 	Name string
 	Val  Expr
+	Line int
+	Col  int
 }
 
 // NodeTypeDecl declares a (possibly multi-dimensional) family of task
@@ -42,11 +47,15 @@ type NodeTypeDecl struct {
 	Name string
 	Dims []RangeExpr
 	Line int
+	Col  int
 }
 
-// RangeExpr is an inclusive integer range lo..hi.
+// RangeExpr is an inclusive integer range lo..hi. Line/Col locate the
+// start of the range in the source (0 when constructed by hand).
 type RangeExpr struct {
 	Lo, Hi Expr
+	Line   int
+	Col    int
 }
 
 // CommPhaseDecl declares one communication phase as a set of edge rules.
@@ -61,6 +70,7 @@ type CommPhaseDecl struct {
 	Range RangeExpr // valid when Param != ""
 	Rules []CommRule
 	Line  int
+	Col   int
 }
 
 // CommRule generates edges: forall vars in ranges [if guard]:
@@ -74,6 +84,7 @@ type CommRule struct {
 	To     NodeRef
 	Volume Expr // nil means volume 1
 	Line   int
+	Col    int
 }
 
 // NodeRef names a task: nodetype(indexExpr, ...).
@@ -81,6 +92,7 @@ type NodeRef struct {
 	Type string
 	Idx  []Expr
 	Line int
+	Col  int
 }
 
 // ExecPhaseDecl declares an execution phase with a per-task cost
@@ -93,6 +105,7 @@ type ExecPhaseDecl struct {
 	AtType string
 	At     []string // index variable names, e.g. cost i+1 at cell(i,j)
 	Line   int
+	Col    int
 }
 
 // --- Arithmetic / boolean expressions ---------------------------------
@@ -135,9 +148,14 @@ func (Var) isExprNode()    {}
 func (Unary) isExprNode()  {}
 func (Binary) isExprNode() {}
 
-func (n Num) String() string   { return fmt.Sprint(n.V) }
-func (v Var) String() string   { return v.Name }
-func (u Unary) String() string { return u.Op + " " + u.X.String() }
+func (n Num) String() string { return fmt.Sprint(n.V) }
+func (v Var) String() string { return v.Name }
+func (u Unary) String() string {
+	if u.Op == "-" {
+		return "-" + u.X.String()
+	}
+	return u.Op + " " + u.X.String()
+}
 func (b Binary) String() string {
 	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
 }
@@ -152,7 +170,10 @@ type PExpr interface {
 }
 
 // PIdle is epsilon.
-type PIdle struct{}
+type PIdle struct {
+	Line int
+	Col  int
+}
 
 // PRef names a communication or execution phase. Index is non-nil when
 // referencing one member of a parameterized family, e.g. stage(s).
@@ -160,6 +181,7 @@ type PRef struct {
 	Name  string
 	Index Expr
 	Line  int
+	Col   int
 }
 
 // PForall is the paper's parameterized for-loop over phase expressions:
@@ -169,6 +191,8 @@ type PForall struct {
 	Var   string
 	Range RangeExpr
 	Body  PExpr
+	Line  int
+	Col   int
 }
 
 // PSeq is sequential composition.
@@ -185,6 +209,8 @@ type PPar struct {
 type PRep struct {
 	Body  PExpr
 	Count Expr
+	Line  int // position of the '^'
+	Col   int
 }
 
 func (PIdle) isPExpr()   {}

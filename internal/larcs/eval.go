@@ -1,5 +1,30 @@
 package larcs
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDivideByZero is the sentinel wrapped by every zero-divisor
+// evaluation failure, so callers can classify with errors.Is regardless
+// of whether the offending operator was "/", "div", or "mod".
+var ErrDivideByZero = errors.New("division or modulo by zero")
+
+// EvalError is a typed expression-evaluation failure carrying the source
+// position and operator of the failing node. Unwrap exposes the cause
+// (e.g. ErrDivideByZero).
+type EvalError struct {
+	Line, Col int
+	Op        string // the operator that failed, e.g. "mod"
+	Err       error
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("larcs:%d:%d: %q: %v", e.Line, e.Col, e.Op, e.Err)
+}
+
+func (e *EvalError) Unwrap() error { return e.Err }
+
 // env binds identifiers to integer values during compilation. Booleans
 // are represented as 0/1, as in the guard expressions.
 type env map[string]int
@@ -71,12 +96,12 @@ func eval(e Expr, en env) (int, error) {
 			return l * r, nil
 		case "/", "div":
 			if r == 0 {
-				return 0, errf(v.Line, v.Col, "division by zero")
+				return 0, &EvalError{Line: v.Line, Col: v.Col, Op: v.Op, Err: ErrDivideByZero}
 			}
 			return l / r, nil
 		case "mod":
 			if r == 0 {
-				return 0, errf(v.Line, v.Col, "modulo by zero")
+				return 0, &EvalError{Line: v.Line, Col: v.Col, Op: v.Op, Err: ErrDivideByZero}
 			}
 			m := l % r
 			if m != 0 && (m < 0) != (r < 0) {

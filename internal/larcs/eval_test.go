@@ -1,0 +1,101 @@
+package larcs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestEvalDivideByZeroTyped verifies that "/" , "div", and "mod" with a
+// zero divisor surface a typed *EvalError wrapping ErrDivideByZero, with
+// the position of the failing operator — not a panic and not an opaque
+// string-only error.
+func TestEvalDivideByZeroTyped(t *testing.T) {
+	for _, op := range []string{"/", "div", "mod"} {
+		e := Binary{Op: op, L: Num{V: 7}, R: Var{Name: "z", Line: 3, Col: 9}, Line: 3, Col: 7}
+		_, err := eval(e, env{"z": 0})
+		if err == nil {
+			t.Fatalf("op %q: zero divisor accepted", op)
+		}
+		if !errors.Is(err, ErrDivideByZero) {
+			t.Errorf("op %q: error %v does not wrap ErrDivideByZero", op, err)
+		}
+		var ee *EvalError
+		if !errors.As(err, &ee) {
+			t.Fatalf("op %q: error %T is not an *EvalError", op, err)
+		}
+		if ee.Line != 3 || ee.Col != 7 {
+			t.Errorf("op %q: position = %d:%d, want 3:7", op, ee.Line, ee.Col)
+		}
+		if ee.Op != op && !(op == "/" && ee.Op == "/") {
+			t.Errorf("op %q: recorded operator %q", op, ee.Op)
+		}
+	}
+}
+
+// TestCompileDivideByZeroTyped checks the typed error propagates through
+// Compile, where a bound parameter makes a divisor zero.
+func TestCompileDivideByZeroTyped(t *testing.T) {
+	src := `
+algorithm d(n);
+nodetype t 0..9;
+comphase c { forall i in 0..9 : t(i) -> t(i mod n); }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = prog.Compile(map[string]int{"n": 0}, Limits{})
+	if err == nil {
+		t.Fatal("mod 0 accepted")
+	}
+	if !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("Compile error %v does not wrap ErrDivideByZero", err)
+	}
+	if !strings.Contains(err.Error(), "larcs:4:") {
+		t.Errorf("error lacks source position: %v", err)
+	}
+	// Nonzero divisor still works.
+	if _, err := prog.Compile(map[string]int{"n": 10}, Limits{}); err != nil {
+		t.Errorf("mod 10 failed: %v", err)
+	}
+}
+
+// TestAnalyzeAllAccumulates verifies the sema rewrite reports every
+// defect of a broken program, not just the first.
+func TestAnalyzeAllAccumulates(t *testing.T) {
+	src := `
+algorithm broken(n);
+nodetype t 0..n-1;
+comphase a { forall i in 0..n-1 : t(i) -> u(i); }
+comphase b { forall i in 0..n-1 : t(i, i) -> t(q); }
+phases a; b; ghost;
+`
+	prog, err := ParseOnly(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := AnalyzeAll(prog)
+	if len(errs) < 4 {
+		t.Fatalf("AnalyzeAll found %d defect(s), want >= 4: %v", len(errs), errs)
+	}
+	var msgs []string
+	for _, e := range errs {
+		msgs = append(msgs, e.Error())
+	}
+	all := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		`undeclared nodetype "u"`,
+		`has 1 dimension(s), reference has 2`,
+		`undefined identifier "q"`,
+		`undeclared phase "ghost"`,
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("missing defect %q in:\n%s", want, all)
+		}
+	}
+	// Analyze keeps the first-error contract.
+	if err := Analyze(prog); err == nil || err.Error() != errs[0].Error() {
+		t.Errorf("Analyze = %v, want first of AnalyzeAll (%v)", err, errs[0])
+	}
+}

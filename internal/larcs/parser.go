@@ -3,6 +3,20 @@ package larcs
 // Parse parses LaRCS source into a Program. Errors carry line/column
 // positions.
 func Parse(src string) (*Program, error) {
+	prog, err := ParseOnly(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Analyze(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseOnly lexes and parses without running semantic analysis. Static
+// analysis tools use it to report *all* semantic defects of a
+// syntactically well-formed program instead of stopping at the first.
+func ParseOnly(src string) (*Program, error) {
 	toks, err := lexAll(src)
 	if err != nil {
 		return nil, err
@@ -13,9 +27,6 @@ func Parse(src string) (*Program, error) {
 		return nil, err
 	}
 	prog.Source = src
-	if err := Analyze(prog); err != nil {
-		return nil, err
-	}
 	return prog, nil
 }
 
@@ -124,7 +135,7 @@ func (p *parser) parseDecl(prog *Program) error {
 		if err != nil {
 			return err
 		}
-		prog.Consts = append(prog.Consts, ConstDecl{Name: id.text, Val: e})
+		prog.Consts = append(prog.Consts, ConstDecl{Name: id.text, Val: e, Line: id.line, Col: id.col})
 		_, err = p.expect(tokSemi)
 		return err
 	case tokNodetype:
@@ -133,7 +144,7 @@ func (p *parser) parseDecl(prog *Program) error {
 		if err != nil {
 			return err
 		}
-		decl := NodeTypeDecl{Name: id.text, Line: id.line}
+		decl := NodeTypeDecl{Name: id.text, Line: id.line, Col: id.col}
 		for {
 			r, err := p.parseRange()
 			if err != nil {
@@ -150,6 +161,7 @@ func (p *parser) parseDecl(prog *Program) error {
 	case tokNodesymmetric:
 		p.advance()
 		prog.NodeSymmetric = true
+		prog.NodeSymmetricLine = t.line
 		_, err := p.expect(tokSemi)
 		return err
 	case tokComphase:
@@ -174,6 +186,7 @@ func (p *parser) parseDecl(prog *Program) error {
 }
 
 func (p *parser) parseRange() (RangeExpr, error) {
+	start := p.cur()
 	lo, err := p.parseExpr()
 	if err != nil {
 		return RangeExpr{}, err
@@ -185,7 +198,7 @@ func (p *parser) parseRange() (RangeExpr, error) {
 	if err != nil {
 		return RangeExpr{}, err
 	}
-	return RangeExpr{Lo: lo, Hi: hi}, nil
+	return RangeExpr{Lo: lo, Hi: hi, Line: start.line, Col: start.col}, nil
 }
 
 func (p *parser) parseCommPhase(prog *Program) error {
@@ -194,7 +207,7 @@ func (p *parser) parseCommPhase(prog *Program) error {
 	if err != nil {
 		return err
 	}
-	decl := CommPhaseDecl{Name: id.text, Line: kw.line}
+	decl := CommPhaseDecl{Name: id.text, Line: kw.line, Col: kw.col}
 	if p.accept(tokLParen) {
 		param, err := p.expect(tokIdent)
 		if err != nil {
@@ -229,7 +242,7 @@ func (p *parser) parseCommPhase(prog *Program) error {
 }
 
 func (p *parser) parseCommRule() (CommRule, error) {
-	rule := CommRule{Line: p.cur().line}
+	rule := CommRule{Line: p.cur().line, Col: p.cur().col}
 	if p.accept(tokForall) {
 		for {
 			id, err := p.expect(tokIdent)
@@ -290,7 +303,7 @@ func (p *parser) parseNodeRef() (NodeRef, error) {
 	if err != nil {
 		return NodeRef{}, err
 	}
-	ref := NodeRef{Type: id.text, Line: id.line}
+	ref := NodeRef{Type: id.text, Line: id.line, Col: id.col}
 	if _, err := p.expect(tokLParen); err != nil {
 		return ref, err
 	}
@@ -316,7 +329,7 @@ func (p *parser) parseExecPhase(prog *Program) error {
 	if err != nil {
 		return err
 	}
-	decl := ExecPhaseDecl{Name: id.text, Line: kw.line}
+	decl := ExecPhaseDecl{Name: id.text, Line: kw.line, Col: kw.col}
 	if p.accept(tokCost) {
 		e, err := p.parseExpr()
 		if err != nil {
@@ -384,7 +397,7 @@ func (p *parser) parsePForallOrPar() (PExpr, error) {
 	if p.cur().kind != tokForall {
 		return p.parsePPar()
 	}
-	p.advance()
+	kw := p.advance()
 	v, err := p.expect(tokIdent)
 	if err != nil {
 		return nil, err
@@ -403,7 +416,7 @@ func (p *parser) parsePForallOrPar() (PExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return PForall{Var: v.text, Range: r, Body: body}, nil
+	return PForall{Var: v.text, Range: r, Body: body, Line: kw.line, Col: kw.col}, nil
 }
 
 // startsPAtom reports whether tok can begin a phase expression element,
@@ -437,12 +450,13 @@ func (p *parser) parsePRep() (PExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.accept(tokCaret) {
+	for p.cur().kind == tokCaret {
+		caret := p.advance()
 		count, err := p.parsePCount()
 		if err != nil {
 			return nil, err
 		}
-		atom = PRep{Body: atom, Count: count}
+		atom = PRep{Body: atom, Count: count, Line: caret.line, Col: caret.col}
 	}
 	return atom, nil
 }
@@ -477,10 +491,10 @@ func (p *parser) parsePAtom() (PExpr, error) {
 	switch t.kind {
 	case tokEps:
 		p.advance()
-		return PIdle{}, nil
+		return PIdle{Line: t.line, Col: t.col}, nil
 	case tokIdent:
 		p.advance()
-		ref := PRef{Name: t.text, Line: t.line}
+		ref := PRef{Name: t.text, Line: t.line, Col: t.col}
 		// A parenthesized index selects one member of a phase family.
 		if p.accept(tokLParen) {
 			ix, err := p.parseExpr()

@@ -1,60 +1,81 @@
 package larcs
 
-// Analyze performs semantic checks on a parsed program: unique
-// declarations, resolvable identifiers, node-reference arities, and
-// phase-expression name resolution. Parse calls it automatically; it is
+// Semantic analysis: unique declarations, resolvable identifiers,
+// node-reference arities, and phase-expression name resolution.
+//
+// AnalyzeAll accumulates every defect it can find rather than bailing at
+// the first, so static-analysis tooling (internal/analysis) can report a
+// complete picture of a broken program in one run. Analyze preserves the
+// historical first-error contract for the Parse/Compile path.
+
+// Analyze performs semantic checks on a parsed program and returns the
+// first defect found, or nil. Parse calls it automatically; it is
 // exported for callers that construct Programs directly.
 func Analyze(prog *Program) error {
+	if errs := AnalyzeAll(prog); len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// AnalyzeAll performs the same semantic checks as Analyze but
+// accumulates every defect instead of stopping at the first. The slice
+// is ordered by declaration order of the offending constructs.
+func AnalyzeAll(prog *Program) []*Error {
+	var errs []*Error
+	report := func(line, col int, format string, args ...interface{}) {
+		errs = append(errs, errf(line, col, format, args...))
+	}
+	collect := func(err error) {
+		if err == nil {
+			return
+		}
+		if e, ok := err.(*Error); ok {
+			errs = append(errs, e)
+			return
+		}
+		errs = append(errs, errf(0, 0, "%v", err))
+	}
+
 	values := make(map[string]int) // name -> declaration line (0 for params)
-	addValue := func(name string, line int) error {
+	addValue := func(name string, line int) {
 		if _, dup := values[name]; dup {
-			return errf(line, 1, "duplicate declaration of %q", name)
+			report(line, 1, "duplicate declaration of %q", name)
+			return
 		}
 		values[name] = line
-		return nil
 	}
 	for _, p := range prog.Params {
-		if err := addValue(p, 0); err != nil {
-			return err
-		}
+		addValue(p, 0)
 	}
 	for _, im := range prog.Imports {
-		if err := addValue(im, 0); err != nil {
-			return err
-		}
+		addValue(im, 0)
 	}
 
 	// Consts may reference params, imports, and earlier consts only.
 	for _, c := range prog.Consts {
-		if err := checkVars(c.Val, values, nil); err != nil {
-			return err
-		}
-		if err := addValue(c.Name, 0); err != nil {
-			return err
-		}
+		collect(checkVars(c.Val, values, nil))
+		addValue(c.Name, c.Line)
 	}
 
 	nodeTypes := make(map[string]*NodeTypeDecl)
 	for i := range prog.NodeTypes {
 		nt := &prog.NodeTypes[i]
 		if _, dup := nodeTypes[nt.Name]; dup {
-			return errf(nt.Line, 1, "duplicate nodetype %q", nt.Name)
+			report(nt.Line, 1, "duplicate nodetype %q", nt.Name)
+		} else {
+			if _, clash := values[nt.Name]; clash {
+				report(nt.Line, 1, "nodetype %q clashes with a value name", nt.Name)
+			}
+			nodeTypes[nt.Name] = nt
 		}
-		if _, clash := values[nt.Name]; clash {
-			return errf(nt.Line, 1, "nodetype %q clashes with a value name", nt.Name)
-		}
-		nodeTypes[nt.Name] = nt
 		for _, d := range nt.Dims {
-			if err := checkVars(d.Lo, values, nil); err != nil {
-				return err
-			}
-			if err := checkVars(d.Hi, values, nil); err != nil {
-				return err
-			}
+			collect(checkVars(d.Lo, values, nil))
+			collect(checkVars(d.Hi, values, nil))
 		}
 	}
 	if len(prog.NodeTypes) == 0 {
-		return errf(1, 1, "program declares no nodetype")
+		report(1, 1, "program declares no nodetype")
 	}
 
 	phaseNames := make(map[string]bool)
@@ -63,20 +84,16 @@ func Analyze(prog *Program) error {
 	for i := range prog.CommPhases {
 		cp := &prog.CommPhases[i]
 		if phaseNames[cp.Name] {
-			return errf(cp.Line, 1, "duplicate phase name %q", cp.Name)
+			report(cp.Line, 1, "duplicate phase name %q", cp.Name)
 		}
 		phaseNames[cp.Name] = true
 		if cp.Param != "" {
 			commFamilies[cp.Name] = true
 			if _, clash := values[cp.Param]; clash {
-				return errf(cp.Line, 1, "family parameter %q shadows a declared name", cp.Param)
+				report(cp.Line, 1, "family parameter %q shadows a declared name", cp.Param)
 			}
-			if err := checkVars(cp.Range.Lo, values, nil); err != nil {
-				return err
-			}
-			if err := checkVars(cp.Range.Hi, values, nil); err != nil {
-				return err
-			}
+			collect(checkVars(cp.Range.Lo, values, nil))
+			collect(checkVars(cp.Range.Hi, values, nil))
 		} else {
 			commNames[cp.Name] = true
 		}
@@ -87,44 +104,33 @@ func Analyze(prog *Program) error {
 			}
 			for vi, v := range rule.Vars {
 				if _, clash := values[v]; clash {
-					return errf(rule.Line, 1, "quantifier variable %q shadows a declared name", v)
+					report(rule.Line, 1, "quantifier variable %q shadows a declared name", v)
 				}
 				if local[v] {
-					return errf(rule.Line, 1, "quantifier variable %q duplicates an enclosing binding", v)
+					report(rule.Line, 1, "quantifier variable %q duplicates an enclosing binding", v)
 				}
 				// Range bounds may reference earlier quantifier vars.
-				if err := checkVars(rule.Ranges[vi].Lo, values, local); err != nil {
-					return err
-				}
-				if err := checkVars(rule.Ranges[vi].Hi, values, local); err != nil {
-					return err
-				}
+				collect(checkVars(rule.Ranges[vi].Lo, values, local))
+				collect(checkVars(rule.Ranges[vi].Hi, values, local))
 				local[v] = true
 			}
 			if rule.Guard != nil {
-				if err := checkVars(rule.Guard, values, local); err != nil {
-					return err
-				}
+				collect(checkVars(rule.Guard, values, local))
 			}
 			for _, ref := range []NodeRef{rule.From, rule.To} {
 				nt, ok := nodeTypes[ref.Type]
 				if !ok {
-					return errf(ref.Line, 1, "undeclared nodetype %q", ref.Type)
-				}
-				if len(ref.Idx) != len(nt.Dims) {
-					return errf(ref.Line, 1, "nodetype %q has %d dimension(s), reference has %d index(es)",
+					report(ref.Line, ref.Col, "undeclared nodetype %q", ref.Type)
+				} else if len(ref.Idx) != len(nt.Dims) {
+					report(ref.Line, ref.Col, "nodetype %q has %d dimension(s), reference has %d index(es)",
 						ref.Type, len(nt.Dims), len(ref.Idx))
 				}
 				for _, ix := range ref.Idx {
-					if err := checkVars(ix, values, local); err != nil {
-						return err
-					}
+					collect(checkVars(ix, values, local))
 				}
 			}
 			if rule.Volume != nil {
-				if err := checkVars(rule.Volume, values, local); err != nil {
-					return err
-				}
+				collect(checkVars(rule.Volume, values, local))
 			}
 		}
 	}
@@ -133,7 +139,7 @@ func Analyze(prog *Program) error {
 	for i := range prog.ExecPhases {
 		ep := &prog.ExecPhases[i]
 		if phaseNames[ep.Name] {
-			return errf(ep.Line, 1, "duplicate phase name %q", ep.Name)
+			report(ep.Line, 1, "duplicate phase name %q", ep.Name)
 		}
 		phaseNames[ep.Name] = true
 		execNames[ep.Name] = true
@@ -141,36 +147,32 @@ func Analyze(prog *Program) error {
 		if ep.AtType != "" {
 			nt, ok := nodeTypes[ep.AtType]
 			if !ok {
-				return errf(ep.Line, 1, "undeclared nodetype %q in cost 'at'", ep.AtType)
-			}
-			if len(ep.At) != len(nt.Dims) {
-				return errf(ep.Line, 1, "nodetype %q has %d dimension(s), cost 'at' has %d variable(s)",
+				report(ep.Line, 1, "undeclared nodetype %q in cost 'at'", ep.AtType)
+			} else if len(ep.At) != len(nt.Dims) {
+				report(ep.Line, 1, "nodetype %q has %d dimension(s), cost 'at' has %d variable(s)",
 					ep.AtType, len(nt.Dims), len(ep.At))
 			}
 			for _, v := range ep.At {
 				if _, clash := values[v]; clash {
-					return errf(ep.Line, 1, "cost variable %q shadows a declared name", v)
+					report(ep.Line, 1, "cost variable %q shadows a declared name", v)
 				}
 				local[v] = true
 			}
 		}
 		if ep.Cost != nil {
-			if err := checkVars(ep.Cost, values, local); err != nil {
-				return err
-			}
+			collect(checkVars(ep.Cost, values, local))
 		}
 	}
 
 	if prog.PhaseExpr != nil {
-		if err := checkPExpr(prog.PhaseExpr, commNames, commFamilies, execNames, values, nil); err != nil {
-			return err
-		}
+		checkPExpr(prog.PhaseExpr, commNames, commFamilies, execNames, values, nil, collect)
 	}
-	return nil
+	return errs
 }
 
 // checkVars verifies every Var in e resolves in the global value
-// namespace or the local (quantifier) scope.
+// namespace or the local (quantifier) scope, returning the first
+// unresolved reference.
 func checkVars(e Expr, values map[string]int, local map[string]bool) error {
 	switch v := e.(type) {
 	case Num:
@@ -194,61 +196,51 @@ func checkVars(e Expr, values map[string]int, local map[string]bool) error {
 	return errf(0, 0, "unknown expression node %T", e)
 }
 
-func checkPExpr(e PExpr, comm, families, exec map[string]bool, values map[string]int, local map[string]bool) error {
+func checkPExpr(e PExpr, comm, families, exec map[string]bool, values map[string]int, local map[string]bool, collect func(error)) {
 	switch v := e.(type) {
 	case PIdle:
-		return nil
 	case PRef:
 		if v.Index != nil {
 			if !families[v.Name] {
-				return errf(v.Line, 1, "phase expression indexes %q, which is not a parameterized phase family", v.Name)
+				collect(errf(v.Line, v.Col, "phase expression indexes %q, which is not a parameterized phase family", v.Name))
+				return
 			}
-			return checkVars(v.Index, values, local)
+			collect(checkVars(v.Index, values, local))
+			return
 		}
 		if families[v.Name] {
-			return errf(v.Line, 1, "phase family %q referenced without an index", v.Name)
+			collect(errf(v.Line, v.Col, "phase family %q referenced without an index", v.Name))
+			return
 		}
 		if !comm[v.Name] && !exec[v.Name] {
-			return errf(v.Line, 1, "phase expression references undeclared phase %q", v.Name)
+			collect(errf(v.Line, v.Col, "phase expression references undeclared phase %q", v.Name))
 		}
-		return nil
 	case PSeq:
 		for _, p := range v.Parts {
-			if err := checkPExpr(p, comm, families, exec, values, local); err != nil {
-				return err
-			}
+			checkPExpr(p, comm, families, exec, values, local, collect)
 		}
-		return nil
 	case PPar:
 		for _, p := range v.Parts {
-			if err := checkPExpr(p, comm, families, exec, values, local); err != nil {
-				return err
-			}
+			checkPExpr(p, comm, families, exec, values, local, collect)
 		}
-		return nil
 	case PRep:
-		if err := checkPExpr(v.Body, comm, families, exec, values, local); err != nil {
-			return err
-		}
-		return checkVars(v.Count, values, local)
+		checkPExpr(v.Body, comm, families, exec, values, local, collect)
+		collect(checkVars(v.Count, values, local))
 	case PForall:
 		if _, clash := values[v.Var]; clash {
-			return errf(0, 0, "phase loop variable %q shadows a declared name", v.Var)
+			collect(errf(v.Line, v.Col, "phase loop variable %q shadows a declared name", v.Var))
 		}
 		if local != nil && local[v.Var] {
-			return errf(0, 0, "phase loop variable %q duplicates an enclosing binding", v.Var)
+			collect(errf(v.Line, v.Col, "phase loop variable %q duplicates an enclosing binding", v.Var))
 		}
-		if err := checkVars(v.Range.Lo, values, local); err != nil {
-			return err
-		}
-		if err := checkVars(v.Range.Hi, values, local); err != nil {
-			return err
-		}
+		collect(checkVars(v.Range.Lo, values, local))
+		collect(checkVars(v.Range.Hi, values, local))
 		inner := map[string]bool{v.Var: true}
 		for k := range local {
 			inner[k] = true
 		}
-		return checkPExpr(v.Body, comm, families, exec, values, inner)
+		checkPExpr(v.Body, comm, families, exec, values, inner, collect)
+	default:
+		collect(errf(0, 0, "unknown phase expression node %T", e))
 	}
-	return errf(0, 0, "unknown phase expression node %T", e)
 }

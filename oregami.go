@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"oregami/internal/aggregate"
+	"oregami/internal/analysis"
 	"oregami/internal/core"
 	"oregami/internal/fault"
 	"oregami/internal/graph"
@@ -50,6 +51,31 @@ type Network = topology.Network
 // butterfly(k), ccc(k), complete(n), star(n).
 func NewNetwork(kind string, params ...int) (*Network, error) {
 	return topology.ByName(kind, params...)
+}
+
+// Diagnostic is one finding of the LaRCS static analyzer: a position,
+// severity ("warning" or "error"), stable machine-readable code, message,
+// and an optional suggested fix.
+type Diagnostic = analysis.Diag
+
+// Vet runs the static analyzer over a LaRCS source program *without*
+// parameter bindings: symbolic interval analysis of edge index
+// expressions (out-of-bounds node references, division/modulo by zero,
+// self-loops, empty ranges), phase-expression reachability (unreferenced
+// phases, dead ^0 repetitions, unused nodetypes), and a counterexample
+// search refuting false nodesymmetric claims. Diagnostics come back
+// sorted by position; an empty slice means the program is clean.
+func Vet(src string) []Diagnostic { return analysis.VetSource(src) }
+
+// VetHasErrors reports whether any diagnostic is an error (as opposed
+// to a warning). Programs with vet errors will fail to Compile or
+// produce malformed graphs for every binding the analysis covered.
+func VetHasErrors(diags []Diagnostic) bool { return analysis.HasErrors(diags) }
+
+// RenderDiagnostics formats diagnostics one per line as
+// "file:line:col: severity: message [code]".
+func RenderDiagnostics(file string, diags []Diagnostic) string {
+	return analysis.Render(file, diags)
 }
 
 // Compile parses a LaRCS source program and expands it for the given

@@ -1,0 +1,61 @@
+// Command analyzers runs the repository's custom static-analysis passes
+// over Go source trees. It mirrors the golang.org/x/tools/go/analysis
+// driver shape (Analyzer, Pass, Diagnostic) but is built only on the
+// standard library's go/ast and go/parser, because this repository
+// vendors no third-party modules.
+//
+// Usage:
+//
+//	go run ./tools/analyzers ./...
+//	go run ./tools/analyzers ./internal/... ./cmd/...
+//
+// Exit status is 1 when any diagnostic is reported, 0 otherwise.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one parsed file through an analyzer, mirroring
+// analysis.Pass. Report records a finding at a node's position.
+type Pass struct {
+	Fset     *token.FileSet
+	Filename string
+	File     *ast.File
+	PkgName  string
+	IsTest   bool
+
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at the node's position.
+func (p *Pass) Reportf(n ast.Node, format string, args ...interface{}) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      p.Fset.Position(n.Pos()),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check run over every file.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// analyzers is the registry of all passes the driver runs.
+var analyzers = []*Analyzer{
+	panicMsgAnalyzer,
+	exitCheckAnalyzer,
+}

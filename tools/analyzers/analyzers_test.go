@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write puts a source file in dir and returns its path.
+func write(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func analyze(t *testing.T, files ...string) []Diagnostic {
+	t.Helper()
+	diags, err := analyzeFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestPanicMsg(t *testing.T) {
+	dir := t.TempDir()
+	bad := write(t, dir, "bad.go", `package p
+
+import "fmt"
+
+func f(err error) {
+	panic(err)                      // want: not constant
+	panic("no prefix here")         // want: lacks prefix
+	panic(fmt.Sprintf("%v", err))   // want: lacks prefix
+}
+`)
+	good := write(t, dir, "good.go", `package p
+
+import "fmt"
+
+func g(n int, kind string) {
+	panic("p: broken invariant")
+	panic(fmt.Sprintf("p: bad count %d", n))
+	panic("p: unexpected kind " + kind)
+}
+`)
+	test := write(t, dir, "ok_test.go", `package p
+
+func h() { panic("anything goes in tests") }
+`)
+	diags := analyze(t, bad, good, test)
+	var got []string
+	for _, d := range diags {
+		if d.Analyzer != "panicmsg" {
+			t.Errorf("unexpected analyzer %q: %v", d.Analyzer, d)
+		}
+		got = append(got, d.Pos.Filename+":"+d.Message)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%s", len(diags), strings.Join(got, "\n"))
+	}
+	for _, d := range diags {
+		if filepath.Base(d.Pos.Filename) != "bad.go" {
+			t.Errorf("diagnostic outside bad.go: %v", d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "not a constant") {
+		t.Errorf("panic(err) message: %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "prefix") {
+		t.Errorf("unprefixed literal message: %q", diags[1].Message)
+	}
+}
+
+func TestExitCheck(t *testing.T) {
+	dir := t.TempDir()
+	lib := write(t, dir, "lib.go", `package lib
+
+import (
+	"log"
+	"os"
+)
+
+func f() {
+	os.Exit(1)    // want: not in main
+	log.Fatalf("x") // want: not in main
+}
+`)
+	mainpkg := write(t, dir, "main.go", `package main
+
+import "os"
+
+func main() { os.Exit(0) }
+`)
+	test := write(t, dir, "main_test.go", `package main
+
+import "os"
+
+func helper() { os.Exit(1) } // want: never in tests
+`)
+	diags := analyze(t, lib, mainpkg, test)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "exitcheck" {
+			t.Errorf("unexpected analyzer %q: %v", d.Analyzer, d)
+		}
+		if base := filepath.Base(d.Pos.Filename); base == "main.go" {
+			t.Errorf("flagged os.Exit in package main: %v", d)
+		}
+	}
+}
+
+// TestRepositoryClean runs both analyzers over the whole repository —
+// the same invocation `make lint` uses — and requires zero findings.
+func TestRepositoryClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	files, err := expand([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 50 {
+		t.Fatalf("expanded only %d files; pattern broken?", len(files))
+	}
+	diags := analyze(t, files...)
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	}
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	files, err := expand([]string{filepath.Join("..", "..") + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.Contains(f, "testdata") {
+			t.Errorf("expand included testdata file %s", f)
+		}
+		if !strings.HasSuffix(f, ".go") {
+			t.Errorf("expand included non-Go file %s", f)
+		}
+	}
+}

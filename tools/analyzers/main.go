@@ -1,0 +1,136 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: analyzers [dir|dir/...]...\nruns:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	files, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyzers:", err)
+		os.Exit(2)
+	}
+	diags, err := analyzeFiles(files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyzers:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// expand resolves "dir" and "dir/..." patterns to .go files, skipping
+// testdata, vendor, and hidden directories.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		dir := pat
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			dir = strings.TrimSuffix(pat, "/...")
+			if dir == "." || dir == "" {
+				dir = "."
+			}
+		}
+		info, err := os.Stat(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(dir)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				if path != dir && !recursive {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// analyzeFiles parses each file and runs every registered analyzer on
+// it, returning diagnostics sorted by position.
+func analyzeFiles(files []string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	for _, file := range files {
+		f, err := parser.ParseFile(fset, file, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     fset,
+				Filename: file,
+				File:     f,
+				PkgName:  f.Name.Name,
+				IsTest:   strings.HasSuffix(file, "_test.go"),
+				analyzer: a,
+				sink:     &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// panicMsgAnalyzer enforces the repository's panic convention: outside
+// test files, every panic carries a constant message with a lowercase
+// "pkg: " prefix identifying the subsystem (e.g. `panic("graph: negative
+// task count")`). Panics are reserved for programmer errors — broken
+// invariants the caller cannot recover from — and the prefix makes a
+// stack trace attributable at a glance. Raw `panic(err)` or computed
+// messages are rejected; wrap them with fmt.Sprintf and a prefix, or
+// return an error instead.
+var panicMsgAnalyzer = &Analyzer{
+	Name: "panicmsg",
+	Doc:  `non-test panics must take a constant string (or fmt.Sprintf of one) prefixed "pkg: "`,
+	Run:  runPanicMsg,
+}
+
+var panicPrefix = regexp.MustCompile(`^[a-z][a-z0-9/]*: `)
+
+func runPanicMsg(p *Pass) {
+	if p.IsTest {
+		return
+	}
+	ast.Inspect(p.File, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "panic" || len(call.Args) != 1 {
+			return true
+		}
+		if msg, ok := panicMessage(call.Args[0]); !ok {
+			p.Reportf(call, "panic argument is not a constant message; use panic(fmt.Sprintf(\"pkg: ...\", ...)) or return an error")
+		} else if !panicPrefix.MatchString(msg) {
+			p.Reportf(call, "panic message %q lacks a lowercase \"pkg: \" prefix", msg)
+		}
+		return true
+	})
+}
+
+// panicMessage extracts the constant leading text of a panic argument:
+// a string literal, a fmt.Sprintf / fmt.Errorf whose format is a
+// literal, or a "+" concatenation whose leftmost operand is a literal.
+func panicMessage(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		if x.Kind.String() != "STRING" {
+			return "", false
+		}
+		s, err := strconv.Unquote(x.Value)
+		if err != nil {
+			return "", false
+		}
+		return s, true
+	case *ast.BinaryExpr:
+		if x.Op.String() != "+" {
+			return "", false
+		}
+		return panicMessage(x.X)
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "fmt" {
+			return "", false
+		}
+		if !strings.HasPrefix(sel.Sel.Name, "Sprint") && !strings.HasPrefix(sel.Sel.Name, "Errorf") {
+			return "", false
+		}
+		if len(x.Args) == 0 {
+			return "", false
+		}
+		return panicMessage(x.Args[0])
+	}
+	return "", false
+}
