@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz lint check
+.PHONY: build test vet race fuzz lint check bench cover
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the repair invariants (seed corpus + 10s).
+# Short fuzz pass over every fuzz target (seed corpus + 10s each).
+# Go runs one -fuzz pattern per invocation, so the targets are looped.
+FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run=FuzzRepair -fuzz=FuzzRepair -fuzztime=10s ./internal/fault/
+	$(GO) test -run=FuzzRepair -fuzz=FuzzRepair -fuzztime=$(FUZZTIME) ./internal/fault/
+	$(GO) test -run=FuzzLaRCSParse -fuzz=FuzzLaRCSParse -fuzztime=$(FUZZTIME) ./internal/larcs/
+	$(GO) test -run=FuzzVerifyMapping -fuzz=FuzzVerifyMapping -fuzztime=$(FUZZTIME) ./internal/check/
 
 # Static analysis: formatting, go vet, and the repository's custom
 # analyzers (tools/analyzers: panicmsg, exitcheck).
@@ -27,3 +31,22 @@ lint: vet
 
 # The CI gate: static checks plus the full suite under the race detector.
 check: lint race
+
+# Run the root-package benchmarks and archive them as machine-readable
+# JSON (tools/benchjson). BENCHTIME=1x keeps the default pass quick;
+# override for stable numbers, e.g. `make bench BENCHTIME=1s`.
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . | tee BENCH_pipeline.txt
+	$(GO) run ./tools/benchjson BENCH_pipeline.txt > BENCH_pipeline.json
+	@echo "wrote BENCH_pipeline.json"
+
+# Coverage gate: the total statement coverage must not drop below the
+# recorded floor (the pre-oracle-PR baseline).
+COVER_FLOOR ?= 79.9
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$NF); print $$NF }'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+		{ echo "coverage regression: $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }

@@ -1,0 +1,67 @@
+package oregami
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMapOptionsCheckGatesPipeline exercises the public oracle surface:
+// MapOptions.Check arms the in-pipeline verification, Mapping.Check
+// re-runs it on demand, and RenderViolations formats a report.
+func TestMapOptionsCheckGatesPipeline(t *testing.T) {
+	comp, err := CompileWorkload("nbody", nil)
+	if err != nil {
+		t.Fatalf("compile workload: %v", err)
+	}
+	net, err := NewNetwork("hypercube", 3)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	m, err := comp.Map(net, &MapOptions{Check: true})
+	if err != nil {
+		t.Fatalf("map with Check: %v", err)
+	}
+	if vs := m.Check(); len(vs) != 0 {
+		t.Fatalf("fresh mapping has violations:\n%s", RenderViolations(vs))
+	}
+}
+
+// TestMappingCheckDetectsCorruption corrupts a finished mapping through
+// the internal state and confirms the public Check surface reports it.
+func TestMappingCheckDetectsCorruption(t *testing.T) {
+	comp, err := CompileWorkload("nbody", nil)
+	if err != nil {
+		t.Fatalf("compile workload: %v", err)
+	}
+	net, err := NewNetwork("hypercube", 3)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	m, err := comp.Map(net, nil)
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	inner := m.res.Mapping
+	inner.Place[0] = inner.Place[1] // non-injective embedding
+	vs := m.Check()
+	if len(vs) == 0 {
+		t.Fatal("corrupted embedding passed Check")
+	}
+	out := RenderViolations(vs)
+	if !strings.Contains(out, "embedding") {
+		t.Fatalf("report does not mention the embedding:\n%s", out)
+	}
+}
+
+// TestViolationErrorSurfacesThroughPipelineError documents the error
+// chain contract promised in MapOptions.Check's doc: stage "check"
+// wrapping a *ViolationError.
+func TestViolationErrorSurfacesThroughPipelineError(t *testing.T) {
+	ve := &ViolationError{Violations: []Violation{{Kind: "partition", Detail: "task 0 unassigned"}}}
+	err := error(&PipelineError{Stage: "check", Err: ve})
+	var got *ViolationError
+	if !errors.As(err, &got) || len(got.Violations) != 1 {
+		t.Fatalf("ViolationError not recoverable from %v", err)
+	}
+}

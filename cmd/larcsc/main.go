@@ -14,9 +14,14 @@
 //	larcsc vet -file prog.larcs [-json]                # static analysis only
 //	larcsc vet prog1.larcs prog2.larcs
 //	larcsc -vet -file prog.larcs -D n=15               # vet, then compile
+//	larcsc map -file prog.larcs -D n=15 -net hypercube:3 -check
 //
-// Exit codes: 0 clean, 1 program defects (parse/vet/compile errors),
-// 2 usage or I/O errors.
+// Map mode runs the full MAPPER pipeline onto a target network; with
+// -check the finished mapping must pass the post-condition oracle
+// (internal/check), and violations print as diagnostics.
+//
+// Exit codes: 0 clean, 1 program defects (parse/vet/compile errors,
+// oracle violations), 2 usage or I/O errors.
 package main
 
 import (
@@ -29,9 +34,12 @@ import (
 	"strings"
 
 	"oregami/internal/analysis"
+	"oregami/internal/check"
+	"oregami/internal/core"
 	"oregami/internal/graph"
 	"oregami/internal/larcs"
 	"oregami/internal/phase"
+	"oregami/internal/topology"
 	"oregami/internal/workload"
 )
 
@@ -73,9 +81,12 @@ var errDefectsReported = errors.New("diagnostics reported")
 func main() {
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "vet" {
+	switch {
+	case len(args) > 0 && args[0] == "vet":
 		err = runVet(args[1:])
-	} else {
+	case len(args) > 0 && args[0] == "map":
+		err = runMap(args[1:])
+	default:
 		err = runCompile(args)
 	}
 	var usage usageError
@@ -165,6 +176,68 @@ func runVet(args []string) error {
 	}
 	if defects {
 		return errDefectsReported
+	}
+	return nil
+}
+
+// runMap compiles a program and runs the MAPPER pipeline onto a target
+// network, optionally gated by the post-condition oracle.
+func runMap(args []string) error {
+	fs := flag.NewFlagSet("larcsc map", flag.ContinueOnError)
+	file := fs.String("file", "", "LaRCS source file")
+	wname := fs.String("workload", "", "bundled workload name instead of -file")
+	netSpec := fs.String("net", "", "target network, e.g. hypercube:3 or mesh:4,4")
+	force := fs.String("force", "", "force a MAPPER class: canned|systolic|group-theoretic|arbitrary")
+	doCheck := fs.Bool("check", false, "verify the mapping with the post-condition oracle; violations exit 1")
+	maxTasks := fs.Int("max-tasks", 0, "cap on the expanded task count (0 = default 1048576)")
+	maxEdges := fs.Int("max-edges", 0, "cap on the expanded edge count (0 = default 4194304)")
+	binds := bindings{}
+	fs.Var(binds, "D", "parameter binding name=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if fs.NArg() > 0 {
+		return usageError{fmt.Errorf("unexpected arguments %v", fs.Args())}
+	}
+	if *netSpec == "" {
+		return usageError{fmt.Errorf("map needs -net (e.g. -net hypercube:3)")}
+	}
+	net, err := topology.ParseSpec(*netSpec)
+	if err != nil {
+		return usageError{err}
+	}
+	srcs, err := loadSources(*file, *wname, nil)
+	if err != nil {
+		return err
+	}
+	s := srcs[0]
+	for k, v := range binds {
+		s.defaults[k] = v
+	}
+	prog, err := larcs.Parse(s.src)
+	if err != nil {
+		return err
+	}
+	c, err := prog.Compile(s.defaults, larcs.Limits{MaxTasks: *maxTasks, MaxEdges: *maxEdges})
+	if err != nil {
+		return err
+	}
+	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force), Check: *doCheck})
+	if err != nil {
+		var pe *core.PipelineError
+		var ve *check.ViolationError
+		if errors.As(err, &pe) && errors.As(pe.Err, &ve) {
+			fmt.Print(check.Render(ve.Violations))
+			return errDefectsReported
+		}
+		return err
+	}
+	fmt.Printf("mapped %s onto %s via %s (class %s)\n", prog.Name, net.Name, res.Mapping.Method, res.Class)
+	for _, line := range res.Trail {
+		fmt.Printf("  %s\n", line)
+	}
+	if *doCheck {
+		fmt.Println("check: mapping verified, 0 violations")
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"oregami/internal/analysis"
+	"oregami/internal/check"
 	"oregami/internal/core"
 	"oregami/internal/fault"
 	"oregami/internal/larcs"
@@ -92,23 +93,6 @@ func parseIDList(s string) ([]int, error) {
 	return out, nil
 }
 
-// parseNet parses "hypercube:3" or "mesh:4,4".
-func parseNet(s string) (*topology.Network, error) {
-	parts := strings.SplitN(s, ":", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("network must be kind:params, e.g. hypercube:3 or mesh:4,4")
-	}
-	var params []int
-	for _, p := range strings.Split(parts[1], ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, err
-		}
-		params = append(params, v)
-	}
-	return topology.ByName(parts[0], params...)
-}
-
 func run(out *os.File) error {
 	file := flag.String("file", "", "LaRCS source file")
 	wname := flag.String("workload", "", "bundled workload name")
@@ -117,6 +101,7 @@ func run(out *os.File) error {
 	doSim := flag.Bool("sim", true, "simulate the phase schedule and report completion time")
 	dot := flag.Bool("dot", false, "emit the mapping as Graphviz DOT and exit")
 	shell := flag.Bool("shell", false, "open the interactive metrics shell after mapping")
+	doCheck := flag.Bool("check", false, "verify the mapping with the post-condition oracle; violations fail the run")
 	maxTasks := flag.Int("max-tasks", 0, "cap on the expanded task count (0 = default 1048576)")
 	maxEdges := flag.Int("max-edges", 0, "cap on the expanded edge count (0 = default 4194304)")
 	failProcs := flag.String("fail-procs", "", "comma-separated processor ids failed before mapping")
@@ -130,7 +115,7 @@ func run(out *os.File) error {
 	if *netSpec == "" {
 		return fmt.Errorf("need -net (e.g. -net hypercube:3)")
 	}
-	net, err := parseNet(*netSpec)
+	net, err := topology.ParseSpec(*netSpec)
 	if err != nil {
 		return err
 	}
@@ -199,9 +184,12 @@ func run(out *os.File) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force)})
+	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force), Check: *doCheck})
 	if err != nil {
 		return err
+	}
+	if *doCheck {
+		fmt.Fprintln(out, "check: mapping verified, 0 violations")
 	}
 	if *dot {
 		fmt.Fprint(out, metrics.DOT(res.Mapping))
@@ -251,7 +239,7 @@ func run(out *os.File) error {
 
 // metricsShell is the textual modify-and-recompute loop.
 func metricsShell(in *os.File, out *os.File, res *core.Result, c *larcs.Compiled) error {
-	fmt.Fprintln(out, "metrics shell: commands are show | move <task> <proc> | sim | util | quit")
+	fmt.Fprintln(out, "metrics shell: commands are show | move <task> <proc> | check | sim | util | quit")
 	sc := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "> ")
@@ -292,6 +280,16 @@ func metricsShell(in *os.File, out *os.File, res *core.Result, c *larcs.Compiled
 				continue
 			}
 			fmt.Fprintf(out, "moved task %d to processor %d; routes recomputed\n", task, proc)
+		case "check":
+			rep, err := metrics.Compute(res.Mapping)
+			if err != nil {
+				rep = nil
+			}
+			if vs := check.Verify(c.Graph, res.Mapping.Net, res.Mapping, rep); len(vs) > 0 {
+				fmt.Fprint(out, check.Render(vs))
+			} else {
+				fmt.Fprintln(out, "check: mapping verified, 0 violations")
+			}
 		case "sim":
 			if c.Phases == nil {
 				fmt.Fprintln(out, "no phase expression")
@@ -320,7 +318,7 @@ func metricsShell(in *os.File, out *os.File, res *core.Result, c *larcs.Compiled
 			}
 			fmt.Fprint(out, u.Render())
 		default:
-			fmt.Fprintln(out, "commands: show | move <task> <proc> | sim | util | quit")
+			fmt.Fprintln(out, "commands: show | move <task> <proc> | check | sim | util | quit")
 		}
 	}
 }

@@ -1,9 +1,11 @@
 package canned
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"oregami/internal/gen"
 	"oregami/internal/topology"
 )
 
@@ -100,4 +102,110 @@ func TestBinomialLayoutBijectionProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
 	}
+}
+
+// familySize is the task count implied by a detection's family and
+// parameters.
+func familySize(det *Detection) int {
+	switch det.Family {
+	case FamilyRing, FamilyLinear:
+		return det.Params[0]
+	case FamilyGrid, FamilyTorus:
+		return det.Params[0] * det.Params[1]
+	case FamilyHypercube:
+		return 1 << det.Params[0]
+	case FamilyCBTree:
+		return 1<<(det.Params[0]+1) - 1
+	case FamilyBinomial:
+		return 1 << det.Params[0]
+	}
+	return -1
+}
+
+// Property (gen-driven): detection on every generated nameable family
+// returns a structurally consistent result — the family size matches the
+// task count and Canon is a bijection onto canonical positions.
+func TestDetectCanonBijectionOnGenerated(t *testing.T) {
+	gen.ForEachSeed(t, 60, func(t *testing.T, seed int64, r *rand.Rand) {
+		g := gen.Nameable(r)
+		det := Detect(g)
+		if det == nil {
+			t.Fatalf("nameable graph %s not detected", g.Name)
+		}
+		if got := familySize(det); got != g.NumTasks {
+			t.Fatalf("%s detected as %s%v implying %d tasks, graph has %d",
+				g.Name, det.Family, det.Params, got, g.NumTasks)
+		}
+		if len(det.Canon) != g.NumTasks {
+			t.Fatalf("Canon has %d entries for %d tasks", len(det.Canon), g.NumTasks)
+		}
+		seen := make([]bool, g.NumTasks)
+		for tsk, c := range det.Canon {
+			if c < 0 || c >= g.NumTasks || seen[c] {
+				t.Fatalf("Canon is not a bijection: task %d -> %d in %v", tsk, c, det.Canon)
+			}
+			seen[c] = true
+		}
+	})
+}
+
+// Property (gen-driven): whenever Fold accepts a processor count for a
+// generated family, the partition is dense, complete, and uses exactly
+// that many clusters.
+func TestFoldDensePartitionOnGenerated(t *testing.T) {
+	gen.ForEachSeed(t, 60, func(t *testing.T, seed int64, r *rand.Rand) {
+		g := gen.Nameable(r)
+		det := Detect(g)
+		if det == nil {
+			t.Fatalf("nameable graph %s not detected", g.Name)
+		}
+		procs := 1 + r.Intn(g.NumTasks)
+		part, err := Fold(det, procs)
+		if err != nil {
+			t.Skipf("fold %s%v onto %d rejected: %v", det.Family, det.Params, procs, err)
+		}
+		if len(part) != g.NumTasks {
+			t.Fatalf("fold covers %d of %d canonical positions", len(part), g.NumTasks)
+		}
+		sizes := map[int]int{}
+		for pos, c := range part {
+			if c < 0 || c >= procs {
+				t.Fatalf("position %d assigned out-of-range cluster %d (procs=%d)", pos, c, procs)
+			}
+			sizes[c]++
+		}
+		if len(sizes) != procs {
+			t.Fatalf("fold onto %d procs produced %d clusters", procs, len(sizes))
+		}
+	})
+}
+
+// Property (gen-driven): every embedding Lookup produces for a matching
+// network places canonical positions injectively onto processors.
+func TestLookupInjectiveOnGenerated(t *testing.T) {
+	gen.ForEachSeed(t, 60, func(t *testing.T, seed int64, r *rand.Rand) {
+		g := gen.Nameable(r)
+		det := Detect(g)
+		if det == nil {
+			t.Fatalf("nameable graph %s not detected", g.Name)
+		}
+		net := gen.Network(r)
+		emb := Lookup(det, net)
+		if emb == nil {
+			t.Skipf("no canned embedding of %s%v into %s", det.Family, det.Params, net.Name)
+		}
+		if len(emb.Proc) != g.NumTasks {
+			t.Fatalf("embedding %s places %d positions for %d tasks", emb.Name, len(emb.Proc), g.NumTasks)
+		}
+		used := map[int]bool{}
+		for c, p := range emb.Proc {
+			if p < 0 || p >= net.N {
+				t.Fatalf("embedding %s: position %d on out-of-range processor %d", emb.Name, c, p)
+			}
+			if used[p] {
+				t.Fatalf("embedding %s is not injective: processor %d reused", emb.Name, p)
+			}
+			used[p] = true
+		}
+	})
 }

@@ -1,0 +1,266 @@
+// Package check is the mapping oracle: a complete post-condition
+// verifier for the MAPPER pipeline. Where mapping.Validate stops at
+// structural consistency, VerifyMapping accumulates *every* violated
+// invariant of a finished mapping — partition coverage, embedding
+// injectivity into live processors, route walkability over live links,
+// per-phase link-assignment conflicts — and VerifyMetrics independently
+// recomputes the METRICS quantities to catch arithmetic drift in hot-path
+// refactors. The oracle never panics, even on adversarial mappings, and
+// renders violations as a stable, diffable report (like vet diagnostics).
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oregami/internal/graph"
+	"oregami/internal/mapping"
+	"oregami/internal/topology"
+)
+
+// Kind is a stable machine-readable violation class. Each kind names one
+// invariant of a finished mapping; the corruption tests exercise one
+// seeded corruption per kind.
+type Kind string
+
+const (
+	// KindPartition: some task is not in exactly one cluster, cluster
+	// ids are not dense, or the cluster count exceeds live processors.
+	KindPartition Kind = "partition"
+	// KindEmbedding: the cluster -> processor map is not an injection
+	// into the live processors.
+	KindEmbedding Kind = "embedding"
+	// KindWalk: a routed path is not a contiguous walk from the
+	// sender's processor to the receiver's processor.
+	KindWalk Kind = "walk"
+	// KindDeadLink: a routed path traverses a failed link (directly or
+	// through a failed endpoint processor).
+	KindDeadLink Kind = "dead-link"
+	// KindPhaseConflict: one phase assigns the same link twice to a
+	// single message — a wasteful cycle MM-Route never produces.
+	KindPhaseConflict Kind = "phase-conflict"
+	// KindMetrics: a reported METRICS value disagrees with independent
+	// recomputation.
+	KindMetrics Kind = "metrics"
+)
+
+// Violation is one broken invariant. Phase is the communication phase
+// when the invariant is phase-scoped, "" otherwise.
+type Violation struct {
+	Kind   Kind
+	Phase  string
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.Phase != "" {
+		return fmt.Sprintf("%s: phase %q: %s", v.Kind, v.Phase, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Kind, v.Detail)
+}
+
+// Render formats violations one per line in their stable emission order
+// (tasks ascending, phases in declaration order), prefixed "check:". An
+// empty slice renders as "".
+func Render(vs []Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString("check: ")
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ViolationError wraps a non-empty violation list as an error, so the
+// dispatcher can fail a checked pipeline with the full report attached.
+type ViolationError struct {
+	Violations []Violation
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("mapping verification failed with %d violation(s):\n%s",
+		len(e.Violations), strings.TrimRight(Render(e.Violations), "\n"))
+}
+
+// VerifyMapping verifies every structural post-condition of a mapping of
+// desc onto net and returns all violations found (nil when the mapping is
+// valid). It never panics: adversarial Part/Place/Routes contents are
+// reported, not indexed blindly.
+//
+// Invariants checked:
+//   - every task of desc is in exactly one cluster, cluster ids are
+//     dense 0..k-1 with no empty cluster, and k <= live processors;
+//   - the embedding is an injection of clusters into live processors;
+//   - every routed phase has one route per edge; every route is a
+//     contiguous walk over live links from the sender's processor to the
+//     receiver's processor; intraprocessor edges have empty routes;
+//   - no route assigns the same link twice within its phase.
+func VerifyMapping(desc *graph.TaskGraph, net *topology.Network, m *mapping.Mapping) []Violation {
+	var vs []Violation
+	add := func(kind Kind, phase, format string, args ...interface{}) {
+		vs = append(vs, Violation{Kind: kind, Phase: phase, Detail: fmt.Sprintf(format, args...)})
+	}
+	if desc == nil || net == nil || m == nil {
+		add(KindPartition, "", "incomplete verification request (desc/net/mapping missing)")
+		return vs
+	}
+
+	// --- Contraction: every task in exactly one cluster ------------------
+	partOK := true
+	k := 0
+	if m.Part == nil {
+		add(KindPartition, "", "mapping has no contraction (Part is nil)")
+		partOK = false
+	} else {
+		if len(m.Part) != desc.NumTasks {
+			add(KindPartition, "", "Part covers %d of %d tasks", len(m.Part), desc.NumTasks)
+			partOK = false
+		}
+		for _, c := range m.Part {
+			if c >= k {
+				k = c + 1
+			}
+		}
+		populated := make([]bool, k)
+		for t, c := range m.Part {
+			if c < 0 {
+				add(KindPartition, "", "task %d has negative cluster %d", t, c)
+				partOK = false
+				continue
+			}
+			populated[c] = true
+		}
+		for c := 0; c < k; c++ {
+			if !populated[c] {
+				add(KindPartition, "", "cluster %d is empty (ids not dense)", c)
+				partOK = false
+			}
+		}
+		if live := net.NumLive(); k > live {
+			add(KindPartition, "", "%d clusters exceed %d live processors", k, live)
+		}
+	}
+
+	// --- Embedding: injective into live processors -----------------------
+	placeOK := m.Place != nil
+	if m.Place == nil {
+		add(KindEmbedding, "", "mapping has no embedding (Place is nil)")
+	} else {
+		if len(m.Place) != k {
+			add(KindEmbedding, "", "Place covers %d of %d clusters", len(m.Place), k)
+			placeOK = false
+		}
+		host := make(map[int]int, len(m.Place))
+		for c, p := range m.Place {
+			switch {
+			case p < 0 || p >= net.N:
+				add(KindEmbedding, "", "cluster %d on processor %d out of range 0..%d", c, p, net.N-1)
+				placeOK = false
+			case !net.Alive(p):
+				add(KindEmbedding, "", "cluster %d on failed processor %d", c, p)
+			default:
+				if prev, dup := host[p]; dup {
+					add(KindEmbedding, "", "clusters %d and %d share processor %d (not injective)", prev, c, p)
+				} else {
+					host[p] = c
+				}
+			}
+		}
+	}
+
+	procOf := func(t int) int { return safeProc(net, m, t) }
+
+	// --- Routing: contiguous live walks, conflict-free per phase ---------
+	for _, p := range desc.Comm {
+		routes, routed := m.Routes[p.Name]
+		if !routed {
+			continue
+		}
+		if len(routes) != len(p.Edges) {
+			add(KindWalk, p.Name, "%d routes for %d edges", len(routes), len(p.Edges))
+			continue
+		}
+		for i, e := range p.Edges {
+			src, dst := procOf(e.From), procOf(e.To)
+			if src < 0 || dst < 0 {
+				if partOK && placeOK {
+					add(KindWalk, p.Name, "edge %d endpoints unmapped", i)
+				}
+				continue
+			}
+			route := routes[i]
+			if src == dst {
+				if len(route) != 0 {
+					add(KindWalk, p.Name, "edge %d (%d->%d) is intraprocessor but has a %d-link route",
+						i, e.From, e.To, len(route))
+				}
+				continue
+			}
+			at := src
+			walkOK := true
+			seen := make(map[int]bool, len(route))
+			for hop, id := range route {
+				if id < 0 || id >= net.NumLinks() {
+					add(KindWalk, p.Name, "edge %d hop %d: link %d out of range", i, hop, id)
+					walkOK = false
+					break
+				}
+				if !net.LinkAlive(id) {
+					add(KindDeadLink, p.Name, "edge %d hop %d traverses failed link %d", i, hop, id)
+				}
+				if seen[id] {
+					add(KindPhaseConflict, p.Name, "edge %d assigns link %d twice", i, id)
+				}
+				seen[id] = true
+				l := net.Link(id)
+				switch at {
+				case l.A:
+					at = l.B
+				case l.B:
+					at = l.A
+				default:
+					add(KindWalk, p.Name, "edge %d hop %d: link %d (%d-%d) does not touch processor %d",
+						i, hop, id, l.A, l.B, at)
+					walkOK = false
+				}
+				if !walkOK {
+					break
+				}
+			}
+			if walkOK && at != dst {
+				add(KindWalk, p.Name, "edge %d route ends at processor %d, not %d", i, at, dst)
+			}
+		}
+	}
+	// Routes for phases the description does not declare.
+	var unknown []string
+	for name := range m.Routes {
+		if desc.CommPhaseByName(name) == nil {
+			unknown = append(unknown, name)
+		}
+	}
+	sort.Strings(unknown)
+	for _, name := range unknown {
+		add(KindWalk, name, "routes for a phase the task graph does not declare")
+	}
+	return vs
+}
+
+// safeProc computes a task's processor defensively: -1 when any index on
+// the way is out of range, so checks can skip instead of panicking.
+func safeProc(net *topology.Network, m *mapping.Mapping, t int) int {
+	if m.Part == nil || t < 0 || t >= len(m.Part) {
+		return -1
+	}
+	c := m.Part[t]
+	if c < 0 || m.Place == nil || c >= len(m.Place) {
+		return -1
+	}
+	p := m.Place[c]
+	if p < 0 || p >= net.N {
+		return -1
+	}
+	return p
+}

@@ -1,0 +1,206 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"oregami/internal/check"
+	"oregami/internal/core"
+	"oregami/internal/graph"
+	"oregami/internal/mapping"
+	"oregami/internal/metrics"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+// pipelineMapping runs the real MAPPER pipeline on a random 16-task
+// graph over a 3-cube and returns every artifact the oracle consumes.
+// Seed 7 is fixed: 16 tasks on 8 processors guarantees contraction and
+// interprocessor routes, so every corruption below has material to break.
+func pipelineMapping(t *testing.T) (*graph.TaskGraph, *topology.Network, *mapping.Mapping, *metrics.Report) {
+	t.Helper()
+	g := workload.RandomTaskGraph(16, 0.35, 4, 7)
+	net := topology.Hypercube(3)
+	res, err := core.MapGraph(g, net, core.ClassArbitrary)
+	if err != nil {
+		t.Fatalf("pipeline failed: %v", err)
+	}
+	rep, err := metrics.Compute(res.Mapping)
+	if err != nil {
+		t.Fatalf("metrics failed: %v", err)
+	}
+	return g, net, res.Mapping, rep
+}
+
+func hasKind(vs []check.Violation, k check.Kind) bool {
+	for _, v := range vs {
+		if v.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// longestRoute returns the phase name and edge index of the longest
+// route in the mapping (there must be one: 16 tasks on 8 processors).
+func longestRoute(t *testing.T, m *mapping.Mapping) (string, int) {
+	t.Helper()
+	bestPhase, bestEdge, bestLen := "", -1, 0
+	for _, p := range m.Graph.Comm {
+		for i, r := range m.Routes[p.Name] {
+			if len(r) > bestLen {
+				bestPhase, bestEdge, bestLen = p.Name, i, len(r)
+			}
+		}
+	}
+	if bestEdge < 0 {
+		t.Fatal("pipeline produced no interprocessor routes; corruption tests need one")
+	}
+	return bestPhase, bestEdge
+}
+
+func TestCleanPipelinePasses(t *testing.T) {
+	g, net, m, rep := pipelineMapping(t)
+	if vs := check.Verify(g, net, m, rep); len(vs) > 0 {
+		t.Fatalf("oracle rejected a pipeline mapping:\n%s", check.Render(vs))
+	}
+}
+
+func TestDetectsWrongPartition(t *testing.T) {
+	g, net, m, _ := pipelineMapping(t)
+	m.Part[0] = m.NumClusters() + 3 // sparse cluster ids: 3 empty clusters
+	vs := check.VerifyMapping(g, net, m)
+	if !hasKind(vs, check.KindPartition) {
+		t.Fatalf("corrupted partition not detected; got:\n%s", check.Render(vs))
+	}
+}
+
+func TestDetectsNonInjectiveEmbedding(t *testing.T) {
+	g, net, m, _ := pipelineMapping(t)
+	m.Place[1] = m.Place[0]
+	vs := check.VerifyMapping(g, net, m)
+	if !hasKind(vs, check.KindEmbedding) {
+		t.Fatalf("non-injective embedding not detected; got:\n%s", check.Render(vs))
+	}
+}
+
+func TestDetectsBrokenWalk(t *testing.T) {
+	g, net, m, _ := pipelineMapping(t)
+	phase, edge := longestRoute(t, m)
+	r := m.Routes[phase][edge]
+	m.Routes[phase][edge] = r[:len(r)-1] // walk no longer reaches the destination
+	vs := check.VerifyMapping(g, net, m)
+	if !hasKind(vs, check.KindWalk) {
+		t.Fatalf("broken walk not detected; got:\n%s", check.Render(vs))
+	}
+}
+
+func TestDetectsDeadLink(t *testing.T) {
+	g, net, m, _ := pipelineMapping(t)
+	phase, edge := longestRoute(t, m)
+	used := m.Routes[phase][edge][0]
+	degraded, err := net.Masked(nil, []int{used})
+	if err != nil {
+		t.Fatalf("Masked: %v", err)
+	}
+	vs := check.VerifyMapping(g, degraded, m)
+	if !hasKind(vs, check.KindDeadLink) {
+		t.Fatalf("route over failed link %d not detected; got:\n%s", used, check.Render(vs))
+	}
+}
+
+func TestDetectsPhaseLinkConflict(t *testing.T) {
+	g, net, m, _ := pipelineMapping(t)
+	phase, edge := longestRoute(t, m)
+	r := m.Routes[phase][edge]
+	// Bounce over the final link twice more: the walk still ends at the
+	// destination, but the link is now assigned three times to one message.
+	last := r[len(r)-1]
+	m.Routes[phase][edge] = append(append(topology.Route{}, r...), last, last)
+	vs := check.VerifyMapping(g, net, m)
+	if !hasKind(vs, check.KindPhaseConflict) {
+		t.Fatalf("duplicate link assignment not detected; got:\n%s", check.Render(vs))
+	}
+	if hasKind(vs, check.KindWalk) {
+		t.Fatalf("bounce walk is contiguous and should not be a walk violation:\n%s", check.Render(vs))
+	}
+}
+
+func TestDetectsMetricMismatch(t *testing.T) {
+	g, net, m, rep := pipelineMapping(t)
+	rep.TotalIPC++
+	rep.Load.Imbalance *= 2
+	if len(rep.Links) > 0 && len(rep.Links[0].ContentionPerLink) > 0 {
+		rep.Links[0].ContentionPerLink[0] += 5
+	}
+	vs := check.VerifyMetrics(g, net, m, rep)
+	if !hasKind(vs, check.KindMetrics) {
+		t.Fatalf("metric mismatch not detected; got:\n%s", check.Render(vs))
+	}
+	if n := len(vs); n < 3 {
+		t.Fatalf("expected all 3 corrupted values flagged, got %d:\n%s", n, check.Render(vs))
+	}
+}
+
+func TestMetricsUnrecomputableOnBrokenMapping(t *testing.T) {
+	g, net, m, rep := pipelineMapping(t)
+	m.Part = m.Part[:len(m.Part)-1]
+	vs := check.VerifyMetrics(g, net, m, rep)
+	if !hasKind(vs, check.KindMetrics) {
+		t.Fatalf("expected a not-recomputable violation, got:\n%s", check.Render(vs))
+	}
+}
+
+func TestVerifyNilArguments(t *testing.T) {
+	if vs := check.VerifyMapping(nil, nil, nil); len(vs) == 0 {
+		t.Fatal("nil arguments must be a violation, not a pass")
+	}
+	if vs := check.VerifyMetrics(nil, nil, nil, nil); len(vs) == 0 {
+		t.Fatal("nil arguments must be a violation, not a pass")
+	}
+}
+
+func TestRenderAndError(t *testing.T) {
+	vs := []check.Violation{
+		{Kind: check.KindPartition, Detail: "task 0 unassigned"},
+		{Kind: check.KindWalk, Phase: "shift", Detail: "edge 3 route ends early"},
+	}
+	got := check.Render(vs)
+	want := "check: partition: task 0 unassigned\n" +
+		"check: walk: phase \"shift\": edge 3 route ends early\n"
+	if got != want {
+		t.Fatalf("Render mismatch:\n got %q\nwant %q", got, want)
+	}
+	err := &check.ViolationError{Violations: vs}
+	if !strings.Contains(err.Error(), "2 violation(s)") {
+		t.Fatalf("ViolationError.Error misses the count: %q", err.Error())
+	}
+	if check.Render(nil) != "" {
+		t.Fatal("empty violation list must render empty")
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	_, _, m, _ := pipelineMapping(t)
+	a, b := check.Fingerprint(m), check.Fingerprint(m.Clone())
+	if a != b {
+		t.Fatalf("fingerprint of a clone differs:\n%s\nvs\n%s", a, b)
+	}
+	m2 := m.Clone()
+	m2.Part[0] = m2.Part[1]
+	if check.Fingerprint(m) == check.Fingerprint(m2) {
+		t.Fatal("fingerprint ignores the partition")
+	}
+	if check.Fingerprint(nil) == "" {
+		t.Fatal("nil mapping fingerprint must be non-empty and distinct")
+	}
+}
+
+func TestUnknownPhaseRoutes(t *testing.T) {
+	g, net, m, _ := pipelineMapping(t)
+	m.Routes["ghost"] = []topology.Route{{0}}
+	vs := check.VerifyMapping(g, net, m)
+	if !hasKind(vs, check.KindWalk) {
+		t.Fatalf("routes for an undeclared phase not detected; got:\n%s", check.Render(vs))
+	}
+}

@@ -1,0 +1,38 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oregami/internal/mapping"
+)
+
+// Fingerprint serializes everything the pipeline decides — partition,
+// placement, method, and every route in sorted phase order — into one
+// stable string. Two runs of the pipeline on the same inputs must produce
+// identical fingerprints; the determinism tests run every seed twice and
+// diff the fingerprints to catch map-iteration-order leaks.
+func Fingerprint(m *mapping.Mapping) string {
+	if m == nil {
+		return "<nil mapping>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "method=%s\npart=%v\nplace=%v\n", m.Method, m.Part, m.Place)
+	phases := make([]string, 0, len(m.Routes))
+	for name := range m.Routes {
+		phases = append(phases, name)
+	}
+	sort.Strings(phases)
+	for _, name := range phases {
+		fmt.Fprintf(&b, "routes[%s]=", name)
+		for i, r := range m.Routes[name] {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%v", []int(r))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package check_test
+
+import (
+	"testing"
+
+	"oregami/internal/check"
+	"oregami/internal/core"
+	"oregami/internal/mapping"
+	"oregami/internal/metrics"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+// FuzzVerifyMapping drives the oracle with byte-derived adversarial
+// mappings over a fixed small graph and network. The property is pure
+// robustness: VerifyMapping, VerifyMetrics, and Verify never panic, no
+// matter how malformed the mapping is — the oracle's whole job is to
+// judge broken states, so it must not crash on them.
+func FuzzVerifyMapping(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252, 253, 254, 255})
+	f.Add([]byte{128, 7, 7, 7, 0, 0, 0, 0, 1, 200, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := workload.RandomTaskGraph(8, 0.4, 3, 2)
+		net := topology.Hypercube(3)
+
+		next := func() int {
+			if len(data) == 0 {
+				return 0
+			}
+			v := int(int8(data[0]))
+			data = data[1:]
+			return v
+		}
+
+		// Start from a real pipeline mapping when available so byte
+		// corruptions reach deep states; fall back to an empty shell.
+		// The report is computed before corruption (metrics.Compute
+		// assumes a structurally sound mapping) and then corrupted
+		// independently.
+		var m *mapping.Mapping
+		var rep *metrics.Report
+		if res, err := core.MapGraph(g, net, core.ClassArbitrary); err == nil {
+			m = res.Mapping
+			rep, _ = metrics.Compute(m)
+		} else {
+			m = mapping.New(g, net)
+		}
+
+		// Corrupt the partition and embedding.
+		for i := range m.Part {
+			if next()%3 == 0 {
+				m.Part[i] = next()
+			}
+		}
+		if n := next() % 4; n == 0 {
+			m.Part = m.Part[:len(m.Part)/2]
+		} else if n == 1 {
+			m.Part = nil
+		}
+		for i := range m.Place {
+			if next()%3 == 0 {
+				m.Place[i] = next()
+			}
+		}
+		if next()%5 == 0 {
+			m.Place = nil
+		}
+
+		// Corrupt routes: drop links, retarget them, truncate walks,
+		// duplicate entries, and add an unknown phase.
+		for name, routes := range m.Routes {
+			for k := range routes {
+				switch next() % 4 {
+				case 0:
+					for j := range routes[k] {
+						routes[k][j] = next()
+					}
+				case 1:
+					if len(routes[k]) > 0 {
+						routes[k] = routes[k][:len(routes[k])-1]
+					}
+				case 2:
+					routes[k] = append(routes[k], next())
+				}
+			}
+			m.Routes[name] = routes
+		}
+		if next()%3 == 0 {
+			m.Routes["ghost"] = []topology.Route{{next(), next()}}
+		}
+		if next()%7 == 0 {
+			m.Routes = nil
+		}
+
+		// Corrupt the report the oracle cross-checks against.
+		if rep != nil {
+			if next()%3 == 0 {
+				rep.TotalIPC = float64(next())
+			}
+			if next()%3 == 0 {
+				rep.Load.Imbalance = float64(next())
+			}
+			if next()%3 == 0 && len(rep.Load.TasksPerProc) > 0 {
+				rep.Load.TasksPerProc[0] = next()
+			}
+			if next()%5 == 0 {
+				rep = nil
+			}
+		}
+
+		// A degraded network sometimes, so dead-link paths are hit.
+		vnet := net
+		if next()%2 == 0 {
+			if masked, err := net.Masked([]int{1}, []int{0, 3}); err == nil {
+				vnet = masked
+			}
+		}
+
+		_ = check.VerifyMapping(g, vnet, m)
+		_ = check.VerifyMetrics(g, vnet, m, rep)
+		_ = check.Verify(g, vnet, m, rep)
+		_ = check.Verify(nil, nil, nil, nil)
+		_ = check.Fingerprint(m)
+	})
+}

@@ -17,11 +17,13 @@ import (
 	"time"
 
 	"oregami/internal/canned"
+	"oregami/internal/check"
 	"oregami/internal/contract"
 	"oregami/internal/embed"
 	"oregami/internal/graph"
 	"oregami/internal/larcs"
 	"oregami/internal/mapping"
+	"oregami/internal/metrics"
 	"oregami/internal/route"
 	"oregami/internal/systolic"
 	"oregami/internal/topology"
@@ -78,6 +80,12 @@ type Request struct {
 	// cheaper Stone/greedy contraction instead of failing, recording
 	// the downgrade in the Trail. Zero disables the stage bound.
 	StageTimeout time.Duration
+	// Check runs the post-condition oracle (internal/check) on the
+	// finished mapping, including an independent recomputation of the
+	// METRICS values. Any violation fails the pipeline with a
+	// *PipelineError whose Stage is "check" wrapping a
+	// *check.ViolationError carrying the full report.
+	Check bool
 }
 
 // Result is a complete mapping plus the evidence of how it was obtained.
@@ -203,6 +211,16 @@ func Map(req Request) (*Result, error) {
 		res.RouteStats = stats
 		if err := m.Validate(); err != nil {
 			return nil, fmt.Errorf("core: produced invalid mapping: %w", err)
+		}
+		if req.Check {
+			rep, merr := metrics.Compute(m)
+			if merr != nil {
+				return nil, &PipelineError{Stage: "check", Err: merr}
+			}
+			if vs := check.Verify(g, req.Net, m, rep); len(vs) > 0 {
+				return nil, &PipelineError{Stage: "check", Err: &check.ViolationError{Violations: vs}}
+			}
+			trail("check: oracle passed (%d comm phases verified)", len(g.Comm))
 		}
 		return res, nil
 	}

@@ -3,6 +3,7 @@ package fault_test
 import (
 	"testing"
 
+	"oregami/internal/check"
 	"oregami/internal/fault"
 	"oregami/internal/topology"
 )
@@ -66,6 +67,13 @@ func FuzzRepair(f *testing.F) {
 				t.Fatalf("mapping invalid after step %d (repair err: %v): %v", i/2, err, verr)
 			}
 			checkRepaired(t, m, applied)
+			// The post-condition oracle must agree: every surviving
+			// mapping — repaired or rolled back — passes with zero
+			// violations against its current network.
+			if vs := check.VerifyMapping(m.Graph, m.Net, m); len(vs) > 0 {
+				t.Fatalf("oracle violations after step %d (repair err: %v):\n%s",
+					i/2, err, check.Render(vs))
+			}
 		}
 	})
 }

@@ -1,0 +1,35 @@
+// Package gen provides seeded, shrink-friendly random generators for the
+// randomized and differential test suites: task graphs (arbitrary,
+// node-symmetric Cayley, nameable families), topologies with random
+// fault sets that keep the live machine connected, vet-clean LaRCS
+// programs, and phase expressions.
+//
+// Every generator is a pure function of a *rand.Rand, so a failure is
+// reproduced by re-running with the same seed; ForEachSeed names each
+// subtest "seed=N" so `go test -run 'TestX/seed=N'` replays exactly one
+// case. Generators take explicit size parameters (or derive them early
+// from the seed) so a failing case can be shrunk by re-running the same
+// seed at smaller sizes.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ForEachSeed runs f once per seed 0..count-1, each as a subtest named
+// "seed=N". Reproduce a failure with `go test -run 'TestName/seed=N'`.
+func ForEachSeed(t *testing.T, count int, f func(t *testing.T, seed int64, r *rand.Rand)) {
+	t.Helper()
+	for seed := int64(0); seed < int64(count); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			f(t, seed, rand.New(rand.NewSource(seed)))
+		})
+	}
+}
+
+// Rand returns a deterministic generator for one seed, for callers
+// outside ForEachSeed (fuzz bodies, benchmarks).
+func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

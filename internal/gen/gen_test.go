@@ -1,0 +1,105 @@
+package gen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"oregami/internal/analysis"
+	"oregami/internal/canned"
+	"oregami/internal/gen"
+	"oregami/internal/larcs"
+	"oregami/internal/phase"
+)
+
+func TestTaskGraphValid(t *testing.T) {
+	gen.ForEachSeed(t, 50, func(t *testing.T, seed int64, r *rand.Rand) {
+		g := gen.TaskGraph(r, gen.DefaultSize(r))
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid graph: %v", err)
+		}
+		if g.NumEdges() == 0 && g.NumTasks > 1 {
+			t.Fatal("multi-task graph generated with no edges (backbone missing)")
+		}
+	})
+}
+
+func TestCayleyIsNodeSymmetric(t *testing.T) {
+	gen.ForEachSeed(t, 50, func(t *testing.T, seed int64, r *rand.Rand) {
+		g := gen.Cayley(r, 16)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid graph: %v", err)
+		}
+		if !g.IsNodeSymmetricCandidate() {
+			t.Fatalf("Cayley graph %q is not node symmetric", g.Name)
+		}
+	})
+}
+
+func TestNameableIsDetected(t *testing.T) {
+	gen.ForEachSeed(t, 60, func(t *testing.T, seed int64, r *rand.Rand) {
+		g := gen.Nameable(r)
+		if det := canned.Detect(g); det == nil {
+			t.Fatalf("nameable graph %q (%d tasks) not detected by canned.Detect", g.Name, g.NumTasks)
+		}
+	})
+}
+
+func TestNetworkAndFaults(t *testing.T) {
+	gen.ForEachSeed(t, 60, func(t *testing.T, seed int64, r *rand.Rand) {
+		net := gen.Network(r)
+		if !net.Connected() {
+			t.Fatalf("generated network %s is disconnected", net.Name)
+		}
+		degraded, procs, links := gen.Faults(r, net, 2, 3)
+		if !gen.LiveConnected(degraded) {
+			t.Fatalf("faults %v/%v disconnect the live part of %s", procs, links, net.Name)
+		}
+		if degraded.NumLive() < 2 {
+			t.Fatalf("faults left %d live processors", degraded.NumLive())
+		}
+		for _, p := range procs {
+			if degraded.Alive(p) {
+				t.Fatalf("accepted failed processor %d still alive", p)
+			}
+		}
+		for _, l := range links {
+			if degraded.LinkAlive(l) {
+				t.Fatalf("accepted failed link %d still alive", l)
+			}
+		}
+	})
+}
+
+func TestProgramIsVetCleanAndCompiles(t *testing.T) {
+	gen.ForEachSeed(t, 100, func(t *testing.T, seed int64, r *rand.Rand) {
+		p := gen.Program(r)
+		if diags := analysis.VetSource(p.Source); len(diags) != 0 {
+			t.Fatalf("generated program is not vet-clean:\n%s\ndiagnostics: %v", p.Source, diags)
+		}
+		prog, err := larcs.Parse(p.Source)
+		if err != nil {
+			t.Fatalf("generated program does not parse:\n%s\nerror: %v", p.Source, err)
+		}
+		comp, err := prog.Compile(p.Bindings, larcs.Limits{})
+		if err != nil {
+			t.Fatalf("generated program does not compile with %v:\n%s\nerror: %v",
+				p.Bindings, p.Source, err)
+		}
+		if err := comp.Graph.Validate(); err != nil {
+			t.Fatalf("compiled graph invalid: %v", err)
+		}
+	})
+}
+
+func TestPhaseExprIsValid(t *testing.T) {
+	comm := []string{"a", "b"}
+	exec := []string{"x"}
+	commSet := map[string]bool{"a": true, "b": true}
+	execSet := map[string]bool{"x": true}
+	gen.ForEachSeed(t, 50, func(t *testing.T, seed int64, r *rand.Rand) {
+		e := gen.PhaseExpr(r, 4, comm, exec)
+		if err := phase.Validate(e, commSet, execSet); err != nil {
+			t.Fatalf("generated phase expression invalid: %v\nexpr: %s", err, e)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"math/rand"
+
+	"oregami/internal/topology"
+)
+
+// Network generates a random topology of a random kind at small
+// parameters (4..~32 processors), covering every constructor family the
+// MAPPER targets.
+func Network(r *rand.Rand) *topology.Network {
+	switch r.Intn(8) {
+	case 0:
+		return topology.Ring(4 + r.Intn(13))
+	case 1:
+		return topology.Linear(4 + r.Intn(13))
+	case 2:
+		return topology.Mesh(2+r.Intn(3), 2+r.Intn(3))
+	case 3:
+		return topology.Torus(3+r.Intn(2), 3+r.Intn(2))
+	case 4:
+		return topology.Hypercube(2 + r.Intn(3))
+	case 5:
+		return topology.CompleteBinaryTree(2 + r.Intn(2))
+	case 6:
+		return topology.Complete(4 + r.Intn(5))
+	default:
+		return topology.Star(4 + r.Intn(7))
+	}
+}
+
+// Faults degrades a network with a random fault set while keeping the
+// live subgraph connected and at least two processors live. It tries up
+// to maxProcs processor and maxLinks link failures, dropping any
+// candidate that would disconnect the live machine. It returns the
+// degraded view plus the accepted fault lists (both possibly empty).
+func Faults(r *rand.Rand, net *topology.Network, maxProcs, maxLinks int) (*topology.Network, []int, []int) {
+	cur := net
+	var procs, links []int
+	for i := 0; i < maxProcs; i++ {
+		p := r.Intn(net.N)
+		if !cur.Alive(p) || cur.NumLive() <= 2 {
+			continue
+		}
+		next, err := cur.Masked([]int{p}, nil)
+		if err != nil || !LiveConnected(next) {
+			continue
+		}
+		cur = next
+		procs = append(procs, p)
+	}
+	for i := 0; i < maxLinks; i++ {
+		if net.NumLinks() == 0 {
+			break
+		}
+		l := r.Intn(net.NumLinks())
+		if !cur.LinkAlive(l) {
+			continue
+		}
+		next, err := cur.Masked(nil, []int{l})
+		if err != nil || !LiveConnected(next) {
+			continue
+		}
+		cur = next
+		links = append(links, l)
+	}
+	return cur, procs, links
+}
+
+// LiveConnected reports whether the live processors form one connected
+// component (over live links). Networks with fewer than two live
+// processors count as connected.
+func LiveConnected(net *topology.Network) bool {
+	live := net.NumLive()
+	if live <= 1 {
+		return true
+	}
+	start := -1
+	for v := 0; v < net.N; v++ {
+		if net.Alive(v) {
+			start = v
+			break
+		}
+	}
+	seen := make([]bool, net.N)
+	seen[start] = true
+	count := 1
+	for q := []int{start}; len(q) > 0; {
+		v := q[0]
+		q = q[1:]
+		for _, u := range net.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				q = append(q, u)
+			}
+		}
+	}
+	return count == live
+}

@@ -1,0 +1,42 @@
+package gen
+
+import (
+	"math/rand"
+
+	"oregami/internal/phase"
+)
+
+// PhaseExpr generates a random ground phase expression of bounded depth
+// over the given phase names. Leaves are Idle or references; interior
+// nodes are Seq/Par of 2..3 parts or Rep with count 0..3 (so the
+// normalizer's idle-elision and rep-folding rules all get exercised).
+func PhaseExpr(r *rand.Rand, depth int, comm, exec []string) phase.Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch {
+		case r.Intn(5) == 0:
+			return phase.Idle{}
+		case len(exec) > 0 && r.Intn(2) == 0:
+			return phase.Ref{Name: exec[r.Intn(len(exec))], Comm: false}
+		case len(comm) > 0:
+			return phase.Ref{Name: comm[r.Intn(len(comm))], Comm: true}
+		default:
+			return phase.Idle{}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		parts := make([]phase.Expr, 2+r.Intn(2))
+		for i := range parts {
+			parts[i] = PhaseExpr(r, depth-1, comm, exec)
+		}
+		return phase.Seq{Parts: parts}
+	case 1:
+		parts := make([]phase.Expr, 2+r.Intn(2))
+		for i := range parts {
+			parts[i] = PhaseExpr(r, depth-1, comm, exec)
+		}
+		return phase.Par{Parts: parts}
+	default:
+		return phase.Rep{Body: PhaseExpr(r, depth-1, comm, exec), Count: r.Intn(4)}
+	}
+}

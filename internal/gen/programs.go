@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// LaRCSProgram is a generated LaRCS source plus a binding for its single
+// parameter, ready for larcs.Parse + Compile.
+type LaRCSProgram struct {
+	Source   string
+	Bindings map[string]int
+}
+
+// ruleKind enumerates the vet-safe communication-rule templates the
+// generator composes. Every template is index-safe and self-loop-free
+// for all bindings of n, so generated programs pass `larcsc vet` clean.
+type ruleKind int
+
+const (
+	ruleRing    ruleKind = iota // full-range modular shift (bijective)
+	ruleChordal                 // the n-body chordal shift (bijective)
+	ruleChain                   // 0..n-2 forward chain
+	ruleBack                    // 1..n-1 backward chain
+	ruleGuarded                 // full range with an i < n-1 guard
+)
+
+// Program generates a random LaRCS program over a parameter n: 1..3
+// communication phases from safe templates, optionally a second node
+// type with a transfer phase, optionally a parameterized phase family,
+// 1..2 execution phases, and a phases expression reaching every phase.
+// The result passes vet with zero diagnostics and compiles under the
+// returned binding.
+func Program(r *rand.Rand) LaRCSProgram {
+	var b strings.Builder
+	b.WriteString("algorithm gen(n);\n")
+	b.WriteString("nodetype cell 0..n-1;\n")
+	twoTypes := r.Intn(3) == 0
+	if twoTypes {
+		b.WriteString("nodetype buf 0..n-1;\n")
+	}
+
+	vol := func() string {
+		switch r.Intn(3) {
+		case 0:
+			return ""
+		case 1:
+			return fmt.Sprintf(" volume %d", 1+r.Intn(5))
+		default:
+			return " volume n"
+		}
+	}
+
+	nPhases := 1 + r.Intn(3)
+	symmetric := !twoTypes
+	var phaseAtoms []string // one phases-expression atom per comm phase
+	usedShift := map[int]bool{}
+	for pi := 0; pi < nPhases; pi++ {
+		name := fmt.Sprintf("c%d", pi)
+		kind := ruleKind(r.Intn(5))
+		switch kind {
+		case ruleRing:
+			k := 1 + r.Intn(3)
+			if usedShift[k] {
+				k = 1
+			}
+			usedShift[k] = true
+			fmt.Fprintf(&b, "comphase %s { forall i in 0..n-1 : cell(i) -> cell((i+%d) mod n)%s; }\n",
+				name, k, vol())
+		case ruleChordal:
+			fmt.Fprintf(&b, "comphase %s { forall i in 0..n-1 : cell(i) -> cell((i + (n+1)/2) mod n)%s; }\n",
+				name, vol())
+		case ruleChain:
+			fmt.Fprintf(&b, "comphase %s { forall i in 0..n-2 : cell(i) -> cell(i+1)%s; }\n", name, vol())
+			symmetric = false
+		case ruleBack:
+			fmt.Fprintf(&b, "comphase %s { forall i in 1..n-1 : cell(i) -> cell(i-1)%s; }\n", name, vol())
+			symmetric = false
+		case ruleGuarded:
+			fmt.Fprintf(&b, "comphase %s { forall i in 0..n-1 if i < n-1 : cell(i) -> cell(i+1)%s; }\n",
+				name, vol())
+			symmetric = false
+		}
+		phaseAtoms = append(phaseAtoms, name)
+	}
+	if twoTypes {
+		fmt.Fprintf(&b, "comphase xfer { forall i in 0..n-1 : cell(i) -> buf(i)%s; }\n", vol())
+		phaseAtoms = append(phaseAtoms, "xfer")
+	}
+	family := r.Intn(3) == 0
+	if family {
+		span := 2 + r.Intn(3)
+		fmt.Fprintf(&b, "comphase st(s) in 0..%d { forall i in 0..n-1 : cell(i) -> cell((i+s+1) mod n); }\n",
+			span-1)
+		phaseAtoms = append(phaseAtoms, fmt.Sprintf("(forall s in 0..%d : st(s))", span-1))
+		symmetric = false
+	}
+
+	nExec := 1 + r.Intn(2)
+	for ei := 0; ei < nExec; ei++ {
+		name := fmt.Sprintf("e%d", ei)
+		switch r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "exphase %s cost %d;\n", name, 1+r.Intn(4))
+		case 1:
+			fmt.Fprintf(&b, "exphase %s cost n;\n", name)
+		default:
+			fmt.Fprintf(&b, "exphase %s cost i+1 at cell(i);\n", name)
+		}
+		phaseAtoms = append(phaseAtoms, name)
+	}
+
+	// The nodesymmetric assertion is only safe when every phase is a
+	// full-range modular shift.
+	if symmetric && r.Intn(2) == 0 {
+		b.WriteString("nodesymmetric;\n")
+	}
+
+	// Compose a phases expression reaching every phase: fold random
+	// adjacent atoms with ;, ||, or a ^k repetition of a group.
+	atoms := phaseAtoms
+	for len(atoms) > 1 && r.Intn(3) > 0 {
+		i := r.Intn(len(atoms) - 1)
+		var merged string
+		switch r.Intn(3) {
+		case 0:
+			merged = fmt.Sprintf("(%s; %s)", atoms[i], atoms[i+1])
+		case 1:
+			merged = fmt.Sprintf("(%s || %s)", atoms[i], atoms[i+1])
+		default:
+			merged = fmt.Sprintf("(%s; %s)^%d", atoms[i], atoms[i+1], 1+r.Intn(3))
+		}
+		atoms = append(atoms[:i], append([]string{merged}, atoms[i+2:]...)...)
+	}
+	fmt.Fprintf(&b, "phases %s;\n", strings.Join(atoms, "; "))
+
+	return LaRCSProgram{
+		Source:   b.String(),
+		Bindings: map[string]int{"n": 4 + r.Intn(9)},
+	}
+}

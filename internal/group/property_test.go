@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"oregami/internal/gen"
 	"oregami/internal/perm"
 )
 
@@ -92,4 +93,94 @@ func TestLagrangeProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)
 	}
+}
+
+// cayleyGroup builds the permutation group of a generated Cayley task
+// graph from its communication-phase bijections.
+func cayleyGroup(t *testing.T, r *rand.Rand) (*Group, int) {
+	t.Helper()
+	g := gen.Cayley(r, 8)
+	var gens []perm.Perm
+	for _, p := range g.Comm {
+		img, ok := g.PhasePermutation(p)
+		if !ok {
+			t.Fatalf("Cayley phase %q is not a bijection", p.Name)
+		}
+		pm, err := perm.FromImage(img)
+		if err != nil {
+			t.Fatalf("phase %q image: %v", p.Name, err)
+		}
+		gens = append(gens, pm)
+	}
+	grp, ok := Generate(gens, g.NumTasks)
+	if !ok {
+		t.Fatalf("group of cayley-z%d exceeded the |X| bound", g.NumTasks)
+	}
+	return grp, g.NumTasks
+}
+
+// Property (gen-driven): the group of a generated Cayley graph acts
+// regularly — its order equals the task count and element<->task
+// translation is a bijection.
+func TestCayleyGroupActsRegularlyOnGenerated(t *testing.T) {
+	gen.ForEachSeed(t, 40, func(t *testing.T, seed int64, r *rand.Rand) {
+		grp, n := cayleyGroup(t, r)
+		if grp.Order() != n {
+			t.Fatalf("group order %d, want %d", grp.Order(), n)
+		}
+		if !grp.ActsRegularly() {
+			t.Fatalf("group of order %d does not act regularly on %d tasks", grp.Order(), n)
+		}
+		for i := 0; i < grp.Order(); i++ {
+			task := grp.TaskOfElement(i)
+			back, err := grp.ElementOfTask(task)
+			if err != nil || back != i {
+				t.Fatalf("element %d -> task %d -> element %d (err %v)", i, task, back, err)
+			}
+		}
+	})
+}
+
+// Property (gen-driven): every enumerated subgroup's right cosets
+// partition the group into equal-size classes, and CosetIndexOfElements
+// agrees with RightCosets.
+func TestCosetsPartitionGroupOnGenerated(t *testing.T) {
+	gen.ForEachSeed(t, 40, func(t *testing.T, seed int64, r *rand.Rand) {
+		grp, n := cayleyGroup(t, r)
+		for k := 1; k <= n; k++ {
+			if n%k != 0 {
+				continue
+			}
+			for _, sub := range grp.Subgroups(k) {
+				if len(sub) != k {
+					t.Fatalf("Subgroups(%d) returned subgroup of size %d: %v", k, len(sub), sub)
+				}
+				cosets := grp.RightCosets(sub)
+				if len(cosets) != n/k {
+					t.Fatalf("subgroup of order %d has %d cosets, want %d", k, len(cosets), n/k)
+				}
+				idx := grp.CosetIndexOfElements(sub)
+				seen := make([]int, n) // element -> 1+coset it appeared in
+				for ci, coset := range cosets {
+					if len(coset) != k {
+						t.Fatalf("coset %d has %d elements, want %d", ci, len(coset), k)
+					}
+					for _, e := range coset {
+						if e < 0 || e >= n || seen[e] != 0 {
+							t.Fatalf("element %d repeated or out of range across cosets", e)
+						}
+						seen[e] = ci + 1
+						if idx[e] != ci {
+							t.Fatalf("CosetIndexOfElements[%d]=%d, RightCosets says %d", e, idx[e], ci)
+						}
+					}
+				}
+				for e, s := range seen {
+					if s == 0 {
+						t.Fatalf("element %d not covered by any coset", e)
+					}
+				}
+			}
+		}
+	})
 }

@@ -152,6 +152,11 @@ func (n Num) String() string { return fmt.Sprint(n.V) }
 func (v Var) String() string { return v.Name }
 func (u Unary) String() string {
 	if u.Op == "-" {
+		// "--" opens a comment, so a nested unary operand must be
+		// parenthesized to keep the printed form reparseable.
+		if _, nested := u.X.(Unary); nested {
+			return "-(" + u.X.String() + ")"
+		}
 		return "-" + u.X.String()
 	}
 	return u.Op + " " + u.X.String()

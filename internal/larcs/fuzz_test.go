@@ -1,0 +1,43 @@
+package larcs_test
+
+import (
+	"testing"
+
+	"oregami/internal/gen"
+	"oregami/internal/larcs"
+	"oregami/internal/workload"
+)
+
+// FuzzLaRCSParse asserts the front end's two safety properties on
+// arbitrary input: Parse never panics, and any program that parses
+// survives a print→reparse round trip with Format a fixed point.
+func FuzzLaRCSParse(f *testing.F) {
+	for _, w := range workload.All() {
+		f.Add(w.Source)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(gen.Program(gen.Rand(seed)).Source)
+	}
+	f.Add("algorithm a;\nconst k = - -1;\nnodetype c 0..3;\ncomphase p { c(0) -> c(1); }\nphases (p; p)^2^k; eps || p;\n")
+	f.Add("algorithm a(n)\nnodetype")
+	f.Add("-- comment only\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := larcs.ParseOnly(src) // must not panic
+		if err != nil {
+			return
+		}
+		// Semantic analysis must not panic either, whatever it decides.
+		_, _ = larcs.Parse(src)
+
+		printed := larcs.Format(prog)
+		prog2, err := larcs.ParseOnly(printed)
+		if err != nil {
+			t.Fatalf("printed form of a valid program does not reparse: %v\nsource:\n%s\nprinted:\n%s",
+				err, src, printed)
+		}
+		if printed2 := larcs.Format(prog2); printed2 != printed {
+			t.Fatalf("Format is not a fixed point\nsource:\n%s\nfirst:\n%s\nsecond:\n%s",
+				src, printed, printed2)
+		}
+	})
+}

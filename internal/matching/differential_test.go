@@ -1,0 +1,132 @@
+package matching_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"oregami/internal/gen"
+	"oregami/internal/matching"
+)
+
+// refBest is the exhaustively computed optimum: maximum weight over all
+// matchings, or — under maxCardinality — the lexicographic maximum of
+// (cardinality, weight).
+type refBest struct {
+	card   int
+	weight float64
+}
+
+func (a refBest) better(b refBest, maxCard bool) bool {
+	if maxCard && a.card != b.card {
+		return a.card > b.card
+	}
+	return a.weight > b.weight
+}
+
+// referenceMatching enumerates every matching of the graph by recursion
+// over vertices (first unmatched vertex either stays unmatched or pairs
+// with any unmatched neighbor). Exponential, but exact — the referee for
+// the blossom implementation on the ≤8-vertex graphs generated here.
+func referenceMatching(n int, edges []matching.WEdge, maxCard bool) refBest {
+	adj := make([][]matching.WEdge, n)
+	for _, e := range edges {
+		adj[e.I] = append(adj[e.I], e)
+		adj[e.J] = append(adj[e.J], e)
+	}
+	used := make([]bool, n)
+	best := refBest{}
+	var rec func(v int, cur refBest)
+	rec = func(v int, cur refBest) {
+		for v < n && used[v] {
+			v++
+		}
+		if v == n {
+			if cur.better(best, maxCard) {
+				best = cur
+			}
+			return
+		}
+		used[v] = true
+		rec(v+1, cur) // leave v unmatched
+		for _, e := range adj[v] {
+			u := e.I + e.J - v
+			if u == v || used[u] {
+				continue
+			}
+			used[u] = true
+			rec(v+1, refBest{card: cur.card + 1, weight: cur.weight + e.Weight})
+			used[u] = false
+		}
+		used[v] = false
+	}
+	rec(0, refBest{})
+	return best
+}
+
+// randomWeightedGraph emits a simple graph on n vertices with integer
+// weights, so weight comparisons against the reference are exact.
+func randomWeightedGraph(r *rand.Rand) (int, []matching.WEdge) {
+	n := 2 + r.Intn(7)
+	var edges []matching.WEdge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.5 {
+				edges = append(edges, matching.WEdge{I: i, J: j, Weight: float64(1 + r.Intn(9))})
+			}
+		}
+	}
+	return n, edges
+}
+
+// checkMate validates the structural matching invariants: symmetry, and
+// every matched pair being an actual edge.
+func checkMate(t *testing.T, n int, edges []matching.WEdge, mate []int) int {
+	t.Helper()
+	if len(mate) != n {
+		t.Fatalf("mate has length %d, want %d", len(mate), n)
+	}
+	has := map[[2]int]bool{}
+	for _, e := range edges {
+		has[[2]int{e.I, e.J}] = true
+		has[[2]int{e.J, e.I}] = true
+	}
+	card := 0
+	for v, u := range mate {
+		if u == -1 {
+			continue
+		}
+		if u < 0 || u >= n || mate[u] != v {
+			t.Fatalf("mate is not symmetric: mate[%d]=%d, mate[%d]=%d", v, u, u, mate[u])
+		}
+		if !has[[2]int{v, u}] {
+			t.Fatalf("matched pair (%d,%d) is not an edge", v, u)
+		}
+		if v < u {
+			card++
+		}
+	}
+	return card
+}
+
+// TestBlossomVsBruteForce runs Galil's blossom algorithm against the
+// exhaustive reference on random small graphs, in both modes. Weights
+// are integers, so optimal weights must agree exactly.
+func TestBlossomVsBruteForce(t *testing.T) {
+	gen.ForEachSeed(t, 60, func(t *testing.T, seed int64, r *rand.Rand) {
+		n, edges := randomWeightedGraph(r)
+		for _, maxCard := range []bool{false, true} {
+			mate := matching.MaxWeightMatching(n, edges, maxCard)
+			card := checkMate(t, n, edges, mate)
+			got := matching.MatchingWeight(mate, edges)
+			want := referenceMatching(n, edges, maxCard)
+			if maxCard && card != want.card {
+				t.Fatalf("maxCardinality: blossom matched %d pairs, optimum %d (n=%d, edges=%v)",
+					card, want.card, n, edges)
+			}
+			if got != want.weight {
+				t.Fatalf("maxCard=%v: blossom weight %g, optimum %g (n=%d, edges=%v, mate=%v)",
+					maxCard, got, want.weight, n, edges, mate)
+			}
+		}
+	})
+}

@@ -1,4 +1,4 @@
-package metrics
+package metrics_test
 
 import (
 	"strings"
@@ -6,6 +6,7 @@ import (
 
 	"oregami/internal/core"
 	"oregami/internal/mapping"
+	"oregami/internal/metrics"
 	"oregami/internal/route"
 	"oregami/internal/topology"
 	"oregami/internal/workload"
@@ -27,7 +28,7 @@ func mappedNBody(t *testing.T) *mapping.Mapping {
 
 func TestComputeNBody(t *testing.T) {
 	m := mappedNBody(t)
-	r, err := Compute(m)
+	r, err := metrics.Compute(m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestComputeRequiresEmbedding(t *testing.T) {
 	w, _ := workload.ByName("nbody")
 	c, _ := w.Compile(nil)
 	m := mapping.New(c.Graph, topology.Hypercube(3))
-	if _, err := Compute(m); err == nil {
+	if _, err := metrics.Compute(m); err == nil {
 		t.Error("unembedded mapping accepted")
 	}
 }
@@ -76,7 +77,7 @@ func TestReassignTaskMovesAndInvalidates(t *testing.T) {
 	task := 0
 	oldProc := m.ProcOf(task)
 	newProc := (oldProc + 1) % m.Net.N
-	if err := ReassignTask(m, task, newProc); err != nil {
+	if err := metrics.ReassignTask(m, task, newProc); err != nil {
 		t.Fatal(err)
 	}
 	if m.ProcOf(task) != newProc {
@@ -92,7 +93,7 @@ func TestReassignTaskMovesAndInvalidates(t *testing.T) {
 	if _, err := route.RouteAll(m, route.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Compute(m); err != nil {
+	if _, err := metrics.Compute(m); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,13 +116,13 @@ func TestReassignTaskToEmptyProcessor(t *testing.T) {
 		}
 	}
 	other := (loneProc + 1) % m.Net.N
-	if err := ReassignTask(m, lone, other); err != nil {
+	if err := metrics.ReassignTask(m, lone, other); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Validate(); err != nil {
 		t.Fatalf("after emptying: %v", err)
 	}
-	if err := ReassignTask(m, lone, loneProc); err != nil {
+	if err := metrics.ReassignTask(m, lone, loneProc); err != nil {
 		t.Fatal(err)
 	}
 	if m.ProcOf(lone) != loneProc {
@@ -134,14 +135,14 @@ func TestReassignTaskToEmptyProcessor(t *testing.T) {
 
 func TestReassignErrors(t *testing.T) {
 	m := mappedNBody(t)
-	if err := ReassignTask(m, -1, 0); err == nil {
+	if err := metrics.ReassignTask(m, -1, 0); err == nil {
 		t.Error("bad task accepted")
 	}
-	if err := ReassignTask(m, 0, 99); err == nil {
+	if err := metrics.ReassignTask(m, 0, 99); err == nil {
 		t.Error("bad proc accepted")
 	}
 	// No-op move.
-	if err := ReassignTask(m, 0, m.ProcOf(0)); err != nil {
+	if err := metrics.ReassignTask(m, 0, m.ProcOf(0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -164,31 +165,31 @@ func TestReRoute(t *testing.T) {
 	src, dst := m.ProcOf(e.From), m.ProcOf(e.To)
 	// Any alternative shortest route.
 	alt := m.Net.ShortestRoutes(src, dst, 0)
-	if err := ReRoute(m, "ring", idx, alt[len(alt)-1]); err != nil {
+	if err := metrics.ReRoute(m, "ring", idx, alt[len(alt)-1]); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	// Invalid route rejected.
-	if err := ReRoute(m, "ring", idx, topology.Route{0, 0, 0, 0, 0, 0, 0}); err == nil {
+	if err := metrics.ReRoute(m, "ring", idx, topology.Route{0, 0, 0, 0, 0, 0, 0}); err == nil {
 		t.Error("bogus route accepted")
 	}
-	if err := ReRoute(m, "nosuch", 0, nil); err == nil {
+	if err := metrics.ReRoute(m, "nosuch", 0, nil); err == nil {
 		t.Error("unknown phase accepted")
 	}
-	if err := ReRoute(m, "ring", 999, nil); err == nil {
+	if err := metrics.ReRoute(m, "ring", 999, nil); err == nil {
 		t.Error("bad edge index accepted")
 	}
 }
 
 func TestRenderContainsEverything(t *testing.T) {
 	m := mappedNBody(t)
-	r, err := Compute(m)
+	r, err := metrics.Compute(m)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := Render(m, r)
+	out := metrics.Render(m, r)
 	for _, want := range []string{"nbody", "hypercube(3)", "load", "phase", "total IPC", "chordal"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
@@ -203,7 +204,7 @@ func TestRenderMeshLayout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := RenderLayout(res.Mapping)
+	out := metrics.RenderLayout(res.Mapping)
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if len(lines) != 4 {
 		t.Errorf("mesh layout has %d rows, want 4:\n%s", len(lines), out)
@@ -212,7 +213,7 @@ func TestRenderMeshLayout(t *testing.T) {
 
 func TestDOTOutput(t *testing.T) {
 	m := mappedNBody(t)
-	dot := DOT(m)
+	dot := metrics.DOT(m)
 	for _, want := range []string{"digraph", "subgraph cluster_p0", "t0 ->", "style=dashed", "style=solid", "chordal"} {
 		if !strings.Contains(dot, want) {
 			t.Errorf("DOT missing %q", want)

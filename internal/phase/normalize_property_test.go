@@ -1,0 +1,89 @@
+package phase_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"oregami/internal/gen"
+	"oregami/internal/phase"
+)
+
+// External test package: gen imports phase, so these generator-driven
+// properties cannot live in normalize_test.go's internal package.
+
+var (
+	commNames = []string{"shift", "reduce", "bcast"}
+	execNames = []string{"work", "relax"}
+)
+
+func nameSets() (comm, exec map[string]bool) {
+	comm = map[string]bool{}
+	for _, n := range commNames {
+		comm[n] = true
+	}
+	exec = map[string]bool{}
+	for _, n := range execNames {
+		exec[n] = true
+	}
+	return comm, exec
+}
+
+// TestNormalizeIsIdempotent: normalizing twice changes nothing.
+func TestNormalizeIsIdempotent(t *testing.T) {
+	gen.ForEachSeed(t, 80, func(t *testing.T, seed int64, r *rand.Rand) {
+		e := gen.PhaseExpr(r, 1+r.Intn(3), commNames, execNames)
+		once := phase.Normalize(e)
+		twice := phase.Normalize(once)
+		if !reflect.DeepEqual(once, twice) {
+			t.Fatalf("Normalize not idempotent on %s:\nonce:  %s\ntwice: %s", e, once, twice)
+		}
+	})
+}
+
+// TestNormalizePreservesSchedule: the flattened step sequence — the
+// observable semantics of a phase expression — is invariant under
+// normalization.
+func TestNormalizePreservesSchedule(t *testing.T) {
+	gen.ForEachSeed(t, 80, func(t *testing.T, seed int64, r *rand.Rand) {
+		e := gen.PhaseExpr(r, 1+r.Intn(3), commNames, execNames)
+		raw, err := phase.Flatten(e, 1<<16)
+		if err != nil {
+			t.Fatalf("flatten raw %s: %v", e, err)
+		}
+		norm, err := phase.Flatten(phase.Normalize(e), 1<<16)
+		if err != nil {
+			t.Fatalf("flatten normalized %s: %v", phase.Normalize(e), err)
+		}
+		if len(raw) != len(norm) {
+			t.Fatalf("normalization changed step count %d -> %d for %s", len(raw), len(norm), e)
+		}
+		for i := range raw {
+			if !reflect.DeepEqual(raw[i], norm[i]) {
+				t.Fatalf("step %d differs for %s:\nraw:  %v\nnorm: %v", i, e, raw[i], norm[i])
+			}
+		}
+	})
+}
+
+// TestNormalizePreservesOccurrencesAndValidity: per-phase occurrence
+// counts survive normalization, and a valid expression stays valid.
+func TestNormalizePreservesOccurrencesAndValidity(t *testing.T) {
+	comm, exec := nameSets()
+	gen.ForEachSeed(t, 80, func(t *testing.T, seed int64, r *rand.Rand) {
+		e := gen.PhaseExpr(r, 1+r.Intn(3), commNames, execNames)
+		if err := phase.Validate(e, comm, exec); err != nil {
+			t.Fatalf("generated expression invalid: %v", err)
+		}
+		n := phase.Normalize(e)
+		if err := phase.Validate(n, comm, exec); err != nil {
+			t.Fatalf("normalization broke validity of %s: %v", e, err)
+		}
+		if got, want := phase.Occurrences(n), phase.Occurrences(e); !reflect.DeepEqual(got, want) {
+			t.Fatalf("occurrences changed for %s: %v -> %v", e, want, got)
+		}
+		if got, want := phase.Steps(n), phase.Steps(e); got != want {
+			t.Fatalf("Steps changed for %s: %d -> %d", e, want, got)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package route_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"oregami/internal/gen"
+	"oregami/internal/route"
+	"oregami/internal/topology"
+)
+
+// TestMMRouteAgainstLowerBounds drives MM-Route over random topologies
+// and random endpoint multisets, then checks it against independently
+// computed ground truth: every route is a shortest walk between its
+// endpoints, the reported statistics match a recomputation from the
+// routes themselves, and the achieved contention respects the
+// information-theoretic floors (total hops spread over all links, and
+// the bottleneck at each endpoint's ports).
+func TestMMRouteAgainstLowerBounds(t *testing.T) {
+	gen.ForEachSeed(t, 60, func(t *testing.T, seed int64, r *rand.Rand) {
+		net := gen.Network(r)
+		numPairs := 1 + r.Intn(2*net.NumLinks())
+		pairs := make([][2]int, numPairs)
+		for i := range pairs {
+			pairs[i] = [2]int{r.Intn(net.N), r.Intn(net.N)}
+		}
+		opt := route.Options{UseMaximum: r.Intn(2) == 1}
+		routes, stats, err := route.MMRoute(net, pairs, opt)
+		if err != nil {
+			t.Fatalf("MMRoute on %s with %d pairs: %v", net.Name, numPairs, err)
+		}
+		if len(routes) != len(pairs) {
+			t.Fatalf("got %d routes for %d pairs", len(routes), len(pairs))
+		}
+
+		totalHops := 0
+		perLink := make([]int, net.NumLinks())
+		for i, rt := range routes {
+			src, dst := pairs[i][0], pairs[i][1]
+			if src == dst {
+				if len(rt) != 0 {
+					t.Fatalf("pair %d is intraprocessor but has route %v", i, rt)
+				}
+				continue
+			}
+			hops, ok := net.RouteEndpoints(src, rt)
+			if !ok || hops[len(hops)-1] != dst {
+				t.Fatalf("pair %d (%d->%d): route %v is not a walk to the destination", i, src, dst, rt)
+			}
+			if want := net.Distance(src, dst); len(rt) != want {
+				t.Fatalf("pair %d (%d->%d): route length %d, shortest distance %d", i, src, dst, len(rt), want)
+			}
+			totalHops += len(rt)
+			for _, link := range rt {
+				perLink[link]++
+			}
+		}
+
+		if totalHops != stats.TotalHops {
+			t.Fatalf("stats.TotalHops=%d, recomputed %d", stats.TotalHops, totalHops)
+		}
+		maxCon := 0
+		for _, c := range perLink {
+			if c > maxCon {
+				maxCon = c
+			}
+		}
+		if maxCon != stats.MaxContention {
+			t.Fatalf("stats.MaxContention=%d, recomputed %d", stats.MaxContention, maxCon)
+		}
+		if helper := route.MaxContention(net, routes); helper != maxCon {
+			t.Fatalf("route.MaxContention=%d, recomputed %d", helper, maxCon)
+		}
+
+		// Floor 1: totalHops traversals must share NumLinks links.
+		if floor := (totalHops + net.NumLinks() - 1) / net.NumLinks(); totalHops > 0 && maxCon < floor {
+			t.Fatalf("contention %d below aggregate floor %d (totalHops=%d, links=%d)",
+				maxCon, floor, totalHops, net.NumLinks())
+		}
+		// Floor 2: routes leaving or entering a processor all use its
+		// incident links.
+		out := make([]int, net.N)
+		in := make([]int, net.N)
+		for i := range pairs {
+			if pairs[i][0] != pairs[i][1] {
+				out[pairs[i][0]]++
+				in[pairs[i][1]]++
+			}
+		}
+		for p := 0; p < net.N; p++ {
+			need := out[p]
+			if in[p] > need {
+				need = in[p]
+			}
+			if need == 0 {
+				continue
+			}
+			if floor := (need + net.Degree(p) - 1) / net.Degree(p); maxCon < floor {
+				t.Fatalf("contention %d below port floor %d at proc %d (out=%d in=%d degree=%d)",
+					maxCon, floor, p, out[p], in[p], net.Degree(p))
+			}
+		}
+	})
+}
+
+// TestMMRouteMatchesBaselinesOnHypercube compares MM-Route's per-route
+// lengths with the deterministic e-cube baseline: both must realize
+// exactly the Hamming distance on a hypercube.
+func TestMMRouteMatchesBaselinesOnHypercube(t *testing.T) {
+	gen.ForEachSeed(t, 20, func(t *testing.T, seed int64, r *rand.Rand) {
+		net := topology.Hypercube(2 + r.Intn(3))
+		pairs := make([][2]int, 1+r.Intn(12))
+		for i := range pairs {
+			pairs[i] = [2]int{r.Intn(net.N), r.Intn(net.N)}
+		}
+		routes, _, err := route.MMRoute(net, pairs, route.Options{})
+		if err != nil {
+			t.Fatalf("MMRoute: %v", err)
+		}
+		ecube := route.ECube(net, pairs)
+		for i := range pairs {
+			if len(routes[i]) != len(ecube[i]) {
+				t.Fatalf("pair %d (%d->%d): MM-Route length %d, e-cube length %d",
+					i, pairs[i][0], pairs[i][1], len(routes[i]), len(ecube[i]))
+			}
+		}
+	})
+}

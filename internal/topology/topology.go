@@ -9,6 +9,8 @@ package topology
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Link is a bidirectional physical channel between processors A and B.
@@ -534,4 +536,22 @@ func ByName(kind string, params ...int) (*Network, error) {
 		return nil, err
 	}
 	return nw, nil
+}
+
+// ParseSpec parses the CLI network syntax "kind:p1,p2", e.g.
+// "hypercube:3" or "mesh:4,4", and builds the network via ByName.
+func ParseSpec(s string) (*Network, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("topology: network must be kind:params, e.g. hypercube:3 or mesh:4,4")
+	}
+	var params []int
+	for _, p := range strings.Split(parts[1], ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("topology: network spec %q: %v", s, err)
+		}
+		params = append(params, v)
+	}
+	return ByName(parts[0], params...)
 }

@@ -23,6 +23,7 @@ import (
 
 	"oregami/internal/aggregate"
 	"oregami/internal/analysis"
+	"oregami/internal/check"
 	"oregami/internal/core"
 	"oregami/internal/fault"
 	"oregami/internal/graph"
@@ -166,6 +167,13 @@ type MapOptions struct {
 	// expiry the dispatcher degrades to the cheaper Stone/greedy
 	// contraction (recorded in Trail) instead of failing. Zero disables.
 	StageTimeout time.Duration
+	// Check runs the post-condition oracle on the finished mapping:
+	// partition coverage, embedding injectivity into live processors,
+	// route walkability over live links, per-phase conflict freedom, and
+	// an independent recomputation of the METRICS values. Violations
+	// fail Map with a *PipelineError (stage "check") wrapping a
+	// *ViolationError.
+	Check bool
 }
 
 // FaultModel is a set of failed processors and links.
@@ -228,6 +236,7 @@ func (c *Computation) MapContext(ctx context.Context, net *Network, opts *MapOpt
 		Route:           route.Options{UseMaximum: opts.MaximumMatchingRouter},
 		Ctx:             ctx,
 		StageTimeout:    opts.StageTimeout,
+		Check:           opts.Check,
 	})
 	if err != nil {
 		return nil, err
@@ -352,6 +361,33 @@ func (m *Mapping) RouteOf(phaseName string, edge int) ([]int, error) {
 
 // Validate re-checks all structural invariants of the mapping.
 func (m *Mapping) Validate() error { return m.res.Mapping.Validate() }
+
+// Violation is one broken mapping invariant found by the post-condition
+// oracle: a stable machine-readable Kind ("partition", "embedding",
+// "walk", "dead-link", "phase-conflict", "metrics"), the communication
+// phase when phase-scoped, and a human-readable detail.
+type Violation = check.Violation
+
+// ViolationError is the error a checked Map returns on oracle failure;
+// it carries the full violation list.
+type ViolationError = check.ViolationError
+
+// RenderViolations formats violations one per line ("check: kind: ..."),
+// stable and diffable like the vet diagnostics.
+func RenderViolations(vs []Violation) string { return check.Render(vs) }
+
+// Check runs the post-condition oracle on the mapping as it stands —
+// including after ReassignTask or Repair — and returns every violated
+// invariant (nil when the mapping is valid). The METRICS values are
+// recomputed independently and compared exactly.
+func (m *Mapping) Check() []Violation {
+	inner := m.res.Mapping
+	rep, err := metrics.Compute(inner)
+	if err != nil {
+		rep = nil // structural violations below explain why
+	}
+	return check.Verify(m.comp.Graph, inner.Net, inner, rep)
+}
 
 // --- Section 6 extensions -----------------------------------------------
 

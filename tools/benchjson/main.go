@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin or a file argument) into a JSON document, so CI can archive
+// benchmark results as a machine-readable artifact and diff runs.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | go run ./tools/benchjson > BENCH_pipeline.json
+//	go run ./tools/benchjson bench.txt > BENCH_pipeline.json
+//
+// Lines that are not benchmark results (build chatter, PASS/ok
+// trailers) are ignored; goos/goarch/pkg/cpu headers are captured as
+// metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in structured form.
+type Result struct {
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix ("-8") stripped off Name, 0 if none.
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present with -benchmem.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any additional unit pairs (e.g. MB/s or custom
+	// ReportMetric units), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Document is the whole converted run.
+type Document struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := Convert(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+}
+
+// Convert parses benchmark text into a Document.
+func Convert(in io.Reader) (*Document, error) {
+	doc := &Document{Meta: map[string]string{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				doc.Meta[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// parseLine parses one "BenchmarkName-8  123  456 ns/op  [...]" line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0]}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// The rest are (value, unit) pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			b := int64(val)
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(val)
+			r.AllocsPerOp = &a
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = val
+		}
+	}
+	return r, sawNs
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: oregami
+cpu: Example CPU @ 2.00GHz
+BenchmarkPipelineNBody-8   	     100	  11222333 ns/op	  500000 B/op	    9000 allocs/op
+BenchmarkLaRCSParse       	   50000	     25000 ns/op
+BenchmarkThroughput-4     	    1000	   1000000 ns/op	        12.5 MB/s
+PASS
+ok  	oregami	2.345s
+`
+
+func TestConvert(t *testing.T) {
+	doc, err := Convert(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Meta["goos"] != "linux" || doc.Meta["cpu"] != "Example CPU @ 2.00GHz" {
+		t.Fatalf("meta not captured: %v", doc.Meta)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkPipelineNBody" || r.Procs != 8 || r.Iterations != 100 || r.NsPerOp != 11222333 {
+		t.Fatalf("first result wrong: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 500000 || r.AllocsPerOp == nil || *r.AllocsPerOp != 9000 {
+		t.Fatalf("benchmem fields wrong: %+v", r)
+	}
+	plain := doc.Results[1]
+	if plain.Name != "BenchmarkLaRCSParse" || plain.Procs != 0 || plain.BytesPerOp != nil {
+		t.Fatalf("plain result wrong: %+v", plain)
+	}
+	if doc.Results[2].Extra["MB/s"] != 12.5 {
+		t.Fatalf("extra unit lost: %+v", doc.Results[2])
+	}
+}
+
+func TestConvertIgnoresGarbage(t *testing.T) {
+	doc, err := Convert(strings.NewReader("BenchmarkBroken-8 notanumber 5 ns/op\nrandom text\nBenchmark x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("garbage parsed as results: %+v", doc.Results)
+	}
+}
