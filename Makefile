@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz lint check bench cover
+.PHONY: build test vet race fuzz lint check bench cover smoke-serve bench-serve
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,23 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . | tee BENCH_pipeline.txt
 	$(GO) run ./tools/benchjson BENCH_pipeline.txt > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
+
+# End-to-end smoke test of the mapping daemon: build, serve on a random
+# port, cold-then-warm /v1/map (miss then hit), graceful SIGTERM drain.
+smoke-serve:
+	sh tools/serve_smoke.sh
+
+# Benchmark the daemon with the closed-loop load generator: spawns its
+# own server, runs a cold (cache-bypass) and warm (cache-hit) phase, and
+# writes latency percentiles + throughput + hit ratio as benchjson-shaped
+# JSON. The binary lands in a BENCH_*.tmp path so git ignores it.
+SERVE_N ?= 200
+SERVE_C ?= 8
+bench-serve:
+	$(GO) build -o BENCH_oregami.tmp ./cmd/oregami
+	$(GO) run ./tools/loadgen -launch ./BENCH_oregami.tmp -n $(SERVE_N) -c $(SERVE_C) -out BENCH_serve.json
+	@rm -f BENCH_oregami.tmp
+	@echo "wrote BENCH_serve.json"
 
 # Coverage gate: the total statement coverage must not drop below the
 # recorded floor (the pre-oracle-PR baseline).

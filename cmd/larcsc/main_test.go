@@ -79,10 +79,12 @@ func TestCLIErrors(t *testing.T) {
 	// binding, unreadable file.
 	for _, args := range [][]string{
 		{},
+		{"-no-such-flag"},
 		{"-workload", "zzz"},
 		{"-workload", "nbody", "-D", "n"},
 		{"-file", filepath.Join(t.TempDir(), "missing.larcs")},
 		{"vet"},
+		{"vet", "-no-such-flag"},
 		{"vet", filepath.Join(t.TempDir(), "missing.larcs")},
 	} {
 		if code, out := exitCode(t, bin, args...); code != 2 {

@@ -16,6 +16,10 @@
 //	oregami -file prog.larcs -D n=64 -net mesh:8,8 -force arbitrary -shell
 //	oregami -workload nbody -net hypercube:3 -fail-procs 5 -fail-links 0
 //	oregami -workload nbody -net hypercube:3 -inject-faults step=1,proc=5
+//	oregami serve -addr 127.0.0.1:8080
+//
+// The serve subcommand starts the long-running mapping daemon
+// (internal/serve, documented in docs/SERVE.md).
 package main
 
 import (
@@ -40,6 +44,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "oregami serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "oregami:", err)
 		os.Exit(1)

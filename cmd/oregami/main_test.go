@@ -1,10 +1,15 @@
 package main
 
 import (
+	"errors"
+	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func buildCmd(t *testing.T) string {
@@ -127,6 +132,106 @@ func TestCLIExpansionLimits(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "task limit 4") {
 		t.Errorf("limit error not surfaced:\n%s", out)
+	}
+}
+
+// exitCode digs the process exit status out of an exec error; -1 means
+// the command did not run or was killed by a signal.
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+func TestCLIBadFlagsExit2(t *testing.T) {
+	bin := buildCmd(t)
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-D", "not-a-binding"},
+		{"serve", "-no-such-flag"},
+		{"serve", "-workers", "x"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if got := exitCode(err); got != 2 {
+			t.Errorf("args %v: exit = %d, want 2\n%s", args, got, out)
+		}
+	}
+}
+
+func TestCLICheckPropagates(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "broadcast8", "-net", "hypercube:3",
+		"-check", "-sim=false").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "check: mapping verified, 0 violations") {
+		t.Errorf("-check did not reach the oracle:\n%s", out)
+	}
+}
+
+func TestCLIServeRejectsBadAddr(t *testing.T) {
+	bin := buildCmd(t)
+	for _, addr := range []string{"127.0.0.1:notaport", "not an address"} {
+		out, err := exec.Command(bin, "serve", "-addr", addr).CombinedOutput()
+		if got := exitCode(err); got != 1 {
+			t.Fatalf("serve -addr %q: exit = %d, want 1\n%s", addr, got, out)
+		}
+		if !strings.Contains(string(out), addr) {
+			t.Errorf("serve -addr %q error does not name the address:\n%s", addr, out)
+		}
+	}
+	// Positional arguments are a usage error too.
+	out, err := exec.Command(bin, "serve", "extra").CombinedOutput()
+	if got := exitCode(err); got != 1 {
+		t.Errorf("serve with positional arg: exit = %d, want 1\n%s", got, out)
+	}
+	if !strings.Contains(string(out), "positional") {
+		t.Errorf("positional-arg error not surfaced:\n%s", out)
+	}
+}
+
+func TestCLIServeRoundTrip(t *testing.T) {
+	bin := buildCmd(t)
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	var addr string
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote its address\n%s", buf.String())
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v\n%s", err, buf.String())
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+	// SIGTERM must drain gracefully: exit status 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("serve did not exit cleanly after SIGTERM: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "drained and stopped") {
+		t.Errorf("drain message missing:\n%s", buf.String())
 	}
 }
 

@@ -48,6 +48,24 @@ func (s Severity) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
 }
 
+// UnmarshalJSON accepts the lowercase name produced by MarshalJSON, so
+// Diag values round-trip through JSON (e.g. across the serve API).
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = SevError
+	case "warning":
+		*s = SevWarning
+	default:
+		return fmt.Errorf("analysis: unknown severity %q", name)
+	}
+	return nil
+}
+
 // Diagnostic codes. Each code names one defect class; docs/LARCS.md
 // documents every code with an example.
 const (

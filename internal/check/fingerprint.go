@@ -1,6 +1,7 @@
 package check
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,4 +36,13 @@ func Fingerprint(m *mapping.Mapping) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// FingerprintHash returns the hex SHA-256 digest of Fingerprint(m): the
+// compact form served to clients and stored alongside cached mappings so
+// a cache hit can be integrity-checked against the full recomputed
+// fingerprint without holding the long string.
+func FingerprintHash(m *mapping.Mapping) string {
+	sum := sha256.Sum256([]byte(Fingerprint(m)))
+	return fmt.Sprintf("%x", sum[:])
 }

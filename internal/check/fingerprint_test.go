@@ -1,0 +1,47 @@
+// Package check_test (external): the test maps a workload through
+// internal/core, which itself imports internal/check, so an in-package
+// test would be an import cycle.
+package check_test
+
+import (
+	"testing"
+
+	"oregami/internal/check"
+	"oregami/internal/core"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+func TestFingerprintHashStableAndSensitive(t *testing.T) {
+	w, err := workload.ByName("nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Map(core.Request{Compiled: c, Net: topology.Hypercube(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Mapping
+	h1 := check.FingerprintHash(m)
+	h2 := check.FingerprintHash(m)
+	if h1 != h2 {
+		t.Fatalf("FingerprintHash not deterministic: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("FingerprintHash length = %d, want 64 hex chars", len(h1))
+	}
+	// Any mutation of the decided state must change the digest: that is
+	// the property the serving cache's integrity check depends on.
+	clone := m.Clone()
+	clone.Part[0] = (clone.Part[0] + 1) % clone.NumClusters()
+	if check.FingerprintHash(clone) == h1 {
+		t.Fatal("FingerprintHash unchanged after mutating Part")
+	}
+	if check.FingerprintHash(nil) != check.FingerprintHash(nil) {
+		t.Fatal("nil fingerprint hash not stable")
+	}
+}

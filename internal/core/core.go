@@ -86,6 +86,20 @@ type Request struct {
 	// *PipelineError whose Stage is "check" wrapping a
 	// *check.ViolationError carrying the full report.
 	Check bool
+	// Observe, when non-nil, receives the wall-clock duration of each
+	// pipeline stage as it completes: "contract" and "embed" inside the
+	// winning class, "route", "check", and "dispatch" for the whole
+	// class-selection run. The serving layer feeds these into its
+	// per-stage latency histograms; the hook must be fast and must not
+	// retain the arguments.
+	Observe func(stage string, d time.Duration)
+}
+
+// observe reports one completed stage to the Observe hook, if any.
+func (req *Request) observe(stage string, start time.Time) {
+	if req.Observe != nil {
+		req.Observe(stage, time.Since(start))
+	}
 }
 
 // Result is a complete mapping plus the evidence of how it was obtained.
@@ -159,6 +173,7 @@ func Map(req Request) (*Result, error) {
 	trail := func(format string, args ...interface{}) {
 		res.Trail = append(res.Trail, fmt.Sprintf(format, args...))
 	}
+	dispatchStart := time.Now()
 
 	// Systolic comes first: it only applies to affine recurrences headed
 	// for a mesh or linear array, and is the most specialized method;
@@ -194,14 +209,17 @@ func Map(req Request) (*Result, error) {
 		}
 		res.Mapping = m
 		res.Class = class
+		req.observe("dispatch", dispatchStart)
 		routeOpts := req.Route
 		routeOpts.Ctx = ctx
 		var stats map[string]route.Stats
+		routeStart := time.Now()
 		_, err = safeStage("route", func() (*mapping.Mapping, error) {
 			var rerr error
 			stats, rerr = route.RouteAll(m, routeOpts)
 			return m, rerr
 		})
+		req.observe("route", routeStart)
 		if err != nil {
 			if ctxErr(err) {
 				return nil, asPipelineError("route", err)
@@ -213,6 +231,7 @@ func Map(req Request) (*Result, error) {
 			return nil, fmt.Errorf("core: produced invalid mapping: %w", err)
 		}
 		if req.Check {
+			checkStart := time.Now()
 			rep, merr := metrics.Compute(m)
 			if merr != nil {
 				return nil, &PipelineError{Stage: "check", Err: merr}
@@ -220,6 +239,7 @@ func Map(req Request) (*Result, error) {
 			if vs := check.Verify(g, req.Net, m, rep); len(vs) > 0 {
 				return nil, &PipelineError{Stage: "check", Err: &check.ViolationError{Violations: vs}}
 			}
+			req.observe("check", checkStart)
 			trail("check: oracle passed (%d comm phases verified)", len(g.Comm))
 		}
 		return res, nil
@@ -401,10 +421,12 @@ func mapGroup(ctx context.Context, req Request, res *Result, trail func(string, 
 	if g.NumTasks < clusters {
 		clusters = g.NumTasks
 	}
+	contractStart := time.Now()
 	part, info, err := contract.GroupContract(g, clusters)
 	if err != nil {
 		return nil, err
 	}
+	req.observe("contract", contractStart)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -417,10 +439,12 @@ func mapGroup(ctx context.Context, req Request, res *Result, trail func(string, 
 		info.Group.Order(), len(info.Subgroup), gen, info.Normal, info.SylowGuaranteed)
 	m := mapping.New(g, req.Net)
 	m.Part = part
+	embedStart := time.Now()
 	place, err := embed.NNEmbedCtx(ctx, m.ClusterGraph(), req.Net)
 	if err != nil {
 		return nil, err
 	}
+	req.observe("embed", embedStart)
 	m.Place = place
 	m.Method = "group-contract+nn-embed"
 	return m, nil
@@ -435,6 +459,7 @@ func mapArbitrary(ctx context.Context, req Request, res *Result, trail func(stri
 	g := req.Compiled.Graph
 	m := mapping.New(g, req.Net)
 	liveN := req.Net.NumLive()
+	contractStart := time.Now()
 	if g.NumTasks <= liveN {
 		if err := m.IdentityContraction(); err != nil {
 			return nil, err
@@ -452,11 +477,14 @@ func mapArbitrary(ctx context.Context, req Request, res *Result, trail func(stri
 			trail("arbitrary: KL refinement applied %d moves (IPC %g)", moves, m.TotalIPC())
 		}
 	}
+	req.observe("contract", contractStart)
 	cg := m.ClusterGraph()
+	embedStart := time.Now()
 	place, err := embed.NNEmbedCtx(ctx, cg, req.Net)
 	if err != nil {
 		return nil, err
 	}
+	req.observe("embed", embedStart)
 	m.Place = place
 	m.Method = "mwm-contract+nn-embed"
 	if req.Refine {

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+// TestObserveHookSeesStages asserts the serving layer's contract: a
+// forced-arbitrary run reports contract, embed, dispatch, route, and —
+// with Check set — check, each exactly once and with a nonnegative
+// duration.
+func TestObserveHookSeesStages(t *testing.T) {
+	w, err := workload.ByName("nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	_, err = Map(Request{
+		Compiled: c,
+		Net:      topology.Hypercube(3),
+		Force:    ClassArbitrary,
+		Check:    true,
+		Observe: func(stage string, d time.Duration) {
+			if d < 0 {
+				t.Errorf("stage %s: negative duration %v", stage, d)
+			}
+			seen[stage]++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{"contract", "embed", "dispatch", "route", "check"} {
+		if seen[stage] != 1 {
+			t.Errorf("stage %s observed %d times, want 1 (seen: %v)", stage, seen[stage], seen)
+		}
+	}
+}
+
+// TestObserveNilIsSafe: the default request must not touch the hook.
+func TestObserveNilIsSafe(t *testing.T) {
+	w, err := workload.ByName("broadcast8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(Request{Compiled: c, Net: topology.Hypercube(3)}); err != nil {
+		t.Fatal(err)
+	}
+}

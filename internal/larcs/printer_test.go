@@ -149,3 +149,39 @@ func TestFormatPreservesSemantics(t *testing.T) {
 		})
 	}
 }
+
+func TestCanonicalCollapsesLayout(t *testing.T) {
+	a := `
+-- a comment that must not affect the canonical form
+algorithm demo(n);
+nodetype node 0..n-1;
+comphase ring { forall i in 0..n-1 : node(i) -> node((i+1) mod n); }
+exphase work cost 1;
+phases (ring; work)^n;
+`
+	b := "algorithm demo(n);\nnodetype node 0..n-1;\n" +
+		"comphase ring {\n    forall i in 0..n-1 : node(i) -> node((i+1) mod n);\n}\n" +
+		"exphase work cost 1;\nphases (ring; work)^n;\n"
+	ca, err := larcs.Canonical(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := larcs.Canonical(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Errorf("canonical forms differ:\n--- a ---\n%s\n--- b ---\n%s", ca, cb)
+	}
+	// Canonical is a fixed point of itself.
+	cc, err := larcs.Canonical(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc != ca {
+		t.Errorf("Canonical not idempotent:\n%s\nvs\n%s", cc, ca)
+	}
+	if _, err := larcs.Canonical("not larcs at all"); err == nil {
+		t.Error("Canonical accepted garbage")
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"oregami/internal/check"
+	"oregami/internal/core"
+	"oregami/internal/serve/stats"
+)
+
+func TestPipelineHTTPError(t *testing.T) {
+	for _, tc := range []struct {
+		err    error
+		status int
+	}{
+		{badRequest("x"), http.StatusBadRequest},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{fmt_wrap(context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{context.Canceled, 499},
+		{&check.ViolationError{}, http.StatusUnprocessableEntity},
+		{&core.PipelineError{Stage: "contract", Err: errors.New("boom")}, http.StatusInternalServerError},
+		{errors.New("plain"), http.StatusUnprocessableEntity},
+	} {
+		if got := pipelineHTTPError(tc.err).status; got != tc.status {
+			t.Errorf("pipelineHTTPError(%v) status = %d, want %d", tc.err, got, tc.status)
+		}
+	}
+}
+
+// fmt_wrap wraps an error the way the pipeline does, to exercise
+// errors.Is unwrapping.
+func fmt_wrap(err error) error {
+	return &core.PipelineError{Stage: "map", Err: err}
+}
+
+func TestRetryAfter(t *testing.T) {
+	reg := stats.New()
+	p := newWorkerPool(1, 0, reg)
+	// No observations yet: the floor is one second.
+	if got := p.retryAfter(); got != time.Second {
+		t.Errorf("empty retryAfter = %v, want 1s", got)
+	}
+	// A sub-second mean still advises one second.
+	reg.ObserveStage("map", 5*time.Millisecond)
+	if got := p.retryAfter(); got != time.Second {
+		t.Errorf("fast-mean retryAfter = %v, want 1s", got)
+	}
+	// A slow mean rounds to whole seconds.
+	reg2 := stats.New()
+	p2 := newWorkerPool(1, 0, reg2)
+	for i := 0; i < 4; i++ {
+		reg2.ObserveStage("map", 2600*time.Millisecond)
+	}
+	got := p2.retryAfter()
+	if got < 2*time.Second || got > 4*time.Second || got != got.Round(time.Second) {
+		t.Errorf("slow-mean retryAfter = %v, want a whole-second value near 3s", got)
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"oregami/internal/serve/stats"
+)
+
+// errBusy is returned by the pool when the queue is full; the HTTP layer
+// translates it into 429 Too Many Requests with a Retry-After header.
+var errBusy = errors.New("serve: server is at capacity (queue full)")
+
+// workerPool bounds concurrent mapping work with two limits: at most
+// `workers` computations run at once, and at most `queue` further
+// requests may wait for a worker. A request arriving with both limits
+// exhausted is rejected immediately (admission control) rather than
+// piling onto an unbounded queue.
+type workerPool struct {
+	reg     *stats.Registry
+	tickets chan struct{} // capacity workers+queue; admission
+	workers chan struct{} // capacity workers; execution slots
+}
+
+func newWorkerPool(workers, queue int, reg *stats.Registry) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &workerPool{
+		reg:     reg,
+		tickets: make(chan struct{}, workers+queue),
+		workers: make(chan struct{}, workers),
+	}
+}
+
+// acquire admits the caller (or fails fast with errBusy), then blocks
+// until a worker slot frees or ctx is done. The returned release
+// function must be called exactly once; the queue-wait duration is
+// recorded in the "queue" stage histogram.
+func (p *workerPool) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case p.tickets <- struct{}{}:
+	default:
+		p.reg.Rejected.Add(1)
+		return nil, errBusy
+	}
+	start := time.Now()
+	p.reg.QueueDepth.Add(1)
+	defer p.reg.QueueDepth.Add(-1)
+	select {
+	case p.workers <- struct{}{}:
+		p.reg.ObserveStage("queue", time.Since(start))
+		return func() {
+			<-p.workers
+			<-p.tickets
+		}, nil
+	case <-ctx.Done():
+		<-p.tickets
+		return nil, ctx.Err()
+	}
+}
+
+// retryAfter estimates how long a rejected client should wait before
+// retrying: one mean compute duration if known, else one second.
+func (p *workerPool) retryAfter() time.Duration {
+	snap := p.reg.Stage("map").Snapshot()
+	if snap.Count == 0 || snap.MeanMS <= 0 {
+		return time.Second
+	}
+	d := time.Duration(snap.MeanMS * float64(time.Millisecond))
+	if d < time.Second {
+		return time.Second
+	}
+	return d.Round(time.Second)
+}

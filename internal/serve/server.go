@@ -1,0 +1,461 @@
+// Package serve is the OREGAMI mapping service: a long-running HTTP
+// daemon (`oregami serve`) that turns the MAPPER library into a system.
+// It memoizes completed mappings in a content-addressed LRU cache keyed
+// by (canonical LaRCS program, bindings, network, options), deduplicates
+// identical in-flight requests with singleflight, bounds concurrency
+// with an admission-controlled worker pool (full queue -> 429 +
+// Retry-After), flows per-request deadlines into the core pipeline's
+// context/StageTimeout ladder, and exports first-class observability:
+// per-stage latency histograms, cache hit ratios, and in-flight gauges
+// via /debug/vars, pprof, and a human GET /v1/stats.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oregami/internal/analysis"
+	"oregami/internal/serve/stats"
+	"oregami/internal/workload"
+)
+
+// Config tunes the mapping service. Zero values take the documented
+// defaults.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:8080"; ":0" picks a
+	// free port (see Server.Addr).
+	Addr string
+	// Workers bounds concurrent mapping computations (default
+	// GOMAXPROCS).
+	Workers int
+	// Queue bounds requests waiting for a worker; a request beyond
+	// Workers+Queue is rejected with 429 (default 64; negative means no
+	// queue at all — reject whenever every worker is busy).
+	Queue int
+	// CacheBytes is the result cache budget (default 64 MiB; negative
+	// disables caching).
+	CacheBytes int64
+	// RequestTimeout caps every request's pipeline deadline (default
+	// 30s); requests may shorten it via options.timeout_ms.
+	RequestTimeout time.Duration
+	// StageTimeout bounds the MWM contraction stage (0 disables).
+	StageTimeout time.Duration
+	// MaxTasks/MaxEdges bound the LaRCS expansion per request
+	// (defaults 1<<20 / 1<<22, enforced by larcs.Limits).
+	MaxTasks, MaxEdges int
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// AddrFile, when set, receives the bound address after listen —
+	// how scripts discover the port behind ":0".
+	AddrFile string
+	// MaxBatch bounds /v1/map/batch request counts (default 64).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue == 0 {
+		c.Queue = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// Server is the mapping service. Create with New, serve with
+// ListenAndServe (or mount Handler under a test server).
+type Server struct {
+	cfg      Config
+	reg      *stats.Registry
+	cache    *resultCache
+	pool     *workerPool
+	flights  flightGroup
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	mu   sync.Mutex
+	ln   net.Listener
+	hsrv *http.Server
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := stats.New()
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		cache: newResultCache(cfg.CacheBytes, reg),
+		pool:  newWorkerPool(cfg.Workers, cfg.Queue, reg),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/map", s.handleMap)
+	s.mux.HandleFunc("POST /v1/map/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/vet", s.handleVet)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	publishExpvar(reg)
+	return s
+}
+
+// expvar's registry is process-global and Publish panics on duplicates,
+// so the package publishes one "oregami_serve" Func that reads whichever
+// server registered last (tests spin up several servers; in production
+// there is exactly one).
+var expvarReg atomic.Pointer[stats.Registry]
+var expvarOnce sync.Once
+
+func publishExpvar(reg *stats.Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("oregami_serve", expvar.Func(func() interface{} {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the service's HTTP handler (useful for tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns the server's metrics registry.
+func (s *Server) Stats() *stats.Registry { return s.reg }
+
+// Addr returns the bound listen address after ListenAndServe has
+// started listening, else "".
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ListenAndServe binds the configured address and serves until ctx is
+// canceled (SIGTERM in the CLI), then drains gracefully: the health
+// check flips to 503, in-flight requests get DrainTimeout to finish, and
+// a clean drain returns nil.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen on %q: %w", s.cfg.Addr, err)
+	}
+	if s.cfg.AddrFile != "" {
+		if err := os.WriteFile(s.cfg.AddrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: write addr file: %w", err)
+		}
+	}
+	hsrv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	s.ln, s.hsrv = ln, hsrv
+	s.mu.Unlock()
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.draining.Store(true)
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		shutdownErr <- hsrv.Shutdown(dctx)
+	}()
+	if err := hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if ctx.Err() != nil {
+		return <-shutdownErr
+	}
+	return nil
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders an httpError, including Retry-After when set.
+func (s *Server) writeError(w http.ResponseWriter, herr *httpError) {
+	s.reg.Errors.Add(1)
+	if herr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(herr.retryAfter.Seconds()+0.5)))
+	}
+	writeJSON(w, herr.status, map[string]string{"error": herr.msg})
+}
+
+// decodeJSON reads a bounded JSON body into v.
+func decodeJSON(r *http.Request, v interface{}) *httpError {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		return badRequest("read body: %v", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return badRequest("decode body: %v", err)
+	}
+	return nil
+}
+
+// serveOne runs the full request lifecycle for one MapRequest: resolve,
+// cache lookup, admission, singleflight-deduplicated computation, cache
+// fill, and the optional oracle check. It powers both /v1/map and each
+// /v1/map/batch item.
+func (s *Server) serveOne(ctx context.Context, req *MapRequest, queryCheck bool) (MapResponse, *httpError) {
+	start := time.Now()
+	r, herr := s.resolve(req)
+	if herr != nil {
+		return MapResponse{}, herr
+	}
+	r.check = r.check || queryCheck
+	s.reg.Requests.Add(1)
+
+	var entry *cacheEntry
+	how := "miss"
+	if r.nocache {
+		s.reg.CacheBypass.Add(1)
+		how = "bypass"
+		e, err := s.computeAdmitted(ctx, r)
+		if err != nil {
+			return MapResponse{}, asHTTPError(err)
+		}
+		entry = e
+		s.cache.put(e)
+	} else {
+		// The cache lookup happens inside the flight, so each request
+		// performs exactly one lookup (one hit or miss count) and
+		// concurrent identical misses collapse onto one computation.
+		hit := false
+		e, err, shared := s.flights.do(r.key, func() (*cacheEntry, error) {
+			if e, ok := s.cache.get(r.key); ok {
+				hit = true
+				return e, nil
+			}
+			e, cerr := s.computeAdmitted(ctx, r)
+			if cerr != nil {
+				return nil, cerr
+			}
+			s.cache.put(e)
+			return e, nil
+		})
+		if err != nil {
+			return MapResponse{}, asHTTPError(err)
+		}
+		entry = e
+		switch {
+		case shared:
+			// hit belongs to the flight leader; followers report the
+			// dedup instead.
+			s.reg.Deduped.Add(1)
+			how = "shared"
+		case hit:
+			how = "hit"
+		}
+	}
+
+	resp := entry.resp // struct copy; slices shared read-only
+	resp.Cache = how
+	if r.check {
+		resp.Checked = true
+		if violations := s.runOracle(entry); len(violations) > 0 {
+			// A cached mapping failing the oracle means the entry went
+			// bad (or the pipeline produced a bad mapping): drop it.
+			s.cache.remove(entry.key)
+			resp.Violations = violations
+			return resp, unprocessable("mapping failed the post-condition oracle with %d violation(s)", len(violations))
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.reg.ObserveStage("total", time.Since(start))
+	return resp, nil
+}
+
+// computeAdmitted passes a computation through admission control and the
+// worker pool, then runs it.
+func (s *Server) computeAdmitted(ctx context.Context, r *resolved) (*cacheEntry, error) {
+	release, err := s.pool.acquire(ctx)
+	if err != nil {
+		if err == errBusy {
+			return nil, &httpError{
+				status:     http.StatusTooManyRequests,
+				msg:        err.Error(),
+				retryAfter: s.pool.retryAfter(),
+			}
+		}
+		return nil, pipelineHTTPError(err)
+	}
+	defer release()
+	return s.compute(ctx, r)
+}
+
+// asHTTPError normalizes computation errors to httpErrors.
+func asHTTPError(err error) *httpError {
+	if herr, ok := err.(*httpError); ok {
+		return herr
+	}
+	return pipelineHTTPError(err)
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	s.reg.InFlight.Add(1)
+	defer s.reg.InFlight.Add(-1)
+	var req MapRequest
+	if herr := decodeJSON(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	resp, herr := s.serveOne(r.Context(), &req, r.URL.Query().Get("check") == "1")
+	if herr != nil {
+		if len(resp.Violations) > 0 {
+			// Oracle failures return the full response body so the
+			// client sees the violations, not just the error line.
+			resp.Error = herr.msg
+			writeJSON(w, herr.status, resp)
+			s.reg.Errors.Add(1)
+			return
+		}
+		s.writeError(w, herr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	s.reg.InFlight.Add(1)
+	defer s.reg.InFlight.Add(-1)
+	var reqs []MapRequest
+	if herr := decodeJSON(r, &reqs); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	if len(reqs) == 0 {
+		s.writeError(w, badRequest("batch is empty"))
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatch {
+		s.writeError(w, badRequest("batch of %d exceeds the maximum of %d", len(reqs), s.cfg.MaxBatch))
+		return
+	}
+	queryCheck := r.URL.Query().Get("check") == "1"
+	resps := make([]MapResponse, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, herr := s.serveOne(r.Context(), &reqs[i], queryCheck)
+			if herr != nil {
+				resp.Error = herr.msg
+				s.reg.Errors.Add(1)
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resps)
+}
+
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	var req VetRequest
+	if herr := decodeJSON(r, &req); herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, badRequest("source is required"))
+		return
+	}
+	diags := analysis.VetSource(req.Source)
+	if diags == nil {
+		diags = []analysis.Diag{}
+	}
+	writeJSON(w, http.StatusOK, VetResponse{
+		Diagnostics: diags,
+		HasErrors:   analysis.HasErrors(diags),
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	var out []WorkloadInfo
+	for _, wl := range workload.All() {
+		out = append(out, WorkloadInfo{Name: wl.Name, About: wl.About})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("json") == "1" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, snap.Render())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// rejectDraining refuses new mapping work during graceful shutdown.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server is draining"})
+	return true
+}

@@ -1,0 +1,45 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent identical computations: the first
+// caller for a key runs fn, later callers for the same key block and
+// share the first caller's result. This is the stdlib-only equivalent of
+// golang.org/x/sync/singleflight, sized for this server's needs (no
+// Forget, no panic re-propagation across goroutines: the pipeline
+// already contains panics as *core.PipelineError).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *cacheEntry
+	err  error
+}
+
+// do runs fn once per in-flight key. The boolean reports whether this
+// caller shared another caller's flight instead of computing.
+func (g *flightGroup) do(key string, fn func() (*cacheEntry, error)) (*cacheEntry, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if call, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-call.done
+		return call.val, call.err, true
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.m[key] = call
+	g.mu.Unlock()
+
+	call.val, call.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.val, call.err, false
+}

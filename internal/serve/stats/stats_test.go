@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketForBounds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{10 * time.Minute, nBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketFor(tc.d); got != tc.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+		// Every duration must fall within its bucket's upper bound
+		// (except the overflow bucket).
+		if tc.want < nBuckets-1 && tc.d > bucketBound(tc.want) {
+			t.Errorf("bucketFor(%v) = %d but bound is %v", tc.d, tc.want, bucketBound(tc.want))
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 90 fast observations and 10 slow ones: p50 must land in the fast
+	// band, p99 in the slow band. Quantile overestimates by at most 2x.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	if p50 := h.Quantile(0.5); p50 < 100*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Errorf("p50 = %v, want within [100us, 200us]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 50*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v, want within [50ms, 100ms]", p99)
+	}
+	// Quantile never exceeds the observed max.
+	if h.Quantile(1.0) > 50*time.Millisecond {
+		t.Errorf("p100 = %v exceeds max", h.Quantile(1.0))
+	}
+	snap := h.Snapshot()
+	if snap.Count != 100 {
+		t.Errorf("count = %d, want 100", snap.Count)
+	}
+	if snap.MaxMS != 50 {
+		t.Errorf("max_ms = %g, want 50", snap.MaxMS)
+	}
+}
+
+func TestRegistrySnapshotAndRender(t *testing.T) {
+	r := New()
+	r.Requests.Add(3)
+	r.CacheHits.Add(2)
+	r.CacheMisses.Add(1)
+	r.ObserveStage("compile", time.Millisecond)
+	r.ObserveStage("route", 2*time.Millisecond)
+	r.ObserveStage("route", 4*time.Millisecond)
+	s := r.Snapshot()
+	if s.Requests != 3 || s.CacheHits != 2 || s.CacheMisses != 1 {
+		t.Errorf("snapshot counters wrong: %+v", s)
+	}
+	if got := s.HitRatio; got < 0.66 || got > 0.67 {
+		t.Errorf("hit ratio = %g, want ~2/3", got)
+	}
+	if s.Stages["route"].Count != 2 {
+		t.Errorf("route stage count = %d, want 2", s.Stages["route"].Count)
+	}
+	out := s.Render()
+	for _, want := range []string{"hit ratio 0.667", "compile", "route", "p99_ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises the lock paths under the race
+// detector: stage creation, observation, and snapshotting in parallel.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.ObserveStage("total", time.Duration(j)*time.Microsecond)
+				r.ObserveStage("queue", time.Microsecond)
+				r.Requests.Add(1)
+				if j%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Requests != 1600 {
+		t.Errorf("requests = %d, want 1600", s.Requests)
+	}
+	if s.Stages["total"].Count != 1600 {
+		t.Errorf("total count = %d, want 1600", s.Stages["total"].Count)
+	}
+}

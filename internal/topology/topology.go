@@ -464,74 +464,60 @@ func Star(n int) *Network {
 	return nw.finish()
 }
 
+// family describes one constructible network family: its parameter
+// count and a builder over those parameters.
+type family struct {
+	arity int
+	build func(params []int) *Network
+}
+
+// families is the registry behind ByName, ParseSpec, and Kinds.
+var families = map[string]family{
+	"ring":      {1, func(p []int) *Network { return Ring(p[0]) }},
+	"linear":    {1, func(p []int) *Network { return Linear(p[0]) }},
+	"mesh":      {2, func(p []int) *Network { return Mesh(p[0], p[1]) }},
+	"torus":     {2, func(p []int) *Network { return Torus(p[0], p[1]) }},
+	"hypercube": {1, func(p []int) *Network { return Hypercube(p[0]) }},
+	"cbtree":    {1, func(p []int) *Network { return CompleteBinaryTree(p[0]) }},
+	"binomial":  {1, func(p []int) *Network { return BinomialTree(p[0]) }},
+	"butterfly": {1, func(p []int) *Network { return Butterfly(p[0]) }},
+	"ccc":       {1, func(p []int) *Network { return CubeConnectedCycles(p[0]) }},
+	"complete":  {1, func(p []int) *Network { return Complete(p[0]) }},
+	"star":      {1, func(p []int) *Network { return Star(p[0]) }},
+}
+
+// Kinds returns the valid network family names, sorted, for use in
+// error messages and CLI/API help.
+func Kinds() []string {
+	kinds := make([]string, 0, len(families))
+	for k := range families {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
 // ByName constructs a network from a family name and parameters, the hook
-// used by the CLIs: ring, linear, mesh, torus, hypercube, cbtree,
-// binomial, butterfly, complete, star.
+// used by the CLIs and the serve API; Kinds lists the valid names.
 func ByName(kind string, params ...int) (*Network, error) {
-	need := func(k int) error {
-		if len(params) != k {
-			return fmt.Errorf("topology: %s takes %d parameter(s), got %d", kind, k, len(params))
-		}
-		return nil
+	fam, ok := families[kind]
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown network family %q (valid kinds: %s)",
+			kind, strings.Join(Kinds(), ", "))
+	}
+	if len(params) != fam.arity {
+		return nil, fmt.Errorf("topology: %s takes %d parameter(s), got %d", kind, fam.arity, len(params))
 	}
 	var nw *Network
 	var err error
-	build := func(f func() *Network) {
+	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("topology: %v", r)
 			}
 		}()
-		nw = f()
-	}
-	switch kind {
-	case "ring":
-		if err = need(1); err == nil {
-			build(func() *Network { return Ring(params[0]) })
-		}
-	case "linear":
-		if err = need(1); err == nil {
-			build(func() *Network { return Linear(params[0]) })
-		}
-	case "mesh":
-		if err = need(2); err == nil {
-			build(func() *Network { return Mesh(params[0], params[1]) })
-		}
-	case "torus":
-		if err = need(2); err == nil {
-			build(func() *Network { return Torus(params[0], params[1]) })
-		}
-	case "hypercube":
-		if err = need(1); err == nil {
-			build(func() *Network { return Hypercube(params[0]) })
-		}
-	case "cbtree":
-		if err = need(1); err == nil {
-			build(func() *Network { return CompleteBinaryTree(params[0]) })
-		}
-	case "binomial":
-		if err = need(1); err == nil {
-			build(func() *Network { return BinomialTree(params[0]) })
-		}
-	case "butterfly":
-		if err = need(1); err == nil {
-			build(func() *Network { return Butterfly(params[0]) })
-		}
-	case "ccc":
-		if err = need(1); err == nil {
-			build(func() *Network { return CubeConnectedCycles(params[0]) })
-		}
-	case "complete":
-		if err = need(1); err == nil {
-			build(func() *Network { return Complete(params[0]) })
-		}
-	case "star":
-		if err = need(1); err == nil {
-			build(func() *Network { return Star(params[0]) })
-		}
-	default:
-		err = fmt.Errorf("topology: unknown network family %q", kind)
-	}
+		nw = fam.build(params)
+	}()
 	if err != nil {
 		return nil, err
 	}
@@ -543,15 +529,20 @@ func ByName(kind string, params ...int) (*Network, error) {
 func ParseSpec(s string) (*Network, error) {
 	parts := strings.SplitN(s, ":", 2)
 	if len(parts) != 2 {
-		return nil, fmt.Errorf("topology: network must be kind:params, e.g. hypercube:3 or mesh:4,4")
+		return nil, fmt.Errorf("topology: bad network spec %q: must be kind:params, e.g. hypercube:3 or mesh:4,4 (valid kinds: %s)",
+			s, strings.Join(Kinds(), ", "))
 	}
 	var params []int
 	for _, p := range strings.Split(parts[1], ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return nil, fmt.Errorf("topology: network spec %q: %v", s, err)
+			return nil, fmt.Errorf("topology: bad network spec %q: parameter %q is not an integer", s, strings.TrimSpace(p))
 		}
 		params = append(params, v)
 	}
-	return ByName(parts[0], params...)
+	nw, err := ByName(parts[0], params...)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in spec %q)", err, s)
+	}
+	return nw, nil
 }

@@ -2,6 +2,8 @@ package topology
 
 import (
 	"math/bits"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -179,6 +181,54 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("ring", 1); err == nil {
 		t.Error("invalid parameter accepted")
+	}
+}
+
+func TestKinds(t *testing.T) {
+	kinds := Kinds()
+	if !sort.StringsAreSorted(kinds) {
+		t.Errorf("Kinds() not sorted: %v", kinds)
+	}
+	want := map[string]bool{}
+	for _, k := range kinds {
+		want[k] = true
+		// Wrong arity must error (never panic) and name the family.
+		_, err := ByName(k, make([]int, families[k].arity+1)...)
+		if err == nil || !strings.Contains(err.Error(), k) {
+			t.Errorf("ByName(%s) wrong arity: err = %v", k, err)
+		}
+	}
+	for _, k := range []string{"ring", "mesh", "hypercube", "ccc", "star"} {
+		if !want[k] {
+			t.Errorf("Kinds() missing %q", k)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want []string // substrings the error must contain
+	}{
+		{"hypercube", []string{`"hypercube"`, "kind:params", "valid kinds", "mesh"}},
+		{"hypercub:3", []string{`"hypercub"`, "valid kinds", "hypercube", `"hypercub:3"`}},
+		{"mesh:4,x", []string{`"mesh:4,x"`, `"x"`, "not an integer"}},
+		{"mesh:4", []string{"mesh takes 2 parameter(s), got 1", `"mesh:4"`}},
+		{"ring:1", []string{"ring needs", `"ring:1"`}},
+	} {
+		_, err := ParseSpec(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", tc.spec)
+			continue
+		}
+		for _, sub := range tc.want {
+			if !strings.Contains(err.Error(), sub) {
+				t.Errorf("ParseSpec(%q) error %q missing %q", tc.spec, err, sub)
+			}
+		}
+	}
+	if nw, err := ParseSpec("mesh:4, 4"); err != nil || nw.N != 16 {
+		t.Errorf("ParseSpec with spaces: nw=%v err=%v", nw, err)
 	}
 }
 

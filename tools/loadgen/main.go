@@ -1,0 +1,407 @@
+// Command loadgen is a closed-loop load generator for the oregami
+// mapping daemon (internal/serve). It drives POST /v1/map with a mix of
+// workload/network pairs in two phases — cold (cache bypassed, every
+// request computes) and warm (cache primed, requests hit) — and reports
+// latency percentiles, throughput, and the server's cache hit ratio as
+// a JSON document with the same shape tools/benchjson emits, so the two
+// artifacts can be archived and diffed by the same machinery.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 -n 200 -c 8 -out BENCH_serve.json
+//	loadgen -launch ./oregami -n 200 -c 8 -out BENCH_serve.json
+//
+// With -launch, loadgen spawns `<binary> serve` itself on a free port,
+// runs the benchmark, and shuts the server down with SIGTERM.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Result mirrors tools/benchjson's Result so both tools emit one schema.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// Document mirrors tools/benchjson's Document.
+type Document struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+// target is one workload/network pair from the -mix flag.
+type target struct {
+	Workload string
+	Bindings map[string]int
+	Net      string
+}
+
+// parseMix parses comma-separated "workload[:k=v[:k=v]...]@net" entries,
+// e.g. "nbody:n=255@hypercube:4,jacobi@mesh:4,4". The net spec may
+// itself contain commas (a comma starts a new pair only if an '@'
+// appears later in the string).
+func parseMix(s string) ([]target, error) {
+	var out []target
+	for len(s) > 0 {
+		at := strings.Index(s, "@")
+		if at <= 0 {
+			return nil, fmt.Errorf("mix entry %q: want workload[:k=v...]@net", s)
+		}
+		wl, rest := s[:at], s[at+1:]
+		// The net runs until the comma that precedes the next '@'.
+		end := len(rest)
+		if next := strings.Index(rest, "@"); next >= 0 {
+			cut := strings.LastIndex(rest[:next], ",")
+			if cut < 0 {
+				return nil, fmt.Errorf("mix entry after %q: missing comma between pairs", wl)
+			}
+			end = cut
+		}
+		net := strings.TrimSpace(rest[:end])
+		if net == "" {
+			return nil, fmt.Errorf("mix entry %q: empty net spec", wl)
+		}
+		t := target{Net: net}
+		parts := strings.Split(wl, ":")
+		t.Workload = strings.TrimSpace(parts[0])
+		if t.Workload == "" {
+			return nil, fmt.Errorf("mix entry %q: empty workload name", wl)
+		}
+		for _, kv := range parts[1:] {
+			name, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("mix entry %q: binding %q is not k=v", wl, kv)
+			}
+			var v int
+			if _, err := fmt.Sscanf(val, "%d", &v); err != nil {
+				return nil, fmt.Errorf("mix entry %q: binding %q is not an integer", wl, kv)
+			}
+			if t.Bindings == nil {
+				t.Bindings = map[string]int{}
+			}
+			t.Bindings[strings.TrimSpace(name)] = v
+		}
+		out = append(out, t)
+		s = rest[end:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return out, nil
+}
+
+// percentile returns the q-th percentile (0..100) of ds by
+// nearest-rank on a sorted copy; 0 for an empty slice.
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// phaseStats summarizes one benchmark phase.
+type phaseStats struct {
+	N        int64
+	Errors   int64
+	Elapsed  time.Duration
+	Lat      []time.Duration
+	CacheHit int64 // responses with "cache":"hit"
+}
+
+func (p *phaseStats) result(name string, c int) Result {
+	mean := float64(0)
+	if p.N > 0 {
+		var sum time.Duration
+		for _, d := range p.Lat {
+			sum += d
+		}
+		mean = float64(sum.Nanoseconds()) / float64(p.N)
+	}
+	rps := float64(0)
+	if p.Elapsed > 0 {
+		rps = float64(p.N) / p.Elapsed.Seconds()
+	}
+	return Result{
+		Name:       name,
+		Procs:      c,
+		Iterations: p.N,
+		NsPerOp:    mean,
+		Extra: map[string]float64{
+			"p50-ns": float64(percentile(p.Lat, 50).Nanoseconds()),
+			"p90-ns": float64(percentile(p.Lat, 90).Nanoseconds()),
+			"p99-ns": float64(percentile(p.Lat, 99).Nanoseconds()),
+			"rps":    rps,
+			"errors": float64(p.Errors),
+		},
+	}
+}
+
+// mapReq is the wire request for POST /v1/map (subset of serve.MapRequest).
+type mapReq struct {
+	Workload string         `json:"workload"`
+	Bindings map[string]int `json:"bindings,omitempty"`
+	Net      string         `json:"net"`
+	NoCache  bool           `json:"nocache,omitempty"`
+}
+
+// mapResp is the subset of serve.MapResponse loadgen inspects.
+type mapResp struct {
+	Cache string `json:"cache"`
+	Error string `json:"error"`
+}
+
+// runPhase fires n closed-loop requests across c workers, round-robin
+// over the mix.
+func runPhase(client *http.Client, base string, mix []target, n, c int, nocache, check bool) *phaseStats {
+	st := &phaseStats{Lat: make([]time.Duration, 0, n)}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	url := base + "/v1/map"
+	if check {
+		url += "?check=1"
+	}
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(n) {
+					return
+				}
+				t := mix[int(i)%len(mix)]
+				body, _ := json.Marshal(mapReq{Workload: t.Workload, Bindings: t.Bindings, Net: t.Net, NoCache: nocache})
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				hit := false
+				ok := err == nil
+				if err == nil {
+					var mr mapResp
+					derr := json.NewDecoder(resp.Body).Decode(&mr)
+					resp.Body.Close()
+					ok = derr == nil && resp.StatusCode == http.StatusOK && mr.Error == ""
+					hit = mr.Cache == "hit"
+				}
+				mu.Lock()
+				st.N++
+				st.Lat = append(st.Lat, lat)
+				if !ok {
+					st.Errors++
+				}
+				if hit {
+					st.CacheHit++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// hitRatio asks the server's stats endpoint for its cache hit ratio.
+func hitRatio(client *http.Client, base string) float64 {
+	resp, err := client.Get(base + "/v1/stats?json=1")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		HitRatio float64 `json:"hit_ratio"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return -1
+	}
+	return snap.HitRatio
+}
+
+// launchServer spawns `<bin> serve` on a free port and returns the bound
+// address plus a shutdown function.
+func launchServer(bin string, workers int) (string, func() error, error) {
+	dir, err := os.MkdirTemp("", "loadgen")
+	if err != nil {
+		return "", nil, err
+	}
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-workers", fmt.Sprint(workers))
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	stop := func() error {
+		defer os.RemoveAll(dir)
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		return cmd.Wait()
+	}
+	for i := 0; i < 200; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b)), stop, nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	stop()
+	return "", nil, fmt.Errorf("server at %s never wrote %s", bin, addrFile)
+}
+
+// flags bundles the parsed command line.
+type flags struct {
+	fs     *flag.FlagSet
+	addr   *string
+	launch *string
+	mix    *string
+	n      *int
+	c      *int
+	check  *bool
+}
+
+func newFlagSet() *flags {
+	f := &flags{fs: flag.NewFlagSet("loadgen", flag.ContinueOnError)}
+	f.addr = f.fs.String("addr", "", "address of a running oregami serve (host:port)")
+	f.launch = f.fs.String("launch", "", "path to an oregami binary to spawn with `serve` (used when -addr is empty)")
+	f.mix = f.fs.String("mix", "nbody:n=511@hypercube:5,jacobi:n=32@mesh:8,4,broadcast8@hypercube:3", "comma-separated workload[:k=v...]@net entries to request round-robin")
+	f.n = f.fs.Int("n", 200, "requests per phase")
+	f.c = f.fs.Int("c", 8, "concurrent closed-loop workers")
+	f.check = f.fs.Bool("check", false, "request oracle verification (?check=1) on every map")
+	return f
+}
+
+func run(args []string, out io.Writer) error {
+	fs := newFlagSet()
+	if err := fs.fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*fs.mix)
+	if err != nil {
+		return err
+	}
+	addr := *fs.addr
+	if addr == "" {
+		if *fs.launch == "" {
+			return fmt.Errorf("need -addr or -launch")
+		}
+		bound, stop, err := launchServer(*fs.launch, *fs.c)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: server shutdown:", err)
+			}
+		}()
+		addr = bound
+	}
+	base := "http://" + addr
+	// The default transport keeps only two idle connections per host;
+	// with c closed-loop workers that means constant re-dialing, which
+	// would swamp the warm-phase latencies we are trying to measure.
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *fs.c * 2,
+			MaxIdleConnsPerHost: *fs.c * 2,
+		},
+	}
+
+	// Cold: bypass the cache so every request pays full compute.
+	cold := runPhase(client, base, mix, *fs.n, *fs.c, true, *fs.check)
+	// Prime: one cached entry per mix element.
+	prime := runPhase(client, base, mix, len(mix), 1, false, *fs.check)
+	// Warm: every request should now hit.
+	warm := runPhase(client, base, mix, *fs.n, *fs.c, false, *fs.check)
+
+	coldRes := cold.result("ServeMapCold", *fs.c)
+	warmRes := warm.result("ServeMapWarm", *fs.c)
+	if ratio := hitRatio(client, base); ratio >= 0 {
+		warmRes.Extra["hit-ratio"] = ratio
+	}
+	warmRes.Extra["warm-hits"] = float64(warm.CacheHit)
+	if warmRes.NsPerOp > 0 {
+		warmRes.Extra["speedup-x"] = coldRes.NsPerOp / warmRes.NsPerOp
+	}
+	doc := Document{
+		Meta: map[string]string{
+			"tool":        "loadgen",
+			"addr":        addr,
+			"mix":         *fs.mix,
+			"concurrency": fmt.Sprint(*fs.c),
+			"requests":    fmt.Sprint(*fs.n),
+		},
+		Results: []Result{coldRes, warmRes},
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if cold.Errors > 0 || warm.Errors > 0 || prime.Errors > 0 {
+		return fmt.Errorf("%d cold / %d prime / %d warm requests failed",
+			cold.Errors, prime.Errors, warm.Errors)
+	}
+	return nil
+}
+
+func main() {
+	outPath := ""
+	// Peel -out before the flag set so run stays testable with a writer.
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-out" && i+1 < len(args) {
+			outPath = args[i+1]
+			args = append(args[:i:i], args[i+2:]...)
+			break
+		}
+	}
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := run(args, out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
