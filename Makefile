@@ -41,6 +41,15 @@ bench:
 	$(GO) run ./tools/benchjson BENCH_pipeline.txt > BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
 
+# Sequential-vs-parallel pipeline benchmark (docs/PARALLEL.md): the
+# workers=N sub-benchmarks carry a "speedup" metric against workers=1.
+# Meaningful numbers need a multicore machine (CI) — at GOMAXPROCS=1
+# the speedup is honestly ~1x.
+bench-parallel:
+	$(GO) test -run='^$$' -bench=BenchmarkParallelPipeline -benchmem -benchtime=$(BENCHTIME) . | tee BENCH_parallel.txt
+	$(GO) run ./tools/benchjson BENCH_parallel.txt > BENCH_parallel.json
+	@echo "wrote BENCH_parallel.json"
+
 # End-to-end smoke test of the mapping daemon: build, serve on a random
 # port, cold-then-warm /v1/map (miss then hit), graceful SIGTERM drain.
 smoke-serve:

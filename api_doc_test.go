@@ -1,0 +1,76 @@
+package oregami
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"regexp"
+	"testing"
+)
+
+// exportedSymbols parses oregami.go and returns every exported
+// top-level name: types, funcs, consts/vars, and methods declared on
+// exported receivers.
+func exportedSymbols(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "oregami.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse oregami.go: %v", err)
+	}
+	var names []string
+	add := func(name string) {
+		if ast.IsExported(name) {
+			names = append(names, name)
+		}
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv != nil {
+				// Skip methods on unexported receivers.
+				recv := d.Recv.List[0].Type
+				if star, ok := recv.(*ast.StarExpr); ok {
+					recv = star.X
+				}
+				if ident, ok := recv.(*ast.Ident); ok && !ast.IsExported(ident.Name) {
+					continue
+				}
+			}
+			add(d.Name.Name)
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					add(s.Name.Name)
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						add(n.Name)
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// TestAPIDocCoversEveryExportedSymbol enforces the stability contract:
+// docs/API.md must assign a tier to every exported symbol of the public
+// package. Adding an export without documenting it fails this test.
+func TestAPIDocCoversEveryExportedSymbol(t *testing.T) {
+	doc, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist: %v", err)
+	}
+	var missing []string
+	for _, name := range exportedSymbols(t) {
+		re := regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`)
+		if !re.Match(doc) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("exported symbols with no stability tier in docs/API.md: %v", missing)
+	}
+}

@@ -9,11 +9,14 @@ import (
 	"fmt"
 	"testing"
 
+	"runtime"
+
 	"oregami/internal/aggregate"
 	"oregami/internal/canned"
 	"oregami/internal/contract"
 	"oregami/internal/core"
 	"oregami/internal/embed"
+	"oregami/internal/gen"
 	"oregami/internal/graph"
 	"oregami/internal/group"
 	"oregami/internal/larcs"
@@ -518,6 +521,44 @@ func BenchmarkSimSwitchingModels(b *testing.B) {
 				if _, err := sim.Makespan(res.Mapping, c.Phases, tc.cfg, 1<<20); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// --- Parallel MAPPER hot paths ------------------------------------------
+
+// BenchmarkParallelPipeline measures the full pipeline on a large
+// generated workload at increasing Parallelism budgets. The workers=1
+// sub-benchmark is the sequential baseline; the others report a
+// "speedup" metric against it (>= ~2x at 4 workers on a 4+ core
+// machine; ~1x when GOMAXPROCS=1 — the budget changes wall-clock only,
+// never the mapping). `make bench-parallel` archives the results as
+// BENCH_parallel.json.
+func BenchmarkParallelPipeline(b *testing.B) {
+	g := gen.TaskGraph(gen.Rand(7), gen.GraphSize{Tasks: 160, Phases: 8, Density: 0.15, MaxWeight: 8})
+	c := &larcs.Compiled{Program: &larcs.Program{Name: g.Name}, Graph: g}
+	net := topology.Hypercube(4)
+	if _, err := core.Map(core.Request{Compiled: c, Net: net, Check: true, Parallelism: 0}); err != nil {
+		b.Fatal(err)
+	}
+	workers := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		workers = append(workers, g)
+	}
+	baseline := 0.0
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Map(core.Request{Compiled: c, Net: net, Parallelism: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if w == 1 {
+				baseline = nsPerOp
+			} else if baseline > 0 {
+				b.ReportMetric(baseline/nsPerOp, "speedup")
 			}
 		})
 	}

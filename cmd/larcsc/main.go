@@ -189,6 +189,7 @@ func runMap(args []string) error {
 	netSpec := fs.String("net", "", "target network, e.g. hypercube:3 or mesh:4,4")
 	force := fs.String("force", "", "force a MAPPER class: canned|systolic|group-theoretic|arbitrary")
 	doCheck := fs.Bool("check", false, "verify the mapping with the post-condition oracle; violations exit 1")
+	parallel := fs.Int("parallel", 0, "worker budget for MAPPER's parallel hot paths (0 = all CPUs, 1 = sequential; result is identical at every setting)")
 	maxTasks := fs.Int("max-tasks", 0, "cap on the expanded task count (0 = default 1048576)")
 	maxEdges := fs.Int("max-edges", 0, "cap on the expanded edge count (0 = default 4194304)")
 	binds := bindings{}
@@ -201,6 +202,9 @@ func runMap(args []string) error {
 	}
 	if *netSpec == "" {
 		return usageError{fmt.Errorf("map needs -net (e.g. -net hypercube:3)")}
+	}
+	if *parallel < 0 {
+		return usageError{fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", *parallel)}
 	}
 	net, err := topology.ParseSpec(*netSpec)
 	if err != nil {
@@ -222,7 +226,7 @@ func runMap(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force), Check: *doCheck})
+	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force), Check: *doCheck, Parallelism: *parallel})
 	if err != nil {
 		var pe *core.PipelineError
 		var ve *check.ViolationError

@@ -113,6 +113,7 @@ func run(out *os.File) error {
 	dot := flag.Bool("dot", false, "emit the mapping as Graphviz DOT and exit")
 	shell := flag.Bool("shell", false, "open the interactive metrics shell after mapping")
 	doCheck := flag.Bool("check", false, "verify the mapping with the post-condition oracle; violations fail the run")
+	parallel := flag.Int("parallel", 0, "worker budget for MAPPER's parallel hot paths (0 = all CPUs, 1 = sequential; result is identical at every setting)")
 	maxTasks := flag.Int("max-tasks", 0, "cap on the expanded task count (0 = default 1048576)")
 	maxEdges := flag.Int("max-edges", 0, "cap on the expanded edge count (0 = default 4194304)")
 	failProcs := flag.String("fail-procs", "", "comma-separated processor ids failed before mapping")
@@ -195,7 +196,10 @@ func run(out *os.File) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force), Check: *doCheck})
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", *parallel)
+	}
+	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force), Check: *doCheck, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ func runServe(args []string, out *os.File) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
 	workers := fs.Int("workers", 0, "concurrent mapping computations (0 = GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "per-request worker budget for MAPPER's parallel hot paths (0 = GOMAXPROCS/workers; requests may lower it via options.parallelism)")
 	queue := fs.Int("queue", 0, "admission queue depth beyond the workers (0 = default 64, negative = no queue)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "result cache budget in bytes (0 = default 64MiB, negative = cache off)")
 	timeout := fs.Duration("timeout", 0, "per-request deadline ceiling (0 = default 30s)")
@@ -39,6 +40,7 @@ func runServe(args []string, out *os.File) error {
 		Addr:           *addr,
 		AddrFile:       *addrFile,
 		Workers:        *workers,
+		Parallel:       *parallel,
 		Queue:          *queue,
 		CacheBytes:     *cacheBytes,
 		RequestTimeout: *timeout,

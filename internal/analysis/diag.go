@@ -111,6 +111,15 @@ func (d Diag) String() string {
 	return s
 }
 
+// Location returns the 1-based source line and column of the diagnostic
+// (the Pos field), the accessor form used by the public API.
+func (d Diag) Location() (line, col int) { return d.Pos.Line, d.Pos.Col }
+
+// IsError reports whether the diagnostic is an error (as opposed to a
+// warning): errors break compilation for every binding the analysis
+// covered.
+func (d Diag) IsError() bool { return d.Severity == SevError }
+
 // Sort orders diagnostics by position, then severity (errors first),
 // then code, then message — the stable order every renderer uses.
 func Sort(diags []Diag) {

@@ -117,16 +117,18 @@ func detectRing(adj []map[int]bool) *Detection {
 			return nil
 		}
 	}
-	// Walk the cycle from 0.
+	// Walk the cycle from 0, taking the smallest eligible neighbor at
+	// every step — the first step has two candidates and map iteration
+	// order must not pick the orientation, or the canonicalization (and
+	// every mapping built on it) changes between runs.
 	canon := make([]int, n)
 	prev, cur := -1, 0
 	for i := 0; i < n; i++ {
 		canon[cur] = i
 		next := -1
 		for u := range adj[cur] {
-			if u != prev {
+			if u != prev && (next == -1 || u < next) {
 				next = u
-				break
 			}
 		}
 		prev, cur = cur, next

@@ -13,6 +13,7 @@ import (
 
 	"oregami/internal/graph"
 	"oregami/internal/matching"
+	"oregami/internal/par"
 )
 
 // Options parameterizes MWM-Contract.
@@ -34,6 +35,12 @@ type Options struct {
 	// Ctx carries cooperative cancellation into the O(E V log V) merge
 	// and repair loops (nil means no cancellation).
 	Ctx context.Context
+	// Parallelism bounds the worker count for candidate-gain scoring:
+	// the per-phase collapsed-weight accumulation and the weight-ordered
+	// candidate sorts run on up to this many goroutines (0 = GOMAXPROCS,
+	// 1 = sequential). The partition produced is bit-identical at every
+	// setting (see internal/par).
+	Parallelism int
 }
 
 func (o Options) ctx() context.Context {
@@ -69,6 +76,7 @@ func (o Options) bound(numTasks int) (int, error) {
 // It returns part with part[t] = cluster of task t.
 func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	ctx := opt.ctx()
+	workers := par.Resolve(opt.Parallelism)
 	if opt.Processors < 1 {
 		return nil, fmt.Errorf("contract: need at least one processor")
 	}
@@ -80,17 +88,20 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The collapsed static graph is scored once and reused by every
+	// stage (the sequential version recomputed it per stage).
+	entries := g.CollapsedEntries(workers)
 	u := newUnionFind(v)
 
 	if !opt.SkipGreedy && v > 2*opt.Processors {
-		if err := greedyMerge(ctx, g, u, 2*opt.Processors, b/2); err != nil {
+		if err := greedyMerge(ctx, workers, entries, u, 2*opt.Processors, b/2); err != nil {
 			return nil, err
 		}
 		if u.count > 2*opt.Processors {
 			// The edge list ran dry (or pairwise merges dead-ended);
 			// repair at task level. A partition into 2P clusters of
 			// B/2 always exists since V <= P*B.
-			part, err := repairPartition(ctx, g, u.partition(), 2*opt.Processors, b/2)
+			part, err := repairPartition(ctx, entries, u.partition(), 2*opt.Processors, b/2)
 			if err != nil {
 				return nil, err
 			}
@@ -99,11 +110,11 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	}
 	if opt.SkipMatching {
 		// Ablation: greedy all the way to P clusters, allowing full B.
-		if err := greedyMerge(ctx, g, u, opt.Processors, b); err != nil {
+		if err := greedyMerge(ctx, workers, entries, u, opt.Processors, b); err != nil {
 			return nil, err
 		}
 		if u.count > opt.Processors {
-			return repairPartition(ctx, g, u.partition(), opt.Processors, b)
+			return repairPartition(ctx, entries, u.partition(), opt.Processors, b)
 		}
 		return u.partition(), nil
 	}
@@ -118,17 +129,19 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	for i, id := range ids {
 		index[id] = i
 	}
-	// Aggregate intercluster weights.
+	// Aggregate intercluster weights, scanning entries in their sorted
+	// order so each blossom edge weight accumulates in a fixed sequence
+	// (the map-iteration version left float ties to chance).
 	agg := make(map[[2]int]float64)
-	for pair, w := range g.CollapsedWeights() {
-		a, bb := index[u.find(pair[0])], index[u.find(pair[1])]
+	for _, e := range entries {
+		a, bb := index[u.find(e.A)], index[u.find(e.B)]
 		if a == bb {
 			continue
 		}
 		if a > bb {
 			a, bb = bb, a
 		}
-		agg[[2]int{a, bb}] += w
+		agg[[2]int{a, bb}] += e.W
 	}
 	var edges []matching.WEdge
 	for pair, w := range agg {
@@ -138,11 +151,11 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	}
 	// Deterministic edge order: ties in the matching otherwise depend on
 	// map iteration.
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].I != edges[j].I {
-			return edges[i].I < edges[j].I
+	par.Sort(workers, edges, func(a, c matching.WEdge) bool {
+		if a.I != c.I {
+			return a.I < c.I
 		}
-		return edges[i].J < edges[j].J
+		return a.J < c.J
 	})
 	mate := matching.MaxWeightMatching(k, edges, false)
 	merged := k
@@ -156,7 +169,7 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	// P clusters (zero-benefit merges are not in the edge set). Repair
 	// the count down by redistributing the smallest clusters.
 	if merged > opt.Processors {
-		return repairPartition(ctx, g, u.partition(), opt.Processors, b)
+		return repairPartition(ctx, entries, u.partition(), opt.Processors, b)
 	}
 	return u.partition(), nil
 }
@@ -164,29 +177,26 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 // greedyMerge is the paper's greedy pre-merge: process collapsed edges by
 // non-increasing weight, merging when the combined cluster stays within
 // maxSize, stopping once at most target clusters remain. It may stop
-// short if the edge list runs dry; callers repair afterwards. The edge
-// scan checks ctx periodically so a deadline interrupts large graphs
-// mid-merge.
-func greedyMerge(ctx context.Context, g *graph.TaskGraph, u *unionFind, target, maxSize int) error {
-	type wedge struct {
-		a, b int
-		w    float64
-	}
-	var edges []wedge
-	for pair, w := range g.CollapsedWeights() {
-		edges = append(edges, wedge{pair[0], pair[1], w})
-	}
+// short if the edge list runs dry; callers repair afterwards. The
+// candidate-gain ranking (weight-descending sort) runs on up to workers
+// goroutines; the merge scan itself is inherently sequential and checks
+// ctx periodically so a deadline interrupts large graphs mid-merge.
+func greedyMerge(ctx context.Context, workers int, entries []graph.CollapsedEntry, u *unionFind, target, maxSize int) error {
+	edges := append([]graph.CollapsedEntry(nil), entries...)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].w != edges[j].w {
-			return edges[i].w > edges[j].w
+	// (W desc, A, B) is a strict total order because (A, B) is unique,
+	// so the sorted order — and every merge below — is worker-count
+	// independent.
+	par.Sort(workers, edges, func(a, b graph.CollapsedEntry) bool {
+		if a.W != b.W {
+			return a.W > b.W
 		}
-		if edges[i].a != edges[j].a {
-			return edges[i].a < edges[j].a
+		if a.A != b.A {
+			return a.A < b.A
 		}
-		return edges[i].b < edges[j].b
+		return a.B < b.B
 	})
 	for i, e := range edges {
 		if i%256 == 0 {
@@ -197,7 +207,7 @@ func greedyMerge(ctx context.Context, g *graph.TaskGraph, u *unionFind, target, 
 		if u.count <= target {
 			return nil
 		}
-		ra, rb := u.find(e.a), u.find(e.b)
+		ra, rb := u.find(e.A), u.find(e.B)
 		if ra == rb || u.size[ra]+u.size[rb] > maxSize {
 			continue
 		}
@@ -212,8 +222,7 @@ func greedyMerge(ctx context.Context, g *graph.TaskGraph, u *unionFind, target, 
 // the most. While the count exceeds the target, a cluster with spare
 // capacity must exist (otherwise total size would exceed
 // target*maxSize >= V), so the repair always terminates.
-func repairPartition(ctx context.Context, g *graph.TaskGraph, part []int, target, maxSize int) ([]int, error) {
-	w := g.CollapsedWeights()
+func repairPartition(ctx context.Context, entries []graph.CollapsedEntry, part []int, target, maxSize int) ([]int, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -246,9 +255,9 @@ func repairPartition(ctx context.Context, g *graph.TaskGraph, part []int, target
 					continue
 				}
 				aw := 0.0
-				for pair, wt := range w {
-					if (pair[0] == t && part[pair[1]] == c) || (pair[1] == t && part[pair[0]] == c) {
-						aw += wt
+				for _, e := range entries {
+					if (e.A == t && part[e.B] == c) || (e.B == t && part[e.A] == c) {
+						aw += e.W
 					}
 				}
 				if aw > destW || (aw == destW && (dest == -1 || c < dest)) {

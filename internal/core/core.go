@@ -68,7 +68,16 @@ type Request struct {
 	// constructive algorithms: Kernighan-Lin task swaps after
 	// MWM-Contract and Bokhari-style pairwise exchanges after NN-Embed.
 	Refine bool
-	// Route configures MM-Route.
+	// Parallelism is the worker budget threaded into the pipeline's
+	// parallel hot paths — MWM-Contract's candidate-gain scoring,
+	// MM-Route's per-phase fan-out, and the METRICS recomputation of the
+	// check stage. 0 means GOMAXPROCS, 1 forces sequential execution,
+	// and n > 1 allows n workers. Every setting produces a bit-identical
+	// mapping (internal/par's determinism contract); the budget only
+	// changes wall-clock time.
+	Parallelism int
+	// Route configures MM-Route. Its Parallelism and Ctx fields are
+	// overwritten from the Request's during dispatch.
 	Route route.Options
 	// Ctx carries deadlines and cancellation through contraction,
 	// embedding, and routing; the inner loops check it cooperatively.
@@ -212,6 +221,7 @@ func Map(req Request) (*Result, error) {
 		req.observe("dispatch", dispatchStart)
 		routeOpts := req.Route
 		routeOpts.Ctx = ctx
+		routeOpts.Parallelism = req.Parallelism
 		var stats map[string]route.Stats
 		routeStart := time.Now()
 		_, err = safeStage("route", func() (*mapping.Mapping, error) {
@@ -232,7 +242,7 @@ func Map(req Request) (*Result, error) {
 		}
 		if req.Check {
 			checkStart := time.Now()
-			rep, merr := metrics.Compute(m)
+			rep, merr := metrics.ComputeN(m, req.Parallelism)
 			if merr != nil {
 				return nil, &PipelineError{Stage: "check", Err: merr}
 			}
@@ -510,6 +520,7 @@ func contractWithFallback(ctx context.Context, req Request, g *graph.TaskGraph, 
 			Processors:      liveN,
 			MaxTasksPerProc: req.MaxTasksPerProc,
 			Ctx:             sctx,
+			Parallelism:     req.Parallelism,
 		})
 	})
 	cancel()
@@ -552,6 +563,7 @@ func contractWithFallback(ctx context.Context, req Request, g *graph.TaskGraph, 
 			MaxTasksPerProc: req.MaxTasksPerProc,
 			SkipMatching:    true,
 			Ctx:             ctx,
+			Parallelism:     req.Parallelism,
 		})
 	})
 	if gerr != nil {

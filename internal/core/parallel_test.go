@@ -1,0 +1,132 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"oregami/internal/check"
+	"oregami/internal/core"
+	"oregami/internal/gen"
+	"oregami/internal/graph"
+	"oregami/internal/larcs"
+	"oregami/internal/metrics"
+	"oregami/internal/topology"
+	"oregami/internal/workload"
+)
+
+// mapAt runs the checked pipeline with an explicit parallelism budget.
+// Typed infeasibility returns nil (the caller compares nil-ness across
+// budgets); oracle violations and untyped errors fail the test.
+func mapAt(t *testing.T, g *graph.TaskGraph, net *topology.Network, parallelism int) *core.Result {
+	t.Helper()
+	comp := &larcs.Compiled{Program: &larcs.Program{Name: g.Name}, Graph: g}
+	res, err := core.Map(core.Request{Compiled: comp, Net: net, Check: true, Parallelism: parallelism})
+	if err != nil {
+		var pe *core.PipelineError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism=%d: untyped error: %v", parallelism, err)
+		}
+		var ve *check.ViolationError
+		if errors.As(pe.Err, &ve) {
+			t.Fatalf("parallelism=%d: oracle rejected the mapping:\n%s", parallelism, check.Render(ve.Violations))
+		}
+		return nil
+	}
+	return res
+}
+
+// budgets are the worker counts compared against the sequential run.
+var budgets = []int{2, 4, runtime.GOMAXPROCS(0) + 3}
+
+// requireIdentical asserts two pipeline outcomes are bit-identical:
+// same infeasibility, same fingerprint, same trail, same metrics.
+func requireIdentical(t *testing.T, seq, par *core.Result, parallelism int) {
+	t.Helper()
+	if (seq == nil) != (par == nil) {
+		t.Fatalf("parallelism=%d: feasibility differs (sequential nil=%v, parallel nil=%v)",
+			parallelism, seq == nil, par == nil)
+	}
+	if seq == nil {
+		return
+	}
+	fpSeq, fpPar := check.Fingerprint(seq.Mapping), check.Fingerprint(par.Mapping)
+	if fpSeq != fpPar {
+		t.Fatalf("parallelism=%d: fingerprint diverged from sequential run:\n-- seq --\n%s\n-- par --\n%s",
+			parallelism, fpSeq, fpPar)
+	}
+	if !reflect.DeepEqual(seq.Trail, par.Trail) {
+		t.Fatalf("parallelism=%d: dispatch trail diverged:\nseq %v\npar %v", parallelism, seq.Trail, par.Trail)
+	}
+	repSeq, errSeq := metrics.ComputeN(seq.Mapping, 1)
+	repPar, errPar := metrics.ComputeN(par.Mapping, parallelism)
+	if (errSeq == nil) != (errPar == nil) {
+		t.Fatalf("parallelism=%d: metrics errors differ: %v vs %v", parallelism, errSeq, errPar)
+	}
+	if errSeq == nil && !reflect.DeepEqual(repSeq, repPar) {
+		t.Fatalf("parallelism=%d: METRICS report not bit-identical:\nseq %+v\npar %+v", parallelism, repSeq, repPar)
+	}
+}
+
+// TestParallelPipelineIsBitIdentical is the tentpole's differential
+// oracle: every generated workload maps to the same fingerprint at
+// parallelism 1 and N. Run it with -race to also exercise the memory
+// model of the fan-out.
+func TestParallelPipelineIsBitIdentical(t *testing.T) {
+	gen.ForEachSeed(t, 30, func(t *testing.T, seed int64, r *rand.Rand) {
+		g := gen.TaskGraph(r, gen.DefaultSize(r))
+		net := gen.Network(r)
+		seq := mapAt(t, g, net, 1)
+		for _, p := range budgets {
+			requireIdentical(t, seq, mapAt(t, g, net, p), p)
+		}
+	})
+}
+
+// TestParallelPipelineIsBitIdenticalUnderFaults repeats the property on
+// degraded machines, where routing falls back from the analytic
+// distance formulas to the BFS table — the path that needs pre-warming
+// before the fan-out.
+func TestParallelPipelineIsBitIdenticalUnderFaults(t *testing.T) {
+	gen.ForEachSeed(t, 30, func(t *testing.T, seed int64, r *rand.Rand) {
+		g := gen.TaskGraph(r, gen.DefaultSize(r))
+		masked, _, _ := gen.Faults(r, gen.Network(r), 2, 2)
+		seq := mapAt(t, g, masked, 1)
+		for _, p := range budgets {
+			requireIdentical(t, seq, mapAt(t, g, masked, p), p)
+		}
+	})
+}
+
+// TestParallelPipelineIsBitIdenticalOnCorpus pins the property on the
+// bundled LaRCS corpus (larger, structured graphs with many phases).
+func TestParallelPipelineIsBitIdenticalOnCorpus(t *testing.T) {
+	nets := []struct {
+		kind   string
+		params []int
+	}{
+		{"hypercube", []int{4}},
+		{"mesh", []int{4, 4}},
+	}
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			c, err := w.Compile(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, spec := range nets {
+				net, err := topology.ByName(spec.kind, spec.params...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq := mapAt(t, c.Graph, net, 1)
+				for _, p := range budgets {
+					requireIdentical(t, seq, mapAt(t, c.Graph, net, p), p)
+				}
+			}
+		})
+	}
+}

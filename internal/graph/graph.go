@@ -6,9 +6,12 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"oregami/internal/par"
 )
 
 // Edge is a directed communication edge between two tasks. Weight is the
@@ -228,6 +231,58 @@ func (g *TaskGraph) CollapsedWeights() map[[2]int]float64 {
 		}
 	}
 	return w
+}
+
+// CollapsedEntry is one undirected edge of the collapsed static graph:
+// tasks A < B with total inter-task volume W.
+type CollapsedEntry struct {
+	A, B int
+	W    float64
+}
+
+// CollapsedEntries returns the collapsed static graph as a slice sorted
+// by (A, B), accumulating per-phase partial sums on up to workers
+// goroutines. The per-pair addition order is fixed — edge order within a
+// phase, then phases in declaration order — regardless of the worker
+// count, so the weights (and everything contracted from them) are
+// bit-identical at any parallelism. Contraction consumes this form; the
+// map-shaped CollapsedWeights remains for random-access callers.
+func (g *TaskGraph) CollapsedEntries(workers int) []CollapsedEntry {
+	partial := make([]map[[2]int]float64, len(g.Comm))
+	_ = par.ForEach(context.Background(), workers, len(g.Comm), func(i int) error {
+		w := make(map[[2]int]float64)
+		for _, e := range g.Comm[i].Edges {
+			if e.From == e.To {
+				continue
+			}
+			a, b := e.From, e.To
+			if a > b {
+				a, b = b, a
+			}
+			w[[2]int{a, b}] += e.Weight
+		}
+		partial[i] = w
+		return nil
+	})
+	// Merge in phase order: for any pair, the per-phase sums are added
+	// in the same sequence a sequential pass would add them.
+	total := make(map[[2]int]float64)
+	for _, w := range partial {
+		for pair, v := range w {
+			total[pair] += v
+		}
+	}
+	out := make([]CollapsedEntry, 0, len(total))
+	for pair, v := range total {
+		out = append(out, CollapsedEntry{A: pair[0], B: pair[1], W: v})
+	}
+	par.Sort(workers, out, func(a, b CollapsedEntry) bool {
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return out
 }
 
 // Undirected returns the collapsed static graph as adjacency lists of

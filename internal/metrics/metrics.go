@@ -7,11 +7,13 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"oregami/internal/mapping"
+	"oregami/internal/par"
 	"oregami/internal/topology"
 )
 
@@ -52,8 +54,20 @@ type Report struct {
 	TotalVolume float64
 }
 
-// Compute derives the metrics of a (fully routed) mapping.
+// Compute derives the metrics of a (fully routed) mapping sequentially;
+// it is ComputeN with a single worker.
 func Compute(m *mapping.Mapping) (*Report, error) {
+	return ComputeN(m, 1)
+}
+
+// ComputeN derives the metrics of a (fully routed) mapping using up to
+// workers goroutines (0 = GOMAXPROCS, 1 = sequential) for the per-phase
+// link metrics, which never interact across phases. The load metrics and
+// the TotalIPC/TotalVolume accumulations stay sequential in a fixed
+// order, so the report is bit-identical at every worker count — the
+// post-condition oracle (check.VerifyMetrics) compares these floats
+// exactly.
+func ComputeN(m *mapping.Mapping, workers int) (*Report, error) {
 	if m.Part == nil || m.Place == nil {
 		return nil, fmt.Errorf("metrics: mapping is not contracted/embedded")
 	}
@@ -78,7 +92,25 @@ func Compute(m *mapping.Mapping) (*Report, error) {
 		r.Load.Imbalance = 1
 	}
 
+	// Totals accumulate over phases and edges in declaration order —
+	// the exact addition sequence the sequential implementation used.
 	for _, p := range m.Graph.Comm {
+		for _, e := range p.Edges {
+			if e.From == e.To {
+				continue
+			}
+			r.TotalVolume += e.Weight
+			if m.ProcOf(e.From) != m.ProcOf(e.To) {
+				r.TotalIPC += e.Weight
+			}
+		}
+	}
+
+	// Per-phase link metrics are independent: fan out, one slot each,
+	// merged in phase order below.
+	r.Links = make([]LinkMetrics, len(m.Graph.Comm))
+	_ = par.ForEach(context.Background(), par.Resolve(workers), len(m.Graph.Comm), func(pi int) error {
+		p := m.Graph.Comm[pi]
 		lm := LinkMetrics{
 			Phase:             p.Name,
 			VolumePerLink:     make([]float64, m.Net.NumLinks()),
@@ -87,15 +119,11 @@ func Compute(m *mapping.Mapping) (*Report, error) {
 		routes, routed := m.Routes[p.Name]
 		hops, crossEdges := 0, 0
 		for i, e := range p.Edges {
-			if e.From != e.To {
-				r.TotalVolume += e.Weight
-			}
 			src, dst := m.ProcOf(e.From), m.ProcOf(e.To)
 			if src == dst {
 				continue
 			}
 			crossEdges++
-			r.TotalIPC += e.Weight
 			if !routed {
 				continue
 			}
@@ -115,8 +143,9 @@ func Compute(m *mapping.Mapping) (*Report, error) {
 		if crossEdges > 0 && routed {
 			lm.AvgDilation = float64(hops) / float64(crossEdges)
 		}
-		r.Links = append(r.Links, lm)
-	}
+		r.Links[pi] = lm
+		return nil
+	})
 	return r, nil
 }
 

@@ -1,0 +1,205 @@
+// Package par is the execution layer behind MAPPER's Parallelism budget:
+// a bounded fork-join worker pool whose results merge in a deterministic
+// order, so every computation built on it produces bit-identical output
+// (check.Fingerprint equality) at any worker count.
+//
+// The determinism contract rests on three rules, which every caller must
+// follow:
+//
+//   - Work items write only to their own index's slot (no shared
+//     accumulators inside the parallel region); the caller merges slots
+//     sequentially, in index order, after ForEach returns.
+//   - Every index runs even when an earlier index fails, and the error
+//     ForEach returns is always the lowest-index one — never "whichever
+//     worker lost the race".
+//   - Sort requires a strict total order, so its output is the unique
+//     sorted permutation regardless of how the input was chunked.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"slices"
+)
+
+// Resolve maps a user-facing Parallelism budget to a concrete worker
+// count: 0 means "auto" (GOMAXPROCS), anything below 1 clamps to 1
+// (sequential), and positive values pass through. Public entry points
+// validate negative budgets with a typed error before reaching this
+// defensive clamp.
+func Resolve(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// panicError carries a recovered panic from a worker goroutine back to
+// the calling goroutine, where it is re-raised (as a "par: contained
+// panic: ..." message) so the pipeline's panic-containment layer
+// (core.safeStage) still sees a panic from the failing stage.
+type panicError struct{ value interface{} }
+
+func (p panicError) Error() string { return fmt.Sprintf("par: contained panic: %v", p.value) }
+
+// ForEach runs fn(0..n-1) on at most workers goroutines and blocks until
+// every index has run. Indices are claimed from an atomic counter, so
+// scheduling is nondeterministic — which is why fn must confine its
+// writes to per-index slots.
+//
+// Error policy: an error does not cancel the remaining indices (their
+// slots stay comparable across worker counts); the returned error is the
+// one from the lowest failing index. Context cancellation is the
+// exception: once ctx is done, unclaimed indices fail with ctx.Err()
+// without running fn. A panic inside fn is captured and re-panicked on
+// the calling goroutine as a "par: contained panic: ..." message, again
+// picking the lowest panicking index.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				if first == nil {
+					first = err
+				}
+				break
+			}
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = protect(fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if pe, ok := err.(panicError); ok {
+			panic(fmt.Sprintf("par: contained panic: %v", pe.value))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protect runs fn(i), converting a panic into a panicError so it can be
+// re-raised deterministically on the caller's goroutine.
+func protect(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicError{value: r}
+		}
+	}()
+	return fn(i)
+}
+
+// Sort sorts s in place using at most workers goroutines. less MUST be a
+// strict total order (no two distinct elements compare equal in both
+// directions): under that contract the sorted slice is unique, so the
+// output is bit-identical whether the sort ran on one worker or many.
+func Sort[T any](workers int, s []T, less func(a, b T) bool) {
+	cmp := func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	}
+	const minChunk = 1024
+	if workers > len(s)/minChunk {
+		workers = len(s) / minChunk
+	}
+	if workers <= 1 {
+		slices.SortFunc(s, cmp)
+		return
+	}
+	// Chunk-sort in parallel, then merge pairwise. The merge is stable
+	// across chunkings because less is a strict total order.
+	chunk := (len(s) + workers - 1) / workers
+	bounds := make([][2]int, 0, workers)
+	for lo := 0; lo < len(s); lo += chunk {
+		hi := lo + chunk
+		if hi > len(s) {
+			hi = len(s)
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	_ = ForEach(context.Background(), workers, len(bounds), func(i int) error {
+		slices.SortFunc(s[bounds[i][0]:bounds[i][1]], cmp)
+		return nil
+	})
+	buf := make([]T, len(s))
+	for len(bounds) > 1 {
+		var merged [][2]int
+		for i := 0; i < len(bounds); i += 2 {
+			if i+1 == len(bounds) {
+				merged = append(merged, bounds[i])
+				continue
+			}
+			lo, mid, hi := bounds[i][0], bounds[i][1], bounds[i+1][1]
+			mergeRuns(s, buf, lo, mid, hi, less)
+			merged = append(merged, [2]int{lo, hi})
+		}
+		bounds = merged
+	}
+}
+
+// mergeRuns merges the sorted runs s[lo:mid] and s[mid:hi] through buf.
+func mergeRuns[T any](s, buf []T, lo, mid, hi int, less func(a, b T) bool) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if less(s[j], s[i]) {
+			buf[k] = s[j]
+			j++
+		} else {
+			buf[k] = s[i]
+			i++
+		}
+		k++
+	}
+	copy(buf[k:], s[i:mid])
+	k += mid - i
+	copy(buf[k:], s[j:hi])
+	copy(s[lo:hi], buf[lo:hi])
+}

@@ -1,0 +1,167 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Fatalf("Resolve(-3) = %d, want 1", got)
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Resolve(n); got != n {
+			t.Fatalf("Resolve(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		n := 1000
+		hits := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		err := ForEach(context.Background(), workers, 100, func(i int) error {
+			if i == 13 || i == 77 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 13" {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachErrorDoesNotSkipLaterIndices(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		n := 64
+		ran := make([]atomic.Bool, n)
+		_ = ForEach(context.Background(), workers, n, func(i int) error {
+			ran[i].Store(true)
+			if i == 0 {
+				return errors.New("early failure")
+			}
+			return nil
+		})
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Fatalf("workers=%d: index %d skipped after an earlier error", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		err := ForEach(ctx, workers, 50, func(i int) error { return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestForEachRepanicsDeterministically(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "par: contained panic: panic at 5" {
+					t.Fatalf("workers=%d: recovered %v, want the lowest-index panic", workers, r)
+				}
+			}()
+			_ = ForEach(context.Background(), workers, 40, func(i int) error {
+				if i == 5 || i == 23 {
+					panic(fmt.Sprintf("panic at %d", i))
+				}
+				return nil
+			})
+			t.Fatalf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}
+
+func TestSortMatchesSequentialAtEveryWorkerCount(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 50_000
+	base := make([]int64, n)
+	for i := range base {
+		base[i] = r.Int63n(1 << 40)
+	}
+	// Break ties into a strict total order by pairing value with index.
+	type kv struct {
+		v   int64
+		idx int
+	}
+	mk := func() []kv {
+		s := make([]kv, n)
+		for i, v := range base {
+			s[i] = kv{v, i}
+		}
+		return s
+	}
+	less := func(a, b kv) bool {
+		if a.v != b.v {
+			return a.v < b.v
+		}
+		return a.idx < b.idx
+	}
+	want := mk()
+	Sort(1, want, less)
+	for _, workers := range []int{2, 3, 4, 16} {
+		got := mk()
+		Sort(workers, got, less)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: element %d differs: got %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSortSmallSlices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17} {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = n - i
+		}
+		Sort(8, s, func(a, b int) bool { return a < b })
+		for i := 1; i < n; i++ {
+			if s[i-1] > s[i] {
+				t.Fatalf("n=%d: not sorted at %d: %v", n, i, s)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"oregami/internal/mapping"
 	"oregami/internal/matching"
+	"oregami/internal/par"
 	"oregami/internal/topology"
 )
 
@@ -31,6 +32,13 @@ type Options struct {
 	// Ctx carries cooperative cancellation into the O(|X|^2 |Y|)
 	// matching rounds (nil means no cancellation).
 	Ctx context.Context
+	// Parallelism bounds RouteAll's per-phase fan-out: communication
+	// phases route independently on up to this many goroutines
+	// (0 = GOMAXPROCS, 1 = sequential). Each phase's routes are
+	// deterministic on their own, so the merged result is bit-identical
+	// at every setting. MMRoute itself routes a single phase and is
+	// unaffected.
+	Parallelism int
 }
 
 func (o Options) ctx() context.Context {
@@ -385,25 +393,45 @@ func PhasePairs(m *mapping.Mapping, phaseName string) ([][2]int, error) {
 }
 
 // RouteAll runs MM-Route on every communication phase of the mapping,
-// filling m.Routes. It returns per-phase statistics keyed by phase name.
-// On failure (unreachable pair, cancellation) m.Routes is left untouched.
+// filling m.Routes. Phases are independent — no link state carries from
+// one to the next — so they fan out across opt.Parallelism workers, each
+// writing only its own slot; the slots merge into m.Routes in phase
+// order afterwards. It returns per-phase statistics keyed by phase name.
+// On failure (unreachable pair, cancellation) m.Routes is left untouched
+// and the error reported is the one from the earliest failing phase.
 func RouteAll(m *mapping.Mapping, opt Options) (map[string]Stats, error) {
-	stats := make(map[string]Stats, len(m.Graph.Comm))
-	fresh := make(map[string][]topology.Route, len(m.Graph.Comm))
-	for _, p := range m.Graph.Comm {
+	phases := m.Graph.Comm
+	workers := par.Resolve(opt.Parallelism)
+	if workers > 1 {
+		// The lazy all-pairs distance table must exist before goroutines
+		// share the network: Distance fills it unsynchronized.
+		m.Net.WarmDistances()
+	}
+	type slot struct {
+		routes []topology.Route
+		st     Stats
+	}
+	slots := make([]slot, len(phases))
+	err := par.ForEach(opt.ctx(), workers, len(phases), func(i int) error {
+		p := phases[i]
 		pairs, err := PhasePairs(m, p.Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		routes, st, err := MMRoute(m.Net, pairs, opt)
 		if err != nil {
-			return nil, fmt.Errorf("route: phase %q: %w", p.Name, err)
+			return fmt.Errorf("route: phase %q: %w", p.Name, err)
 		}
-		fresh[p.Name] = routes
-		stats[p.Name] = st
+		slots[i] = slot{routes: routes, st: st}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for name, routes := range fresh {
-		m.Routes[name] = routes
+	stats := make(map[string]Stats, len(phases))
+	for i, p := range phases {
+		m.Routes[p.Name] = slots[i].routes
+		stats[p.Name] = slots[i].st
 	}
 	return stats, nil
 }

@@ -18,6 +18,11 @@ import (
 	"oregami/internal/workload"
 )
 
+// APIVersion is the wire schema version stamped into every JSON
+// response envelope (success, error, and batch alike) as "apiVersion".
+// Clients should reject envelopes whose version they do not understand.
+const APIVersion = "v1"
+
 // MapRequest is the body of POST /v1/map: a LaRCS program (inline source
 // or a bundled workload name), parameter bindings, a target network
 // spec, and options.
@@ -64,6 +69,13 @@ type MapRequestOptions struct {
 	// Stone/greedy ladder on expiry); capped by the server's configured
 	// stage timeout when one is set.
 	StageTimeoutMS int `json:"stage_timeout_ms,omitempty"`
+	// Parallelism bounds the worker count of this request's MAPPER hot
+	// paths. Zero means "use the server's per-request budget" (its core
+	// budget divided across the worker pool); positive values are capped
+	// by that budget; negative values are rejected with 400. The mapping
+	// produced — and therefore the cache key — is identical at every
+	// setting.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // MetricsSummary is the METRICS headline numbers for a served mapping.
@@ -77,6 +89,8 @@ type MetricsSummary struct {
 
 // MapResponse is the body of a successful POST /v1/map.
 type MapResponse struct {
+	// APIVersion is the wire schema version (always "v1" today).
+	APIVersion string `json:"apiVersion"`
 	// Workload echoes the workload name, or "source" for inline text.
 	Workload string `json:"workload"`
 	// Net is the canonical network name, e.g. "hypercube(3)".
@@ -119,6 +133,7 @@ type VetRequest struct {
 
 // VetResponse carries the static analyzer's findings.
 type VetResponse struct {
+	APIVersion  string          `json:"apiVersion"`
 	Diagnostics []analysis.Diag `json:"diagnostics"`
 	HasErrors   bool            `json:"has_errors"`
 }
@@ -127,6 +142,32 @@ type VetResponse struct {
 type WorkloadInfo struct {
 	Name  string `json:"name"`
 	About string `json:"about"`
+}
+
+// WorkloadsResponse is the body of GET /v1/workloads.
+type WorkloadsResponse struct {
+	APIVersion string         `json:"apiVersion"`
+	Workloads  []WorkloadInfo `json:"workloads"`
+}
+
+// BatchResponse is the body of POST /v1/map/batch: per-item results in
+// request order (failed items carry their Error field; the batch itself
+// is 200 whenever it was well-formed).
+type BatchResponse struct {
+	APIVersion string        `json:"apiVersion"`
+	Results    []MapResponse `json:"results"`
+}
+
+// StatsResponse is the body of GET /v1/stats?json=1.
+type StatsResponse struct {
+	APIVersion string      `json:"apiVersion"`
+	Stats      interface{} `json:"stats"`
+}
+
+// ErrorResponse is every error body: {"apiVersion": "v1", "error": msg}.
+type ErrorResponse struct {
+	APIVersion string `json:"apiVersion"`
+	Error      string `json:"error"`
 }
 
 // httpError is an error with an HTTP status; the handlers render it as
@@ -161,6 +202,10 @@ type resolved struct {
 	nocache      bool
 	timeout      time.Duration
 	stageTimeout time.Duration
+	// parallelism is the effective worker budget for this request's
+	// pipeline: the server's per-request budget, lowered by the
+	// request's own parallelism option when set.
+	parallelism int
 }
 
 // resolve validates and canonicalizes one request. It parses the program
@@ -217,6 +262,15 @@ func (s *Server) resolve(req *MapRequest) (*resolved, *httpError) {
 		default:
 			return nil, badRequest("options.force %q is not a MAPPER class (canned|systolic|group-theoretic|arbitrary)", r.opts.Force)
 		}
+		if r.opts.Parallelism < 0 {
+			return nil, badRequest("options.parallelism must be >= 0 (0 = server budget), got %d", r.opts.Parallelism)
+		}
+	}
+	// The effective budget is the server's per-request share of the
+	// machine; a request may only lower it.
+	r.parallelism = s.cfg.Parallel
+	if r.opts.Parallelism > 0 && r.opts.Parallelism < r.parallelism {
+		r.parallelism = r.opts.Parallelism
 	}
 	r.timeout = s.cfg.RequestTimeout
 	if d := time.Duration(r.opts.TimeoutMS) * time.Millisecond; d > 0 && d < r.timeout {
@@ -260,6 +314,7 @@ func (s *Server) compute(ctx context.Context, r *resolved) (*cacheEntry, error) 
 		Ctx:             ctx,
 		StageTimeout:    r.stageTimeout,
 		Observe:         s.reg.ObserveStage,
+		Parallelism:     r.parallelism,
 	})
 	if err != nil {
 		return nil, pipelineHTTPError(err)
@@ -267,7 +322,7 @@ func (s *Server) compute(ctx context.Context, r *resolved) (*cacheEntry, error) 
 	s.reg.ObserveStage("map", time.Since(mapStart))
 
 	metricsStart := time.Now()
-	rep, err := metrics.Compute(res.Mapping)
+	rep, err := metrics.ComputeN(res.Mapping, r.parallelism)
 	if err != nil {
 		return nil, &httpError{status: http.StatusInternalServerError, msg: fmt.Sprintf("metrics: %v", err)}
 	}
@@ -293,6 +348,7 @@ func (s *Server) compute(ctx context.Context, r *resolved) (*cacheEntry, error) 
 	}
 	fp := check.Fingerprint(m)
 	resp := MapResponse{
+		APIVersion:  APIVersion,
 		Workload:    r.name,
 		Net:         r.net.Name,
 		Tasks:       comp.Graph.NumTasks,

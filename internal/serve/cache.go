@@ -16,8 +16,9 @@ import (
 // of the canonical LaRCS program text (larcs.Format output, so layout
 // and comments never split the cache), the sorted merged bindings, the
 // canonical network name, and the result-affecting options. Options that
-// cannot change the produced mapping (timeouts, check) are deliberately
-// excluded so a checked and an unchecked request share one entry.
+// cannot change the produced mapping (timeouts, check, parallelism —
+// the parallel hot paths are bit-deterministic) are deliberately
+// excluded so e.g. a checked and an unchecked request share one entry.
 func cacheKey(canonicalSrc string, bindings map[string]int, netName string, o *MapRequestOptions) string {
 	h := sha256.New()
 	part := func(parts ...string) {

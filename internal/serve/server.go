@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -41,6 +42,14 @@ type Config struct {
 	// Workers bounds concurrent mapping computations (default
 	// GOMAXPROCS).
 	Workers int
+	// Parallel is the per-request worker budget for MAPPER's parallel
+	// hot paths. The default divides the machine between the pool's
+	// workers — max(1, GOMAXPROCS/Workers) — so full concurrent load
+	// never oversubscribes cores; a lone request on an idle server can
+	// raise Workers=1 instead to get the whole machine. Requests may
+	// lower their own budget via options.parallelism but never exceed
+	// this cap. Negative means 1 (sequential).
+	Parallel int
 	// Queue bounds requests waiting for a worker; a request beyond
 	// Workers+Queue is rejected with 429 (default 64; negative means no
 	// queue at all — reject whenever every worker is busy).
@@ -71,6 +80,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallel == 0 {
+		c.Parallel = runtime.GOMAXPROCS(0) / c.Workers
+	}
+	if c.Parallel < 1 {
+		c.Parallel = 1
 	}
 	if c.Queue == 0 {
 		c.Queue = 64
@@ -224,16 +239,24 @@ func (s *Server) writeError(w http.ResponseWriter, herr *httpError) {
 	if herr.retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(int(herr.retryAfter.Seconds()+0.5)))
 	}
-	writeJSON(w, herr.status, map[string]string{"error": herr.msg})
+	writeJSON(w, herr.status, ErrorResponse{APIVersion: APIVersion, Error: herr.msg})
 }
 
-// decodeJSON reads a bounded JSON body into v.
+// unknownFieldRe matches encoding/json's unknown-field error so the 400
+// body can name the offending field directly.
+var unknownFieldRe = regexp.MustCompile(`json: unknown field "([^"]*)"`)
+
+// decodeJSON reads a bounded JSON body into v. Unknown fields are
+// rejected (400 naming the field) so schema typos — "binding" for
+// "bindings", options at the wrong nesting level — fail loudly instead
+// of being silently dropped.
 func decodeJSON(r *http.Request, v interface{}) *httpError {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
-	if err != nil {
-		return badRequest("read body: %v", err)
-	}
-	if err := json.Unmarshal(body, v); err != nil {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if m := unknownFieldRe.FindStringSubmatch(err.Error()); m != nil {
+			return badRequest("unknown request field %q", m[1])
+		}
 		return badRequest("decode body: %v", err)
 	}
 	return nil
@@ -396,11 +419,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				resp.Error = herr.msg
 				s.reg.Errors.Add(1)
 			}
+			resp.APIVersion = APIVersion
 			resps[i] = resp
 		}(i)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, resps)
+	writeJSON(w, http.StatusOK, BatchResponse{APIVersion: APIVersion, Results: resps})
 }
 
 func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
@@ -418,6 +442,7 @@ func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
 		diags = []analysis.Diag{}
 	}
 	writeJSON(w, http.StatusOK, VetResponse{
+		APIVersion:  APIVersion,
 		Diagnostics: diags,
 		HasErrors:   analysis.HasErrors(diags),
 	})
@@ -429,13 +454,13 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, WorkloadInfo{Name: wl.Name, About: wl.About})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, WorkloadsResponse{APIVersion: APIVersion, Workloads: out})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot()
 	if r.URL.Query().Get("json") == "1" {
-		writeJSON(w, http.StatusOK, snap)
+		writeJSON(w, http.StatusOK, StatsResponse{APIVersion: APIVersion, Stats: snap})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -456,6 +481,6 @@ func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	if !s.draining.Load() {
 		return false
 	}
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server is draining"})
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{APIVersion: APIVersion, Error: "server is draining"})
 	return true
 }

@@ -273,10 +273,14 @@ func TestBatch(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	var out []MapResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	var batch BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
 		t.Fatal(err)
 	}
+	if batch.APIVersion != APIVersion {
+		t.Errorf("batch apiVersion = %q, want %q", batch.APIVersion, APIVersion)
+	}
+	out := batch.Results
 	if len(out) != 4 {
 		t.Fatalf("got %d responses, want 4", len(out))
 	}

@@ -83,6 +83,23 @@ func (nw *Network) finish() *Network {
 	return nw
 }
 
+// Processors returns the number of processors (the N field). This is
+// the pristine machine size; see NumLive for the degraded count.
+func (nw *Network) Processors() int { return nw.N }
+
+// Family returns the network family name (the Kind field), e.g.
+// "hypercube" or "mesh"; Kinds lists the valid families.
+func (nw *Network) Family() string { return nw.Kind }
+
+// Instance returns the parameterized instance name (the Name field),
+// e.g. "hypercube(3)" or "mesh(4x4)".
+func (nw *Network) Instance() string { return nw.Name }
+
+// Shape returns a copy of the family-specific shape metadata (the Dims
+// field): mesh/torus row and column counts, hypercube dimension, tree
+// depth, and so on. Mutating the copy does not affect the network.
+func (nw *Network) Shape() []int { return append([]int(nil), nw.Dims...) }
+
 // Neighbors returns the sorted neighbor list of processor v. The returned
 // slice is shared; callers must not modify it.
 func (nw *Network) Neighbors(v int) []int { return nw.adj[v] }
@@ -194,6 +211,22 @@ func (nw *Network) Diameter() int {
 		}
 	}
 	return d
+}
+
+// WarmDistances forces the all-pairs distance table to exist for
+// networks that need one (irregular families and every degraded view).
+// Distance fills that table lazily and unsynchronized, so concurrent
+// first queries would race; callers about to share the network across
+// goroutines (route.RouteAll's per-phase fan-out) warm it once,
+// single-threaded, after which Distance is read-only and safe to call
+// concurrently. Analytic families skip the table entirely.
+func (nw *Network) WarmDistances() {
+	if !nw.degraded {
+		if _, ok := nw.analyticDistance(0, 0); ok {
+			return
+		}
+	}
+	nw.ensureDist()
 }
 
 func (nw *Network) ensureDist() {

@@ -261,8 +261,12 @@ exphase mac cost 1;
 phases (sample; mac)^n;
 `
 
-// All returns the corpus with representative default bindings.
-func All() []Workload {
+// registry is the corpus, built once at package init. It is never
+// handed out directly: All and ByName return copies (with copied
+// Defaults maps) so no caller mutation can poison the registry.
+var registry = buildRegistry()
+
+func buildRegistry() []Workload {
 	return []Workload{
 		{"nbody", NBody, map[string]int{"n": 15, "s": 2}, "n-body on a chordal ring (paper Fig 2)"},
 		{"broadcast8", Broadcast8, nil, "8-node perfect broadcast (paper Fig 4)"},
@@ -280,15 +284,39 @@ func All() []Workload {
 	}
 }
 
-// ByName returns the named workload.
+// copied returns a defensive copy of w whose Defaults map the caller
+// may mutate freely.
+func (w Workload) copied() Workload {
+	if w.Defaults != nil {
+		d := make(map[string]int, len(w.Defaults))
+		for k, v := range w.Defaults {
+			d[k] = v
+		}
+		w.Defaults = d
+	}
+	return w
+}
+
+// All returns the corpus with representative default bindings. The
+// returned slice and its Defaults maps are copies; mutating them does
+// not affect later calls.
+func All() []Workload {
+	out := make([]Workload, len(registry))
+	for i, w := range registry {
+		out[i] = w.copied()
+	}
+	return out
+}
+
+// ByName returns the named workload (a copy; see All).
 func ByName(name string) (Workload, error) {
-	for _, w := range All() {
+	for _, w := range registry {
 		if w.Name == name {
-			return w, nil
+			return w.copied(), nil
 		}
 	}
-	var names []string
-	for _, w := range All() {
+	names := make([]string, 0, len(registry))
+	for _, w := range registry {
 		names = append(names, w.Name)
 	}
 	sort.Strings(names)

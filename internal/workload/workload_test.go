@@ -202,3 +202,38 @@ func TestDescriptionCompactness(t *testing.T) {
 		}
 	}
 }
+
+func TestRegistryIsImmuneToCallerMutation(t *testing.T) {
+	// Mutate everything a caller can reach from All and ByName; a later
+	// lookup must still see the pristine corpus.
+	ws := All()
+	for i := range ws {
+		ws[i].Name = "poisoned"
+		ws[i].Source = ""
+		for k := range ws[i].Defaults {
+			ws[i].Defaults[k] = -1
+		}
+	}
+	w, err := ByName("nbody")
+	if err != nil {
+		t.Fatalf("registry poisoned via All: %v", err)
+	}
+	if w.Defaults["n"] != 15 || w.Defaults["s"] != 2 {
+		t.Fatalf("nbody defaults poisoned via All: %v", w.Defaults)
+	}
+	w.Defaults["n"] = 9999
+	again, err := ByName("nbody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Defaults["n"] != 15 {
+		t.Fatalf("nbody defaults poisoned via ByName: %v", again.Defaults)
+	}
+	if c, err := w.Compile(nil); err != nil || c.Graph.NumTasks != 9999 {
+		// Sanity: the copy itself honors the caller's mutation.
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("copied workload ignored mutation: %d tasks", c.Graph.NumTasks)
+	}
+}

@@ -10,10 +10,15 @@
 //
 //	comp, err := oregami.Compile(larcsSource, map[string]int{"n": 15, "s": 2})
 //	net, err := oregami.NewNetwork("hypercube", 3)
-//	m, err := comp.Map(net, nil)
+//	m, err := comp.MapContext(ctx, net, &oregami.MapOptions{Parallelism: 0})
 //
 // after which m exposes the mapping, its metrics, an ASCII rendering,
-// and a completion-time simulation.
+// and a completion-time simulation. MapContext is the primary mapping
+// entry point; Map is a convenience wrapper for callers without a
+// context. Options are validated by MapOptions.Normalize — invalid
+// combinations return a typed *OptionError rather than being silently
+// clamped. See docs/API.md for the stability tier of every exported
+// symbol.
 package oregami
 
 import (
@@ -44,7 +49,11 @@ type Computation struct {
 	compiled *larcs.Compiled
 }
 
-// Network is a processor interconnection topology.
+// Network is a processor interconnection topology. The stable surface
+// is the accessor methods — Processors, Family, Instance, Shape,
+// Neighbors, Alive, and friends; the exported struct fields exist for
+// the internal packages and may be reorganized without notice (they are
+// tier "internal" in docs/API.md).
 type Network = topology.Network
 
 // NewNetwork constructs a network by family name: ring(n), linear(n),
@@ -56,7 +65,9 @@ func NewNetwork(kind string, params ...int) (*Network, error) {
 
 // Diagnostic is one finding of the LaRCS static analyzer: a position,
 // severity ("warning" or "error"), stable machine-readable code, message,
-// and an optional suggested fix.
+// and an optional suggested fix. The stable surface is the methods —
+// Location, IsError, String — plus the Code and Message fields; the
+// remaining struct fields may be reorganized without notice.
 type Diagnostic = analysis.Diag
 
 // Vet runs the static analyzer over a LaRCS source program *without*
@@ -108,7 +119,8 @@ func CompileWorkload(name string, overrides map[string]int) (*Computation, error
 }
 
 // Workloads lists the bundled example workload names with one-line
-// descriptions.
+// descriptions. The returned map is a fresh copy on every call:
+// mutating it cannot affect the workload registry or later calls.
 func Workloads() map[string]string {
 	out := make(map[string]string)
 	for _, w := range workload.All() {
@@ -141,7 +153,10 @@ func (c *Computation) DescriptionSize() int {
 	return c.compiled.Program.DescriptionSize()
 }
 
-// MapOptions tune the MAPPER dispatcher.
+// MapOptions tune the MAPPER dispatcher. The zero value is valid and
+// maps with every default. Options are validated by Normalize (which
+// Map and MapContext call for you): invalid values return a typed
+// *OptionError instead of being silently clamped.
 type MapOptions struct {
 	// Force restricts the dispatcher to one algorithm class: "canned",
 	// "systolic", "group-theoretic", or "arbitrary". Empty tries all.
@@ -174,6 +189,66 @@ type MapOptions struct {
 	// fail Map with a *PipelineError (stage "check") wrapping a
 	// *ViolationError.
 	Check bool
+	// Parallelism bounds the worker count of MAPPER's parallel hot
+	// paths: MWM-Contract candidate-gain scoring, MM-Route's per-phase
+	// fan-out, and the check stage's METRICS recomputation. Zero means
+	// "auto" (one worker per available CPU); 1 forces the sequential
+	// path; negative values are rejected by Normalize. The mapping
+	// produced is bit-identical at every setting — parallelism only
+	// changes wall-clock time, never the result (see docs/PARALLEL.md).
+	Parallelism int
+}
+
+// OptionError reports an invalid MapOptions field combination found by
+// Normalize. Option names the offending field; Reason says what is
+// wrong with it.
+type OptionError struct {
+	Option string
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("oregami: invalid option %s: %s", e.Option, e.Reason)
+}
+
+// Normalize validates opts and returns a normalized copy (nil receiver
+// means all defaults). It rejects, with a typed *OptionError:
+//
+//   - Parallelism < 0 (the budget is "auto" at 0, else a worker count)
+//   - negative Timeout or StageTimeout
+//   - StageTimeout >= Timeout when both are set (the stage degradation
+//     window would never fire before the whole pipeline dies)
+//   - an unknown Force class
+//   - MaxTasksPerProc < 0
+//
+// The receiver is never modified; Map and MapContext operate on the
+// returned copy.
+func (o *MapOptions) Normalize() (*MapOptions, error) {
+	out := &MapOptions{}
+	if o != nil {
+		*out = *o
+	}
+	if out.Parallelism < 0 {
+		return nil, &OptionError{Option: "Parallelism", Reason: fmt.Sprintf("must be >= 0 (0 = auto), got %d", out.Parallelism)}
+	}
+	if out.Timeout < 0 {
+		return nil, &OptionError{Option: "Timeout", Reason: fmt.Sprintf("must be >= 0, got %v", out.Timeout)}
+	}
+	if out.StageTimeout < 0 {
+		return nil, &OptionError{Option: "StageTimeout", Reason: fmt.Sprintf("must be >= 0, got %v", out.StageTimeout)}
+	}
+	if out.Timeout > 0 && out.StageTimeout >= out.Timeout {
+		return nil, &OptionError{Option: "StageTimeout", Reason: fmt.Sprintf("%v does not fit inside Timeout %v; the degraded-contraction fallback could never run", out.StageTimeout, out.Timeout)}
+	}
+	if out.MaxTasksPerProc < 0 {
+		return nil, &OptionError{Option: "MaxTasksPerProc", Reason: fmt.Sprintf("must be >= 0 (0 = derive), got %d", out.MaxTasksPerProc)}
+	}
+	switch core.Class(out.Force) {
+	case "", core.ClassCanned, core.ClassSystolic, core.ClassGroup, core.ClassArbitrary:
+	default:
+		return nil, &OptionError{Option: "Force", Reason: fmt.Sprintf("unknown algorithm class %q (want canned, systolic, group-theoretic, or arbitrary)", out.Force)}
+	}
+	return out, nil
 }
 
 // FaultModel is a set of failed processors and links.
@@ -203,17 +278,23 @@ type Mapping struct {
 	comp *larcs.Compiled
 }
 
-// Map runs MAPPER: contraction, embedding, and routing.
+// Map runs MAPPER without cancellation; it is MapContext with
+// context.Background(). Prefer MapContext in servers and anywhere a
+// deadline or cancellation signal exists.
 func (c *Computation) Map(net *Network, opts *MapOptions) (*Mapping, error) {
 	return c.MapContext(context.Background(), net, opts)
 }
 
-// MapContext is Map with cancellation: the pipeline's inner loops check
-// ctx cooperatively, and cancellation or deadline expiry returns a
-// *PipelineError naming the interrupted stage.
+// MapContext is the primary mapping entry point: it validates opts
+// (returning a typed *OptionError on invalid combinations), then runs
+// the MAPPER pipeline — contraction, embedding, routing, and the
+// optional post-condition check — under ctx. The pipeline's inner
+// loops check ctx cooperatively, and cancellation or deadline expiry
+// returns a *PipelineError naming the interrupted stage.
 func (c *Computation) MapContext(ctx context.Context, net *Network, opts *MapOptions) (*Mapping, error) {
-	if opts == nil {
-		opts = &MapOptions{}
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
 	}
 	if opts.Faults != nil && !opts.Faults.Empty() {
 		masked, err := opts.Faults.Mask(net)
@@ -237,6 +318,7 @@ func (c *Computation) MapContext(ctx context.Context, net *Network, opts *MapOpt
 		Ctx:             ctx,
 		StageTimeout:    opts.StageTimeout,
 		Check:           opts.Check,
+		Parallelism:     opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -240,13 +240,15 @@ func hitRatio(client *http.Client, base string) float64 {
 		return -1
 	}
 	defer resp.Body.Close()
-	var snap struct {
-		HitRatio float64 `json:"hit_ratio"`
+	var envelope struct {
+		Stats struct {
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"stats"`
 	}
-	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+	if json.NewDecoder(resp.Body).Decode(&envelope) != nil {
 		return -1
 	}
-	return snap.HitRatio
+	return envelope.Stats.HitRatio
 }
 
 // launchServer spawns `<bin> serve` on a free port and returns the bound
