@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz lint check bench cover smoke-serve bench-serve
+.PHONY: build test vet race fuzz lint check bench cover smoke-serve bench-serve chaos
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,22 @@ bench-serve:
 	$(GO) run ./tools/loadgen -launch ./BENCH_oregami.tmp -n $(SERVE_N) -c $(SERVE_C) -out BENCH_serve.json
 	@rm -f BENCH_oregami.tmp
 	@echo "wrote BENCH_serve.json"
+
+# Kill-driven crash-safety harness (docs/PERSIST.md): launch the daemon
+# with a persistent state dir, populate + persist the cache, SIGKILL it
+# mid-write under load, restart on the same port, and fail unless the
+# recovered server serves >= 0.9x the pre-kill warm hit ratio with zero
+# fingerprint changes. Writes recovery time and window p99 to
+# BENCH_restart.json.
+CHAOS_N ?= 60
+CHAOS_C ?= 4
+chaos:
+	$(GO) build -o BENCH_oregami.tmp ./cmd/oregami
+	$(GO) run ./tools/loadgen -chaos -launch ./BENCH_oregami.tmp \
+		-n $(CHAOS_N) -c $(CHAOS_C) -kill-after 400ms -window 3s \
+		-out BENCH_restart.json
+	@rm -f BENCH_oregami.tmp
+	@echo "wrote BENCH_restart.json"
 
 # Coverage gate: the total statement coverage must not drop below the
 # recorded floor (the pre-oracle-PR baseline).

@@ -28,6 +28,9 @@ func runServe(args []string, out *os.File) error {
 	drain := fs.Duration("drain", 0, "graceful shutdown budget (0 = default 10s)")
 	maxTasks := fs.Int("max-tasks", 0, "cap on the expanded task count (0 = default 1048576)")
 	maxEdges := fs.Int("max-edges", 0, "cap on the expanded edge count (0 = default 4194304)")
+	persist := fs.Bool("persist", false, "persist cached mappings to disk and reload them at boot (implied by -state-dir)")
+	stateDir := fs.String("state-dir", "", "directory for the persistent store (default oregami.state when -persist is set)")
+	storeBytes := fs.Int64("store-bytes", 0, "on-disk store budget in bytes; oldest segments drop first (0 = default 256MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +51,9 @@ func runServe(args []string, out *os.File) error {
 		DrainTimeout:   *drain,
 		MaxTasks:       *maxTasks,
 		MaxEdges:       *maxEdges,
+		Persist:        *persist,
+		StateDir:       *stateDir,
+		StoreBytes:     *storeBytes,
 	})
 	fmt.Fprintf(out, "oregami serve: listening on %s\n", *addr)
 	start := time.Now()

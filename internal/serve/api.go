@@ -377,6 +377,11 @@ func (s *Server) compute(ctx context.Context, r *resolved) (*cacheEntry, error) 
 // runOracle re-runs the post-condition oracle against a (possibly
 // cached) mapping and returns the rendered violations, empty when clean.
 func (s *Server) runOracle(m *cacheEntry) []string {
+	if m.m == nil {
+		// Unreachable in practice: checked requests miss on restored
+		// entries, so every oracle run sees a live mapping.
+		return []string{"no live mapping available for oracle"}
+	}
 	checkStart := time.Now()
 	rep, err := metrics.Compute(m.m)
 	if err != nil {
@@ -411,6 +416,10 @@ func pipelineHTTPError(err error) *httpError {
 	var verr *check.ViolationError
 	if errors.As(err, &verr) {
 		return unprocessable("%v", err)
+	}
+	var fpe *FlightPanicError
+	if errors.As(err, &fpe) {
+		return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
 	var perr *core.PipelineError
 	if errors.As(err, &perr) {

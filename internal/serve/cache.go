@@ -46,12 +46,22 @@ func cacheKey(canonicalSrc string, bindings map[string]int, netName string, o *M
 // cacheEntry is one memoized mapping: the prebuilt response shell, the
 // live mapping object (needed to re-run the oracle on checked hits), and
 // the full fingerprint recorded at insertion time for integrity checks.
+// Entries restored from the persistent store at boot have m == nil
+// (the mapping object is not persisted); they serve plain hits but a
+// checked request recomputes so the oracle has a live mapping.
 type cacheEntry struct {
 	key  string
 	resp MapResponse
 	m    *mapping.Mapping
 	fp   string // full check.Fingerprint at insert time
 	size int64
+}
+
+// hashHex is the hex SHA-256 of s — the same digest FingerprintHash
+// derives from a live mapping, usable on a stored fingerprint string.
+func hashHex(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return fmt.Sprintf("%x", sum[:])
 }
 
 // resultCache is a byte-budgeted LRU of completed mappings. Every hit is
@@ -80,10 +90,13 @@ func newResultCache(maxBytes int64, reg *stats.Registry) *resultCache {
 	}
 }
 
-// get returns the entry for key after verifying its integrity. A
-// fingerprint mismatch (the stored mapping was mutated since insert)
-// evicts the entry and reports a miss plus a corruption count.
-func (c *resultCache) get(key string) (*cacheEntry, bool) {
+// get returns the entry for key after verifying its integrity, counting
+// a miss when needLive is set but only a warm-restored (mapping-less)
+// entry is cached. Live entries recompute the mapping's fingerprint (a
+// mutation since insert evicts the entry and counts corruption);
+// restored entries verify that the stored fingerprint still hashes to
+// the response's served fingerprint digest.
+func (c *resultCache) get(key string, needLive bool) (*cacheEntry, bool) {
 	if c.maxBytes <= 0 {
 		c.reg.CacheMisses.Add(1)
 		return nil, false
@@ -98,6 +111,25 @@ func (c *resultCache) get(key string) (*cacheEntry, bool) {
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	c.mu.Unlock()
+
+	if e.m == nil {
+		if needLive {
+			// A checked request needs a live mapping for the oracle:
+			// treat the restored entry as a miss and recompute (the
+			// fresh entry replaces this one).
+			c.reg.CacheMisses.Add(1)
+			return nil, false
+		}
+		if hashHex(e.fp) != e.resp.Fingerprint {
+			c.reg.CacheCorrupt.Add(1)
+			c.reg.CacheMisses.Add(1)
+			c.remove(key)
+			return nil, false
+		}
+		c.reg.CacheHits.Add(1)
+		c.reg.WarmHits.Add(1)
+		return e, true
+	}
 
 	// Integrity check outside the lock: fingerprinting walks the whole
 	// route set and must not serialize other cache traffic.

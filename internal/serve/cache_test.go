@@ -72,11 +72,11 @@ func TestCacheHitMissAndIntegrity(t *testing.T) {
 	reg := stats.New()
 	c := newResultCache(1<<20, reg)
 	e := mapEntry(t, "k1", "nbody", topology.Hypercube(3))
-	if _, ok := c.get("k1"); ok {
+	if _, ok := c.get("k1", false); ok {
 		t.Fatal("hit on empty cache")
 	}
 	c.put(e)
-	got, ok := c.get("k1")
+	got, ok := c.get("k1", false)
 	if !ok || got.resp.Workload != "nbody" {
 		t.Fatalf("expected hit, got ok=%v", ok)
 	}
@@ -86,7 +86,7 @@ func TestCacheHitMissAndIntegrity(t *testing.T) {
 	// Corrupt the stored mapping: the integrity check must refuse to
 	// serve it and must evict the entry.
 	e.m.Part[0] = (e.m.Part[0] + 1) % e.m.NumClusters()
-	if _, ok := c.get("k1"); ok {
+	if _, ok := c.get("k1", false); ok {
 		t.Fatal("integrity check served a mutated mapping")
 	}
 	if reg.CacheCorrupt.Load() != 1 {
@@ -110,23 +110,23 @@ func TestCacheLRUEvictionByBytes(t *testing.T) {
 	if c.len() != 3 {
 		t.Fatalf("len = %d, want 3 after eviction", c.len())
 	}
-	if _, ok := c.get("k0"); ok {
+	if _, ok := c.get("k0", false); ok {
 		t.Error("oldest entry k0 should have been evicted")
 	}
 	if reg.CacheEvictions.Load() != 1 {
 		t.Errorf("evictions = %d, want 1", reg.CacheEvictions.Load())
 	}
 	// Touching k1 makes k2 the LRU victim of the next insert.
-	if _, ok := c.get("k1"); !ok {
+	if _, ok := c.get("k1", false); !ok {
 		t.Fatal("k1 should be cached")
 	}
 	e := *proto
 	e.key = "k4"
 	c.put(&e)
-	if _, ok := c.get("k2"); ok {
+	if _, ok := c.get("k2", false); ok {
 		t.Error("k2 should have been evicted (k1 was touched)")
 	}
-	if _, ok := c.get("k1"); !ok {
+	if _, ok := c.get("k1", false); !ok {
 		t.Error("recently used k1 was evicted")
 	}
 	// Oversized entries are refused outright.
@@ -134,13 +134,13 @@ func TestCacheLRUEvictionByBytes(t *testing.T) {
 	big.key = "huge"
 	big.size = 4 * proto.size
 	c.put(&big)
-	if _, ok := c.get("huge"); ok {
+	if _, ok := c.get("huge", false); ok {
 		t.Error("oversized entry was cached")
 	}
 	// Disabled cache never stores.
 	off := newResultCache(-1, stats.New())
 	off.put(proto)
-	if _, ok := off.get("k"); ok {
+	if _, ok := off.get("k", false); ok {
 		t.Error("disabled cache served an entry")
 	}
 }
@@ -158,7 +158,7 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%16)
-				if _, ok := c.get(key); !ok {
+				if _, ok := c.get(key, false); !ok {
 					e := *proto
 					e.key = key
 					c.put(&e)

@@ -64,16 +64,33 @@ func (p *workerPool) acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
-// retryAfter estimates how long a rejected client should wait before
-// retrying: one mean compute duration if known, else one second.
+// maxRetryAfter caps the advertised backoff so a latency spike cannot
+// tell clients to go away for minutes.
+const maxRetryAfter = 60 * time.Second
+
+// retryAfter estimates how long a rejected client should wait before a
+// retry has a real chance of admission: the work already queued ahead
+// of it (current queue depth, plus one for the client's own request)
+// times the observed p50 compute latency. With no latency history yet
+// it falls back to one second. The estimate is clamped to
+// [1s, maxRetryAfter] and rounded to whole seconds (the Retry-After
+// header's resolution).
 func (p *workerPool) retryAfter() time.Duration {
 	snap := p.reg.Stage("map").Snapshot()
-	if snap.Count == 0 || snap.MeanMS <= 0 {
+	p50 := time.Duration(snap.P50MS * float64(time.Millisecond))
+	if snap.Count == 0 || p50 <= 0 {
 		return time.Second
 	}
-	d := time.Duration(snap.MeanMS * float64(time.Millisecond))
+	depth := p.reg.QueueDepth.Load()
+	if depth < 0 {
+		depth = 0
+	}
+	d := time.Duration(depth+1) * p50
 	if d < time.Second {
 		return time.Second
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
 	}
 	return d.Round(time.Second)
 }

@@ -30,6 +30,7 @@ import (
 
 	"oregami/internal/analysis"
 	"oregami/internal/serve/stats"
+	"oregami/internal/store"
 	"oregami/internal/workload"
 )
 
@@ -72,6 +73,16 @@ type Config struct {
 	AddrFile string
 	// MaxBatch bounds /v1/map/batch request counts (default 64).
 	MaxBatch int
+	// Persist enables the disk-backed cache (internal/store): completed
+	// mappings are written behind the request path and reloaded on the
+	// next boot, so a restart is a warm start. Setting StateDir implies
+	// Persist.
+	Persist bool
+	// StateDir is where the persistent store lives (default
+	// "oregami.state" when Persist is set without a directory).
+	StateDir string
+	// StoreBytes is the persistent store's disk budget (default 256 MiB).
+	StoreBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +113,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 64
 	}
+	if c.StateDir != "" {
+		c.Persist = true
+	}
+	if c.Persist && c.StateDir == "" {
+		c.StateDir = "oregami.state"
+	}
 	return c
 }
 
@@ -115,6 +132,19 @@ type Server struct {
 	flights  flightGroup
 	mux      *http.ServeMux
 	draining atomic.Bool
+	// ready flips once the server can usefully serve: immediately for
+	// in-memory-only servers, after store recovery + warm load when
+	// persistence is on. /readyz reports it; /healthz is liveness only.
+	ready atomic.Bool
+
+	// Persistence (nil / unused unless cfg.Persist).
+	store         *store.Store
+	persistCh     chan *cacheEntry
+	persistDone   chan struct{}
+	openOnce      sync.Once
+	closeOnce     sync.Once
+	pmu           sync.Mutex // guards persistClosed vs. in-flight persist()
+	persistClosed bool
 
 	mu   sync.Mutex
 	ln   net.Listener
@@ -138,6 +168,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -145,7 +176,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	publishExpvar(reg)
+	if cfg.Persist {
+		s.persistCh = make(chan *cacheEntry, 256)
+		s.persistDone = make(chan struct{})
+	} else {
+		s.setReady()
+	}
 	return s
+}
+
+func (s *Server) setReady() {
+	s.ready.Store(true)
+	s.reg.Ready.Store(1)
 }
 
 // expvar's registry is process-global and Publish panics on duplicates,
@@ -169,6 +211,126 @@ func publishExpvar(reg *stats.Registry) {
 
 // Handler returns the service's HTTP handler (useful for tests).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// verifyRecord is the store's recovery-time semantic check: the payload
+// must decode as a MapResponse whose served fingerprint digest matches
+// the hash of the record's stored full fingerprint. A record failing
+// this is quarantined by the store, never loaded.
+func verifyRecord(rec store.Record) error {
+	var resp MapResponse
+	if err := json.Unmarshal(rec.Payload, &resp); err != nil {
+		return fmt.Errorf("payload: %w", err)
+	}
+	if resp.Fingerprint == "" || hashHex(rec.Fingerprint) != resp.Fingerprint {
+		return fmt.Errorf("fingerprint mismatch for %.16s", rec.Key)
+	}
+	return nil
+}
+
+// OpenStore opens the persistent store at StateDir, replays and
+// fingerprint-verifies its WAL and segments, warm-loads the surviving
+// entries into the in-memory cache, starts the write-behind persister,
+// and marks the server ready. It is a no-op without Persist, idempotent
+// otherwise. ListenAndServe calls it in the background after binding so
+// /readyz is observable (503 "recovering") while recovery runs;
+// Handler-based tests call it directly for a deterministic warm start.
+func (s *Server) OpenStore() error {
+	var err error
+	s.openOnce.Do(func() { err = s.openStore() })
+	return err
+}
+
+func (s *Server) openStore() error {
+	if !s.cfg.Persist {
+		s.setReady()
+		return nil
+	}
+	start := time.Now()
+	st, rep, err := store.Open(s.cfg.StateDir, store.Options{
+		MaxBytes: s.cfg.StoreBytes,
+		Verify:   verifyRecord,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: open store: %w", err)
+	}
+	s.store = st
+	for _, rec := range rep.Records {
+		var resp MapResponse
+		if jerr := json.Unmarshal(rec.Payload, &resp); jerr != nil {
+			continue // verifyRecord already vouched; belt and suspenders
+		}
+		s.cache.put(&cacheEntry{
+			key:  rec.Key,
+			resp: resp,
+			fp:   rec.Fingerprint,
+			size: int64(len(rec.Payload) + len(rec.Fingerprint)),
+		})
+	}
+	s.reg.StoreRecovered.Store(int64(len(rep.Records)))
+	s.reg.StoreQuarantined.Store(int64(rep.Quarantined))
+	s.reg.RecoveryMS.Store(int64(time.Since(start) / time.Millisecond))
+	go s.persister()
+	s.setReady()
+	return nil
+}
+
+// persist enqueues a computed entry for write-behind persistence. It
+// never blocks the request path: a full queue drops the write (counted)
+// rather than adding latency.
+func (s *Server) persist(e *cacheEntry) {
+	if s.persistCh == nil {
+		return
+	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.persistClosed {
+		return
+	}
+	select {
+	case s.persistCh <- e:
+	default:
+		s.reg.PersistDropped.Add(1)
+	}
+}
+
+// persister drains the write-behind queue into the store.
+func (s *Server) persister() {
+	defer close(s.persistDone)
+	for e := range s.persistCh {
+		payload, err := json.Marshal(e.resp)
+		if err != nil {
+			s.reg.PersistErrors.Add(1)
+			continue
+		}
+		if err := s.store.Put(store.Record{Key: e.key, Fingerprint: e.fp, Payload: payload}); err != nil {
+			s.reg.PersistErrors.Add(1)
+			continue
+		}
+		s.reg.PersistWrites.Add(1)
+	}
+}
+
+// Close flushes the write-behind queue and closes the persistent store.
+// Safe to call multiple times and on servers without persistence;
+// ListenAndServe calls it after the drain.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.persistCh != nil {
+			s.pmu.Lock()
+			s.persistClosed = true
+			s.pmu.Unlock()
+			close(s.persistCh)
+			if s.store != nil {
+				<-s.persistDone
+			}
+		}
+		if s.store != nil {
+			err = s.store.Close()
+		}
+	})
+	return err
+}
 
 // Stats returns the server's metrics registry.
 func (s *Server) Stats() *stats.Registry { return s.reg }
@@ -207,6 +369,20 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	s.ln, s.hsrv = ln, hsrv
 	s.mu.Unlock()
 
+	// Store recovery runs after the bind so liveness (/healthz) and
+	// readiness (/readyz -> 503 "recovering") are observable while the
+	// WAL replays. An unopenable store fails the whole server — better
+	// a loud crash-loop than silently serving without durability.
+	openErr := make(chan error, 1)
+	go func() {
+		if err := s.OpenStore(); err != nil {
+			openErr <- err
+			hsrv.Close()
+			return
+		}
+		openErr <- nil
+	}()
+
 	shutdownErr := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -215,13 +391,21 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		defer cancel()
 		shutdownErr <- hsrv.Shutdown(dctx)
 	}()
-	if err := hsrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		return err
+	serveErr := hsrv.Serve(ln)
+	closeErr := s.Close()
+	if oerr := <-openErr; oerr != nil {
+		return oerr
+	}
+	if serveErr != nil && serveErr != http.ErrServerClosed {
+		return serveErr
 	}
 	if ctx.Err() != nil {
-		return <-shutdownErr
+		if err := <-shutdownErr; err != nil {
+			return err
+		}
+		return closeErr
 	}
-	return nil
+	return closeErr
 }
 
 // writeJSON renders v with the given status.
@@ -286,13 +470,16 @@ func (s *Server) serveOne(ctx context.Context, req *MapRequest, queryCheck bool)
 		}
 		entry = e
 		s.cache.put(e)
+		s.persist(e)
 	} else {
 		// The cache lookup happens inside the flight, so each request
 		// performs exactly one lookup (one hit or miss count) and
 		// concurrent identical misses collapse onto one computation.
+		// Checked requests need a live mapping for the oracle, so a
+		// warm-restored (mapping-less) entry counts as a miss for them.
 		hit := false
 		e, err, shared := s.flights.do(r.key, func() (*cacheEntry, error) {
-			if e, ok := s.cache.get(r.key); ok {
+			if e, ok := s.cache.get(r.key, r.check); ok {
 				hit = true
 				return e, nil
 			}
@@ -301,6 +488,7 @@ func (s *Server) serveOne(ctx context.Context, req *MapRequest, queryCheck bool)
 				return nil, cerr
 			}
 			s.cache.put(e)
+			s.persist(e)
 			return e, nil
 		})
 		if err != nil {
@@ -467,13 +655,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, snap.Render())
 }
 
+// handleHealthz is pure liveness: the process is up and the handler
+// runs. It stays 200 while draining (the process is alive and finishing
+// work) — readiness is /readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 while store recovery is replaying the
+// WAL at boot and 503 once a drain begins, 200 in between. Load
+// balancers should route on this, not on /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 // rejectDraining refuses new mapping work during graceful shutdown.

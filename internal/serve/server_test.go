@@ -379,13 +379,30 @@ func TestWorkloadsStatsHealthAndDebugVars(t *testing.T) {
 	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
 		t.Errorf("pprof cmdline: %d", code)
 	}
-	// Draining: healthz flips to 503 and map requests are refused.
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Errorf("readyz: %d %q", code, body)
+	}
+	// Draining: liveness stays 200 (the process is alive and finishing
+	// work), readiness flips to 503, and new map requests are refused.
 	s.draining.Store(true)
-	if code, _ := get("/healthz"); code != 503 {
-		t.Errorf("draining healthz = %d, want 503", code)
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("draining healthz = %d, want 200 (liveness is not readiness)", code)
+	}
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "draining") {
+		t.Errorf("draining readyz = %d %q, want 503 draining", code, body)
 	}
 	if status, _ := postMap(t, ts.URL, MapRequest{Workload: "nbody", Net: "hypercube:3"}, ""); status != 503 {
 		t.Errorf("draining map = %d, want 503", status)
+	}
+	s.draining.Store(false)
+	// Recovery: readyz reports 503 "recovering" until the store has
+	// replayed its WAL; healthz is 200 throughout.
+	s.ready.Store(false)
+	if code, body := get("/readyz"); code != 503 || !strings.Contains(body, "recovering") {
+		t.Errorf("recovering readyz = %d %q, want 503 recovering", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("recovering healthz = %d, want 200", code)
 	}
 }
 

@@ -1,16 +1,33 @@
 package serve
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent identical computations: the first
 // caller for a key runs fn, later callers for the same key block and
 // share the first caller's result. This is the stdlib-only equivalent of
 // golang.org/x/sync/singleflight, sized for this server's needs (no
-// Forget, no panic re-propagation across goroutines: the pipeline
-// already contains panics as *core.PipelineError).
+// Forget). Unlike the early version, a panicking leader is contained:
+// the panic becomes a *FlightPanicError handed to the leader and every
+// waiter, and the in-flight key is cleared so the next request computes
+// fresh instead of piling onto a dead flight.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
+}
+
+// FlightPanicError reports that the flight leader panicked while
+// computing. The pipeline already contains its own panics as
+// *core.PipelineError, so seeing this means a bug outside the pipeline
+// (cache fill, encoding, ...); the HTTP layer maps it to 500.
+type FlightPanicError struct {
+	Value interface{}
+}
+
+func (e *FlightPanicError) Error() string {
+	return fmt.Sprintf("serve: flight leader panicked: %v", e.Value)
 }
 
 type flightCall struct {
@@ -20,7 +37,9 @@ type flightCall struct {
 }
 
 // do runs fn once per in-flight key. The boolean reports whether this
-// caller shared another caller's flight instead of computing.
+// caller shared another caller's flight instead of computing. Whatever
+// happens inside fn — return, error, or panic — the key is cleared and
+// done is closed, so no waiter is ever stranded.
 func (g *flightGroup) do(key string, fn func() (*cacheEntry, error)) (*cacheEntry, error, bool) {
 	g.mu.Lock()
 	if g.m == nil {
@@ -35,11 +54,17 @@ func (g *flightGroup) do(key string, fn func() (*cacheEntry, error)) (*cacheEntr
 	g.m[key] = call
 	g.mu.Unlock()
 
-	call.val, call.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(call.done)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				call.val, call.err = nil, &FlightPanicError{Value: r}
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(call.done)
+		}()
+		call.val, call.err = fn()
+	}()
 	return call.val, call.err, false
 }

@@ -141,12 +141,22 @@ type Registry struct {
 	CacheEvictions atomic.Int64
 	CacheCorrupt   atomic.Int64 // hits whose fingerprint failed verification
 	Deduped        atomic.Int64 // singleflight followers
+	WarmHits       atomic.Int64 // hits served from warm-restored (disk-loaded) entries
+
+	// Persistence counters (internal/store write-behind + recovery).
+	PersistWrites    atomic.Int64 // entries durably appended to the store
+	PersistErrors    atomic.Int64 // store appends that failed
+	PersistDropped   atomic.Int64 // write-behind queue overflows
+	StoreRecovered   atomic.Int64 // entries restored at the last boot
+	StoreQuarantined atomic.Int64 // corrupt entries moved aside at the last boot
 
 	// Gauges.
 	InFlight   atomic.Int64 // requests between accept and response
 	QueueDepth atomic.Int64 // requests waiting for a worker
 	CacheBytes atomic.Int64
 	CacheItems atomic.Int64
+	RecoveryMS atomic.Int64 // wall time of the last WAL/segment recovery
+	Ready      atomic.Int64 // 1 once recovery finished and the server admits traffic
 
 	mu     sync.Mutex
 	stages map[string]*Histogram
@@ -194,11 +204,20 @@ type Snapshot struct {
 	CacheEvictions int64 `json:"cache_evictions"`
 	CacheCorrupt   int64 `json:"cache_corrupt"`
 	Deduped        int64 `json:"deduped"`
+	WarmHits       int64 `json:"warm_hits"`
+
+	PersistWrites    int64 `json:"persist_writes"`
+	PersistErrors    int64 `json:"persist_errors"`
+	PersistDropped   int64 `json:"persist_dropped"`
+	StoreRecovered   int64 `json:"store_recovered"`
+	StoreQuarantined int64 `json:"store_quarantined"`
 
 	InFlight   int64 `json:"in_flight"`
 	QueueDepth int64 `json:"queue_depth"`
 	CacheBytes int64 `json:"cache_bytes"`
 	CacheItems int64 `json:"cache_items"`
+	RecoveryMS int64 `json:"recovery_ms"`
+	Ready      int64 `json:"ready"`
 
 	HitRatio float64                 `json:"hit_ratio"`
 	Stages   map[string]HistSnapshot `json:"stages"`
@@ -218,12 +237,22 @@ func (r *Registry) Snapshot() Snapshot {
 		CacheEvictions: r.CacheEvictions.Load(),
 		CacheCorrupt:   r.CacheCorrupt.Load(),
 		Deduped:        r.Deduped.Load(),
-		InFlight:       r.InFlight.Load(),
-		QueueDepth:     r.QueueDepth.Load(),
-		CacheBytes:     r.CacheBytes.Load(),
-		CacheItems:     r.CacheItems.Load(),
-		HitRatio:       r.HitRatio(),
-		Stages:         make(map[string]HistSnapshot),
+		WarmHits:       r.WarmHits.Load(),
+
+		PersistWrites:    r.PersistWrites.Load(),
+		PersistErrors:    r.PersistErrors.Load(),
+		PersistDropped:   r.PersistDropped.Load(),
+		StoreRecovered:   r.StoreRecovered.Load(),
+		StoreQuarantined: r.StoreQuarantined.Load(),
+
+		InFlight:   r.InFlight.Load(),
+		QueueDepth: r.QueueDepth.Load(),
+		CacheBytes: r.CacheBytes.Load(),
+		CacheItems: r.CacheItems.Load(),
+		RecoveryMS: r.RecoveryMS.Load(),
+		Ready:      r.Ready.Load(),
+		HitRatio:   r.HitRatio(),
+		Stages:     make(map[string]HistSnapshot),
 	}
 	r.mu.Lock()
 	names := make([]string, 0, len(r.stages))
@@ -250,7 +279,9 @@ func (s Snapshot) Render() string {
 		s.Requests, s.Rejected, s.Errors, s.InFlight, s.QueueDepth)
 	fmt.Fprintf(&b, "cache: hits %d  misses %d  bypass %d  evictions %d  corrupt %d  deduped %d\n",
 		s.CacheHits, s.CacheMisses, s.CacheBypass, s.CacheEvictions, s.CacheCorrupt, s.Deduped)
-	fmt.Fprintf(&b, "cache: %d items, %d bytes, hit ratio %.3f\n", s.CacheItems, s.CacheBytes, s.HitRatio)
+	fmt.Fprintf(&b, "cache: %d items, %d bytes, hit ratio %.3f, warm hits %d\n", s.CacheItems, s.CacheBytes, s.HitRatio, s.WarmHits)
+	fmt.Fprintf(&b, "store: writes %d  errors %d  dropped %d  recovered %d  quarantined %d  recovery %dms  ready %d\n",
+		s.PersistWrites, s.PersistErrors, s.PersistDropped, s.StoreRecovered, s.StoreQuarantined, s.RecoveryMS, s.Ready)
 	if len(s.Stages) == 0 {
 		return b.String()
 	}

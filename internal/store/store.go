@@ -1,0 +1,617 @@
+// Package store is mapd's crash-safety layer: a disk-backed,
+// content-addressed record store that sits behind internal/serve's
+// in-memory LRU so a restart is a warm start instead of a cold one.
+//
+// Layout under the state directory:
+//
+//	wal.log          append-only write-ahead log of recent records
+//	seg/seg-N.seg    immutable sealed segments (oldest N first)
+//	quarantine/      corrupt files and records moved aside at recovery
+//
+// Every record carries its key (the cache's content address), its
+// check.Fingerprint, and an opaque payload, framed with a CRC32. Puts
+// append to the WAL (fsynced every SyncEvery appends); once the WAL
+// reaches SegmentBytes the pending records are sealed into a new
+// segment written via temp file + fsync + atomic rename, the segment
+// directory is fsynced, and the WAL is truncated. Sealed segments are
+// dropped oldest-first when the disk budget is exceeded.
+//
+// Open replays the sealed segments and then the WAL. A torn WAL tail
+// (the expected artifact of a crash mid-append) is truncated away; a
+// corrupt frame mid-WAL quarantines the rest of the log; a corrupt
+// sealed segment has its good prefix salvaged into a fresh segment and
+// the damaged file moved into quarantine/. Recovery never fails open:
+// a record is either CRC-clean and caller-verified, or it is counted
+// and quarantined — it is never returned to the caller.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one persisted cache entry: a content-address key, the full
+// check.Fingerprint recorded when the entry was produced, and an opaque
+// payload (internal/serve stores the marshaled response).
+type Record struct {
+	Key         string
+	Fingerprint string
+	Payload     []byte
+}
+
+// Frame layout (all integers big-endian):
+//
+//	magic(2) version(1) keyLen(u16) fpLen(u32) payloadLen(u32)
+//	key fp payload
+//	crc32(u32, IEEE, over header+body)
+const (
+	magic0, magic1 = 0xB6, 0x5F
+	frameVersion   = 1
+	headerLen      = 2 + 1 + 2 + 4 + 4
+
+	maxKeyLen     = 1 << 12
+	maxFpLen      = 1 << 24
+	maxPayloadLen = 1 << 26
+)
+
+var (
+	// errTruncated marks a frame cut short by a crash mid-write.
+	errTruncated = errors.New("store: truncated frame")
+	// errCorrupt marks a frame whose magic, lengths, or CRC are wrong.
+	errCorrupt = errors.New("store: corrupt frame")
+	// ErrClosed is returned by Put/Sync after Close.
+	ErrClosed = errors.New("store: closed")
+)
+
+// encodeFrame serializes rec into a self-checking frame.
+func encodeFrame(rec Record) ([]byte, error) {
+	if len(rec.Key) == 0 || len(rec.Key) > maxKeyLen {
+		return nil, fmt.Errorf("store: key length %d out of range [1,%d]", len(rec.Key), maxKeyLen)
+	}
+	if len(rec.Fingerprint) > maxFpLen {
+		return nil, fmt.Errorf("store: fingerprint length %d exceeds %d", len(rec.Fingerprint), maxFpLen)
+	}
+	if len(rec.Payload) > maxPayloadLen {
+		return nil, fmt.Errorf("store: payload length %d exceeds %d", len(rec.Payload), maxPayloadLen)
+	}
+	n := headerLen + len(rec.Key) + len(rec.Fingerprint) + len(rec.Payload) + 4
+	buf := make([]byte, 0, n)
+	buf = append(buf, magic0, magic1, frameVersion)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(rec.Key)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Fingerprint)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Payload)))
+	buf = append(buf, rec.Key...)
+	buf = append(buf, rec.Fingerprint...)
+	buf = append(buf, rec.Payload...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// readFrame decodes one frame from r. It returns io.EOF at a clean end,
+// errTruncated when the stream ends mid-frame, and errCorrupt when the
+// magic, lengths, or CRC do not check out. The int is the frame's
+// on-disk length.
+func readFrame(r *bufio.Reader) (Record, int, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, errTruncated
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Record{}, 0, errTruncated
+	}
+	if hdr[0] != magic0 || hdr[1] != magic1 || hdr[2] != frameVersion {
+		return Record{}, 0, errCorrupt
+	}
+	keyLen := int(binary.BigEndian.Uint16(hdr[3:5]))
+	fpLen := int(binary.BigEndian.Uint32(hdr[5:9]))
+	payLen := int(binary.BigEndian.Uint32(hdr[9:13]))
+	if keyLen == 0 || keyLen > maxKeyLen || fpLen > maxFpLen || payLen > maxPayloadLen {
+		return Record{}, 0, errCorrupt
+	}
+	body := make([]byte, keyLen+fpLen+payLen+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Record{}, 0, errTruncated
+	}
+	crc := crc32.ChecksumIEEE(hdr)
+	crc = crc32.Update(crc, crc32.IEEETable, body[:len(body)-4])
+	if crc != binary.BigEndian.Uint32(body[len(body)-4:]) {
+		return Record{}, 0, errCorrupt
+	}
+	rec := Record{
+		Key:         string(body[:keyLen]),
+		Fingerprint: string(body[keyLen : keyLen+fpLen]),
+		Payload:     append([]byte(nil), body[keyLen+fpLen:keyLen+fpLen+payLen]...),
+	}
+	return rec, headerLen + len(body), nil
+}
+
+// Options tunes a Store. Zero values take the documented defaults.
+type Options struct {
+	// MaxBytes is the disk budget for sealed segments; the oldest
+	// segments are dropped when it is exceeded (default 256 MiB).
+	MaxBytes int64
+	// SegmentBytes is the WAL size that triggers sealing pending
+	// records into an immutable segment (default 4 MiB).
+	SegmentBytes int64
+	// SyncEvery fsyncs the WAL every N appends (default 1: every put is
+	// durable before Put returns).
+	SyncEvery int
+	// Verify, when set, is called on every record replayed at Open;
+	// a non-nil error quarantines the record instead of returning it.
+	// This is where internal/serve re-verifies fingerprints.
+	Verify func(Record) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 256 << 20
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	return o
+}
+
+// RecoveryReport summarizes what Open found on disk.
+type RecoveryReport struct {
+	// Records are the surviving entries, oldest first, deduplicated
+	// last-wins by key. Every record passed its CRC and Verify.
+	Records []Record
+	// Segments counts sealed segment files read (including salvaged).
+	Segments int
+	// WALRecords counts records replayed from the WAL.
+	WALRecords int
+	// Quarantined counts corrupt records and files moved aside.
+	Quarantined int
+	// Salvaged counts damaged segments whose good prefix was re-sealed.
+	Salvaged int
+	// TornTail reports a partial final WAL frame (the expected artifact
+	// of a crash mid-append); the tail was truncated away.
+	TornTail bool
+	// Elapsed is the wall time recovery took.
+	Elapsed time.Duration
+}
+
+// Metrics is a point-in-time view of the store's write-side counters.
+type Metrics struct {
+	Puts            int64
+	Seals           int64
+	SegmentsDropped int64
+	Segments        int
+	DiskBytes       int64 // sealed segments + WAL
+}
+
+type segInfo struct {
+	name  string
+	bytes int64
+}
+
+// Store is the open state directory. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	wal      *os.File
+	walBytes int64
+	pending  []Record
+	unsynced int
+	nextSeg  int
+	segs     []segInfo
+	met      Metrics
+	closed   bool
+}
+
+func (s *Store) segDir() string { return filepath.Join(s.dir, "seg") }
+func (s *Store) qDir() string   { return filepath.Join(s.dir, "quarantine") }
+func (s *Store) walPath() string {
+	return filepath.Join(s.dir, "wal.log")
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power
+// loss. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Open opens (creating if needed) the state directory at dir, replays
+// sealed segments and the WAL with integrity verification, quarantines
+// anything damaged, and returns the store ready for appends plus a
+// report of what survived.
+func Open(dir string, opts Options) (*Store, *RecoveryReport, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	s := &Store{dir: dir, opts: opts}
+	for _, d := range []string{dir, s.segDir(), s.qDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("store: create %s: %w", d, err)
+		}
+	}
+	rep := &RecoveryReport{}
+	var ordered []Record
+
+	if err := s.recoverSegments(rep, &ordered); err != nil {
+		return nil, nil, err
+	}
+	if err := s.recoverWAL(rep, &ordered); err != nil {
+		return nil, nil, err
+	}
+	rep.Records = dedupLastWins(ordered)
+	rep.Elapsed = time.Since(start)
+	s.met.Segments = len(s.segs)
+	s.met.DiskBytes = s.diskBytesLocked()
+	return s, rep, nil
+}
+
+// recoverSegments replays every sealed segment in name order. A
+// damaged segment has its good prefix salvaged into a fresh sealed
+// segment and the original moved into quarantine/.
+func (s *Store) recoverSegments(rep *RecoveryReport, ordered *[]Record) error {
+	names, err := segmentNames(s.segDir())
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if idx, ok := segmentIndex(name); ok && idx >= s.nextSeg {
+			s.nextSeg = idx + 1
+		}
+	}
+	for _, name := range names {
+		path := filepath.Join(s.segDir(), name)
+		recs, clean, qrecs, err := s.readRecordFile(path)
+		if err != nil {
+			return err
+		}
+		rep.Segments++
+		rep.Quarantined += qrecs
+		if clean {
+			st, serr := os.Stat(path)
+			if serr != nil {
+				return fmt.Errorf("store: stat %s: %w", path, serr)
+			}
+			s.segs = append(s.segs, segInfo{name: name, bytes: st.Size()})
+			*ordered = append(*ordered, recs...)
+			continue
+		}
+		// Damaged: move the original aside, re-seal the good prefix so
+		// the salvaged records stay durable across the next restart.
+		if err := os.Rename(path, filepath.Join(s.qDir(), name+".bad")); err != nil {
+			return fmt.Errorf("store: quarantine %s: %w", name, err)
+		}
+		rep.Quarantined++
+		if len(recs) > 0 {
+			if err := s.writeSegmentLocked(recs); err != nil {
+				return err
+			}
+			rep.Salvaged++
+			*ordered = append(*ordered, recs...)
+		}
+	}
+	return nil
+}
+
+// readRecordFile streams frames out of one sealed segment. It returns
+// the records that passed CRC and Verify, whether the file was
+// structurally clean to EOF, and how many structurally-fine records
+// Verify rejected (each written into quarantine/ as a .bad frame).
+func (s *Store) readRecordFile(path string) (recs []Record, clean bool, qrecs int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, 0, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for i := 0; ; i++ {
+		rec, _, rerr := readFrame(br)
+		if rerr == io.EOF {
+			return recs, true, qrecs, nil
+		}
+		if rerr != nil {
+			// Truncated or bit-flipped: the caller quarantines the file.
+			return recs, false, qrecs, nil
+		}
+		if s.opts.Verify != nil {
+			if verr := s.opts.Verify(rec); verr != nil {
+				s.quarantineRecord(fmt.Sprintf("%s-rec%d", filepath.Base(path), i), rec)
+				qrecs++
+				continue
+			}
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// recoverWAL replays wal.log from an in-memory copy (the WAL is small
+// by construction — it seals at SegmentBytes), repairs torn or corrupt
+// tails by truncating to the last good frame, and leaves the file open
+// for appends.
+func (s *Store) recoverWAL(rep *RecoveryReport, ordered *[]Record) error {
+	data, err := os.ReadFile(s.walPath())
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: read WAL: %w", err)
+	}
+	br := bufio.NewReader(bytes.NewReader(data))
+	off, lastGood := 0, 0
+	for i := 0; ; i++ {
+		rec, n, rerr := readFrame(br)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr == errTruncated {
+			rep.TornTail = true
+			break
+		}
+		if rerr != nil { // corrupt mid-WAL: quarantine the rest
+			s.quarantineBytes("wal-tail.bad", data[lastGood:])
+			rep.Quarantined++
+			break
+		}
+		off += n
+		lastGood = off
+		if s.opts.Verify != nil {
+			if verr := s.opts.Verify(rec); verr != nil {
+				s.quarantineRecord(fmt.Sprintf("wal-rec%d", i), rec)
+				rep.Quarantined++
+				continue
+			}
+		}
+		rep.WALRecords++
+		*ordered = append(*ordered, rec)
+		s.pending = append(s.pending, rec)
+	}
+	wal, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open WAL: %w", err)
+	}
+	if lastGood < len(data) {
+		if err := wal.Truncate(int64(lastGood)); err != nil {
+			wal.Close()
+			return fmt.Errorf("store: repair WAL: %w", err)
+		}
+		_ = wal.Sync()
+	}
+	if _, err := wal.Seek(int64(lastGood), io.SeekStart); err != nil {
+		wal.Close()
+		return fmt.Errorf("store: seek WAL: %w", err)
+	}
+	s.wal = wal
+	s.walBytes = int64(lastGood)
+	return nil
+}
+
+// quarantineRecord writes a Verify-rejected record into quarantine/ as
+// a re-framed .bad file. Best-effort: quarantine is forensic, and a
+// failure to preserve the evidence must not fail recovery.
+func (s *Store) quarantineRecord(name string, rec Record) {
+	if frame, err := encodeFrame(rec); err == nil {
+		s.quarantineBytes(name+".bad", frame)
+	}
+}
+
+func (s *Store) quarantineBytes(name string, b []byte) {
+	_ = os.WriteFile(filepath.Join(s.qDir(), name), b, 0o644)
+}
+
+// Put appends rec to the WAL (durable per the SyncEvery policy) and
+// seals a segment when the WAL reaches the threshold.
+func (s *Store) Put(rec Record) error {
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("store: append WAL: %w", err)
+	}
+	s.walBytes += int64(len(frame))
+	s.unsynced++
+	if s.unsynced >= s.opts.SyncEvery {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: sync WAL: %w", err)
+		}
+		s.unsynced = 0
+	}
+	s.pending = append(s.pending, rec)
+	s.met.Puts++
+	if s.walBytes >= s.opts.SegmentBytes {
+		if err := s.sealLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSegmentLocked seals recs into the next segment file via temp
+// file + fsync + atomic rename + directory fsync.
+func (s *Store) writeSegmentLocked(recs []Record) error {
+	name := fmt.Sprintf("seg-%08d.seg", s.nextSeg)
+	tmp := filepath.Join(s.segDir(), name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	var total int64
+	for _, rec := range recs {
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := bw.Write(frame); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: write segment: %w", err)
+		}
+		total += int64(len(frame))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: flush segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: sync segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.segDir(), name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rename segment: %w", err)
+	}
+	syncDir(s.segDir())
+	s.nextSeg++
+	s.segs = append(s.segs, segInfo{name: name, bytes: total})
+	return nil
+}
+
+// sealLocked turns the pending WAL records into an immutable segment,
+// truncates the WAL, and enforces the disk budget oldest-first. A
+// crash between the segment rename and the WAL truncate leaves the
+// same records in both places; recovery's last-wins dedup absorbs it.
+func (s *Store) sealLocked() error {
+	if len(s.pending) > 0 {
+		if err := s.writeSegmentLocked(s.pending); err != nil {
+			return err
+		}
+		s.met.Seals++
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncate WAL: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewind WAL: %w", err)
+	}
+	_ = s.wal.Sync()
+	s.walBytes, s.pending, s.unsynced = 0, nil, 0
+
+	var total int64
+	for _, seg := range s.segs {
+		total += seg.bytes
+	}
+	for total > s.opts.MaxBytes && len(s.segs) > 1 {
+		oldest := s.segs[0]
+		if err := os.Remove(filepath.Join(s.segDir(), oldest.name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: drop segment %s: %w", oldest.name, err)
+		}
+		total -= oldest.bytes
+		s.segs = s.segs[1:]
+		s.met.SegmentsDropped++
+	}
+	s.met.Segments = len(s.segs)
+	s.met.DiskBytes = s.diskBytesLocked()
+	return nil
+}
+
+func (s *Store) diskBytesLocked() int64 {
+	total := s.walBytes
+	for _, seg := range s.segs {
+		total += seg.bytes
+	}
+	return total
+}
+
+// Sync flushes any buffered WAL appends to disk.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.unsynced = 0
+	return s.wal.Sync()
+}
+
+// Close flushes and closes the WAL. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	_ = s.wal.Sync()
+	return s.wal.Close()
+}
+
+// Metrics returns a copy of the write-side counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.met
+	m.Segments = len(s.segs)
+	m.DiskBytes = s.diskBytesLocked()
+	return m
+}
+
+// segmentNames lists *.seg files in dir, sorted by name (and therefore
+// by segment index — the names zero-pad the counter).
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list segments: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// segmentIndex parses the counter out of a "seg-%08d.seg" name.
+func segmentIndex(name string) (int, bool) {
+	var idx int
+	if _, err := fmt.Sscanf(name, "seg-%d.seg", &idx); err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// dedupLastWins keeps the newest record per key, preserving the order
+// in which the surviving records were last written.
+func dedupLastWins(ordered []Record) []Record {
+	last := make(map[string]int, len(ordered))
+	for i, rec := range ordered {
+		last[rec.Key] = i
+	}
+	out := make([]Record, 0, len(last))
+	for i, rec := range ordered {
+		if last[rec.Key] == i {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -13,15 +13,24 @@
 //
 // With -launch, loadgen spawns `<binary> serve` itself on a free port,
 // runs the benchmark, and shuts the server down with SIGTERM.
+//
+// With -chaos (requires -launch), loadgen instead runs the kill-driven
+// crash-safety harness: it launches the server with a persistent state
+// directory, populates and persists the cache, measures the warm hit
+// ratio, then SIGKILLs the server mid-write under nocache load,
+// restarts it on the same address, and fails unless the recovered
+// server serves at least 90% of the pre-kill warm hit ratio with zero
+// fingerprint changes. The retrying client package rides through the
+// kill window; the emitted document (BENCH_restart.json by convention)
+// records recovery time and the p99 during the window.
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -31,6 +40,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"oregami/client"
 )
 
 // Result mirrors tools/benchjson's Result so both tools emit one schema.
@@ -136,6 +147,15 @@ type phaseStats struct {
 	Elapsed  time.Duration
 	Lat      []time.Duration
 	CacheHit int64 // responses with "cache":"hit"
+	FPs      []string
+	Mismatch int64 // responses whose fingerprint differed from `want`
+}
+
+func (p *phaseStats) hitRatio() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.CacheHit) / float64(p.N)
 }
 
 func (p *phaseStats) result(name string, c int) Result {
@@ -166,31 +186,15 @@ func (p *phaseStats) result(name string, c int) Result {
 	}
 }
 
-// mapReq is the wire request for POST /v1/map (subset of serve.MapRequest).
-type mapReq struct {
-	Workload string         `json:"workload"`
-	Bindings map[string]int `json:"bindings,omitempty"`
-	Net      string         `json:"net"`
-	NoCache  bool           `json:"nocache,omitempty"`
-}
-
-// mapResp is the subset of serve.MapResponse loadgen inspects.
-type mapResp struct {
-	Cache string `json:"cache"`
-	Error string `json:"error"`
-}
-
 // runPhase fires n closed-loop requests across c workers, round-robin
-// over the mix.
-func runPhase(client *http.Client, base string, mix []target, n, c int, nocache, check bool) *phaseStats {
-	st := &phaseStats{Lat: make([]time.Duration, 0, n)}
+// over the mix. When want is non-nil, responses are checked against the
+// expected fingerprint of their mix slot (want[i] == "" skips the
+// check); the first fingerprint seen per slot is recorded in FPs.
+func runPhase(cl *client.Client, mix []target, n, c int, nocache, check bool, want []string) *phaseStats {
+	st := &phaseStats{Lat: make([]time.Duration, 0, n), FPs: make([]string, len(mix))}
 	var next int64
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	url := base + "/v1/map"
-	if check {
-		url += "?check=1"
-	}
 	start := time.Now()
 	for w := 0; w < c; w++ {
 		wg.Add(1)
@@ -201,28 +205,29 @@ func runPhase(client *http.Client, base string, mix []target, n, c int, nocache,
 				if i >= int64(n) {
 					return
 				}
-				t := mix[int(i)%len(mix)]
-				body, _ := json.Marshal(mapReq{Workload: t.Workload, Bindings: t.Bindings, Net: t.Net, NoCache: nocache})
+				slot := int(i) % len(mix)
+				t := mix[slot]
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := cl.Map(context.Background(), client.MapRequest{
+					Workload: t.Workload, Bindings: t.Bindings, Net: t.Net,
+					NoCache: nocache, Check: check,
+				})
 				lat := time.Since(t0)
-				hit := false
-				ok := err == nil
-				if err == nil {
-					var mr mapResp
-					derr := json.NewDecoder(resp.Body).Decode(&mr)
-					resp.Body.Close()
-					ok = derr == nil && resp.StatusCode == http.StatusOK && mr.Error == ""
-					hit = mr.Cache == "hit"
-				}
 				mu.Lock()
 				st.N++
 				st.Lat = append(st.Lat, lat)
-				if !ok {
+				if err != nil {
 					st.Errors++
-				}
-				if hit {
-					st.CacheHit++
+				} else {
+					if resp.Cache == "hit" {
+						st.CacheHit++
+					}
+					if st.FPs[slot] == "" {
+						st.FPs[slot] = resp.Fingerprint
+					}
+					if want != nil && want[slot] != "" && resp.Fingerprint != want[slot] {
+						st.Mismatch++
+					}
 				}
 				mu.Unlock()
 			}
@@ -233,66 +238,80 @@ func runPhase(client *http.Client, base string, mix []target, n, c int, nocache,
 	return st
 }
 
-// hitRatio asks the server's stats endpoint for its cache hit ratio.
-func hitRatio(client *http.Client, base string) float64 {
-	resp, err := client.Get(base + "/v1/stats?json=1")
-	if err != nil {
-		return -1
-	}
-	defer resp.Body.Close()
-	var envelope struct {
-		Stats struct {
-			HitRatio float64 `json:"hit_ratio"`
-		} `json:"stats"`
-	}
-	if json.NewDecoder(resp.Body).Decode(&envelope) != nil {
-		return -1
-	}
-	return envelope.Stats.HitRatio
+// server is a spawned `oregami serve` process.
+type server struct {
+	cmd  *exec.Cmd
+	addr string
+	tmp  string // addr-file scratch dir, removed with the server
 }
 
-// launchServer spawns `<bin> serve` on a free port and returns the bound
-// address plus a shutdown function.
-func launchServer(bin string, workers int) (string, func() error, error) {
+// launchServer spawns `<bin> serve` and returns the running process.
+// With addr "127.0.0.1:0" the kernel picks a port and the bound address
+// is read back through an addr file; a concrete addr (the chaos restart
+// path) is used as-is so clients keep their base URL across the kill.
+func launchServer(bin, addr string, workers int, stateDir string) (*server, error) {
 	dir, err := os.MkdirTemp("", "loadgen")
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	addrFile := filepath.Join(dir, "addr")
-	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-addr-file", addrFile,
-		"-workers", fmt.Sprint(workers))
+	args := []string{"serve", "-addr", addr, "-addr-file", addrFile,
+		"-workers", fmt.Sprint(workers)}
+	if stateDir != "" {
+		args = append(args, "-state-dir", stateDir)
+	}
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		os.RemoveAll(dir)
-		return "", nil, err
+		return nil, err
 	}
-	stop := func() error {
-		defer os.RemoveAll(dir)
-		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-			return err
-		}
-		return cmd.Wait()
-	}
+	s := &server{cmd: cmd, addr: addr, tmp: dir}
 	for i := 0; i < 200; i++ {
 		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
-			return strings.TrimSpace(string(b)), stop, nil
+			s.addr = strings.TrimSpace(string(b))
+			return s, nil
+		}
+		if cmd.ProcessState != nil {
+			break
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
-	stop()
-	return "", nil, fmt.Errorf("server at %s never wrote %s", bin, addrFile)
+	s.kill()
+	return nil, fmt.Errorf("server at %s never wrote %s", bin, addrFile)
+}
+
+// stop shuts the server down gracefully (SIGTERM + wait).
+func (s *server) stop() error {
+	defer os.RemoveAll(s.tmp)
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	return s.cmd.Wait()
+}
+
+// kill is the chaos path: SIGKILL, no drain, no store flush — whatever
+// was mid-write stays torn on disk for recovery to deal with.
+func (s *server) kill() {
+	s.cmd.Process.Kill()
+	s.cmd.Wait()
+	os.RemoveAll(s.tmp)
 }
 
 // flags bundles the parsed command line.
 type flags struct {
-	fs     *flag.FlagSet
-	addr   *string
-	launch *string
-	mix    *string
-	n      *int
-	c      *int
-	check  *bool
+	fs        *flag.FlagSet
+	addr      *string
+	launch    *string
+	mix       *string
+	n         *int
+	c         *int
+	check     *bool
+	chaos     *bool
+	stateDir  *string
+	killAfter *time.Duration
+	window    *time.Duration
 }
 
 func newFlagSet() *flags {
@@ -303,7 +322,225 @@ func newFlagSet() *flags {
 	f.n = f.fs.Int("n", 200, "requests per phase")
 	f.c = f.fs.Int("c", 8, "concurrent closed-loop workers")
 	f.check = f.fs.Bool("check", false, "request oracle verification (?check=1) on every map")
+	f.chaos = f.fs.Bool("chaos", false, "run the kill-driven crash-safety harness (requires -launch)")
+	f.stateDir = f.fs.String("state-dir", "", "persistent state directory for -chaos (default: a temp dir, removed on success)")
+	f.killAfter = f.fs.Duration("kill-after", 500*time.Millisecond, "how far into the chaos window to SIGKILL the server")
+	f.window = f.fs.Duration("window", 3*time.Second, "duration of the chaos load window spanning the kill and restart")
 	return f
+}
+
+// newRetryClient builds the client used around the kill window: patient
+// enough to ride out a SIGKILL plus restart plus WAL recovery.
+func newRetryClient(addr string) *client.Client {
+	return client.New(addr, client.Options{
+		MaxAttempts:    10,
+		BaseBackoff:    50 * time.Millisecond,
+		MaxBackoff:     2 * time.Second,
+		AttemptTimeout: 15 * time.Second,
+	})
+}
+
+// waitPersisted polls the stats endpoint until the write-behind
+// persister has durably written at least n entries.
+func waitPersisted(cl *client.Client, n int64, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		st, err := cl.Stats(context.Background())
+		if err == nil && st.PersistWrites >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server never persisted %d entries within %s", n, budget)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// chaosWindow drives nocache load for `window`, SIGKILLs the server at
+// `killAfter`, restarts it on the same address and state directory, and
+// reports the load stats plus the restart-to-ready recovery time.
+func chaosWindow(srv *server, bin, stateDir string, mix []target, c int, killAfter, window time.Duration) (*phaseStats, time.Duration, error) {
+	st := &phaseStats{FPs: make([]string, len(mix))}
+	rcl := newRetryClient(srv.addr)
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += c {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t := mix[i%len(mix)]
+				t0 := time.Now()
+				_, err := rcl.Map(context.Background(), client.MapRequest{
+					Workload: t.Workload, Bindings: t.Bindings, Net: t.Net, NoCache: true,
+				})
+				lat := time.Since(t0)
+				mu.Lock()
+				st.N++
+				st.Lat = append(st.Lat, lat)
+				if err != nil {
+					st.Errors++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	time.Sleep(killAfter)
+	fmt.Fprintf(os.Stderr, "loadgen: SIGKILL after %s of nocache load\n", killAfter.Round(time.Millisecond))
+	srv.kill()
+	restartStart := time.Now()
+	srv2, err := launchServer(bin, srv.addr, c, stateDir)
+	var recovery time.Duration
+	if err == nil {
+		*srv = *srv2
+		err = newRetryClient(srv.addr).WaitReady(context.Background(), 30*time.Second)
+		recovery = time.Since(restartStart)
+	}
+	if remain := window - time.Since(start); err == nil && remain > 0 {
+		time.Sleep(remain)
+	}
+	close(stop)
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	if err != nil {
+		return st, recovery, fmt.Errorf("restart after SIGKILL: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: recovered to ready in %s\n", recovery.Round(time.Millisecond))
+	return st, recovery, nil
+}
+
+// runChaos is the -chaos entry point. It writes the benchmark document
+// even when an assertion fails, so a red CI run still uploads evidence.
+func runChaos(fs *flags, mix []target, out io.Writer) error {
+	if *fs.launch == "" {
+		return fmt.Errorf("-chaos requires -launch")
+	}
+	stateDir := *fs.stateDir
+	scratch := stateDir == ""
+	if scratch {
+		dir, err := os.MkdirTemp("", "oregami-chaos-state")
+		if err != nil {
+			return err
+		}
+		stateDir = dir
+	}
+	srv, err := launchServer(*fs.launch, "127.0.0.1:0", *fs.c, stateDir)
+	if err != nil {
+		return err
+	}
+	defer srv.stop()
+
+	cl := newRetryClient(srv.addr)
+	if err := cl.WaitReady(context.Background(), 30*time.Second); err != nil {
+		return err
+	}
+	n, c := *fs.n, *fs.c
+
+	// Populate: every mix slot computed once (and persisted), recording
+	// the reference fingerprint per slot.
+	populate := runPhase(cl, mix, len(mix), 1, false, false, nil)
+	if populate.Errors > 0 {
+		return fmt.Errorf("%d populate requests failed", populate.Errors)
+	}
+	if err := waitPersisted(cl, int64(len(mix)), 10*time.Second); err != nil {
+		return err
+	}
+	// Pre-kill warm phase: the baseline hit ratio and fingerprints.
+	pre := runPhase(cl, mix, n, c, false, false, populate.FPs)
+
+	// The kill/restart window under nocache (write-heavy) load.
+	win, recovery, chaosErr := chaosWindow(srv, *fs.launch, stateDir, mix, c, *fs.killAfter, *fs.window)
+
+	// Post-restart warm phase against the recovered server: same mix,
+	// same fingerprints expected, hits now served from warm-restored
+	// entries.
+	var post *phaseStats
+	var st *client.Stats
+	if chaosErr == nil {
+		rcl := newRetryClient(srv.addr)
+		post = runPhase(rcl, mix, n, c, false, false, populate.FPs)
+		st, err = rcl.Stats(context.Background())
+		if err != nil {
+			chaosErr = fmt.Errorf("stats after restart: %w", err)
+		}
+	}
+
+	preRes := pre.result("ChaosPreKillWarm", c)
+	preRes.Extra["hit-ratio"] = pre.hitRatio()
+	preRes.Extra["fp-mismatches"] = float64(pre.Mismatch)
+	winRes := win.result("ChaosKillWindow", c)
+	winRes.Extra["recovery-ms"] = float64(recovery) / float64(time.Millisecond)
+	winRes.Extra["kill-after-ms"] = float64(*fs.killAfter) / float64(time.Millisecond)
+	results := []Result{preRes, winRes}
+	if post != nil {
+		postRes := post.result("ChaosPostRestartWarm", c)
+		postRes.Extra["hit-ratio"] = post.hitRatio()
+		postRes.Extra["fp-mismatches"] = float64(post.Mismatch)
+		if st != nil {
+			postRes.Extra["store-recovered"] = float64(st.StoreRecovered)
+			postRes.Extra["store-quarantined"] = float64(st.StoreQuarantined)
+			postRes.Extra["warm-hits"] = float64(st.WarmHits)
+			postRes.Extra["cache-corrupt"] = float64(st.CacheCorrupt)
+		}
+		results = append(results, postRes)
+	}
+	doc := Document{
+		Meta: map[string]string{
+			"tool":        "loadgen-chaos",
+			"addr":        srv.addr,
+			"mix":         *fs.mix,
+			"concurrency": fmt.Sprint(c),
+			"requests":    fmt.Sprint(n),
+			"kill-after":  fs.killAfter.String(),
+			"window":      fs.window.String(),
+			"state-dir":   stateDir,
+		},
+		Results: results,
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if chaosErr != nil {
+		return chaosErr
+	}
+
+	// The crash-safety contract, enforced.
+	var faults []string
+	if pre.Mismatch+post.Mismatch > 0 {
+		faults = append(faults, fmt.Sprintf("%d responses changed fingerprints across the kill", pre.Mismatch+post.Mismatch))
+	}
+	if st != nil && st.CacheCorrupt > 0 {
+		faults = append(faults, fmt.Sprintf("server served-and-evicted %d corrupt cache entries", st.CacheCorrupt))
+	}
+	if st != nil && st.StoreRecovered == 0 {
+		faults = append(faults, "restart recovered zero entries from the store")
+	}
+	if floor := 0.9 * pre.hitRatio(); post.hitRatio() < floor {
+		faults = append(faults, fmt.Sprintf("post-restart hit ratio %.3f below 0.9 x pre-kill %.3f",
+			post.hitRatio(), pre.hitRatio()))
+	}
+	if post.Errors > 0 {
+		faults = append(faults, fmt.Sprintf("%d post-restart requests failed", post.Errors))
+	}
+	if len(faults) > 0 {
+		return fmt.Errorf("chaos assertions failed: %s", strings.Join(faults, "; "))
+	}
+	if scratch {
+		os.RemoveAll(stateDir)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: chaos pass — hit ratio %.3f -> %.3f, recovery %s\n",
+		pre.hitRatio(), post.hitRatio(), recovery.Round(time.Millisecond))
+	return nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -315,45 +552,40 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *fs.chaos {
+		return runChaos(fs, mix, out)
+	}
 	addr := *fs.addr
 	if addr == "" {
 		if *fs.launch == "" {
 			return fmt.Errorf("need -addr or -launch")
 		}
-		bound, stop, err := launchServer(*fs.launch, *fs.c)
+		srv, err := launchServer(*fs.launch, "127.0.0.1:0", *fs.c, "")
 		if err != nil {
 			return err
 		}
 		defer func() {
-			if err := stop(); err != nil {
+			if err := srv.stop(); err != nil {
 				fmt.Fprintln(os.Stderr, "loadgen: server shutdown:", err)
 			}
 		}()
-		addr = bound
+		addr = srv.addr
 	}
-	base := "http://" + addr
-	// The default transport keeps only two idle connections per host;
-	// with c closed-loop workers that means constant re-dialing, which
-	// would swamp the warm-phase latencies we are trying to measure.
-	client := &http.Client{
-		Timeout: 60 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConns:        *fs.c * 2,
-			MaxIdleConnsPerHost: *fs.c * 2,
-		},
-	}
+	// Measured phases use a non-retrying client so every failure is an
+	// error in the numbers, not a silently-retried blip.
+	cl := client.New(addr, client.Options{MaxAttempts: 1})
 
 	// Cold: bypass the cache so every request pays full compute.
-	cold := runPhase(client, base, mix, *fs.n, *fs.c, true, *fs.check)
+	cold := runPhase(cl, mix, *fs.n, *fs.c, true, *fs.check, nil)
 	// Prime: one cached entry per mix element.
-	prime := runPhase(client, base, mix, len(mix), 1, false, *fs.check)
+	prime := runPhase(cl, mix, len(mix), 1, false, *fs.check, nil)
 	// Warm: every request should now hit.
-	warm := runPhase(client, base, mix, *fs.n, *fs.c, false, *fs.check)
+	warm := runPhase(cl, mix, *fs.n, *fs.c, false, *fs.check, nil)
 
 	coldRes := cold.result("ServeMapCold", *fs.c)
 	warmRes := warm.result("ServeMapWarm", *fs.c)
-	if ratio := hitRatio(client, base); ratio >= 0 {
-		warmRes.Extra["hit-ratio"] = ratio
+	if st, err := cl.Stats(context.Background()); err == nil {
+		warmRes.Extra["hit-ratio"] = st.HitRatio
 	}
 	warmRes.Extra["warm-hits"] = float64(warm.CacheHit)
 	if warmRes.NsPerOp > 0 {

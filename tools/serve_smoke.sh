@@ -50,6 +50,15 @@ echo "serve_smoke: server is at $addr"
 
 curl -sf "http://$addr/healthz" >/dev/null || fail "/healthz not OK"
 
+# Readiness is separate from liveness; without persistence the server is
+# ready as soon as it listens.
+i=0
+while ! curl -sf "http://$addr/readyz" >/dev/null; do
+    i=$((i + 1))
+    [ $i -lt 100 ] || fail "/readyz never became OK"
+    sleep 0.1
+done
+
 req='{"workload":"nbody","net":"hypercube:3"}'
 cold=$(curl -sf -X POST "http://$addr/v1/map?check=1" -d "$req") \
     || fail "cold /v1/map request failed"
