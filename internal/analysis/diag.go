@@ -85,6 +85,7 @@ const (
 	CodeIdleBranch     = "idlebranch"     // eps branch in a composition
 	CodeNoPhases       = "nophases"       // phases declaration missing entirely
 	CodeNotSymmetric   = "notsymmetric"   // nodesymmetric refuted by counterexample
+	CodeUnusedParam    = "unusedparam"    // parameter or import never read
 )
 
 // Pos is a 1-based source position.

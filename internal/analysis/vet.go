@@ -30,6 +30,7 @@ func Vet(prog *larcs.Program) []Diag {
 	v.execPass()
 	v.phasePass()
 	v.usagePass()
+	v.unusedParamPass()
 	v.symmetryPass()
 	Sort(v.diags)
 	return v.diags
@@ -448,5 +449,110 @@ func (v *vetter) usagePass() {
 				fmt.Sprintf("nodetype %q is declared but no rule or cost references it", nt.Name),
 				"delete it or add the missing communication rules")
 		}
+	}
+}
+
+// unusedParamPass flags algorithm parameters and imports that no
+// expression in the program ever reads: not a nodetype dimension, not a
+// const, not a connection rule (range, guard, index, or volume), not an
+// exec cost, and not the phases expression. Such a name is dead weight
+// the caller must still bind at compile time.
+func (v *vetter) unusedParamPass() {
+	used := map[string]bool{}
+	for _, c := range v.prog.Consts {
+		collectVars(c.Val, used)
+	}
+	for i := range v.prog.NodeTypes {
+		for _, d := range v.prog.NodeTypes[i].Dims {
+			collectVars(d.Lo, used)
+			collectVars(d.Hi, used)
+		}
+	}
+	for i := range v.prog.CommPhases {
+		cp := &v.prog.CommPhases[i]
+		if cp.Param != "" {
+			collectVars(cp.Range.Lo, used)
+			collectVars(cp.Range.Hi, used)
+		}
+		for ri := range cp.Rules {
+			rule := &cp.Rules[ri]
+			for _, rg := range rule.Ranges {
+				collectVars(rg.Lo, used)
+				collectVars(rg.Hi, used)
+			}
+			collectVars(rule.Guard, used)
+			for _, ix := range rule.From.Idx {
+				collectVars(ix, used)
+			}
+			for _, ix := range rule.To.Idx {
+				collectVars(ix, used)
+			}
+			collectVars(rule.Volume, used)
+		}
+	}
+	for i := range v.prog.ExecPhases {
+		collectVars(v.prog.ExecPhases[i].Cost, used)
+	}
+	collectPhaseVars(v.prog.PhaseExpr, used)
+	report := func(kind, name string, pos larcs.DeclPos) {
+		v.report(pos.Line, pos.Col, SevWarning, CodeUnusedParam,
+			fmt.Sprintf("%s %q is never read by any nodetype, connection, or phase expression", kind, name),
+			"delete it, or use it in a range, volume, cost, or repetition count")
+	}
+	for i, name := range v.prog.Params {
+		if !used[name] {
+			report("parameter", name, declPosAt(v.prog.ParamPos, i))
+		}
+	}
+	for i, name := range v.prog.Imports {
+		if !used[name] {
+			report("import", name, declPosAt(v.prog.ImportPos, i))
+		}
+	}
+}
+
+// declPosAt returns the i-th declaration position, tolerating programs
+// built by hand without position slices.
+func declPosAt(poss []larcs.DeclPos, i int) larcs.DeclPos {
+	if i < len(poss) {
+		return poss[i]
+	}
+	return larcs.DeclPos{}
+}
+
+// collectVars records every variable name the expression reads.
+func collectVars(e larcs.Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case larcs.Var:
+		out[x.Name] = true
+	case larcs.Unary:
+		collectVars(x.X, out)
+	case larcs.Binary:
+		collectVars(x.L, out)
+		collectVars(x.R, out)
+	}
+}
+
+// collectPhaseVars records every variable name a phase expression reads
+// (family indices, repetition counts, loop bounds).
+func collectPhaseVars(e larcs.PExpr, out map[string]bool) {
+	switch x := e.(type) {
+	case larcs.PRef:
+		collectVars(x.Index, out)
+	case larcs.PSeq:
+		for _, p := range x.Parts {
+			collectPhaseVars(p, out)
+		}
+	case larcs.PPar:
+		for _, p := range x.Parts {
+			collectPhaseVars(p, out)
+		}
+	case larcs.PRep:
+		collectVars(x.Count, out)
+		collectPhaseVars(x.Body, out)
+	case larcs.PForall:
+		collectVars(x.Range.Lo, out)
+		collectVars(x.Range.Hi, out)
+		collectPhaseVars(x.Body, out)
 	}
 }

@@ -537,3 +537,36 @@ func TestLookupTorus(t *testing.T) {
 		}
 	}
 }
+
+// TestDetectDeterministic guards the bug class oregami-lint's maporder
+// analyzer exists for: detectors that let map iteration order pick a
+// direction or a child ordering produce a different Canon on different
+// runs, silently changing every downstream mapping. PR 5 fixed the ring
+// orientation; this covers the torus vertical direction and the cbtree
+// left/right child labeling the same way — repeated detection must give
+// byte-identical canonical labelings.
+func TestDetectDeterministic(t *testing.T) {
+	for _, nw := range []*topology.Network{
+		topology.Torus(5, 5),
+		topology.Torus(5, 7),
+		topology.CompleteBinaryTree(4),
+		topology.Ring(9),
+		topology.Hypercube(4),
+	} {
+		first := Detect(taskGraphOf(nw))
+		if first == nil {
+			t.Fatalf("%s: not detected", nw.Name)
+		}
+		for run := 1; run < 20; run++ {
+			det := Detect(taskGraphOf(nw))
+			if det == nil || det.Family != first.Family {
+				t.Fatalf("%s: run %d family %v, want %v", nw.Name, run, det, first.Family)
+			}
+			for v, c := range det.Canon {
+				if c != first.Canon[v] {
+					t.Fatalf("%s: run %d Canon[%d] = %d, want %d (map-order nondeterminism)", nw.Name, run, v, c, first.Canon[v])
+				}
+			}
+		}
+	}
+}

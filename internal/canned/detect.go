@@ -362,11 +362,14 @@ func detectTorus(adj []map[int]bool) *Detection {
 	for _, v := range row {
 		inRow[v] = true
 	}
+	// Take the smallest such neighbor so the vertical orientation (and
+	// with it the canonical labeling) is the same on every run; an
+	// arbitrary map pick mirrored the torus between executions, the same
+	// defect PR 5 fixed in detectRing.
 	down := -1
 	for u := range adj[0] {
-		if !inRow[u] {
+		if !inRow[u] && (down == -1 || u < down) {
 			down = u
-			break
 		}
 	}
 	if down == -1 {
@@ -658,6 +661,9 @@ func detectCBTree(adj []map[int]bool) *Detection {
 			ok = false
 			return
 		}
+		// Map order decided which child became the left subtree, so the
+		// heap labeling differed between runs; sort for a stable Canon.
+		sort.Ints(kids)
 		label(kids[0], v, 2*id+1)
 		label(kids[1], v, 2*id+2)
 	}

@@ -5,6 +5,8 @@
 // evaluation harness.
 package contract
 
+//oregami:hot
+
 import (
 	"context"
 	"fmt"
@@ -223,11 +225,12 @@ func greedyMerge(ctx context.Context, workers int, entries []graph.CollapsedEntr
 // capacity must exist (otherwise total size would exceed
 // target*maxSize >= V), so the repair always terminates.
 func repairPartition(ctx context.Context, entries []graph.CollapsedEntry, part []int, target, maxSize int) ([]int, error) {
+	sizes := make(map[int]int, target+1)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		sizes := make(map[int]int)
+		clear(sizes)
 		for _, c := range part {
 			sizes[c]++
 		}

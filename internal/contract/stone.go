@@ -63,9 +63,11 @@ func AssignmentCost(g *graph.TaskGraph, part []int, execA, execB []float64) floa
 			cost += execB[t]
 		}
 	}
-	for pair, w := range g.CollapsedWeights() {
-		if part[pair[0]] != part[pair[1]] {
-			cost += w
+	// Sorted entries, not the CollapsedWeights map, so the float objective
+	// is bit-identical between runs.
+	for _, e := range g.CollapsedEntries(1) {
+		if part[e.A] != part[e.B] {
+			cost += e.W
 		}
 	}
 	return cost

@@ -192,9 +192,11 @@ func Random(k int, net *topology.Network, seed int64) ([]int, error) {
 // distance (max dilation). Lower is better; dilation 1 everywhere means
 // the cluster graph is a subgraph of the network.
 func WeightedDilation(cg *graph.TaskGraph, net *topology.Network, place []int) (total float64, maxHops int) {
-	for pair, wt := range cg.CollapsedWeights() {
-		d := net.Distance(place[pair[0]], place[pair[1]])
-		total += wt * float64(d)
+	// Sorted entries, not the CollapsedWeights map: the float total must
+	// not depend on map iteration order.
+	for _, e := range cg.CollapsedEntries(1) {
+		d := net.Distance(place[e.A], place[e.B])
+		total += e.W * float64(d)
 		if d > maxHops {
 			maxHops = d
 		}

@@ -175,21 +175,21 @@ func (p *ExecPhase) TotalExecCost(numTasks int) float64 {
 // per-phase cost vector lengths. It returns the first violation found.
 func (g *TaskGraph) Validate() error {
 	if len(g.Labels) != g.NumTasks {
-		return fmt.Errorf("graph %q: %d labels for %d tasks", g.Name, len(g.Labels), g.NumTasks)
+		return fmt.Errorf("graph: %q: %d labels for %d tasks", g.Name, len(g.Labels), g.NumTasks)
 	}
 	for _, p := range g.Comm {
 		for _, e := range p.Edges {
 			if e.From < 0 || e.From >= g.NumTasks || e.To < 0 || e.To >= g.NumTasks {
-				return fmt.Errorf("graph %q phase %q: edge (%d,%d) out of range", g.Name, p.Name, e.From, e.To)
+				return fmt.Errorf("graph: %q phase %q: edge (%d,%d) out of range", g.Name, p.Name, e.From, e.To)
 			}
 			if e.Weight < 0 {
-				return fmt.Errorf("graph %q phase %q: negative weight on edge (%d,%d)", g.Name, p.Name, e.From, e.To)
+				return fmt.Errorf("graph: %q phase %q: negative weight on edge (%d,%d)", g.Name, p.Name, e.From, e.To)
 			}
 		}
 	}
 	for _, p := range g.Exec {
 		if p.Cost != nil && len(p.Cost) != g.NumTasks {
-			return fmt.Errorf("graph %q exec phase %q: %d costs for %d tasks", g.Name, p.Name, len(p.Cost), g.NumTasks)
+			return fmt.Errorf("graph: %q exec phase %q: %d costs for %d tasks", g.Name, p.Name, len(p.Cost), g.NumTasks)
 		}
 	}
 	return nil

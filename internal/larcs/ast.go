@@ -9,10 +9,15 @@ import (
 type Program struct {
 	Name   string
 	Params []string // algorithm parameters, bound at compile time
+	// ParamPos carries the source position of each parameter, parallel
+	// to Params; empty for programs constructed by hand.
+	ParamPos []DeclPos
 	// Imports are variables imported from the host-language source
 	// (Section 3, item 2); like Params they are bound at compile time.
 	Imports []string
-	Consts  []ConstDecl
+	// ImportPos is parallel to Imports, like ParamPos.
+	ImportPos []DeclPos
+	Consts    []ConstDecl
 	// NodeTypes declares the labeled task sets (Section 3, item 3).
 	NodeTypes []NodeTypeDecl
 	// NodeSymmetric is the user's assertion that the task graph is node
@@ -30,6 +35,12 @@ type Program struct {
 	// Source is the original text, retained so tools can report the
 	// description's size (the paper's compactness claim).
 	Source string
+}
+
+// DeclPos locates a declared name (parameter or import) in the source.
+type DeclPos struct {
+	Line int
+	Col  int
 }
 
 // ConstDecl is a named constant: const k = expr;

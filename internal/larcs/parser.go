@@ -86,6 +86,7 @@ func (p *parser) parseProgram() (*Program, error) {
 				return nil, err
 			}
 			prog.Params = append(prog.Params, id.text)
+			prog.ParamPos = append(prog.ParamPos, DeclPos{Line: id.line, Col: id.col})
 			if !p.accept(tokComma) {
 				break
 			}
@@ -116,6 +117,7 @@ func (p *parser) parseDecl(prog *Program) error {
 				return err
 			}
 			prog.Imports = append(prog.Imports, id.text)
+			prog.ImportPos = append(prog.ImportPos, DeclPos{Line: id.line, Col: id.col})
 			if !p.accept(tokComma) {
 				break
 			}

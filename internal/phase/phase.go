@@ -11,6 +11,7 @@ package phase
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -201,13 +202,15 @@ func Occurrences(e Expr) map[string]int {
 	return out
 }
 
-// Names returns the distinct phase names referenced by the expression.
+// Names returns the distinct phase names referenced by the expression,
+// sorted so callers see the same order on every run.
 func Names(e Expr) []string {
 	occ := Occurrences(e)
 	var names []string
 	for n := range occ {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 

@@ -7,6 +7,8 @@
 // baselines.
 package route
 
+//oregami:hot
+
 import (
 	"context"
 	"fmt"

@@ -222,7 +222,7 @@ func verifyRecord(rec store.Record) error {
 		return fmt.Errorf("payload: %w", err)
 	}
 	if resp.Fingerprint == "" || hashHex(rec.Fingerprint) != resp.Fingerprint {
-		return fmt.Errorf("fingerprint mismatch for %.16s", rec.Key)
+		return fmt.Errorf("serve: fingerprint mismatch for %.16s", rec.Key)
 	}
 	return nil
 }

@@ -328,7 +328,7 @@ func ByName(name string) (Workload, error) {
 func (w Workload) Compile(overrides map[string]int) (*larcs.Compiled, error) {
 	prog, err := larcs.Parse(w.Source)
 	if err != nil {
-		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		return nil, fmt.Errorf("workload: %s: %w", w.Name, err)
 	}
 	bindings := make(map[string]int, len(w.Defaults)+len(overrides))
 	for k, v := range w.Defaults {
@@ -339,7 +339,7 @@ func (w Workload) Compile(overrides map[string]int) (*larcs.Compiled, error) {
 	}
 	c, err := prog.Compile(bindings, larcs.Limits{})
 	if err != nil {
-		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		return nil, fmt.Errorf("workload: %s: %w", w.Name, err)
 	}
 	return c, nil
 }

@@ -1,61 +1,198 @@
-// Command analyzers runs the repository's custom static-analysis passes
-// over Go source trees. It mirrors the golang.org/x/tools/go/analysis
-// driver shape (Analyzer, Pass, Diagnostic) but is built only on the
-// standard library's go/ast and go/parser, because this repository
-// vendors no third-party modules.
+// Command analyzers is oregami-lint: the repository's static-analysis
+// suite for its own Go source. It mirrors the golang.org/x/tools
+// go/analysis driver shape (Analyzer, Pass, Diagnostic) but is built
+// only on the standard library's go/ast, go/parser, and go/types,
+// because this repository vendors no third-party modules.
+//
+// Each analyzer targets a recurring defect class of this codebase:
+//
+//	maporder   map iteration order reaching a result (nondeterminism)
+//	nondetsrc  wall clock / unseeded randomness in the mapping pipeline
+//	hotalloc   allocations inside loops of //oregami:hot files
+//	bareconc   goroutines/channels outside the sanctioned internal/par pool
+//	errfmt     error messages without the "pkg: " attribution prefix
+//	panicmsg   panics without a constant "pkg: "-prefixed message
+//	exitcheck  os.Exit / log.Fatal outside package main
 //
 // Usage:
 //
 //	go run ./tools/analyzers ./...
-//	go run ./tools/analyzers ./internal/... ./cmd/...
+//	go run ./tools/analyzers -json -baseline tools/analyzers/lint.baseline ./...
+//	go run ./tools/analyzers -write-baseline tools/analyzers/lint.baseline ./...
 //
-// Exit status is 1 when any diagnostic is reported, 0 otherwise.
+// Exit codes match `larcsc vet`: 0 clean, 1 findings (after baseline
+// filtering), 2 usage or internal errors.
 package main
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"oregami/internal/analysis"
 )
 
-// Diagnostic is one finding of an analyzer.
+// Diagnostic is one finding of an analyzer: a position, a stable code
+// (the analyzer name), a severity, and a human message. The rendering
+// follows internal/analysis conventions, so `larcsc vet` and
+// oregami-lint findings read and machine-parse the same way.
 type Diagnostic struct {
 	Pos      token.Position
-	Analyzer string
+	Code     string
+	Severity analysis.Severity
 	Message  string
 }
 
-// Pass carries one parsed file through an analyzer, mirroring
-// analysis.Pass. Report records a finding at a node's position.
+// String renders the diagnostic as file:line:col: severity: message [code].
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Severity, d.Message, d.Code)
+}
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name     string // stable diagnostic code
+	Doc      string
+	Severity analysis.Severity
+	Run      func(*Pass)
+}
+
+// Pass carries one type-checked package unit through an analyzer.
 type Pass struct {
-	Fset     *token.FileSet
-	Filename string
-	File     *ast.File
-	PkgName  string
-	IsTest   bool
+	Fset *token.FileSet
+	// Files are the unit's syntax trees; Filenames is parallel to it.
+	Files     []*ast.File
+	Filenames []string
+	// PkgName is the package clause name; ImportPath is the module-rooted
+	// import path (e.g. "oregami/internal/canned"), with a "_test" suffix
+	// for external test packages.
+	PkgName    string
+	ImportPath string
+	// Info holds whatever type information the tolerant checker
+	// recovered; entries may be missing, so analyzers must treat absent
+	// types as unknown, never as proof.
+	Info *types.Info
 
 	analyzer *Analyzer
 	sink     *[]Diagnostic
 }
 
-// Reportf records a diagnostic at the node's position.
+// Reportf records a diagnostic at the node's position with the
+// analyzer's code and severity.
 func (p *Pass) Reportf(n ast.Node, format string, args ...interface{}) {
 	*p.sink = append(*p.sink, Diagnostic{
 		Pos:      p.Fset.Position(n.Pos()),
-		Analyzer: p.analyzer.Name,
+		Code:     p.analyzer.Name,
+		Severity: p.analyzer.Severity,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
-// Analyzer is one named check run over every file.
-type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+// IsTestFile reports whether the i-th file is a _test.go file.
+func (p *Pass) IsTestFile(i int) bool {
+	return strings.HasSuffix(p.Filenames[i], "_test.go")
 }
 
-// analyzers is the registry of all passes the driver runs.
+// TypeOf returns the recovered type of e, or nil when the tolerant
+// checker has no information about it.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ImportPathOf resolves a package selector ident (the "rand" in
+// rand.Intn) to the import path it names, or "" if the ident is not a
+// package name. It prefers type information and falls back to matching
+// the file's import table by name, so renamed imports are handled when
+// types resolved and the common case works even when they did not.
+func (p *Pass) ImportPathOf(file *ast.File, id *ast.Ident) string {
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return "" // a real object: local var shadowing a package name
+		}
+	}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// fileOf returns the index of the file containing pos, or -1.
+func (p *Pass) fileOf(n ast.Node) int {
+	name := p.Fset.Position(n.Pos()).Filename
+	for i, fn := range p.Filenames {
+		if fn == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// analyzers is the registry of all passes the driver runs, in report
+// order for equal positions.
 var analyzers = []*Analyzer{
+	mapOrderAnalyzer,
+	nonDetSrcAnalyzer,
+	hotAllocAnalyzer,
+	bareConcAnalyzer,
+	errFmtAnalyzer,
 	panicMsgAnalyzer,
 	exitCheckAnalyzer,
+}
+
+// analyzerByName returns the registered analyzer with that name, or nil.
+func analyzerByName(name string) *Analyzer {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// sortDiagnostics orders findings by file, line, column, code, message —
+// the stable order every renderer and the baseline matcher rely on.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
 }

@@ -1,149 +1,183 @@
 package main
 
 import (
-	"os"
+	"bytes"
+	"encoding/json"
+	"go/token"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"oregami/internal/analysis"
 )
 
-// write puts a source file in dir and returns its path.
-func write(t *testing.T, dir, name, src string) string {
-	t.Helper()
-	path := filepath.Join(dir, name)
-	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
-		t.Fatal(err)
+// TestRunExitCodes pins the larcsc-vet-compatible exit convention:
+// 0 clean, 1 findings, 2 usage errors.
+func TestRunExitCodes(t *testing.T) {
+	corpus := filepath.Join("testdata", "src", "panicmsg")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"findings", []string{corpus}, exitFindings},
+		{"clean", []string{"-only", "bareconc", corpus}, exitOK},
+		{"unknown analyzer", []string{"-only", "nosuch", corpus}, exitUsage},
+		{"bad flag", []string{"-definitely-not-a-flag"}, exitUsage},
+		{"missing dir", []string{"testdata/no/such/dir"}, exitUsage},
+		{"file not dir", []string{filepath.Join(corpus, "panicmsg.go")}, exitUsage},
 	}
-	return path
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if got := run(tc.args, &out, &errOut); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, errOut.String())
+			}
+		})
+	}
 }
 
-func analyze(t *testing.T, files ...string) []Diagnostic {
-	t.Helper()
-	diags, err := analyzeFiles(files)
+// TestRunTextRendering checks the shared diagnostic shape:
+// file:line:col: severity: message [code], with module-root-relative
+// slash paths — identical to internal/analysis rendering.
+func TestRunTextRendering(t *testing.T) {
+	var out, errOut bytes.Buffer
+	run([]string{"-only", "exitcheck", filepath.Join("testdata", "src", "exitcheck")}, &out, &errOut)
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "tools/analyzers/testdata/src/exitcheck/exitcheck.go:") {
+			t.Errorf("diagnostic %q does not lead with the module-relative path", line)
+		}
+		if !strings.Contains(line, ": error: ") || !strings.HasSuffix(line, "[exitcheck]") {
+			t.Errorf("diagnostic %q does not follow file:line:col: severity: message [code]", line)
+		}
+	}
+}
+
+// TestRunJSONStable runs -json twice and requires byte-identical output
+// with the internal/analysis wire field set.
+func TestRunJSONStable(t *testing.T) {
+	args := []string{"-json", "-only", "maporder", filepath.Join("testdata", "src", "maporder")}
+	var a, b, errOut bytes.Buffer
+	if code := run(args, &a, &errOut); code != exitFindings {
+		t.Fatalf("exit %d, want findings (stderr: %s)", code, errOut.String())
+	}
+	run(args, &b, &errOut)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical -json runs differ")
+	}
+	var diags []map[string]interface{}
+	if err := json.Unmarshal(a.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no JSON diagnostics")
+	}
+	for _, field := range []string{"file", "line", "col", "severity", "code", "message"} {
+		if _, ok := diags[0][field]; !ok {
+			t.Errorf("JSON diagnostic lacks field %q: %v", field, diags[0])
+		}
+	}
+}
+
+// TestExpand covers pattern resolution: plain dirs, recursive ...,
+// and the testdata/vendor/hidden skip list.
+func TestExpand(t *testing.T) {
+	dirs, err := expand([]string{"./..."})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return diags
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("expand descended into %s", d)
+		}
+	}
+	if len(dirs) != 1 {
+		t.Errorf("expand(./...) from tools/analyzers = %v, want just the package dir", dirs)
+	}
+	again, err := expand([]string{".", "./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(dirs) {
+		t.Errorf("duplicate patterns not deduplicated: %v", again)
+	}
 }
 
-func TestPanicMsg(t *testing.T) {
-	dir := t.TempDir()
-	bad := write(t, dir, "bad.go", `package p
-
-import "fmt"
-
-func f(err error) {
-	panic(err)                      // want: not constant
-	panic("no prefix here")         // want: lacks prefix
-	panic(fmt.Sprintf("%v", err))   // want: lacks prefix
-}
-`)
-	good := write(t, dir, "good.go", `package p
-
-import "fmt"
-
-func g(n int, kind string) {
-	panic("p: broken invariant")
-	panic(fmt.Sprintf("p: bad count %d", n))
-	panic("p: unexpected kind " + kind)
-}
-`)
-	test := write(t, dir, "ok_test.go", `package p
-
-func h() { panic("anything goes in tests") }
-`)
-	diags := analyze(t, bad, good, test)
+// TestSortDiagnostics pins the (file, line, col, code, message) order.
+func TestSortDiagnostics(t *testing.T) {
+	mk := func(file string, line, col int, code, msg string) Diagnostic {
+		d := Diagnostic{Code: code, Message: msg}
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column = file, line, col
+		return d
+	}
+	diags := []Diagnostic{
+		mk("b.go", 1, 1, "a", "m"),
+		mk("a.go", 2, 1, "a", "m"),
+		mk("a.go", 1, 5, "b", "m"),
+		mk("a.go", 1, 5, "a", "z"),
+		mk("a.go", 1, 5, "a", "m"),
+	}
+	sortDiagnostics(diags)
 	var got []string
 	for _, d := range diags {
-		if d.Analyzer != "panicmsg" {
-			t.Errorf("unexpected analyzer %q: %v", d.Analyzer, d)
-		}
-		got = append(got, d.Pos.Filename+":"+d.Message)
+		got = append(got, d.String())
 	}
-	if len(diags) != 3 {
-		t.Fatalf("got %d diagnostics, want 3:\n%s", len(diags), strings.Join(got, "\n"))
+	want := []string{
+		"a.go:1:5: warning: m [a]",
+		"a.go:1:5: warning: z [a]",
+		"a.go:1:5: warning: m [b]",
+		"a.go:2:1: warning: m [a]",
+		"b.go:1:1: warning: m [a]",
 	}
-	for _, d := range diags {
-		if filepath.Base(d.Pos.Filename) != "bad.go" {
-			t.Errorf("diagnostic outside bad.go: %v", d)
-		}
-	}
-	if !strings.Contains(diags[0].Message, "not a constant") {
-		t.Errorf("panic(err) message: %q", diags[0].Message)
-	}
-	if !strings.Contains(diags[1].Message, "prefix") {
-		t.Errorf("unprefixed literal message: %q", diags[1].Message)
-	}
-}
-
-func TestExitCheck(t *testing.T) {
-	dir := t.TempDir()
-	lib := write(t, dir, "lib.go", `package lib
-
-import (
-	"log"
-	"os"
-)
-
-func f() {
-	os.Exit(1)    // want: not in main
-	log.Fatalf("x") // want: not in main
-}
-`)
-	mainpkg := write(t, dir, "main.go", `package main
-
-import "os"
-
-func main() { os.Exit(0) }
-`)
-	test := write(t, dir, "main_test.go", `package main
-
-import "os"
-
-func helper() { os.Exit(1) } // want: never in tests
-`)
-	diags := analyze(t, lib, mainpkg, test)
-	if len(diags) != 3 {
-		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
-	}
-	for _, d := range diags {
-		if d.Analyzer != "exitcheck" {
-			t.Errorf("unexpected analyzer %q: %v", d.Analyzer, d)
-		}
-		if base := filepath.Base(d.Pos.Filename); base == "main.go" {
-			t.Errorf("flagged os.Exit in package main: %v", d)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("position %d: got %s, want %s", i, got[i], want[i])
 		}
 	}
 }
 
-// TestRepositoryClean runs both analyzers over the whole repository —
-// the same invocation `make lint` uses — and requires zero findings.
-func TestRepositoryClean(t *testing.T) {
-	root := filepath.Join("..", "..")
-	files, err := expand([]string{root + "/..."})
+// TestSeverities documents which analyzers gate at error severity:
+// determinism breakage is an error; style and perf hygiene warn.
+func TestSeverities(t *testing.T) {
+	want := map[string]analysis.Severity{
+		"maporder":  analysis.SevError,
+		"nondetsrc": analysis.SevError,
+		"panicmsg":  analysis.SevError,
+		"exitcheck": analysis.SevError,
+		"hotalloc":  analysis.SevWarning,
+		"bareconc":  analysis.SevWarning,
+		"errfmt":    analysis.SevWarning,
+	}
+	if len(analyzers) != len(want) {
+		t.Errorf("registry has %d analyzers, want table has %d — update both", len(analyzers), len(want))
+	}
+	for _, a := range analyzers {
+		if sev, ok := want[a.Name]; !ok {
+			t.Errorf("analyzer %s not in the severity table", a.Name)
+		} else if a.Severity != sev {
+			t.Errorf("analyzer %s severity %s, want %s", a.Name, a.Severity, sev)
+		}
+	}
+}
+
+// TestLoaderTypeInfo proves the offline importer recovers real types:
+// maporder's map detection depends on it.
+func TestLoaderTypeInfo(t *testing.T) {
+	fset := token.NewFileSet()
+	l, err := newLoader(fset, ".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 50 {
-		t.Fatalf("expanded only %d files; pattern broken?", len(files))
+	u := l.loadFiles("oregami/internal/corpus/typed",
+		[]string{filepath.Join("testdata", "src", "maporder", "maporder.go")})
+	if u == nil {
+		t.Fatal("corpus file did not load")
 	}
-	diags := analyze(t, files...)
-	for _, d := range diags {
-		t.Errorf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
-	}
-}
-
-func TestExpandSkipsTestdata(t *testing.T) {
-	files, err := expand([]string{filepath.Join("..", "..") + "/..."})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, f := range files {
-		if strings.Contains(f, "testdata") {
-			t.Errorf("expand included testdata file %s", f)
-		}
-		if !strings.HasSuffix(f, ".go") {
-			t.Errorf("expand included non-Go file %s", f)
-		}
+	if len(u.Info.Types) == 0 || len(u.Info.Uses) == 0 {
+		t.Fatalf("no type information recovered: %d types, %d uses", len(u.Info.Types), len(u.Info.Uses))
 	}
 }

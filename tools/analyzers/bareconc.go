@@ -1,0 +1,51 @@
+package main
+
+import (
+	"go/ast"
+
+	"oregami/internal/analysis"
+)
+
+// bareConcAnalyzer channels all concurrency through internal/par. The
+// par pool is the only construct in this repository with proven
+// determinism guarantees (slot-wise writes, lowest-index error
+// propagation, bit-identical results at every worker budget); a bare
+// `go` statement or hand-rolled channel fan-out elsewhere gets none of
+// that, and PR 5's differential harness cannot vouch for it. Service
+// and CLI layers that legitimately need long-lived goroutines (HTTP
+// serving, signal handling, write-behind persistence) carry baseline
+// entries with their justification instead of an exemption in code.
+var bareConcAnalyzer = &Analyzer{
+	Name:     "bareconc",
+	Doc:      "goroutine launches and channel construction belong in internal/par, the sanctioned deterministic pool",
+	Severity: analysis.SevWarning,
+	Run:      runBareConc,
+}
+
+func runBareConc(p *Pass) {
+	if inPipelinePar(p.ImportPath) {
+		return
+	}
+	for i, f := range p.Files {
+		if p.IsTestFile(i) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(x, "bare goroutine outside internal/par; use par.ForEach (deterministic, panic-contained) or justify in the baseline")
+			case *ast.CallExpr:
+				if calleeName(x) == "make" && len(x.Args) >= 1 {
+					if _, ok := x.Args[0].(*ast.ChanType); ok {
+						p.Reportf(x, "channel construction outside internal/par; hand-rolled fan-out has no determinism guarantee — use par, or justify in the baseline")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func inPipelinePar(importPath string) bool {
+	return importPath == "oregami/internal/par" || importPath == "oregami/internal/par_test"
+}

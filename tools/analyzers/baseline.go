@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry accepts a known pre-existing finding so it does not
+// fail the build, without silencing new findings of the same kind. An
+// entry matches by (code, file, message) — deliberately not by line, so
+// unrelated edits that shift code do not invalidate the baseline —
+// and absorbs up to Count identical findings in that file. Every entry
+// must carry a human-written justification; `make lint-baseline`
+// regenerates the file and preserves justifications for entries that
+// still match.
+type BaselineEntry struct {
+	Code          string `json:"code"`
+	File          string `json:"file"` // module-root-relative, slash-separated
+	Message       string `json:"message"`
+	Count         int    `json:"count"`
+	Justification string `json:"justification"`
+}
+
+// Baseline is the checked-in set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct {
+	Code, File, Message string
+}
+
+// LoadBaseline reads and validates a baseline file. Entries without a
+// justification (or with a leftover "TODO" one) are rejected: accepting
+// a finding is a decision, and the file is where the decision is
+// recorded.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	seen := map[baselineKey]bool{}
+	for i, e := range b.Entries {
+		if e.Code == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("baseline %s: entry %d is missing code/file/message", path, i)
+		}
+		if e.Count < 1 {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s in %s) has count %d, want >= 1", path, i, e.Code, e.File, e.Count)
+		}
+		if e.Justification == "" || len(e.Justification) >= 4 && e.Justification[:4] == "TODO" {
+			return nil, fmt.Errorf("baseline %s: entry %d (%s in %s) lacks a written justification", path, i, e.Code, e.File)
+		}
+		k := baselineKey{e.Code, e.File, e.Message}
+		if seen[k] {
+			return nil, fmt.Errorf("baseline %s: duplicate entry for %s %s %q (merge the counts)", path, e.Code, e.File, e.Message)
+		}
+		seen[k] = true
+	}
+	return &b, nil
+}
+
+// Apply partitions findings against the baseline: findings covered by
+// an entry (up to its count) are suppressed, the rest are returned as
+// new. Entries whose file was analyzed but that matched nothing come
+// back as stale — the defect was fixed, so the entry should be
+// deleted. Entries for files outside the analyzed set are left alone,
+// so a subset run (`oregami-lint ./internal/graph/`) does not call the
+// rest of the baseline stale.
+func (b *Baseline) Apply(diags []Diagnostic, analyzed map[string]bool) (fresh []Diagnostic, stale []BaselineEntry) {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		remaining[baselineKey{e.Code, e.File, e.Message}] = e.Count
+	}
+	matched := map[baselineKey]bool{}
+	for _, d := range diags {
+		k := baselineKey{d.Code, d.Pos.Filename, d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			matched[k] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		if analyzed[e.File] && !matched[baselineKey{e.Code, e.File, e.Message}] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// WriteBaseline renders the current findings as a baseline file. A
+// prior baseline's justifications are carried over for entries that
+// still match; genuinely new entries get a TODO placeholder, which
+// LoadBaseline rejects until a human replaces it — regenerating the
+// baseline is deliberate, not a rubber stamp.
+func WriteBaseline(path string, diags []Diagnostic, prior *Baseline) error {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.Code, d.Pos.Filename, d.Message}]++
+	}
+	just := map[baselineKey]string{}
+	if prior != nil {
+		for _, e := range prior.Entries {
+			just[baselineKey{e.Code, e.File, e.Message}] = e.Justification
+		}
+	}
+	var b Baseline
+	for k, n := range counts {
+		j := just[k]
+		if j == "" {
+			j = "TODO: justify this finding or fix it"
+		}
+		b.Entries = append(b.Entries, BaselineEntry{
+			Code: k.Code, File: k.File, Message: k.Message, Count: n, Justification: j,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Code != c.Code {
+			return a.Code < c.Code
+		}
+		return a.Message < c.Message
+	})
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&b); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

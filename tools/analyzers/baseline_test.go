@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBaselineRoundTrip drives the whole workflow through run(): write
+// a baseline from the corpus findings, justify it, verify it suppresses
+// exactly those findings, that removing an entry resurfaces the finding
+// (exit 1), that an entry matching nothing is reported stale but stays
+// advisory (exit 0), and that TODO justifications are rejected (exit 2).
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "bareconc")
+	path := filepath.Join(t.TempDir(), "test.baseline")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-write-baseline", path, dir}, &out, &errOut); code != exitOK {
+		t.Fatalf("write-baseline: exit %d, stderr %s", code, errOut.String())
+	}
+
+	// Freshly written entries carry TODO justifications, which loading
+	// must reject.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", path, dir}, &out, &errOut); code != exitUsage {
+		t.Fatalf("TODO justification accepted: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "lacks a written justification") {
+		t.Errorf("stderr %q does not explain the rejection", errOut.String())
+	}
+
+	// Justify every entry; the same run must now be clean.
+	b := readRawBaseline(t, path)
+	if len(b.Entries) < 2 {
+		t.Fatalf("corpus produced %d entries, want >= 2", len(b.Entries))
+	}
+	for i := range b.Entries {
+		b.Entries[i].Justification = "accepted for the round-trip test"
+	}
+	writeRawBaseline(t, path, b)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", path, dir}, &out, &errOut); code != exitOK {
+		t.Fatalf("justified baseline: exit %d, stdout %s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed diagnostics: %s", out.String())
+	}
+
+	// Removing an entry resurfaces its finding.
+	removed := b.Entries[0]
+	b.Entries = b.Entries[1:]
+	writeRawBaseline(t, path, b)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", path, dir}, &out, &errOut); code != exitFindings {
+		t.Fatalf("after removing an entry: exit %d, want %d", code, exitFindings)
+	}
+	if !strings.Contains(out.String(), removed.Message) {
+		t.Errorf("resurfaced finding %q not printed:\n%s", removed.Message, out.String())
+	}
+
+	// A stale entry (an analyzed file, but a message the analyzers no
+	// longer produce) is reported on stderr but does not fail the run.
+	// An entry for a file outside the analyzed set must NOT be called
+	// stale: a subset run says nothing about the rest of the baseline.
+	analyzedFile := b.Entries[0].File
+	b.Entries = append(b.Entries, removed,
+		BaselineEntry{
+			Code: "maporder", File: analyzedFile, Message: "never happens",
+			Count: 1, Justification: "stale on purpose",
+		},
+		BaselineEntry{
+			Code: "maporder", File: "no/such/file.go", Message: "outside the analyzed set",
+			Count: 1, Justification: "not stale: file not analyzed",
+		})
+	writeRawBaseline(t, path, b)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", path, dir}, &out, &errOut); code != exitOK {
+		t.Fatalf("stale entry changed exit code to %d", code)
+	}
+	if !strings.Contains(errOut.String(), "stale baseline entry") {
+		t.Errorf("stale entry not reported on stderr: %q", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "never happens") {
+		t.Errorf("stale entry for analyzed file %s not reported: %q", analyzedFile, errOut.String())
+	}
+	if strings.Contains(errOut.String(), "no/such/file.go") {
+		t.Errorf("entry for unanalyzed file wrongly reported stale: %q", errOut.String())
+	}
+}
+
+// TestWriteBaselinePreservesJustifications regenerating a baseline must
+// keep the human text for entries that still match and only TODO the new.
+func TestWriteBaselinePreservesJustifications(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	diags := []Diagnostic{
+		{Code: "maporder", Message: "old finding"},
+		{Code: "maporder", Message: "new finding"},
+	}
+	diags[0].Pos.Filename = "a.go"
+	diags[1].Pos.Filename = "a.go"
+	prior := &Baseline{Entries: []BaselineEntry{{
+		Code: "maporder", File: "a.go", Message: "old finding",
+		Count: 1, Justification: "carefully considered",
+	}}}
+	if err := WriteBaseline(path, diags, prior); err != nil {
+		t.Fatal(err)
+	}
+	b := readRawBaseline(t, path)
+	got := map[string]string{}
+	for _, e := range b.Entries {
+		got[e.Message] = e.Justification
+	}
+	if got["old finding"] != "carefully considered" {
+		t.Errorf("old justification lost: %q", got["old finding"])
+	}
+	if !strings.HasPrefix(got["new finding"], "TODO") {
+		t.Errorf("new entry justification = %q, want TODO placeholder", got["new finding"])
+	}
+}
+
+// TestLoadBaselineValidation exercises each rejection rule.
+func TestLoadBaselineValidation(t *testing.T) {
+	ok := BaselineEntry{Code: "c", File: "f.go", Message: "m", Count: 1, Justification: "fine"}
+	cases := []struct {
+		name    string
+		entries []BaselineEntry
+		wantErr string
+	}{
+		{"valid", []BaselineEntry{ok}, ""},
+		{"missing fields", []BaselineEntry{{Count: 1, Justification: "x"}}, "missing code/file/message"},
+		{"zero count", []BaselineEntry{{Code: "c", File: "f", Message: "m", Justification: "x"}}, "count 0"},
+		{"todo justification", []BaselineEntry{{Code: "c", File: "f", Message: "m", Count: 1, Justification: "TODO: later"}}, "lacks a written justification"},
+		{"duplicate", []BaselineEntry{ok, ok}, "duplicate entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "b.json")
+			writeRawBaseline(t, path, &Baseline{Entries: tc.entries})
+			_, err := LoadBaseline(path)
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Errorf("unexpected error %v", err)
+			case tc.wantErr != "" && (err == nil || !strings.Contains(err.Error(), tc.wantErr)):
+				t.Errorf("error %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRepoBaselineIsLoadable guards the checked-in baseline: every entry
+// must pass validation, including a non-TODO justification.
+func TestRepoBaselineIsLoadable(t *testing.T) {
+	b, err := LoadBaseline("lint.baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) == 0 {
+		t.Fatal("checked-in baseline is empty; delete it instead")
+	}
+}
+
+func readRawBaseline(t *testing.T, path string) *Baseline {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	return &b
+}
+
+func writeRawBaseline(t *testing.T, path string, b *Baseline) {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

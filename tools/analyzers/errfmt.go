@@ -1,0 +1,122 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+
+	"oregami/internal/analysis"
+)
+
+// errFmtAnalyzer enforces the repository's error and diagnostic
+// conventions in library code (internal/*):
+//
+//   - errors.New / fmt.Errorf messages lead with a constant lowercase
+//     "pkg: " prefix, the same attribution rule panicmsg enforces for
+//     panics — an error that surfaces three layers up must still name
+//     the subsystem that minted it;
+//   - composite literals of the analysis.Diag diagnostic type set both
+//     Pos and Code: a diagnostic without a position cannot be clicked,
+//     and one without a stable code cannot be baselined or filtered.
+var errFmtAnalyzer = &Analyzer{
+	Name:     "errfmt",
+	Doc:      `library errors must lead with a constant lowercase "pkg: " prefix; diagnostics must carry Pos and Code`,
+	Severity: analysis.SevWarning,
+	Run:      runErrFmt,
+}
+
+func runErrFmt(p *Pass) {
+	if !strings.HasPrefix(strings.TrimSuffix(p.ImportPath, "_test"), "oregami/internal/") {
+		return
+	}
+	for i, f := range p.Files {
+		if p.IsTestFile(i) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				p.checkErrCall(f, x)
+			case *ast.CompositeLit:
+				p.checkDiagLit(x)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrCall judges errors.New and fmt.Errorf message leads.
+func (p *Pass) checkErrCall(f *ast.File, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	var kind string
+	switch {
+	case p.ImportPathOf(f, pkg) == "errors" && sel.Sel.Name == "New":
+		kind = "errors.New"
+	case p.ImportPathOf(f, pkg) == "fmt" && sel.Sel.Name == "Errorf":
+		kind = "fmt.Errorf"
+	default:
+		return
+	}
+	msg, constant := constantLead(call.Args[0])
+	if !constant {
+		return // computed formats are out of scope; panicmsg-style strictness would FP here
+	}
+	if strings.HasPrefix(msg, "%w") {
+		return // wrapping first preserves the inner error's own prefix
+	}
+	if strings.HasPrefix(msg, "%") {
+		p.Reportf(call, "%s message starts with a format verb; lead with a stable lowercase \"pkg: \" prefix so the error is attributable", kind)
+		return
+	}
+	if !panicPrefix.MatchString(msg) {
+		p.Reportf(call, "%s message %q lacks a lowercase \"pkg: \" prefix", kind, msg)
+	}
+}
+
+// checkDiagLit requires keyed analysis.Diag literals to set Pos and
+// Code. Positional literals necessarily set every field and pass.
+func (p *Pass) checkDiagLit(lit *ast.CompositeLit) {
+	if !isDiagType(lit.Type) || len(lit.Elts) == 0 {
+		return
+	}
+	keyed := false
+	has := map[string]bool{}
+	for _, e := range lit.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			has[id.Name] = true
+		}
+	}
+	if !keyed {
+		return
+	}
+	for _, field := range []string{"Pos", "Code"} {
+		if !has[field] {
+			p.Reportf(lit, "diagnostic literal without %s: every Diag needs a position and a stable code", field)
+		}
+	}
+}
+
+// isDiagType matches the Diag type name locally (package analysis) or
+// qualified (analysis.Diag).
+func isDiagType(t ast.Expr) bool {
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name == "Diag"
+	case *ast.SelectorExpr:
+		if pkg, ok := x.X.(*ast.Ident); ok {
+			return pkg.Name == "analysis" && x.Sel.Name == "Diag"
+		}
+	}
+	return false
+}

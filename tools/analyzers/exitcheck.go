@@ -2,6 +2,8 @@ package main
 
 import (
 	"go/ast"
+
+	"oregami/internal/analysis"
 )
 
 // exitCheckAnalyzer enforces that process-terminating calls — os.Exit
@@ -10,44 +12,46 @@ import (
 // cleanup and error handling; it must return an error and let the
 // command decide.
 var exitCheckAnalyzer = &Analyzer{
-	Name: "exitcheck",
-	Doc:  "os.Exit and log.Fatal* are allowed only in package main, never in tests",
-	Run:  runExitCheck,
+	Name:     "exitcheck",
+	Doc:      "os.Exit and log.Fatal* are allowed only in package main, never in tests",
+	Severity: analysis.SevError,
+	Run:      runExitCheck,
 }
 
-// terminators maps package ident -> function names that end the process.
+// terminators maps import path -> function names that end the process.
 var terminators = map[string]map[string]bool{
 	"os":  {"Exit": true},
 	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
 }
 
 func runExitCheck(p *Pass) {
-	if p.PkgName == "main" && !p.IsTest {
-		return
-	}
-	ast.Inspect(p.File, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+	for i, f := range p.Files {
+		isTest := p.IsTestFile(i)
+		if p.PkgName == "main" && !isTest {
+			continue
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		// A selector on a local variable named os/log is not the
-		// package; without type information this stays a heuristic,
-		// which is fine for this repository's conventions.
-		if fns, ok := terminators[pkg.Name]; ok && fns[sel.Sel.Name] {
-			where := "package " + p.PkgName
-			if p.IsTest {
-				where = "test file"
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
 			}
-			p.Reportf(call, "%s.%s in %s terminates the process; return an error instead", pkg.Name, sel.Sel.Name, where)
-		}
-		return true
-	})
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path := p.ImportPathOf(f, pkg)
+			if fns, ok := terminators[path]; ok && fns[sel.Sel.Name] {
+				where := "package " + p.PkgName
+				if isTest {
+					where = "test file"
+				}
+				p.Reportf(call, "%s.%s in %s terminates the process; return an error instead", pkg.Name, sel.Sel.Name, where)
+			}
+			return true
+		})
+	}
 }

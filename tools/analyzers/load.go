@@ -1,0 +1,235 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// unit is one type-checked group of files: a package's normal +
+// in-package test files, or its external _test package.
+type unit struct {
+	Dir        string
+	ImportPath string
+	PkgName    string
+	Files      []*ast.File
+	Filenames  []string
+	Info       *types.Info
+}
+
+// loader parses and type-checks packages without the go command or any
+// third-party module: stdlib imports resolve under GOROOT/src, module
+// imports under the enclosing go.mod, and anything else is tolerated as
+// an unresolved import. Type errors never abort analysis — analyzers
+// see whatever information was recovered and treat the rest as unknown.
+type loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	moduleName string
+	cache      map[string]*types.Package
+	checking   map[string]bool
+}
+
+func newLoader(fset *token.FileSet, startDir string) (*loader, error) {
+	root, name, err := findModule(startDir)
+	if err != nil {
+		return nil, err
+	}
+	return &loader{
+		fset:       fset,
+		moduleRoot: root,
+		moduleName: name,
+		cache:      map[string]*types.Package{},
+		checking:   map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, name string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module line", filepath.Join(d, "go.mod"))
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod above %s", abs)
+		}
+	}
+}
+
+// relPath returns path relative to the module root, slash-separated —
+// the stable form used in baselines and JSON output.
+func (l *loader) relPath(path string) string {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return filepath.ToSlash(path)
+	}
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// importPathOfDir maps a directory inside the module to its import path.
+func (l *loader) importPathOfDir(dir string) string {
+	rel := l.relPath(dir)
+	if rel == "." {
+		return l.moduleName
+	}
+	return l.moduleName + "/" + rel
+}
+
+// dirOfImport resolves an import path to a source directory, or "".
+func (l *loader) dirOfImport(path string) string {
+	if path == l.moduleName {
+		return l.moduleRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.moduleName+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest))
+	}
+	dir := filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+	if info, err := os.Stat(dir); err == nil && info.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Import implements types.Importer by type-checking the imported
+// package from source (cached). Unresolvable imports return an error,
+// which the tolerant checker records and moves past.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	dir := l.dirOfImport(path)
+	if dir == "" {
+		return nil, fmt.Errorf("cannot resolve import %q", path)
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no parseable files in %s", dir)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+	conf := types.Config{
+		Importer:    l,
+		Error:       func(error) {}, // tolerate: incomplete beats absent
+		FakeImportC: true,
+	}
+	pkg, _ := conf.Check(path, l.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %s produced nothing", path)
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// loadDir parses and type-checks one directory into up to two units:
+// the package (normal + in-package test files) and the external _test
+// package. Directories without Go files yield no units and no error.
+func (l *loader) loadDir(dir string) ([]*unit, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		// A directory whose files all fail constraints still gets a
+		// MultiplePackageError or similar; surface it.
+		if _, ok := err.(*build.MultiplePackageError); !ok {
+			return nil, err
+		}
+	}
+	var units []*unit
+	base := append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...)
+	if u := l.checkUnit(dir, l.importPathOfDir(dir), base); u != nil {
+		units = append(units, u)
+	}
+	if u := l.checkUnit(dir, l.importPathOfDir(dir)+"_test", bp.XTestGoFiles); u != nil {
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// loadFiles type-checks an explicit file list as a single unit (used by
+// the testdata corpus runner, where files live under testdata/ and are
+// invisible to directory expansion).
+func (l *loader) loadFiles(importPath string, filenames []string) *unit {
+	return l.checkUnit("", importPath, filenames)
+}
+
+func (l *loader) checkUnit(dir, importPath string, names []string) *unit {
+	sort.Strings(names)
+	var files []*ast.File
+	var filenames []string
+	for _, name := range names {
+		path := name
+		if dir != "" {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil || f == nil {
+			continue
+		}
+		files = append(files, f)
+		filenames = append(filenames, path)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		Error:       func(error) {},
+		FakeImportC: true,
+	}
+	conf.Check(importPath, l.fset, files, info)
+	return &unit{
+		Dir:        dir,
+		ImportPath: importPath,
+		PkgName:    files[0].Name.Name,
+		Files:      files,
+		Filenames:  filenames,
+		Info:       info,
+	}
+}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"go/parser"
 	"go/token"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -12,45 +14,187 @@ import (
 	"strings"
 )
 
+// Exit codes, matching `larcsc vet`.
+const (
+	exitOK       = 0
+	exitFindings = 1
+	exitUsage    = 2
+)
+
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: analyzers [dir|dir/...]...\nruns:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole driver, separated from main for exit-code tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("oregami-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: oregami-lint [flags] [dir|dir/...]...\nanalyzers:\n")
 		for _, a := range analyzers {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-10s %s: %s\n", a.Name, a.Severity, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array (stable order)")
+	baselinePath := fs.String("baseline", "", "baseline file: matching findings are accepted, stale entries reported")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	active := analyzers
+	if *only != "" {
+		active = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := analyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "oregami-lint: unknown analyzer %q\n", name)
+				return exitUsage
+			}
+			active = append(active, a)
 		}
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	files, err := expand(patterns)
+	dirs, err := expand(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analyzers:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "oregami-lint:", err)
+		return exitUsage
 	}
-	diags, err := analyzeFiles(files)
+	fset := token.NewFileSet()
+	l, err := newLoader(fset, ".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analyzers:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "oregami-lint:", err)
+		return exitUsage
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	var diags []Diagnostic
+	analyzed := map[string]bool{} // module-relative files seen, for stale detection
+	for _, dir := range dirs {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "oregami-lint:", err)
+			return exitUsage
+		}
+		for _, u := range units {
+			for _, name := range u.Filenames {
+				analyzed[l.relPath(name)] = true
+			}
+			diags = append(diags, runAnalyzers(active, fset, u)...)
+		}
+	}
+	// Normalize filenames to module-root-relative form: the shape the
+	// baseline stores and the JSON artifact publishes.
+	for i := range diags {
+		diags[i].Pos.Filename = l.relPath(diags[i].Pos.Filename)
+	}
+	sortDiagnostics(diags)
+
+	if *writeBaseline != "" {
+		prior, _ := LoadBaseline(*writeBaseline) // best effort: keep old justifications
+		if err := WriteBaseline(*writeBaseline, diags, prior); err != nil {
+			fmt.Fprintln(stderr, "oregami-lint:", err)
+			return exitUsage
+		}
+		fmt.Fprintf(stderr, "oregami-lint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return exitOK
+	}
+
+	var stale []BaselineEntry
+	if *baselinePath != "" {
+		b, err := LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "oregami-lint:", err)
+			return exitUsage
+		}
+		diags, stale = b.Apply(diags, analyzed)
+	}
+	if *asJSON {
+		out, err := renderJSON(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "oregami-lint:", err)
+			return exitUsage
+		}
+		stdout.Write(out)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "oregami-lint: stale baseline entry (finding no longer occurs): %s %s %q — delete it or run make lint-baseline\n",
+			e.Code, e.File, e.Message)
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return exitFindings
 	}
+	return exitOK
 }
 
-// expand resolves "dir" and "dir/..." patterns to .go files, skipping
-// testdata, vendor, and hidden directories.
+// runAnalyzers applies each analyzer to one unit and returns findings.
+func runAnalyzers(active []*Analyzer, fset *token.FileSet, u *unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range active {
+		pass := &Pass{
+			Fset:       fset,
+			Files:      u.Files,
+			Filenames:  u.Filenames,
+			PkgName:    u.PkgName,
+			ImportPath: u.ImportPath,
+			Info:       u.Info,
+			analyzer:   a,
+			sink:       &diags,
+		}
+		a.Run(pass)
+	}
+	return diags
+}
+
+// jsonDiag matches internal/analysis's wire shape for one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+}
+
+// renderJSON emits findings as an indented JSON array in sorted order;
+// field order and sorting are fixed, so output is stable.
+func renderJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Severity: d.Severity.String(),
+			Code:     d.Code,
+			Message:  d.Message,
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// expand resolves "dir" and "dir/..." patterns to the set of
+// directories to analyze, skipping testdata, vendor, and hidden
+// directories.
 func expand(patterns []string) ([]string, error) {
 	seen := map[string]bool{}
 	var out []string
-	add := func(path string) {
-		if !seen[path] {
-			seen[path] = true
-			out = append(out, path)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
 		}
 	}
 	for _, pat := range patterns {
@@ -59,7 +203,7 @@ func expand(patterns []string) ([]string, error) {
 		if strings.HasSuffix(pat, "/...") {
 			recursive = true
 			dir = strings.TrimSuffix(pat, "/...")
-			if dir == "." || dir == "" {
+			if dir == "" {
 				dir = "."
 			}
 		}
@@ -68,6 +212,9 @@ func expand(patterns []string) ([]string, error) {
 			return nil, err
 		}
 		if !info.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory; pass package directories", dir)
+		}
+		if !recursive {
 			add(dir)
 			continue
 		}
@@ -75,20 +222,15 @@ func expand(patterns []string) ([]string, error) {
 			if err != nil {
 				return err
 			}
-			if d.IsDir() {
-				name := d.Name()
-				if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
-					name == "testdata" || name == "vendor") {
-					return filepath.SkipDir
-				}
-				if path != dir && !recursive {
-					return filepath.SkipDir
-				}
+			if !d.IsDir() {
 				return nil
 			}
-			if strings.HasSuffix(path, ".go") {
-				add(path)
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
 			}
+			add(path)
 			return nil
 		})
 		if err != nil {
@@ -97,40 +239,4 @@ func expand(patterns []string) ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
-}
-
-// analyzeFiles parses each file and runs every registered analyzer on
-// it, returning diagnostics sorted by position.
-func analyzeFiles(files []string) ([]Diagnostic, error) {
-	fset := token.NewFileSet()
-	var diags []Diagnostic
-	for _, file := range files {
-		f, err := parser.ParseFile(fset, file, nil, parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Fset:     fset,
-				Filename: file,
-				File:     f,
-				PkgName:  f.Name.Name,
-				IsTest:   strings.HasSuffix(file, "_test.go"),
-				analyzer: a,
-				sink:     &diags,
-			}
-			a.Run(pass)
-		}
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Analyzer < b.Analyzer
-	})
-	return diags, nil
 }

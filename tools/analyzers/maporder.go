@@ -1,0 +1,399 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"oregami/internal/analysis"
+)
+
+// mapOrderAnalyzer flags `range` loops over maps whose iteration order
+// can reach a result: appends that are never sorted, string or float
+// accumulation, channel sends, writes to output, returning or picking
+// an arbitrary element. Go randomizes map iteration per run, so any of
+// these makes output differ between executions — the exact class of the
+// PR-5 canned-ring bug, where the cycle orientation of a detected ring
+// family followed map order and changed the canonical mapping between
+// runs.
+//
+// Recognized-deterministic patterns stay silent: writing into another
+// map, commutative integer accumulation, min/max reductions whose guard
+// compares the candidate against the current best, and key collection
+// that is sorted afterwards in the same function.
+var mapOrderAnalyzer = &Analyzer{
+	Name:     "maporder",
+	Doc:      "map iteration order must not reach a result, sort order, output, or fingerprint",
+	Severity: analysis.SevError,
+	Run:      runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for i, f := range p.Files {
+		if p.IsTestFile(i) {
+			continue // tests assert properties; their own order sensitivity is theirs to own
+		}
+		// Walk with a stack of enclosing function bodies so "sorted
+		// later" can look at statements after the loop.
+		var funcStack []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					funcStack = append(funcStack, x.Body)
+					ast.Inspect(x.Body, walk)
+					funcStack = funcStack[:len(funcStack)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				funcStack = append(funcStack, x.Body)
+				ast.Inspect(x.Body, walk)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				if p.isMapRange(x) && len(funcStack) > 0 {
+					p.checkMapRange(x, funcStack[len(funcStack)-1])
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// isMapRange reports whether the range expression is map-typed. Without
+// type information the analyzer stays silent — unknown never produces a
+// diagnostic.
+func (p *Pass) isMapRange(r *ast.RangeStmt) bool {
+	t := p.TypeOf(r.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// loopVars collects the loop variable idents of a range statement.
+func loopVars(r *ast.RangeStmt) map[string]bool {
+	vars := map[string]bool{}
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			vars[id.Name] = true
+		}
+	}
+	return vars
+}
+
+// checkMapRange inspects one map-range loop for order-sensitive sinks.
+func (p *Pass) checkMapRange(r *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	vars := loopVars(r)
+	if len(vars) == 0 {
+		return // `for range m` bodies cannot observe the order
+	}
+	escapes := hasEscape(r.Body)
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // a closure runs later; out of scope here
+		case *ast.AssignStmt:
+			p.checkMapRangeAssign(r, x, vars, funcBody, escapes)
+		case *ast.SendStmt:
+			if usesAny(x.Value, vars) {
+				p.Reportf(x, "map element sent on a channel in iteration order; collect and sort first")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				// Returning an error built from map contents is the
+				// validation idiom: any one violation aborts, and which
+				// violation is named does not change the outcome.
+				if usesAny(res, vars) && !p.isErrorTyped(res) {
+					p.Reportf(x, "returns an arbitrary map element (first in iteration order); take the minimum or sort the keys")
+					break
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := sinkCall(x); ok && argsUseAny(x.Args, vars) {
+				p.Reportf(x, "map element passed to %s in iteration order; collect and sort first", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign judges one assignment inside a map-range body.
+func (p *Pass) checkMapRangeAssign(r *ast.RangeStmt, a *ast.AssignStmt, vars map[string]bool, funcBody *ast.BlockStmt, escapes bool) {
+	for i, lhs := range a.Lhs {
+		var rhs ast.Expr
+		switch {
+		case len(a.Rhs) == len(a.Lhs):
+			rhs = a.Rhs[i]
+		case len(a.Rhs) == 1:
+			rhs = a.Rhs[0]
+		default:
+			continue
+		}
+		// Writes keyed by a loop variable land at a deterministic place
+		// regardless of visit order: m2[k] = v, arr[k] = v.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && usesAny(ix.Index, vars) {
+			continue
+		}
+		target, ok := lhs.(*ast.Ident)
+		if !ok || target.Name == "_" {
+			continue
+		}
+		if p.declaredWithin(target, r.Body) {
+			continue // per-iteration local; order cannot escape through it
+		}
+		// append(target, ...loop var...): order-sensitive unless the
+		// slice is sorted after the loop in the same function.
+		if call, ok := rhs.(*ast.CallExpr); ok && calleeName(call) == "append" && argsUseAny(call.Args, vars) {
+			if !sortedAfter(funcBody, r, target.Name) {
+				p.Reportf(a, "map elements appended to %q in iteration order and never sorted; sort %q after the loop or iterate sorted keys", target.Name, target.Name)
+			}
+			continue
+		}
+		if !usesAny(rhs, vars) {
+			continue
+		}
+		// Accumulation forms: commutative on integers (safe), order
+		// sensitive on floats (rounding) and strings (concatenation).
+		if a.Tok == token.ADD_ASSIGN || a.Tok == token.OR_ASSIGN ||
+			a.Tok == token.AND_ASSIGN || a.Tok == token.XOR_ASSIGN ||
+			isSelfCommutative(a.Tok, target, rhs) {
+			if b, ok := basicOf(p.TypeOf(lhs)); ok {
+				switch {
+				case b.Info()&types.IsFloat != 0:
+					p.Reportf(a, "floating-point accumulation over map %s order is not associative; iterate sorted keys", rangeExprString(r))
+				case b.Info()&types.IsString != 0:
+					p.Reportf(a, "string built up in map iteration order; collect and sort first")
+				}
+			}
+			continue
+		}
+		// A guarded min/max reduction compares the candidate against the
+		// current best; that tie-breaks deterministically.
+		if guardComparesTarget(r.Body, a, target.Name) && !escapes {
+			continue
+		}
+		p.Reportf(a, "assignment of a map-order-dependent value to %q picks an arbitrary element; take the minimum instead", target.Name)
+	}
+}
+
+// declaredWithin reports whether the ident's declaration lies inside
+// the node span (so it is a per-iteration local). Unknown objects are
+// treated as outer, erring toward reporting.
+func (p *Pass) declaredWithin(id *ast.Ident, n ast.Node) bool {
+	if p.Info == nil {
+		return false
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= n.Pos() && obj.Pos() <= n.End()
+}
+
+// hasEscape reports whether the loop body can exit early at this
+// nesting level — break, or return anywhere — which turns a guarded
+// assignment into a first-match pick.
+func hasEscape(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // break binds elsewhere; returns in closures run later
+		case *ast.BranchStmt:
+			if x.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	if found {
+		return true
+	}
+	// A return inside a nested loop still exits the function.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// guardComparesTarget reports whether some if-condition between the
+// loop body root and the assignment orders the target against another
+// value (<, >, <=, >=), the shape of a deterministic reduction like
+// `if u < best { best = u }`.
+func guardComparesTarget(body *ast.BlockStmt, a *ast.AssignStmt, target string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if a.Pos() < ifs.Body.Pos() || a.End() > ifs.Body.End() {
+			return true
+		}
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if b, ok := c.(*ast.BinaryExpr); ok {
+				switch b.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+					if exprMentions(b.X, target) || exprMentions(b.Y, target) {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}
+
+// sortedAfter reports whether, after the loop, the function calls a
+// sorting routine (sort.*, slices.Sort*, par.Sort) with the named
+// slice among its arguments.
+func sortedAfter(funcBody *ast.BlockStmt, r *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < r.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		sorting := pkg.Name == "sort" || pkg.Name == "slices" ||
+			(pkg.Name == "par" && sel.Sel.Name == "Sort")
+		if !sorting {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(arg, name) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sinkCall recognizes calls that emit data in call order: printing,
+// writing, and hashing.
+func sinkCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln",
+		"Write", "WriteString", "WriteByte", "WriteRune", "Sum":
+		if pkg, ok := sel.X.(*ast.Ident); ok {
+			return pkg.Name + "." + sel.Sel.Name, true
+		}
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// calleeName returns the name of a plain-ident callee ("append",
+// "delete", ...), or "".
+func calleeName(call *ast.CallExpr) string {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isSelfCommutative recognizes x = x + e / x = e + x (plain-token
+// spelling of +=).
+func isSelfCommutative(tok token.Token, target *ast.Ident, rhs ast.Expr) bool {
+	if tok != token.ASSIGN {
+		return false
+	}
+	b, ok := rhs.(*ast.BinaryExpr)
+	if !ok || (b.Op != token.ADD && b.Op != token.OR && b.Op != token.AND && b.Op != token.XOR) {
+		return false
+	}
+	return exprIsIdent(b.X, target.Name) || exprIsIdent(b.Y, target.Name)
+}
+
+// errIface is the universal error interface, for isErrorTyped.
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorTyped reports whether the expression's type implements error.
+// Unknown types do not.
+func (p *Pass) isErrorTyped(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	return t != nil && types.Implements(t, errIface)
+}
+
+// basicOf unwraps a type to its basic underlying form.
+func basicOf(t types.Type) (*types.Basic, bool) {
+	if t == nil {
+		return nil, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return b, ok
+}
+
+func exprIsIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// usesAny reports whether the expression mentions any of the names.
+func usesAny(e ast.Expr, names map[string]bool) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func argsUseAny(args []ast.Expr, names map[string]bool) bool {
+	for _, a := range args {
+		if usesAny(a, names) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprMentions(e ast.Expr, name string) bool {
+	return usesAny(e, map[string]bool{name: true})
+}
+
+// rangeExprString renders the ranged expression compactly for messages.
+func rangeExprString(r *ast.RangeStmt) string {
+	switch x := r.X.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return id.Name + "." + x.Sel.Name
+		}
+	}
+	return "expression"
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+
+	"oregami/internal/analysis"
+)
+
+// nonDetSrcAnalyzer keeps nondeterminism sources out of the mapping
+// pipeline. The pipeline's contract is bit-reproducibility: the same
+// compiled program and network must fingerprint identically on every
+// run (the differential tests and mapd's content-addressed cache both
+// depend on it). Wall-clock reads and unseeded global randomness break
+// that silently, so inside the pipeline packages they are flagged;
+// explicitly seeded rand.New(rand.NewSource(seed)) stays legal.
+var nonDetSrcAnalyzer = &Analyzer{
+	Name:     "nondetsrc",
+	Doc:      "time.Now / unseeded math/rand must not be reachable from the deterministic mapping pipeline",
+	Severity: analysis.SevError,
+	Run:      runNonDetSrc,
+}
+
+// pipelinePackages are the import paths whose results must be
+// bit-reproducible: everything between a compiled program and a
+// finished mapping, plus the worker pool those stages run on.
+var pipelinePackages = []string{
+	"oregami/internal/core",
+	"oregami/internal/contract",
+	"oregami/internal/route",
+	"oregami/internal/metrics",
+	"oregami/internal/graph",
+	"oregami/internal/matching",
+	"oregami/internal/embed",
+	"oregami/internal/canned",
+	"oregami/internal/phase",
+	"oregami/internal/par",
+}
+
+// inPipeline reports whether the import path is a deterministic
+// pipeline package (the "_test" external package of one counts too,
+// but test files themselves are skipped by the runner).
+func inPipeline(importPath string) bool {
+	path := strings.TrimSuffix(importPath, "_test")
+	for _, p := range pipelinePackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClock are time-package functions that read the wall clock.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededOnly are the math/rand names that remain legal in the pipeline:
+// constructing an explicitly seeded generator.
+var seededOnly = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewZipf": true}
+
+func runNonDetSrc(p *Pass) {
+	if !inPipeline(p.ImportPath) {
+		return
+	}
+	for i, f := range p.Files {
+		if p.IsTestFile(i) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch p.ImportPathOf(f, pkg) {
+			case "time":
+				if wallClock[sel.Sel.Name] {
+					p.Reportf(sel, "time.%s reads the wall clock inside the deterministic mapping pipeline; results must be bit-reproducible — thread a value in from the caller", sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededOnly[sel.Sel.Name] {
+					p.Reportf(sel, "%s.%s draws from the shared unseeded generator inside the deterministic mapping pipeline; use rand.New(rand.NewSource(seed)) threaded from the caller", pkg.Name, sel.Sel.Name)
+				}
+			case "crypto/rand":
+				p.Reportf(sel, "crypto/rand is nondeterministic by design and must not be reachable from the mapping pipeline")
+			}
+			return true
+		})
+	}
+}

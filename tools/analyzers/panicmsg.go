@@ -2,9 +2,12 @@ package main
 
 import (
 	"go/ast"
+	"go/token"
 	"regexp"
 	"strconv"
 	"strings"
+
+	"oregami/internal/analysis"
 )
 
 // panicMsgAnalyzer enforces the repository's panic convention: outside
@@ -16,42 +19,46 @@ import (
 // messages are rejected; wrap them with fmt.Sprintf and a prefix, or
 // return an error instead.
 var panicMsgAnalyzer = &Analyzer{
-	Name: "panicmsg",
-	Doc:  `non-test panics must take a constant string (or fmt.Sprintf of one) prefixed "pkg: "`,
-	Run:  runPanicMsg,
+	Name:     "panicmsg",
+	Doc:      `non-test panics must take a constant string (or fmt.Sprintf of one) prefixed "pkg: "`,
+	Severity: analysis.SevError,
+	Run:      runPanicMsg,
 }
 
 var panicPrefix = regexp.MustCompile(`^[a-z][a-z0-9/]*: `)
 
 func runPanicMsg(p *Pass) {
-	if p.IsTest {
-		return
+	for i, f := range p.Files {
+		if p.IsTestFile(i) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			if msg, ok := constantLead(call.Args[0]); !ok {
+				p.Reportf(call, "panic argument is not a constant message; use panic(fmt.Sprintf(\"pkg: ...\", ...)) or return an error")
+			} else if !panicPrefix.MatchString(msg) {
+				p.Reportf(call, "panic message %q lacks a lowercase \"pkg: \" prefix", msg)
+			}
+			return true
+		})
 	}
-	ast.Inspect(p.File, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn, ok := call.Fun.(*ast.Ident)
-		if !ok || fn.Name != "panic" || len(call.Args) != 1 {
-			return true
-		}
-		if msg, ok := panicMessage(call.Args[0]); !ok {
-			p.Reportf(call, "panic argument is not a constant message; use panic(fmt.Sprintf(\"pkg: ...\", ...)) or return an error")
-		} else if !panicPrefix.MatchString(msg) {
-			p.Reportf(call, "panic message %q lacks a lowercase \"pkg: \" prefix", msg)
-		}
-		return true
-	})
 }
 
-// panicMessage extracts the constant leading text of a panic argument:
-// a string literal, a fmt.Sprintf / fmt.Errorf whose format is a
-// literal, or a "+" concatenation whose leftmost operand is a literal.
-func panicMessage(e ast.Expr) (string, bool) {
+// constantLead extracts the constant leading text of a message
+// argument: a string literal, a fmt.Sprintf / fmt.Errorf / errors.New
+// whose first argument is (or leads with) a literal, or a "+"
+// concatenation whose leftmost operand is a literal.
+func constantLead(e ast.Expr) (string, bool) {
 	switch x := e.(type) {
 	case *ast.BasicLit:
-		if x.Kind.String() != "STRING" {
+		if x.Kind != token.STRING {
 			return "", false
 		}
 		s, err := strconv.Unquote(x.Value)
@@ -60,10 +67,10 @@ func panicMessage(e ast.Expr) (string, bool) {
 		}
 		return s, true
 	case *ast.BinaryExpr:
-		if x.Op.String() != "+" {
+		if x.Op != token.ADD {
 			return "", false
 		}
-		return panicMessage(x.X)
+		return constantLead(x.X)
 	case *ast.CallExpr:
 		sel, ok := x.Fun.(*ast.SelectorExpr)
 		if !ok {
@@ -79,7 +86,7 @@ func panicMessage(e ast.Expr) (string, bool) {
 		if len(x.Args) == 0 {
 			return "", false
 		}
-		return panicMessage(x.Args[0])
+		return constantLead(x.Args[0])
 	}
 	return "", false
 }

@@ -1,0 +1,24 @@
+// Package corpus exercises the bareconc analyzer: goroutines and
+// channel construction outside internal/par are flagged; plain
+// synchronization primitives are not.
+package corpus
+
+import "sync"
+
+func fanOut(items []int) {
+	ch := make(chan int, len(items)) // want "channel construction outside internal/par"
+	for _, it := range items {
+		go func(v int) { ch <- v }(it) // want "bare goroutine outside internal/par"
+	}
+}
+
+func serial(items []int) int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	return total
+}

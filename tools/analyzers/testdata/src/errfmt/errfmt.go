@@ -1,0 +1,43 @@
+// Package corpus exercises the errfmt analyzer: library errors need a
+// lowercase "pkg: " prefix, wrapping with a leading %w is accepted, and
+// keyed Diag literals must set Pos and Code.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Diag mirrors the shape of internal/analysis.Diag for the literal check.
+type Diag struct {
+	Pos     string
+	Code    string
+	Message string
+}
+
+var errBare = errors.New("something broke") // want "lacks a lowercase"
+
+var errGood = errors.New("corpus: something broke")
+
+func wrap(err error) error {
+	return fmt.Errorf("%w: while wrapping", err)
+}
+
+func verbLead(n int) error {
+	return fmt.Errorf("%d items missing", n) // want "starts with a format verb"
+}
+
+func prefixed(err error) error {
+	return fmt.Errorf("corpus: %w", err)
+}
+
+func diagnostics(msg string) []Diag {
+	bad := Diag{Message: msg} // want "without Pos" "without Code"
+	good := Diag{Pos: "x.go:1:1", Code: "X000", Message: msg}
+	return []Diag{bad, good}
+}
+
+func unused() {
+	_ = errBare
+	_ = errGood
+}

@@ -1,0 +1,16 @@
+// Package corpus exercises the exitcheck analyzer: process-terminating
+// calls are forbidden outside package main.
+package corpus
+
+import (
+	"log"
+	"os"
+)
+
+func die() {
+	os.Exit(1) // want "terminates the process"
+}
+
+func fatal(err error) {
+	log.Fatalf("corpus: %v", err) // want "terminates the process"
+}

@@ -1,0 +1,9 @@
+// Package main shows the exitcheck exemption: commands own the process
+// and may terminate it, so nothing here is flagged.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(0)
+}

@@ -1,0 +1,11 @@
+package corpus
+
+// coldAlloc allocates in a loop, but this file carries no //oregami:hot
+// marker, so hotalloc must not report anything here.
+func coldAlloc(items []int) []map[int]bool {
+	var out []map[int]bool
+	for range items {
+		out = append(out, make(map[int]bool))
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+//oregami:hot
+
+// Package corpus exercises the hotalloc analyzer: this file carries the
+// hot marker, so in-loop allocations are flagged; cold.go has no marker
+// and must stay silent.
+package corpus
+
+import "fmt"
+
+func sink(v interface{}) { _ = v }
+
+func perItem(items []int) []string {
+	var out []string
+	for _, it := range items {
+		m := make(map[int]bool) // want "map allocated inside a loop"
+		_ = m
+		buf := make([]int, it) // want "slice allocated inside a loop"
+		_ = buf
+		out = append(out, fmt.Sprintf("%d", it)) // want "fmt.Sprintf inside a loop"
+		sink(it)                                 // want "boxed into interface parameter"
+	}
+	return out
+}
+
+func closures(items []int) {
+	for range items {
+		f := func() {} // want "closure allocated inside a loop"
+		f()
+	}
+}
+
+func concat(items []string) string {
+	s := ""
+	for _, it := range items {
+		s = s + it // want "string concatenation inside a loop"
+	}
+	return s
+}
+
+func hoisted(items []int) map[int]bool {
+	m := make(map[int]bool, len(items))
+	for _, it := range items {
+		m[it] = true
+	}
+	return m
+}

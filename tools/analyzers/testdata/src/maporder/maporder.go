@@ -1,0 +1,158 @@
+// Package corpus exercises the maporder analyzer. Lines carrying a
+// `want` comment must produce the matching diagnostic; every other line
+// must stay silent.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringOrientation reconstructs the PR-5 canned-ring bug exactly: walking
+// a ring by taking whichever neighbor map iteration yields first lets
+// the cycle orientation follow map order, so the canonical labeling
+// flips between runs. maporder must flag the arbitrary pick.
+func ringOrientation(adj []map[int]bool) []int {
+	canon := make([]int, len(adj))
+	prev, cur := 0, 1
+	for i := 1; i < len(adj); i++ {
+		canon[cur] = i
+		next := -1
+		for u := range adj[cur] {
+			if u != prev {
+				next = u // want "picks an arbitrary element"
+				break
+			}
+		}
+		prev, cur = cur, next
+	}
+	return canon
+}
+
+// ringOrientationFixed is the PR-5 repair: scanning for the smallest
+// eligible neighbor is a guarded min reduction, which is deterministic.
+func ringOrientationFixed(adj []map[int]bool) []int {
+	canon := make([]int, len(adj))
+	prev, cur := 0, 1
+	for i := 1; i < len(adj); i++ {
+		canon[cur] = i
+		next := -1
+		for u := range adj[cur] {
+			if u != prev && (next == -1 || u < next) {
+				next = u
+			}
+		}
+		prev, cur = cur, next
+	}
+	return canon
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "appended to .out. in iteration order"
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func totalWeight(w map[int]float64) float64 {
+	var total float64
+	for _, v := range w {
+		total += v // want "floating-point accumulation"
+	}
+	return total
+}
+
+func countEdges(w map[int]int) int {
+	n := 0
+	for _, v := range w {
+		n += v
+	}
+	return n
+}
+
+func invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func streamKeys(m map[int]bool, ch chan int) {
+	for k := range m {
+		ch <- k // want "sent on a channel in iteration order"
+	}
+}
+
+func anyKey(m map[int]bool) int {
+	for k := range m {
+		return k // want "returns an arbitrary map element"
+	}
+	return -1
+}
+
+// firstViolation returns an error built from map contents: the
+// validation idiom. Any one violation aborts, so this is accepted.
+func firstViolation(m map[int]bool) error {
+	for k := range m {
+		if !m[k] {
+			return fmt.Errorf("corpus: bad key %d", k)
+		}
+	}
+	return nil
+}
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "passed to fmt.Println in iteration order"
+	}
+}
+
+func join(m map[string]bool) string {
+	s := ""
+	for k := range m {
+		s += k // want "string built up in map iteration order"
+	}
+	return s
+}
+
+func minKey(m map[int]bool) int {
+	best := 1 << 30
+	for k := range m {
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// firstMatch breaks out on an unordered predicate, a first-match pick.
+func firstMatch(m map[int]bool) int {
+	found := -1
+	for k := range m {
+		if k < 100 {
+			found = k // want "picks an arbitrary element"
+			break
+		}
+	}
+	return found
+}
+
+func squares(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		sq := v * v
+		out[k] = sq
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package corpus exercises the nondetsrc analyzer. The corpus runner
+// loads it under a pipeline import path, so wall-clock and unseeded
+// randomness must be flagged while explicit seeding stays legal.
+package corpus
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func noisy() int {
+	return rand.Intn(10) // want "draws from the shared unseeded generator"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func entropy(buf []byte) {
+	crand.Read(buf) // want "crypto/rand is nondeterministic"
+}

@@ -1,0 +1,23 @@
+// Package corpus exercises the panicmsg analyzer: panics must carry a
+// constant message with a lowercase "pkg: " prefix.
+package corpus
+
+import "fmt"
+
+func checkIndex(i, n int) {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("corpus: index %d out of range %d", i, n))
+	}
+}
+
+func badRaw(err error) {
+	panic(err) // want "not a constant message"
+}
+
+func badBare() {
+	panic("something is wrong") // want "lacks a lowercase"
+}
+
+func concatOK(detail string) {
+	panic("corpus: " + detail)
+}

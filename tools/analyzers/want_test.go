@@ -1,0 +1,137 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// corpusImportPath overrides the import path a corpus directory is
+// loaded under, for analyzers that only fire inside particular packages.
+// The default is oregami/internal/corpus/<dir>.
+var corpusImportPath = map[string]string{
+	"nondetsrc": "oregami/internal/core", // must be a pipeline package
+}
+
+// TestCorpus runs every analyzer over its golden corpus directory under
+// testdata/src/<name>[_variant]/: each `// want "regex"` comment must be
+// matched by a diagnostic on its line, and any diagnostic without a
+// matching want fails. Analyzers without a corpus directory fail too —
+// every shipped analyzer carries golden coverage.
+func TestCorpus(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := e.Name()
+		name := strings.SplitN(dir, "_", 2)[0]
+		a := analyzerByName(name)
+		if a == nil {
+			t.Errorf("testdata/src/%s: no analyzer named %q", dir, name)
+			continue
+		}
+		covered[name] = true
+		t.Run(dir, func(t *testing.T) {
+			runCorpusDir(t, a, dir)
+		})
+	}
+	for _, a := range analyzers {
+		if !covered[a.Name] {
+			t.Errorf("analyzer %s has no corpus directory under testdata/src", a.Name)
+		}
+	}
+}
+
+func runCorpusDir(t *testing.T, a *Analyzer, dir string) {
+	glob := filepath.Join("testdata", "src", dir, "*.go")
+	files, err := filepath.Glob(glob)
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files match %s", glob)
+	}
+	importPath, ok := corpusImportPath[dir]
+	if !ok {
+		importPath = "oregami/internal/corpus/" + dir
+	}
+	fset := token.NewFileSet()
+	l, err := newLoader(fset, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := l.loadFiles(importPath, files)
+	if u == nil {
+		t.Fatalf("corpus %s did not parse", dir)
+	}
+	diags := runAnalyzers([]*Analyzer{a}, fset, u)
+	sortDiagnostics(diags)
+
+	wants := collectWants(t, fset, u.Files)
+	for _, d := range diags {
+		key := posKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			if w != nil {
+				t.Errorf("%s:%d: want %q matched no diagnostic", key.file, key.line, w)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// wantComment extracts the quoted regexes of one `// want "..." "..."`
+// comment.
+var wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// collectWants gathers want expectations keyed by (file, line).
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*regexp.Regexp {
+	wants := map[posKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantQuoted.FindAllString(rest, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s", pos.Filename, pos.Line, q)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					key := posKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
