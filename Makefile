@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz lint lint-baseline check bench cover smoke-serve bench-serve chaos
+.PHONY: build test vet race fuzz lint lint-baseline check alloc bench bench-parallel cover smoke-serve bench-serve chaos
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,7 @@ fuzz:
 	$(GO) test -run=FuzzRepair -fuzz=FuzzRepair -fuzztime=$(FUZZTIME) ./internal/fault/
 	$(GO) test -run=FuzzLaRCSParse -fuzz=FuzzLaRCSParse -fuzztime=$(FUZZTIME) ./internal/larcs/
 	$(GO) test -run=FuzzVerifyMapping -fuzz=FuzzVerifyMapping -fuzztime=$(FUZZTIME) ./internal/check/
+	$(GO) test -run=FuzzCSRRoundTrip -fuzz=FuzzCSRRoundTrip -fuzztime=$(FUZZTIME) ./internal/graph/
 
 # Static analysis: formatting, go vet, and oregami-lint
 # (tools/analyzers) against the checked-in baseline — pre-existing
@@ -37,8 +38,16 @@ lint: vet
 lint-baseline:
 	$(GO) run ./tools/analyzers -write-baseline $(LINT_BASELINE) ./...
 
-# The CI gate: static checks plus the full suite under the race detector.
-check: lint race
+# Allocation-budget gates (alloc_test.go): hot-path allocs/op ceilings
+# over the parallel-bench workload. A separate non-race pass — the gates
+# skip themselves under the race detector, whose instrumentation
+# allocates. See docs/TESTING.md.
+alloc:
+	$(GO) test -count=1 -run='TestAllocBudget' .
+
+# The CI gate: static checks, the full suite under the race detector,
+# and the allocation budgets.
+check: lint race alloc
 
 # Run the root-package benchmarks and archive them as machine-readable
 # JSON (tools/benchjson). BENCHTIME=1x keeps the default pass quick;
@@ -51,12 +60,18 @@ bench:
 
 # Sequential-vs-parallel pipeline benchmark (docs/PARALLEL.md): the
 # workers=N sub-benchmarks carry a "speedup" metric against workers=1.
-# Meaningful numbers need a multicore machine (CI) — at GOMAXPROCS=1
-# the speedup is honestly ~1x.
+# Meaningful speedups need a multicore machine (CI) — at GOMAXPROCS=1
+# the speedup is honestly ~1x. PARBENCHTIME pins multiple iterations so
+# single-iteration timer noise cannot masquerade as a speedup, and the
+# run is gated against the committed BENCH_parallel.json: more than 10%
+# allocs/op growth on any sub-benchmark fails (tools/benchjson
+# -baseline). The fresh numbers land in BENCH_parallel.new.json; promote
+# them over the baseline deliberately, not by running the target.
+PARBENCHTIME ?= 5x
 bench-parallel:
-	$(GO) test -run='^$$' -bench=BenchmarkParallelPipeline -benchmem -benchtime=$(BENCHTIME) . | tee BENCH_parallel.txt
-	$(GO) run ./tools/benchjson BENCH_parallel.txt > BENCH_parallel.json
-	@echo "wrote BENCH_parallel.json"
+	$(GO) test -run='^$$' -bench=BenchmarkParallelPipeline -benchmem -benchtime=$(PARBENCHTIME) -count=1 . | tee BENCH_parallel.txt
+	$(GO) run ./tools/benchjson -baseline BENCH_parallel.json BENCH_parallel.txt > BENCH_parallel.new.json
+	@echo "wrote BENCH_parallel.new.json (baseline BENCH_parallel.json unchanged)"
 
 # End-to-end smoke test of the mapping daemon: build, serve on a random
 # port, cold-then-warm /v1/map (miss then hit), graceful SIGTERM drain.

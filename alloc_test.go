@@ -1,0 +1,122 @@
+package oregami
+
+// Allocation-budget gates for the hot paths flattened onto the CSR core
+// (ROADMAP item 1). Each gate pins a testing.AllocsPerRun ceiling on one
+// pipeline stage over the standard parallel-bench workload (160 tasks,
+// 8 phases, hypercube(4)); regressions that reintroduce per-call maps or
+// per-iteration slices trip the gate long before they show up in a
+// wall-clock benchmark. Ceilings are ~2x the measured value on a warm
+// run — loose enough to absorb allocator noise, tight enough that a
+// reintroduced O(edges) or O(rounds) allocation pattern fails.
+//
+// The gates are skipped under the race detector (instrumentation
+// allocates) and in -short mode; `make check` runs them in a dedicated
+// non-race pass.
+
+import (
+	"testing"
+
+	"oregami/internal/contract"
+	"oregami/internal/core"
+	"oregami/internal/gen"
+	"oregami/internal/larcs"
+	"oregami/internal/metrics"
+	"oregami/internal/route"
+	"oregami/internal/topology"
+)
+
+// allocWorkload is the BenchmarkParallelPipeline workload: large enough
+// that per-edge or per-round allocation patterns dominate the count.
+func allocWorkload(t testing.TB) (*larcs.Compiled, *topology.Network) {
+	g := gen.TaskGraph(gen.Rand(7), gen.GraphSize{Tasks: 160, Phases: 8, Density: 0.15, MaxWeight: 8})
+	return &larcs.Compiled{Program: &larcs.Program{Name: g.Name}, Graph: g}, topology.Hypercube(4)
+}
+
+// gate runs fn under testing.AllocsPerRun and fails if the average
+// allocation count exceeds ceiling.
+func gate(t *testing.T, name string, ceiling float64, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation budgets are not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("allocation gates skipped in -short mode")
+	}
+	got := testing.AllocsPerRun(10, fn)
+	t.Logf("%s: %.0f allocs/op (ceiling %.0f)", name, got, ceiling)
+	if got > ceiling {
+		t.Errorf("%s allocates %.0f times per op, budget is %.0f — a map or per-call buffer came back; see internal/graph/scratch.go",
+			name, got, ceiling)
+	}
+}
+
+func TestAllocBudgetGraphBuild(t *testing.T) {
+	gate(t, "graph build + CSR warm", 700, func() {
+		g := gen.TaskGraph(gen.Rand(7), gen.GraphSize{Tasks: 160, Phases: 8, Density: 0.15, MaxWeight: 8})
+		g.WarmCSR()
+	})
+}
+
+func TestAllocBudgetCollapsedEntries(t *testing.T) {
+	c, _ := allocWorkload(t)
+	c.Graph.WarmCSR()
+	gate(t, "CollapsedEntries(1)", 8, func() {
+		if len(c.Graph.CollapsedEntries(1)) == 0 {
+			t.Fatal("no entries")
+		}
+	})
+}
+
+func TestAllocBudgetContract(t *testing.T) {
+	c, net := allocWorkload(t)
+	c.Graph.WarmCSR()
+	opt := contract.Options{Processors: net.N, Parallelism: 1}
+	gate(t, "MWMContract", 900, func() {
+		if _, err := contract.MWMContract(c.Graph, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetRoute(t *testing.T) {
+	_, net := allocWorkload(t)
+	net.WarmDistances()
+	r := gen.Rand(11)
+	pairs := make([][2]int, 96)
+	for i := range pairs {
+		pairs[i] = [2]int{r.Intn(net.N), r.Intn(net.N)}
+	}
+	gate(t, "MMRoute", 48, func() {
+		if _, _, err := route.MMRoute(net, pairs, route.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetMetrics(t *testing.T) {
+	c, net := allocWorkload(t)
+	res, err := core.Map(core.Request{Compiled: c, Net: net, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate(t, "metrics.ComputeN", 20, func() {
+		if _, err := metrics.ComputeN(res.Mapping, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetPipeline(t *testing.T) {
+	c, net := allocWorkload(t)
+	if _, err := core.Map(core.Request{Compiled: c, Net: net, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The committed BENCH_parallel.json baseline was ~27.7M allocs/op
+	// before the CSR core; the gate holds the full pipeline to under
+	// 1/1000th of that.
+	gate(t, "core.Map pipeline", 9000, func() {
+		if _, err := core.Map(core.Request{Compiled: c, Net: net, Parallelism: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -70,9 +70,11 @@ func undirectedSets(g *graph.TaskGraph) []map[int]bool {
 	for i := range adj {
 		adj[i] = make(map[int]bool)
 	}
-	for pair := range g.CollapsedWeights() {
-		adj[pair[0]][pair[1]] = true
-		adj[pair[1]][pair[0]] = true
+	csr := g.CSR()
+	for v := 0; v < g.NumTasks; v++ {
+		for _, u := range csr.Neighbors(v) {
+			adj[v][int(u)] = true
+		}
 	}
 	return adj
 }

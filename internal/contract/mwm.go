@@ -127,38 +127,18 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 	// Matching stage. Cluster ids and sizes.
 	ids, size := u.clusters()
 	k := len(ids)
-	index := make(map[int]int, k)
+	scr := graph.GetScratch()
+	defer scr.Release()
+	index := scr.Ints(v)
 	for i, id := range ids {
 		index[id] = i
 	}
 	// Aggregate intercluster weights, scanning entries in their sorted
-	// order so each blossom edge weight accumulates in a fixed sequence
-	// (the map-iteration version left float ties to chance).
-	agg := make(map[[2]int]float64)
-	for _, e := range entries {
-		a, bb := index[u.find(e.A)], index[u.find(e.B)]
-		if a == bb {
-			continue
-		}
-		if a > bb {
-			a, bb = bb, a
-		}
-		agg[[2]int{a, bb}] += e.W
-	}
-	var edges []matching.WEdge
-	for pair, w := range agg {
-		if size[pair[0]]+size[pair[1]] <= b {
-			edges = append(edges, matching.WEdge{I: pair[0], J: pair[1], Weight: w})
-		}
-	}
-	// Deterministic edge order: ties in the matching otherwise depend on
-	// map iteration.
-	par.Sort(workers, edges, func(a, c matching.WEdge) bool {
-		if a.I != c.I {
-			return a.I < c.I
-		}
-		return a.J < c.J
-	})
+	// order so each blossom edge weight accumulates in a fixed sequence —
+	// the same per-pair addition order the map[[2]int]float64 table this
+	// replaces saw. Either path yields the edge list already in the
+	// strict (I, J) order the matching needs, so no re-sort.
+	edges := interclusterEdges(entries, u, index, size, k, b, scr)
 	mate := matching.MaxWeightMatching(k, edges, false)
 	merged := k
 	for i, m := range mate {
@@ -174,6 +154,79 @@ func MWMContract(g *graph.TaskGraph, opt Options) ([]int, error) {
 		return repairPartition(ctx, entries, u.partition(), opt.Processors, b)
 	}
 	return u.partition(), nil
+}
+
+// interclusterEdges folds the collapsed entries into the weighted
+// cluster graph the matching stage runs on: one WEdge per connected
+// cluster pair whose combined size fits b, ascending by (I, J). Both
+// paths accumulate each pair's weight in entries order, so the sums are
+// bit-identical to the historical map accumulation.
+func interclusterEdges(entries []graph.CollapsedEntry, u *unionFind, index, size []int, k, b int, scr *graph.Scratch) []matching.WEdge {
+	if k <= 512 {
+		// Dense k x k half-matrix; after greedyMerge k is at most 2P.
+		agg := scr.Float64s(k * k)
+		hit := scr.Bools(k * k)
+		for _, e := range entries {
+			a, bb := index[u.find(e.A)], index[u.find(e.B)]
+			if a == bb {
+				continue
+			}
+			if a > bb {
+				a, bb = bb, a
+			}
+			agg[a*k+bb] += e.W
+			hit[a*k+bb] = true
+		}
+		edges := make([]matching.WEdge, 0, k*(k-1)/2)
+		for a := 0; a < k; a++ {
+			for bb := a + 1; bb < k; bb++ {
+				if hit[a*k+bb] && size[a]+size[bb] <= b {
+					edges = append(edges, matching.WEdge{I: a, J: bb, Weight: agg[a*k+bb]})
+				}
+			}
+		}
+		return edges
+	}
+	// Large k (SkipGreedy ablation on a big graph): sort (a, b, entry)
+	// triples and fold runs — per-pair additions still happen in entries
+	// order, so the weights match the dense path bit for bit.
+	type aggTriple struct {
+		a, b, i int32
+		w       float64
+	}
+	ts := make([]aggTriple, 0, len(entries))
+	for i, e := range entries {
+		a, bb := index[u.find(e.A)], index[u.find(e.B)]
+		if a == bb {
+			continue
+		}
+		if a > bb {
+			a, bb = bb, a
+		}
+		ts = append(ts, aggTriple{a: int32(a), b: int32(bb), i: int32(i), w: e.W})
+	}
+	sort.Slice(ts, func(x, y int) bool {
+		if ts[x].a != ts[y].a {
+			return ts[x].a < ts[y].a
+		}
+		if ts[x].b != ts[y].b {
+			return ts[x].b < ts[y].b
+		}
+		return ts[x].i < ts[y].i
+	})
+	var edges []matching.WEdge
+	for i := 0; i < len(ts); {
+		a, bb := ts[i].a, ts[i].b
+		w := 0.0
+		for i < len(ts) && ts[i].a == a && ts[i].b == bb {
+			w += ts[i].w
+			i++
+		}
+		if size[a]+size[bb] <= b {
+			edges = append(edges, matching.WEdge{I: int(a), J: int(bb), Weight: w})
+		}
+	}
+	return edges
 }
 
 // greedyMerge is the paper's greedy pre-merge: process collapsed edges by
@@ -225,22 +278,57 @@ func greedyMerge(ctx context.Context, workers int, entries []graph.CollapsedEntr
 // capacity must exist (otherwise total size would exceed
 // target*maxSize >= V), so the repair always terminates.
 func repairPartition(ctx context.Context, entries []graph.CollapsedEntry, part []int, target, maxSize int) ([]int, error) {
-	sizes := make(map[int]int, target+1)
+	n := len(part)
+	scr := graph.GetScratch()
+	defer scr.Release()
+	// Cluster ids stay within the dense range partition() produced, so
+	// sizes is a flat array instead of the map it used to be; scanning
+	// ids ascending reproduces the map version's (size, id) and
+	// (adjacency, id) tie-breaks exactly.
+	sizes := scr.Ints(n)
+	// Incidence index over entries: task t's entries are
+	// incIdx[incOff[t]:incOff[t+1]], ascending, so per-task adjacency
+	// weights accumulate in entries order — the same float addition
+	// sequence as the full entry scan this replaces.
+	incOff := scr.Ints(n + 1)
+	for _, e := range entries {
+		incOff[e.A+1]++
+		incOff[e.B+1]++
+	}
+	for t := 0; t < n; t++ {
+		incOff[t+1] += incOff[t]
+	}
+	incIdx := scr.Ints(2 * len(entries))
+	next := scr.Ints(n)
+	copy(next, incOff[:n])
+	for i, e := range entries {
+		incIdx[next[e.A]] = i
+		next[e.A]++
+		incIdx[next[e.B]] = i
+		next[e.B]++
+	}
+	aw := scr.Float64s(n)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		clear(sizes)
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		numClusters := 0
 		for _, c := range part {
+			if sizes[c] == 0 {
+				numClusters++
+			}
 			sizes[c]++
 		}
-		if len(sizes) <= target {
+		if numClusters <= target {
 			return densePartition(part), nil
 		}
 		// Smallest cluster (ties: smallest id).
 		smallest, best := -1, 1<<30
 		for c, s := range sizes {
-			if s < best || (s == best && c < smallest) {
+			if s > 0 && s < best {
 				smallest, best = c, s
 			}
 		}
@@ -251,21 +339,34 @@ func repairPartition(ctx context.Context, entries []graph.CollapsedEntry, part [
 			}
 		}
 		for _, t := range members {
-			// Destination with spare capacity maximizing adjacency.
+			// Adjacency weight from t to every cluster, accumulated in
+			// entries order.
+			for te := incOff[t]; te < incOff[t+1]; te++ {
+				e := entries[incIdx[te]]
+				other := e.A
+				if other == t {
+					other = e.B
+				}
+				aw[part[other]] += e.W
+			}
+			// Destination with spare capacity maximizing adjacency
+			// (ties: smallest id, via the ascending scan).
 			dest, destW := -1, -1.0
 			for c, s := range sizes {
-				if c == smallest || s >= maxSize {
+				if c == smallest || s == 0 || s >= maxSize {
 					continue
 				}
-				aw := 0.0
-				for _, e := range entries {
-					if (e.A == t && part[e.B] == c) || (e.B == t && part[e.A] == c) {
-						aw += e.W
-					}
+				if aw[c] > destW {
+					dest, destW = c, aw[c]
 				}
-				if aw > destW || (aw == destW && (dest == -1 || c < dest)) {
-					dest, destW = c, aw
+			}
+			for te := incOff[t]; te < incOff[t+1]; te++ {
+				e := entries[incIdx[te]]
+				other := e.A
+				if other == t {
+					other = e.B
 				}
+				aw[part[other]] = 0
 			}
 			if dest == -1 {
 				return nil, fmt.Errorf("contract: cannot place task %d within B=%d", t, maxSize)
@@ -280,16 +381,17 @@ func repairPartition(ctx context.Context, entries []graph.CollapsedEntry, part [
 // densePartition renumbers cluster ids to 0..k-1 by smallest member.
 func densePartition(part []int) []int {
 	out := make([]int, len(part))
+	id := make([]int, len(part))
+	for i := range id {
+		id[i] = -1
+	}
 	next := 0
-	id := make(map[int]int)
 	for t, c := range part {
-		d, ok := id[c]
-		if !ok {
-			d = next
-			id[c] = d
+		if id[c] == -1 {
+			id[c] = next
 			next++
 		}
-		out[t] = d
+		out[t] = id[c]
 	}
 	return out
 }
@@ -297,10 +399,13 @@ func densePartition(part []int) []int {
 // unionFindFromPartition rebuilds a union-find matching a partition.
 func unionFindFromPartition(part []int) *unionFind {
 	u := newUnionFind(len(part))
-	first := make(map[int]int)
+	first := make([]int, len(part))
+	for i := range first {
+		first[i] = -1
+	}
 	for t, c := range part {
-		if f, ok := first[c]; ok {
-			u.union(f, t)
+		if first[c] >= 0 {
+			u.union(first[c], t)
 		} else {
 			first[c] = t
 		}
@@ -369,39 +474,41 @@ func (u *unionFind) union(a, b int) {
 	u.count--
 }
 
-// clusters returns the current root ids and, aligned with them, sizes.
-func (u *unionFind) clusters() (ids []int, size map[int]int) {
-	size = make(map[int]int)
+// clusters returns the current root ids, ascending, and aligned with
+// them the cluster sizes: size[i] counts the members of root ids[i].
+func (u *unionFind) clusters() (ids []int, size []int) {
+	n := len(u.parent)
+	count := make([]int, n)
 	for x := range u.parent {
-		r := u.find(x)
-		if _, ok := size[r]; !ok {
+		count[u.find(x)]++
+	}
+	// Roots scanned ascending, so ids is sorted by construction.
+	for r, c := range count {
+		if c > 0 {
 			ids = append(ids, r)
+			size = append(size, c)
 		}
-		size[r]++
 	}
-	sort.Ints(ids)
-	sizes := make(map[int]int, len(ids))
-	for i, id := range ids {
-		sizes[i] = size[id]
-	}
-	return ids, sizes
+	return ids, size
 }
 
 // partition returns dense cluster ids per element, ordered by smallest
 // member.
 func (u *unionFind) partition() []int {
-	out := make([]int, len(u.parent))
+	n := len(u.parent)
+	out := make([]int, n)
+	id := make([]int, n)
+	for i := range id {
+		id[i] = -1
+	}
 	next := 0
-	id := make(map[int]int)
 	for x := range u.parent {
 		r := u.find(x)
-		c, ok := id[r]
-		if !ok {
-			c = next
-			id[r] = c
+		if id[r] == -1 {
+			id[r] = next
 			next++
 		}
-		out[x] = c
+		out[x] = id[r]
 	}
 	return out
 }

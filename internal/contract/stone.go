@@ -24,9 +24,13 @@ func TwoProcStone(g *graph.TaskGraph, execA, execB []float64) ([]int, float64, e
 	for i := range comm {
 		comm[i] = make([]float64, n)
 	}
-	for pair, w := range g.CollapsedWeights() {
-		comm[pair[0]][pair[1]] = w
-		comm[pair[1]][pair[0]] = w
+	csr := g.CSR()
+	for a := 0; a < n; a++ {
+		nbrs := csr.Neighbors(a)
+		ws := csr.RowWeights(a)
+		for i, b := range nbrs {
+			comm[a][b] = ws[i]
+		}
 	}
 	onA, cost, err := flow.StoneAssignment(execA, execB, comm)
 	if err != nil {

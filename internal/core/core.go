@@ -45,13 +45,29 @@ const (
 // why (Unwrap exposes context.Canceled / context.DeadlineExceeded).
 type PipelineError struct {
 	// Stage names the failed stage: "dispatch", a class name ("canned",
-	// "systolic", "group-theoretic", "arbitrary"), or "route".
+	// "systolic", "group-theoretic", "arbitrary"), "route", "validate",
+	// or "check".
 	Stage string
 	Err   error
 }
 
 func (e *PipelineError) Error() string { return fmt.Sprintf("core: stage %s: %v", e.Stage, e.Err) }
 func (e *PipelineError) Unwrap() error { return e.Err }
+
+// expired reports the context's error, additionally treating a passed
+// deadline whose cancellation timer has not fired yet as
+// context.DeadlineExceeded: on a single-CPU scheduler a fast CPU-bound
+// pipeline can outrun the timer goroutine, leaving ctx.Err() nil past
+// the deadline.
+func expired(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
 
 // Request asks MAPPER for a mapping of a compiled computation onto a
 // network.
@@ -219,6 +235,12 @@ func Map(req Request) (*Result, error) {
 		res.Mapping = m
 		res.Class = class
 		req.observe("dispatch", dispatchStart)
+		// Stage-boundary deadline check: the class mappers' cooperative
+		// checks are sparse enough that a fast pipeline can finish an
+		// entire stage without noticing an expired context.
+		if err := expired(ctx); err != nil {
+			return nil, &PipelineError{Stage: "route", Err: err}
+		}
 		routeOpts := req.Route
 		routeOpts.Ctx = ctx
 		routeOpts.Parallelism = req.Parallelism
@@ -237,6 +259,9 @@ func Map(req Request) (*Result, error) {
 			return nil, err
 		}
 		res.RouteStats = stats
+		if err := expired(ctx); err != nil {
+			return nil, &PipelineError{Stage: "validate", Err: err}
+		}
 		if err := m.Validate(); err != nil {
 			return nil, fmt.Errorf("core: produced invalid mapping: %w", err)
 		}

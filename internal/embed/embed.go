@@ -44,11 +44,21 @@ func NNEmbedCtx(ctx context.Context, cg *graph.TaskGraph, net *topology.Network)
 		a, b int
 		w    float64
 	}
-	var edges []cedge
-	for pair, wt := range cg.CollapsedWeights() {
-		w[pair[0]][pair[1]] = wt
-		w[pair[1]][pair[0]] = wt
-		edges = append(edges, cedge{pair[0], pair[1], wt})
+	// Walk the flat collapsed graph's upper triangle; the CSR carries the
+	// same per-pair weights the CollapsedWeights map used to.
+	csr := cg.CSR()
+	edges := make([]cedge, 0, csr.NumPairs())
+	for a := 0; a < k; a++ {
+		nbrs := csr.Neighbors(a)
+		ws := csr.RowWeights(a)
+		for i, b := range nbrs {
+			if int(b) < a {
+				continue
+			}
+			w[a][b] = ws[i]
+			w[b][a] = ws[i]
+			edges = append(edges, cedge{a, int(b), ws[i]})
+		}
 	}
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].w != edges[j].w {

@@ -19,9 +19,13 @@ func SwapRefine(cg *graph.TaskGraph, net *topology.Network, place []int, maxSwee
 	for i := range w {
 		w[i] = make([]float64, k)
 	}
-	for pair, wt := range cg.CollapsedWeights() {
-		w[pair[0]][pair[1]] = wt
-		w[pair[1]][pair[0]] = wt
+	csr := cg.CSR()
+	for a := 0; a < k; a++ {
+		nbrs := csr.Neighbors(a)
+		ws := csr.RowWeights(a)
+		for i, b := range nbrs {
+			w[a][b] = ws[i]
+		}
 	}
 	clusterAt := make([]int, net.N)
 	for i := range clusterAt {

@@ -3,7 +3,7 @@ package graph
 // Components returns the connected components of the collapsed static
 // graph, each as a sorted slice of task ids, ordered by smallest member.
 func (g *TaskGraph) Components() [][]int {
-	adj := g.Undirected()
+	adj := g.CSR()
 	seen := make([]bool, g.NumTasks)
 	var comps [][]int
 	for s := 0; s < g.NumTasks; s++ {
@@ -15,11 +15,11 @@ func (g *TaskGraph) Components() [][]int {
 		for q := []int{s}; len(q) > 0; {
 			v := q[0]
 			q = q[1:]
-			for _, nb := range adj[v] {
-				if !seen[nb.To] {
-					seen[nb.To] = true
-					comp = append(comp, nb.To)
-					q = append(q, nb.To)
+			for _, nb := range adj.Neighbors(v) {
+				if !seen[nb] {
+					seen[nb] = true
+					comp = append(comp, int(nb))
+					q = append(q, int(nb))
 				}
 			}
 		}
@@ -31,7 +31,7 @@ func (g *TaskGraph) Components() [][]int {
 // BFSDistances returns hop distances from src in the collapsed static
 // graph; unreachable tasks get -1.
 func (g *TaskGraph) BFSDistances(src int) []int {
-	adj := g.Undirected()
+	adj := g.CSR()
 	dist := make([]int, g.NumTasks)
 	for i := range dist {
 		dist[i] = -1
@@ -40,10 +40,10 @@ func (g *TaskGraph) BFSDistances(src int) []int {
 	for q := []int{src}; len(q) > 0; {
 		v := q[0]
 		q = q[1:]
-		for _, nb := range adj[v] {
-			if dist[nb.To] == -1 {
-				dist[nb.To] = dist[v] + 1
-				q = append(q, nb.To)
+		for _, nb := range adj.Neighbors(v) {
+			if dist[nb] == -1 {
+				dist[nb] = dist[v] + 1
+				q = append(q, int(nb))
 			}
 		}
 	}
@@ -52,10 +52,11 @@ func (g *TaskGraph) BFSDistances(src int) []int {
 
 // MaxDegree returns the maximum collapsed-graph degree over all tasks.
 func (g *TaskGraph) MaxDegree() int {
+	c := g.CSR()
 	max := 0
-	for _, l := range g.Undirected() {
-		if len(l) > max {
-			max = len(l)
+	for v := 0; v < c.N; v++ {
+		if d := c.Degree(v); d > max {
+			max = d
 		}
 	}
 	return max

@@ -1,0 +1,70 @@
+package graph_test
+
+// FuzzCSRRoundTrip drives the generator with fuzzer-chosen shape
+// parameters, builds the flat CSR, and referees every query against the
+// map algorithms the CSR replaced. Registered in `make fuzz`.
+
+import (
+	"math"
+	"testing"
+
+	"oregami/internal/gen"
+)
+
+func FuzzCSRRoundTrip(f *testing.F) {
+	// Seed corpus: the shapes the differential tests sweep, plus
+	// degenerate single-task and edge-free graphs.
+	f.Add(int64(1), uint8(8), uint8(2), uint8(40), uint8(4))
+	f.Add(int64(7), uint8(160), uint8(8), uint8(15), uint8(8))
+	f.Add(int64(3), uint8(1), uint8(1), uint8(0), uint8(1))
+	f.Add(int64(42), uint8(31), uint8(5), uint8(90), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, tasks, phases, density, maxW uint8) {
+		size := gen.GraphSize{
+			Tasks:     1 + int(tasks)%64,
+			Phases:    1 + int(phases)%6,
+			Density:   float64(density%101) / 100,
+			MaxWeight: 1 + int(maxW)%9,
+		}
+		g := gen.TaskGraph(gen.Rand(seed), size)
+		ref := refChainWeights(g)
+		c := g.CSR()
+		if c.N != g.NumTasks || c.NumPairs() != len(ref) {
+			t.Fatalf("CSR shape (N=%d pairs=%d) disagrees with referee (N=%d pairs=%d)",
+				c.N, c.NumPairs(), g.NumTasks, len(ref))
+		}
+		if len(c.Off) != c.N+1 || c.Off[0] != 0 || int(c.Off[c.N]) != len(c.Adj) || len(c.W) != len(c.Adj) {
+			t.Fatalf("CSR arrays inconsistent: |Off|=%d N=%d Off[N]=%d |Adj|=%d |W|=%d",
+				len(c.Off), c.N, c.Off[c.N], len(c.Adj), len(c.W))
+		}
+		directed := 0
+		for v := 0; v < c.N; v++ {
+			nbrs, ws := c.Neighbors(v), c.RowWeights(v)
+			for i, nb := range nbrs {
+				u := int(nb)
+				if u < 0 || u >= c.N || u == v {
+					t.Fatalf("task %d: neighbor %d out of range", v, u)
+				}
+				if i > 0 && int(nbrs[i-1]) >= u {
+					t.Fatalf("task %d: row not strictly ascending", v)
+				}
+				a, b := v, u
+				if a > b {
+					a, b = b, a
+				}
+				w, ok := ref[[2]int{a, b}]
+				if !ok || math.Float64bits(w) != math.Float64bits(ws[i]) {
+					t.Fatalf("task %d->%d: CSR weight %v, referee %v (present=%v)", v, u, ws[i], w, ok)
+				}
+				// Round trip through the binary-search view.
+				bw, ok := c.WeightBetween(v, u)
+				if !ok || math.Float64bits(bw) != math.Float64bits(w) {
+					t.Fatalf("WeightBetween(%d,%d)=%v,%v, want %v", v, u, bw, ok, w)
+				}
+				directed++
+			}
+		}
+		if directed != 2*len(ref) {
+			t.Fatalf("CSR holds %d directed slots, referee implies %d", directed, 2*len(ref))
+		}
+	})
+}

@@ -6,12 +6,9 @@
 package graph
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"strings"
-
-	"oregami/internal/par"
 )
 
 // Edge is a directed communication edge between two tasks. Weight is the
@@ -48,8 +45,42 @@ type TaskGraph struct {
 	Comm     []*CommPhase
 	Exec     []*ExecPhase
 
-	commIndex map[string]int
-	execIndex map[string]int
+	// Phase lookup: name-sorted index slices (binary search) instead of
+	// the map[string]int of the map-era representation.
+	commNames []nameIndex
+	execNames []nameIndex
+
+	// csr caches the flat collapsed static graph; any mutation clears it.
+	csr *CSR
+}
+
+// nameIndex binds a phase name to its position in declaration order.
+type nameIndex struct {
+	name string
+	pos  int
+}
+
+// insertName inserts (name, pos) into the name-sorted slice, reporting
+// false on a duplicate name.
+func insertName(s []nameIndex, name string, pos int) ([]nameIndex, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].name >= name })
+	if i < len(s) && s[i].name == name {
+		return s, false
+	}
+	s = append(s, nameIndex{})
+	copy(s[i+1:], s[i:])
+	s[i] = nameIndex{name: name, pos: pos}
+	return s, true
+}
+
+// lookupName finds name in the sorted slice, returning its declaration
+// position or -1.
+func lookupName(s []nameIndex, name string) int {
+	i := sort.Search(len(s), func(i int) bool { return s[i].name >= name })
+	if i < len(s) && s[i].name == name {
+		return s[i].pos
+	}
+	return -1
 }
 
 // New creates an empty task graph with n tasks labeled "0".."n-1".
@@ -62,41 +93,42 @@ func New(name string, n int) *TaskGraph {
 		labels[i] = fmt.Sprint(i)
 	}
 	return &TaskGraph{
-		Name:      name,
-		NumTasks:  n,
-		Labels:    labels,
-		commIndex: make(map[string]int),
-		execIndex: make(map[string]int),
+		Name:     name,
+		NumTasks: n,
+		Labels:   labels,
 	}
 }
 
 // AddCommPhase registers a new, empty communication phase and returns it.
 // Phase names must be unique across communication phases.
 func (g *TaskGraph) AddCommPhase(name string) *CommPhase {
-	if _, dup := g.commIndex[name]; dup {
+	names, ok := insertName(g.commNames, name, len(g.Comm))
+	if !ok {
 		panic(fmt.Sprintf("graph: duplicate comm phase %q", name))
 	}
+	g.commNames = names
 	p := &CommPhase{Name: name}
-	g.commIndex[name] = len(g.Comm)
 	g.Comm = append(g.Comm, p)
+	g.csr = nil
 	return p
 }
 
 // AddExecPhase registers a new execution phase with a uniform per-task
 // cost and returns it. Phase names must be unique across execution phases.
 func (g *TaskGraph) AddExecPhase(name string, uniform float64) *ExecPhase {
-	if _, dup := g.execIndex[name]; dup {
+	names, ok := insertName(g.execNames, name, len(g.Exec))
+	if !ok {
 		panic(fmt.Sprintf("graph: duplicate exec phase %q", name))
 	}
+	g.execNames = names
 	p := &ExecPhase{Name: name, Uniform: uniform}
-	g.execIndex[name] = len(g.Exec)
 	g.Exec = append(g.Exec, p)
 	return p
 }
 
 // CommPhaseByName returns the named communication phase, or nil.
 func (g *TaskGraph) CommPhaseByName(name string) *CommPhase {
-	if i, ok := g.commIndex[name]; ok {
+	if i := lookupName(g.commNames, name); i >= 0 {
 		return g.Comm[i]
 	}
 	return nil
@@ -104,7 +136,7 @@ func (g *TaskGraph) CommPhaseByName(name string) *CommPhase {
 
 // ExecPhaseByName returns the named execution phase, or nil.
 func (g *TaskGraph) ExecPhaseByName(name string) *ExecPhase {
-	if i, ok := g.execIndex[name]; ok {
+	if i := lookupName(g.execNames, name); i >= 0 {
 		return g.Exec[i]
 	}
 	return nil
@@ -119,6 +151,7 @@ func (g *TaskGraph) AddEdge(p *CommPhase, from, to int, weight float64) {
 		panic(fmt.Sprintf("graph: negative edge weight %g", weight))
 	}
 	p.Edges = append(p.Edges, Edge{From: from, To: to, Weight: weight})
+	g.csr = nil
 }
 
 // TaskCost returns task v's execution cost in exec phase p.
@@ -214,23 +247,42 @@ func (g *TaskGraph) Clone() *TaskGraph {
 
 // CollapsedWeights returns, as a symmetric weight map keyed by ordered
 // pairs, the total communication volume between each pair of distinct
-// tasks summed over all phases and both directions. This "static task
-// graph" view is what contraction algorithms consume.
+// tasks summed over all phases and both directions. It is a thin map
+// adapter over the flat collapsed entries kept for random-access
+// callers; the hot paths consume CollapsedEntries or the CSR directly.
+//
+// Accumulation order note: CollapsedWeights sums each pair's edge
+// weights in one chain, in phase-then-edge order — the order the
+// historical map implementation used — while CollapsedEntries keeps the
+// two-level per-phase-subtotal order of the historical parallel merge.
+// The two can differ in the last ulp on non-integer weights, and
+// callers were written against one or the other, so both orders are
+// preserved exactly.
 func (g *TaskGraph) CollapsedWeights() map[[2]int]float64 {
-	w := make(map[[2]int]float64)
-	for _, p := range g.Comm {
-		for _, e := range p.Edges {
-			if e.From == e.To {
-				continue
-			}
-			a, b := e.From, e.To
-			if a > b {
-				a, b = b, a
-			}
-			w[[2]int{a, b}] += e.Weight
-		}
+	entries := g.flatWeights()
+	w := make(map[[2]int]float64, len(entries))
+	for _, e := range entries {
+		w[[2]int{e.A, e.B}] = e.W
 	}
 	return w
+}
+
+// flatWeights returns the collapsed pairs sorted by (A, B) with each
+// weight accumulated in one chain over phase-then-edge order (the
+// CollapsedWeights order; see the note there).
+func (g *TaskGraph) flatWeights() []CollapsedEntry {
+	ts := g.collapseTriples(1)
+	out := make([]CollapsedEntry, 0, len(ts))
+	for i := 0; i < len(ts); {
+		a, b := ts[i].a, ts[i].b
+		var total float64
+		for i < len(ts) && ts[i].a == a && ts[i].b == b {
+			total += ts[i].w
+			i++
+		}
+		out = append(out, CollapsedEntry{A: int(a), B: int(b), W: total})
+	}
+	return out
 }
 
 // CollapsedEntry is one undirected edge of the collapsed static graph:
@@ -241,60 +293,34 @@ type CollapsedEntry struct {
 }
 
 // CollapsedEntries returns the collapsed static graph as a slice sorted
-// by (A, B), accumulating per-phase partial sums on up to workers
-// goroutines. The per-pair addition order is fixed — edge order within a
-// phase, then phases in declaration order — regardless of the worker
-// count, so the weights (and everything contracted from them) are
-// bit-identical at any parallelism. Contraction consumes this form; the
-// map-shaped CollapsedWeights remains for random-access callers.
+// by (A, B), built flat (no maps): directed edges become (pair, phase,
+// seq) triples sorted on up to workers goroutines, then per-pair runs
+// fold into weights. The per-pair addition order is fixed — edge order
+// within a phase into a subtotal, subtotals added in phase declaration
+// order — regardless of the worker count, so the weights (and
+// everything contracted from them) are bit-identical at any
+// parallelism. Contraction consumes this form; the map-shaped
+// CollapsedWeights remains for random-access callers.
 func (g *TaskGraph) CollapsedEntries(workers int) []CollapsedEntry {
-	partial := make([]map[[2]int]float64, len(g.Comm))
-	_ = par.ForEach(context.Background(), workers, len(g.Comm), func(i int) error {
-		w := make(map[[2]int]float64)
-		for _, e := range g.Comm[i].Edges {
-			if e.From == e.To {
-				continue
-			}
-			a, b := e.From, e.To
-			if a > b {
-				a, b = b, a
-			}
-			w[[2]int{a, b}] += e.Weight
-		}
-		partial[i] = w
-		return nil
-	})
-	// Merge in phase order: for any pair, the per-phase sums are added
-	// in the same sequence a sequential pass would add them.
-	total := make(map[[2]int]float64)
-	for _, w := range partial {
-		for pair, v := range w {
-			total[pair] += v
-		}
-	}
-	out := make([]CollapsedEntry, 0, len(total))
-	for pair, v := range total {
-		out = append(out, CollapsedEntry{A: pair[0], B: pair[1], W: v})
-	}
-	par.Sort(workers, out, func(a, b CollapsedEntry) bool {
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		return a.B < b.B
-	})
+	ts := g.collapseTriples(workers)
+	out := make([]CollapsedEntry, 0, len(ts))
+	foldTriples(ts, func(e CollapsedEntry) { out = append(out, e) })
 	return out
 }
 
 // Undirected returns the collapsed static graph as adjacency lists of
-// (neighbor, weight) pairs, one entry per unordered task pair.
+// (neighbor, weight) pairs, one entry per unordered task pair, carved
+// from one backing array off the cached CSR.
 func (g *TaskGraph) Undirected() [][]WeightedNeighbor {
+	c := g.CSR()
 	adj := make([][]WeightedNeighbor, g.NumTasks)
-	for pair, w := range g.CollapsedWeights() {
-		adj[pair[0]] = append(adj[pair[0]], WeightedNeighbor{To: pair[1], Weight: w})
-		adj[pair[1]] = append(adj[pair[1]], WeightedNeighbor{To: pair[0], Weight: w})
-	}
-	for _, l := range adj {
-		sort.Slice(l, func(i, j int) bool { return l[i].To < l[j].To })
+	backing := make([]WeightedNeighbor, len(c.Adj))
+	for v := 0; v < g.NumTasks; v++ {
+		row := backing[c.Off[v]:c.Off[v+1]:c.Off[v+1]]
+		for i, u := range c.Neighbors(v) {
+			row[i] = WeightedNeighbor{To: int(u), Weight: c.RowWeights(v)[i]}
+		}
+		adj[v] = row
 	}
 	return adj
 }
@@ -306,20 +332,10 @@ type WeightedNeighbor struct {
 }
 
 // Degree returns the number of distinct neighbors of task v in the
-// collapsed static graph.
+// collapsed static graph (a CSR row length; the per-call seen-set is
+// gone).
 func (g *TaskGraph) Degree(v int) int {
-	seen := make(map[int]bool)
-	for _, p := range g.Comm {
-		for _, e := range p.Edges {
-			if e.From == v && e.To != v {
-				seen[e.To] = true
-			}
-			if e.To == v && e.From != v {
-				seen[e.From] = true
-			}
-		}
-	}
-	return len(seen)
+	return g.CSR().Degree(v)
 }
 
 // IsNodeSymmetricCandidate reports whether every communication phase is a

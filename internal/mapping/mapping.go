@@ -158,8 +158,8 @@ func (m *Mapping) Validate() error {
 				}
 				continue
 			}
-			path, ok := m.Net.RouteEndpoints(src, routes[k])
-			if !ok || path[len(path)-1] != dst {
+			end, ok := m.Net.RouteDest(src, routes[k])
+			if !ok || end != dst {
 				return fmt.Errorf("mapping: phase %q edge %d route does not reach %d from %d", name, k, dst, src)
 			}
 		}

@@ -107,14 +107,20 @@ func ComputeN(m *mapping.Mapping, workers int) (*Report, error) {
 	}
 
 	// Per-phase link metrics are independent: fan out, one slot each,
-	// merged in phase order below.
+	// merged in phase order below. The per-link arrays of every phase
+	// share two backing allocations, carved into capacity-clamped
+	// segments, instead of two fresh slices per phase; each worker still
+	// writes only its own phase's segment.
+	nl := m.Net.NumLinks()
+	volBacking := make([]float64, len(m.Graph.Comm)*nl)
+	conBacking := make([]int, len(m.Graph.Comm)*nl)
 	r.Links = make([]LinkMetrics, len(m.Graph.Comm))
 	_ = par.ForEach(context.Background(), par.Resolve(workers), len(m.Graph.Comm), func(pi int) error {
 		p := m.Graph.Comm[pi]
 		lm := LinkMetrics{
 			Phase:             p.Name,
-			VolumePerLink:     make([]float64, m.Net.NumLinks()),
-			ContentionPerLink: make([]int, m.Net.NumLinks()),
+			VolumePerLink:     volBacking[pi*nl : (pi+1)*nl : (pi+1)*nl],
+			ContentionPerLink: conBacking[pi*nl : (pi+1)*nl : (pi+1)*nl],
 		}
 		routes, routed := m.Routes[p.Name]
 		hops, crossEdges := 0, 0
@@ -183,11 +189,14 @@ func ReassignTask(m *mapping.Mapping, task, proc int) error {
 	}
 	m.Part[task] = target
 	// The old cluster may now be empty: compact cluster ids.
-	count := make(map[int]int)
+	oldEmpty := true
 	for _, c := range m.Part {
-		count[c]++
+		if c == old {
+			oldEmpty = false
+			break
+		}
 	}
-	if count[old] == 0 {
+	if oldEmpty {
 		remap := make([]int, len(m.Place))
 		newPlace := make([]int, 0, len(m.Place)-1)
 		next := 0

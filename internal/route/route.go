@@ -13,8 +13,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 
+	"oregami/internal/graph"
 	"oregami/internal/mapping"
 	"oregami/internal/matching"
 	"oregami/internal/par"
@@ -69,8 +69,11 @@ type Stats struct {
 func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Route, Stats, error) {
 	ctx := opt.ctx()
 	routes := make([]topology.Route, len(pairs))
-	pos := make([]int, len(pairs))
-	active := make([]int, 0, len(pairs))
+	scr := graph.GetScratch()
+	defer scr.Release()
+
+	pos := scr.Ints(len(pairs))
+	active := scr.IntsCap(len(pairs))
 	for i, p := range pairs {
 		pos[i] = p[0]
 		if p[0] != p[1] {
@@ -81,7 +84,41 @@ func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Rou
 		}
 	}
 	var stats Stats
-	linkUse := make([]int, net.NumLinks())
+	linkUse := scr.Ints(net.NumLinks())
+
+	// Every route follows shortest paths hop for hop (candidates only
+	// ever step one hop closer), so pair i needs exactly Distance hops:
+	// carve all route storage from one allocation instead of letting each
+	// route's appends grow independently.
+	total := 0
+	for _, i := range active {
+		total += net.Distance(pairs[i][0], pairs[i][1])
+	}
+	backing := make([]int, total)
+	off := 0
+	for _, i := range active {
+		d := net.Distance(pairs[i][0], pairs[i][1])
+		routes[i] = topology.Route(backing[off : off : off+d])
+		off += d
+	}
+
+	maxDeg := 0
+	for v := 0; v < net.Processors(); v++ {
+		if d := net.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Round-scoped buffers, borrowed once and re-sliced every round. A
+	// candidate segment never exceeds the degree of the edge's current
+	// position, so candBuf's capacity covers the worst round and append
+	// never grows it.
+	remaining := scr.IntsCap(len(pairs))
+	candBuf := scr.IntsCap(len(pairs) * maxDeg)
+	candOff := scr.Ints(len(pairs) + 1)
+	order := scr.Ints(len(pairs))
+	counts := scr.Ints(maxDeg + 2)
+	matchX := scr.Ints(len(pairs))
+	matchY := scr.Ints(net.NumLinks())
 
 	// budget is the per-link usage ceiling currently allowed; it only
 	// grows when some edge cannot progress under it, so link load is
@@ -91,60 +128,117 @@ func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Rou
 	for len(active) > 0 {
 		// One hop round: every active edge must obtain a link for its
 		// next hop via repeated matchings under the budget.
-		remaining := append([]int(nil), active...)
+		remaining = append(remaining[:0], active...)
 		for len(remaining) > 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, stats, err
 			}
 			stats.Rounds++
+			nRem := len(remaining)
 			// X = remaining edges, Y = links; candidates are the links
 			// on shortest next hops with usage below the budget, tried
 			// coldest first. Most-constrained edges match first.
-			cands := make([][]int, len(remaining))
+			// Candidate lists live as segments of candBuf: edge xi owns
+			// candBuf[candOff[xi]:candOff[xi+1]].
+			candBuf = candBuf[:0]
 			for xi, ei := range remaining {
-				for _, h := range net.NextHops(pos[ei], pairs[ei][1]) {
-					id, ok := net.LinkBetween(pos[ei], h)
-					if !ok || linkUse[id] >= budget {
-						continue
+				candOff[xi] = len(candBuf)
+				dst := pairs[ei][1]
+				// Inline NextHops: neighbors one hop closer to dst, in
+				// ascending order, without the per-call hops slice. The
+				// adjacency-aligned link ids replace the LinkBetween
+				// lookup the old loop performed per hop.
+				if base := net.Distance(pos[ei], dst); base >= 0 {
+					nbrs := net.Neighbors(pos[ei])
+					lids := net.NeighborLinks(pos[ei])
+					for hi, h := range nbrs {
+						if net.Distance(h, dst) != base-1 {
+							continue
+						}
+						if id := lids[hi]; linkUse[id] < budget {
+							candBuf = append(candBuf, id)
+						}
 					}
-					cands[xi] = append(cands[xi], id)
 				}
-				sort.Slice(cands[xi], func(a, c int) bool {
-					la, lc := cands[xi][a], cands[xi][c]
-					if linkUse[la] != linkUse[lc] {
-						return linkUse[la] < linkUse[lc]
+				// Insertion-sort the segment by (load, id) — a strict
+				// total order (link ids are distinct), so the result is
+				// the one sort.Slice produced here before the flat-core
+				// refactor.
+				seg := candBuf[candOff[xi]:]
+				for i := 1; i < len(seg); i++ {
+					for j := i; j > 0; j-- {
+						la, lc := seg[j-1], seg[j]
+						if linkUse[la] < linkUse[lc] || (linkUse[la] == linkUse[lc] && la < lc) {
+							break
+						}
+						seg[j-1], seg[j] = lc, la
 					}
-					return la < lc
-				})
-			}
-			order := make([]int, len(remaining))
-			for i := range order {
-				order[i] = i
-			}
-			sort.Slice(order, func(a, c int) bool {
-				if len(cands[order[a]]) != len(cands[order[c]]) {
-					return len(cands[order[a]]) < len(cands[order[c]])
-				}
-				return order[a] < order[c]
-			})
-			b := matching.NewBipartite(len(remaining), net.NumLinks())
-			for _, xi := range order {
-				for _, id := range cands[xi] {
-					b.AddEdge(xi, id)
 				}
 			}
-			var matchX []int
+			candOff[nRem] = len(candBuf)
+			// Order edges by (candidate count, index) via counting sort:
+			// buckets fill in ascending xi, which is exactly the strict
+			// total order the previous sort.Slice computed.
+			maxC := 0
+			for xi := 0; xi < nRem; xi++ {
+				c := candOff[xi+1] - candOff[xi]
+				counts[c]++
+				if c > maxC {
+					maxC = c
+				}
+			}
+			slot := 0
+			for c := 0; c <= maxC; c++ {
+				n := counts[c]
+				counts[c] = slot
+				slot += n
+			}
+			ord := order[:nRem]
+			for xi := 0; xi < nRem; xi++ {
+				c := candOff[xi+1] - candOff[xi]
+				ord[counts[c]] = xi
+				counts[c]++
+			}
+			for c := 0; c <= maxC; c++ {
+				counts[c] = 0
+			}
+			mX := matchX[:nRem]
 			if opt.UseMaximum {
-				matchX, _ = b.MaximumMatching()
+				b := matching.NewBipartite(nRem, net.NumLinks())
+				for _, xi := range ord {
+					for _, id := range candBuf[candOff[xi]:candOff[xi+1]] {
+						b.AddEdge(xi, id)
+					}
+				}
+				bx, _ := b.MaximumMatching()
+				copy(mX, bx)
 			} else {
-				matchX, _ = greedyInOrder(b, order)
+				// Greedy maximal matching straight over the candidate
+				// segments, scanning X in most-constrained-first order —
+				// what greedyInOrder did over a per-round Bipartite.
+				for i := range mX {
+					mX[i] = -1
+				}
+				for i := range matchY {
+					matchY[i] = -1
+				}
+				for _, xi := range ord {
+					for _, id := range candBuf[candOff[xi]:candOff[xi+1]] {
+						if matchY[id] == -1 {
+							mX[xi] = id
+							matchY[id] = xi
+							break
+						}
+					}
+				}
 			}
-			var next []int
 			progressed := false
+			k := 0
 			for xi, ei := range remaining {
-				link := matchX[xi]
+				link := mX[xi]
 				if link == -1 {
-					next = append(next, ei)
+					remaining[k] = ei
+					k++
 					continue
 				}
 				progressed = true
@@ -166,19 +260,20 @@ func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Rou
 				}
 				budget++
 			}
-			remaining = next
+			remaining = remaining[:k]
 		}
 		// Advance: drop edges that reached their destination.
-		var still []int
+		k := 0
 		for _, ei := range active {
 			if pos[ei] != pairs[ei][1] {
-				still = append(still, ei)
+				active[k] = ei
+				k++
 			}
 		}
-		active = still
+		active = active[:k]
 	}
 	if !opt.NoRefine {
-		refineRoutes(net, pairs, routes, linkUse)
+		refineRoutes(net, pairs, routes, linkUse, scr)
 	}
 	for _, u := range linkUse {
 		if u > stats.MaxContention {
@@ -194,7 +289,22 @@ func MMRoute(net *topology.Network, pairs [][2]int, opt Options) ([]topology.Rou
 // refineRoutes levels link load: each route is removed and replaced by
 // the shortest path minimizing (max link load, total link load) over the
 // shortest-path DAG, repeating until a sweep makes no change.
-func refineRoutes(net *topology.Network, pairs [][2]int, routes []topology.Route, linkUse []int) {
+func refineRoutes(net *topology.Network, pairs [][2]int, routes []topology.Route, linkUse []int, scr *graph.Scratch) {
+	n := net.Processors()
+	memo := congMemo{
+		stamp: scr.Ints(n),
+		max:   scr.Ints(n),
+		sum:   scr.Ints(n),
+		hop:   scr.Ints(n),
+		set:   scr.Bools(n),
+	}
+	maxLen := 0
+	for _, r := range routes {
+		if len(r) > maxLen {
+			maxLen = len(r)
+		}
+	}
+	buf := scr.IntsCap(maxLen)
 	for sweep := 0; sweep < 4; sweep++ {
 		changed := false
 		for i, p := range pairs {
@@ -204,23 +314,26 @@ func refineRoutes(net *topology.Network, pairs [][2]int, routes []topology.Route
 			for _, id := range routes[i] {
 				linkUse[id]--
 			}
-			nr := minCongestionRoute(net, p[0], p[1], linkUse)
-			if len(nr) == len(routes[i]) {
-				same := true
+			nr := minCongestionRoute(net, p[0], p[1], linkUse, &memo, buf[:0])
+			// Copy-on-change: the replacement usually equals the current
+			// route after the first sweep, so only a genuinely different
+			// route earns a fresh allocation.
+			same := len(nr) == len(routes[i])
+			if same {
 				for j := range nr {
 					if nr[j] != routes[i][j] {
 						same = false
 						break
 					}
 				}
-				if !same {
-					changed = true
-				}
-			} else {
-				changed = true
 			}
-			routes[i] = nr
-			for _, id := range nr {
+			if !same {
+				changed = true
+				fresh := make(topology.Route, len(nr))
+				copy(fresh, nr)
+				routes[i] = fresh
+			}
+			for _, id := range routes[i] {
 				linkUse[id]++
 			}
 		}
@@ -230,49 +343,66 @@ func refineRoutes(net *topology.Network, pairs [][2]int, routes []topology.Route
 	}
 }
 
+// congMemo is the per-refine memo of minCongestionRoute's dynamic
+// program, flat slices indexed by processor instead of the per-call
+// map[int]value this replaces. stamp[v] == epoch marks v's entry live
+// for the current call, so consecutive calls reuse the buffers without
+// clearing them.
+type congMemo struct {
+	stamp []int
+	epoch int
+	// max/sum: bottleneck and total link load of the best v->dst path;
+	// hop: next link id on it; set: a closer neighbor exists (or v=dst).
+	max, sum, hop []int
+	set           []bool
+}
+
+// solve computes the DP value at v over the shortest-path DAG toward
+// dst. The recursion terminates because Distance strictly decreases.
+func (m *congMemo) solve(net *topology.Network, linkUse []int, dst, v int) (max, sum int, set bool) {
+	if m.stamp[v] == m.epoch {
+		return m.max[v], m.sum[v], m.set[v]
+	}
+	dv := net.Distance(v, dst)
+	curMax, curSum, curHop := 0, 0, 0
+	curSet := false
+	nbrs := net.Neighbors(v)
+	lids := net.NeighborLinks(v)
+	for ni, u := range nbrs {
+		if net.Distance(u, dst) != dv-1 {
+			continue
+		}
+		id := lids[ni]
+		sMax, sSum, _ := m.solve(net, linkUse, dst, u)
+		if linkUse[id] > sMax {
+			sMax = linkUse[id]
+		}
+		s := sSum + linkUse[id]
+		if !curSet || sMax < curMax || (sMax == curMax && s < curSum) {
+			curMax, curSum, curHop, curSet = sMax, s, id, true
+		}
+	}
+	m.stamp[v] = m.epoch
+	m.max[v], m.sum[v], m.hop[v], m.set[v] = curMax, curSum, curHop, curSet
+	return curMax, curSum, curSet
+}
+
 // minCongestionRoute finds, among shortest src->dst paths, one minimizing
 // first the maximum link load and then the total load, by dynamic
-// programming over the shortest-path DAG.
-func minCongestionRoute(net *topology.Network, src, dst int, linkUse []int) topology.Route {
-	type value struct {
-		max, sum, hop int // hop: next link id on the best path
-		set           bool
-	}
-	best := map[int]value{dst: {set: true, hop: -1}}
-	var solve func(v int) value
-	solve = func(v int) value {
-		if val, ok := best[v]; ok {
-			return val
-		}
-		dv := net.Distance(v, dst)
-		cur := value{}
-		for _, u := range net.Neighbors(v) {
-			if net.Distance(u, dst) != dv-1 {
-				continue
-			}
-			id, _ := net.LinkBetween(v, u)
-			sub := solve(u)
-			m := sub.max
-			if linkUse[id] > m {
-				m = linkUse[id]
-			}
-			s := sub.sum + linkUse[id]
-			if !cur.set || m < cur.max || (m == cur.max && s < cur.sum) {
-				cur = value{max: m, sum: s, hop: id, set: true}
-			}
-		}
-		best[v] = cur
-		return cur
-	}
-	var route topology.Route
+// programming over the shortest-path DAG. The walk is written into buf
+// (a borrowed scratch slice); callers copy it out if they keep it.
+func minCongestionRoute(net *topology.Network, src, dst int, linkUse []int, m *congMemo, buf []int) []int {
+	m.epoch++
+	m.stamp[dst] = m.epoch
+	m.max[dst], m.sum[dst], m.hop[dst], m.set[dst] = 0, 0, -1, true
+	route := buf
 	at := src
 	for at != dst {
-		val := solve(at)
-		if !val.set {
+		if _, _, set := m.solve(net, linkUse, dst, at); !set {
 			return route
 		}
-		route = append(route, val.hop)
-		l := net.Link(val.hop)
+		route = append(route, m.hop[at])
+		l := net.Link(m.hop[at])
 		if at == l.A {
 			at = l.B
 		} else {
@@ -280,29 +410,6 @@ func minCongestionRoute(net *topology.Network, src, dst int, linkUse []int) topo
 		}
 	}
 	return route
-}
-
-// greedyInOrder runs the greedy maximal matching scanning X vertices in
-// the given order (most-constrained-first) rather than index order.
-func greedyInOrder(b *matching.Bipartite, order []int) (matchX, matchY []int) {
-	matchX = make([]int, b.NX)
-	matchY = make([]int, b.NY)
-	for i := range matchX {
-		matchX[i] = -1
-	}
-	for i := range matchY {
-		matchY[i] = -1
-	}
-	for _, x := range order {
-		for _, y := range b.Adj[x] {
-			if matchY[y] == -1 {
-				matchX[x] = y
-				matchY[y] = x
-				break
-			}
-		}
-	}
-	return matchX, matchY
 }
 
 // ECube routes each pair with the deterministic dimension-ordered route:

@@ -1,0 +1,68 @@
+package topology_test
+
+// Referee for the adjacency-aligned link index that replaced the
+// LinkBetween hash map: NeighborLinks must align slot for slot with
+// Neighbors, and LinkBetween must agree with a map rebuilt from the
+// link table — including on degraded (masked) views, whose rows are
+// re-sorted after surviving links are renumbered.
+
+import (
+	"math/rand"
+	"testing"
+
+	"oregami/internal/gen"
+	"oregami/internal/topology"
+)
+
+func refereeLinkIndex(t *testing.T, net *topology.Network) {
+	t.Helper()
+	byPair := make(map[[2]int]int)
+	for id, l := range net.Links() {
+		byPair[[2]int{l.A, l.B}] = id
+		byPair[[2]int{l.B, l.A}] = id
+	}
+	for v := 0; v < net.N; v++ {
+		nbrs := net.Neighbors(v)
+		lids := net.NeighborLinks(v)
+		if len(lids) != len(nbrs) {
+			t.Fatalf("%s: proc %d has %d neighbors but %d neighbor links",
+				net.Name, v, len(nbrs), len(lids))
+		}
+		for i, u := range nbrs {
+			want, ok := byPair[[2]int{v, u}]
+			if !ok {
+				t.Fatalf("%s: adjacency (%d,%d) has no link in the link table", net.Name, v, u)
+			}
+			if lids[i] != want {
+				t.Fatalf("%s: NeighborLinks(%d)[%d]=%d, link table says %d", net.Name, v, i, lids[i], want)
+			}
+			if id, ok := net.LinkBetween(v, u); !ok || id != want {
+				t.Fatalf("%s: LinkBetween(%d,%d)=%d,%v, link table says %d", net.Name, v, u, id, ok, want)
+			}
+		}
+		// Non-neighbors must miss.
+		for u := 0; u < net.N; u++ {
+			if u == v {
+				continue
+			}
+			if _, isNbr := byPair[[2]int{v, u}]; !isNbr {
+				if id, ok := net.LinkBetween(v, u); ok {
+					t.Fatalf("%s: LinkBetween(%d,%d)=%d but pair is not adjacent", net.Name, v, u, id)
+				}
+			}
+		}
+	}
+}
+
+func TestLinkIndexMatchesLinkTable(t *testing.T) {
+	gen.ForEachSeed(t, 40, func(t *testing.T, seed int64, r *rand.Rand) {
+		refereeLinkIndex(t, gen.Network(r))
+	})
+}
+
+func TestLinkIndexMatchesLinkTableUnderFaults(t *testing.T) {
+	gen.ForEachSeed(t, 40, func(t *testing.T, seed int64, r *rand.Rand) {
+		masked, _, _ := gen.Faults(r, gen.Network(r), 2, 2)
+		refereeLinkIndex(t, masked)
+	})
+}

@@ -66,6 +66,7 @@ func (nw *Network) Masked(failedProcs, failedLinks []int) (*Network, error) {
 	for _, a := range m.adj {
 		sort.Ints(a)
 	}
+	m.buildAdjLink()
 	return m, nil
 }
 

@@ -74,27 +74,53 @@ func (nw *Network) CountShortestRoutes(src, dst int) int {
 // walk starting at src. On a degraded view, a route traversing a failed
 // link is invalid.
 func (nw *Network) RouteEndpoints(src int, r Route) ([]int, bool) {
-	path := []int{src}
+	path := make([]int, 1, len(r)+1)
+	path[0] = src
 	at := src
 	for _, id := range r {
-		if id < 0 || id >= len(nw.links) {
+		at2, ok := nw.step(at, id)
+		if !ok {
 			return nil, false
 		}
-		if nw.deadLink != nil && nw.deadLink[id] {
-			return nil, false
-		}
-		l := nw.links[id]
-		switch at {
-		case l.A:
-			at = l.B
-		case l.B:
-			at = l.A
-		default:
-			return nil, false
-		}
+		at = at2
 		path = append(path, at)
 	}
 	return path, true
+}
+
+// RouteDest replays a route from src and returns only the processor it
+// ends at, or ok=false if the link sequence is not a valid walk. It is
+// RouteEndpoints without the path allocation, for validation loops that
+// only care where a route lands.
+func (nw *Network) RouteDest(src int, r Route) (int, bool) {
+	at := src
+	for _, id := range r {
+		at2, ok := nw.step(at, id)
+		if !ok {
+			return 0, false
+		}
+		at = at2
+	}
+	return at, true
+}
+
+// step crosses link id from processor at, failing on invalid or dead
+// links and on links not incident to at.
+func (nw *Network) step(at, id int) (int, bool) {
+	if id < 0 || id >= len(nw.links) {
+		return 0, false
+	}
+	if nw.deadLink != nil && nw.deadLink[id] {
+		return 0, false
+	}
+	l := nw.links[id]
+	switch at {
+	case l.A:
+		return l.B, true
+	case l.B:
+		return l.A, true
+	}
+	return 0, false
 }
 
 // DimensionOrderRoute returns the e-cube route from src to dst on a

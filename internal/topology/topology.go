@@ -33,10 +33,11 @@ type Network struct {
 	// dimension, tree depth, etc. Interpretation depends on Kind.
 	Dims []int
 
-	adj    [][]int
-	links  []Link
-	linkID map[[2]int]int
-	dist   [][]int16 // lazily computed all-pairs hop distances
+	adj     [][]int
+	adjLink [][]int // link ids aligned slot for slot with adj
+	links   []Link
+	linkID  map[[2]int]int // construction-time dup detection only
+	dist    [][]int16      // lazily computed all-pairs hop distances
 
 	// Degraded views (see Masked): when degraded is set, deadProc and
 	// deadLink mark failed hardware, adj excludes dead links, and the
@@ -80,7 +81,26 @@ func (nw *Network) finish() *Network {
 	for _, l := range nw.adj {
 		sort.Ints(l)
 	}
+	nw.buildAdjLink()
 	return nw
+}
+
+// buildAdjLink fills adjLink so that adjLink[v][i] is the id of the link
+// joining v and adj[v][i]. Hot queries (LinkBetween, NeighborLinks) read
+// these flat arrays; the linkID map only serves construction.
+func (nw *Network) buildAdjLink() {
+	nw.adjLink = make([][]int, nw.N)
+	for v, row := range nw.adj {
+		ids := make([]int, len(row))
+		for i, u := range row {
+			a, b := v, u
+			if a > b {
+				a, b = b, a
+			}
+			ids[i] = nw.linkID[[2]int{a, b}]
+		}
+		nw.adjLink[v] = ids
+	}
 }
 
 // Processors returns the number of processors (the N field). This is
@@ -115,17 +135,30 @@ func (nw *Network) NumLinks() int { return len(nw.links) }
 func (nw *Network) Links() []Link { return nw.links }
 
 // LinkBetween returns the link id joining a and b, if adjacent. On a
-// degraded view, failed links do not join their endpoints.
+// degraded view, failed links do not join their endpoints. It binary
+// searches a's adjacency row (which already excludes dead links) rather
+// than hashing a map key — this sits on MM-Route's innermost loop.
 func (nw *Network) LinkBetween(a, b int) (int, bool) {
-	if a > b {
-		a, b = b, a
+	row := nw.adj[a]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	id, ok := nw.linkID[[2]int{a, b}]
-	if ok && nw.deadLink != nil && nw.deadLink[id] {
-		return 0, false
+	if lo < len(row) && row[lo] == b {
+		return nw.adjLink[a][lo], true
 	}
-	return id, ok
+	return 0, false
 }
+
+// NeighborLinks returns the link ids aligned slot for slot with
+// Neighbors(v): NeighborLinks(v)[i] joins v and Neighbors(v)[i]. The
+// returned slice is shared; callers must not modify it.
+func (nw *Network) NeighborLinks(v int) []int { return nw.adjLink[v] }
 
 // Link returns the link with the given id.
 func (nw *Network) Link(id int) Link { return nw.links[id] }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package oregami
+
+// See race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package oregami
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; allocation-budget gates skip themselves when it is, since
+// race instrumentation allocates on its own schedule.
+const raceEnabled = true

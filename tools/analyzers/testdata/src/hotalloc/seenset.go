@@ -1,0 +1,50 @@
+//oregami:hot
+
+// The patterns the CSR refactor removed from the real hot paths, kept
+// here as regression cases: per-call seen-sets and per-iteration
+// collapsed-weight tables must stay flagged so they cannot creep back.
+package corpus
+
+// degreeWithSeenSet is the map-era TaskGraph.Degree shape: every call
+// sitting in a caller's loop paid one seen-set allocation per task.
+func degreeWithSeenSet(adj [][]int, vs []int) int {
+	total := 0
+	for _, v := range vs {
+		seen := make(map[int]bool) // want "map allocated inside a loop"
+		for _, u := range adj[v] {
+			seen[u] = true
+		}
+		total += len(seen)
+	}
+	return total
+}
+
+// collapsePerPhase is the map-era collapsed-weight build: one
+// aggregation table allocated per phase of every call.
+func collapsePerPhase(phases [][][2]int) []map[[2]int]float64 {
+	var out []map[[2]int]float64
+	for _, edges := range phases {
+		agg := map[[2]int]float64{} // want "map literal inside a loop"
+		for _, e := range edges {
+			agg[e]++
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// visitedPerRound is the map-era congestion memo: a fresh visited set
+// and memo pair per refinement round.
+func visitedPerRound(rounds int, n int) int {
+	hits := 0
+	for r := 0; r < rounds; r++ {
+		memo := make(map[int]int)  // want "map allocated inside a loop"
+		order := make([]int, 0, n) // want "slice allocated inside a loop"
+		for v := 0; v < n; v++ {
+			memo[v] = r
+			order = append(order, v)
+		}
+		hits += len(memo) + len(order)
+	}
+	return hits
+}

@@ -6,6 +6,14 @@
 //
 //	go test -bench . -benchmem | go run ./tools/benchjson > BENCH_pipeline.json
 //	go run ./tools/benchjson bench.txt > BENCH_pipeline.json
+//	go run ./tools/benchjson -baseline BENCH_parallel.json bench.txt > new.json
+//
+// With -baseline, the converted run is also compared against a
+// previously archived document: any benchmark present in both whose
+// allocs/op grew more than -alloc-tolerance (default 10%) is reported
+// and the exit status is 1. Wall-clock is deliberately not gated — it
+// is too machine-dependent for CI — but the allocation profile is
+// deterministic, so growth there is a real regression.
 //
 // Lines that are not benchmark results (build chatter, PASS/ok
 // trailers) are ignored; goos/goarch/pkg/cpu headers are captured as
@@ -15,6 +23,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -44,9 +53,12 @@ type Document struct {
 }
 
 func main() {
+	baselinePath := flag.String("baseline", "", "archived benchjson document to gate allocs/op against")
+	tolerance := flag.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op growth over the baseline")
+	flag.Parse()
 	in := io.Reader(os.Stdin)
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -65,6 +77,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
 	}
+	if *baselinePath == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	regressions := CompareAllocs(&base, doc, *tolerance)
+	for _, msg := range regressions {
+		fmt.Fprintln(os.Stderr, "benchjson:", msg)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: allocs/op within %.0f%% of %s\n", *tolerance*100, *baselinePath)
+}
+
+// CompareAllocs reports one message per benchmark whose allocs/op grew
+// more than tolerance (fractional) over the baseline document.
+// Benchmarks present on only one side are ignored: the gate watches
+// drift on shared names, not suite membership.
+func CompareAllocs(base, cur *Document, tolerance float64) []string {
+	baseline := make(map[string]int64, len(base.Results))
+	for _, r := range base.Results {
+		if r.AllocsPerOp != nil {
+			baseline[r.Name] = *r.AllocsPerOp
+		}
+	}
+	var out []string
+	for _, r := range cur.Results {
+		was, ok := baseline[r.Name]
+		if !ok || r.AllocsPerOp == nil {
+			continue
+		}
+		got := *r.AllocsPerOp
+		if float64(got) > float64(was)*(1+tolerance) {
+			out = append(out, fmt.Sprintf("%s allocs/op regressed: %d -> %d (%.1f%% over the %.0f%% tolerance baseline)",
+				r.Name, was, got, 100*(float64(got)/float64(was)-1), tolerance*100))
+		}
+	}
+	return out
 }
 
 // Convert parses benchmark text into a Document.

@@ -52,3 +52,25 @@ func TestConvertIgnoresGarbage(t *testing.T) {
 		t.Fatalf("garbage parsed as results: %+v", doc.Results)
 	}
 }
+
+func TestCompareAllocs(t *testing.T) {
+	alloc := func(n int64) *int64 { return &n }
+	base := &Document{Results: []Result{
+		{Name: "BenchmarkA", AllocsPerOp: alloc(1000)},
+		{Name: "BenchmarkB", AllocsPerOp: alloc(50)},
+		{Name: "BenchmarkOnlyInBase", AllocsPerOp: alloc(10)},
+	}}
+	cur := &Document{Results: []Result{
+		{Name: "BenchmarkA", AllocsPerOp: alloc(1099)},                // +9.9%: inside tolerance
+		{Name: "BenchmarkB", AllocsPerOp: alloc(60)},                  // +20%: regression
+		{Name: "BenchmarkOnlyInCurrent", AllocsPerOp: alloc(1 << 20)}, // no baseline: ignored
+		{Name: "BenchmarkNoAllocs"},                                   // no -benchmem: ignored
+	}}
+	got := CompareAllocs(base, cur, 0.10)
+	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkB") {
+		t.Fatalf("CompareAllocs = %v, want exactly the BenchmarkB regression", got)
+	}
+	if msgs := CompareAllocs(base, cur, 0.25); len(msgs) != 0 {
+		t.Fatalf("CompareAllocs at 25%% tolerance = %v, want none", msgs)
+	}
+}
