@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz lint lint-baseline check alloc bench bench-parallel cover smoke-serve bench-serve chaos
+.PHONY: build test vet race fuzz lint lint-baseline check alloc bench bench-parallel bench-multilevel cover smoke-serve bench-serve chaos
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,7 @@ fuzz:
 	$(GO) test -run=FuzzLaRCSParse -fuzz=FuzzLaRCSParse -fuzztime=$(FUZZTIME) ./internal/larcs/
 	$(GO) test -run=FuzzVerifyMapping -fuzz=FuzzVerifyMapping -fuzztime=$(FUZZTIME) ./internal/check/
 	$(GO) test -run=FuzzCSRRoundTrip -fuzz=FuzzCSRRoundTrip -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run=FuzzCoarsen -fuzz=FuzzCoarsen -fuzztime=$(FUZZTIME) ./internal/multilevel/
 
 # Static analysis: formatting, go vet, and oregami-lint
 # (tools/analyzers) against the checked-in baseline — pre-existing
@@ -72,6 +73,25 @@ bench-parallel:
 	$(GO) test -run='^$$' -bench=BenchmarkParallelPipeline -benchmem -benchtime=$(PARBENCHTIME) -count=1 . | tee BENCH_parallel.txt
 	$(GO) run ./tools/benchjson -baseline BENCH_parallel.json BENCH_parallel.txt > BENCH_parallel.new.json
 	@echo "wrote BENCH_parallel.new.json (baseline BENCH_parallel.json unchanged)"
+
+# Multilevel scale benchmark (docs/MULTILEVEL.md): coarsen/map/uncoarsen
+# and the recursive-bisection baseline at 1e5 and 1e6 tasks onto the
+# 512-PE hierarchy, archived as benchjson. While the committed
+# BENCH_multilevel.json baseline exists the run is gated against it
+# (>10% allocs/op growth on any sub-benchmark fails) and the fresh
+# numbers land in BENCH_multilevel.new.json; without a baseline the
+# target writes BENCH_multilevel.json directly so it can be committed.
+MLBENCHTIME ?= 1x
+bench-multilevel:
+	$(GO) test -run='^$$' -bench='BenchmarkMultilevel|BenchmarkRecursiveBisection' \
+		-benchmem -benchtime=$(MLBENCHTIME) -count=1 -timeout=30m . | tee BENCH_multilevel.txt
+	@if [ -f BENCH_multilevel.json ]; then \
+		$(GO) run ./tools/benchjson -baseline BENCH_multilevel.json BENCH_multilevel.txt > BENCH_multilevel.new.json && \
+		echo "wrote BENCH_multilevel.new.json (baseline BENCH_multilevel.json unchanged)"; \
+	else \
+		$(GO) run ./tools/benchjson BENCH_multilevel.txt > BENCH_multilevel.json && \
+		echo "wrote BENCH_multilevel.json (new baseline — commit it with git add -f)"; \
+	fi
 
 # End-to-end smoke test of the mapping daemon: build, serve on a random
 # port, cold-then-warm /v1/map (miss then hit), graceful SIGTERM drain.

@@ -21,6 +21,7 @@ import (
 	"oregami/internal/gen"
 	"oregami/internal/larcs"
 	"oregami/internal/metrics"
+	"oregami/internal/multilevel"
 	"oregami/internal/route"
 	"oregami/internal/topology"
 )
@@ -101,6 +102,27 @@ func TestAllocBudgetMetrics(t *testing.T) {
 	}
 	gate(t, "metrics.ComputeN", 20, func() {
 		if _, err := metrics.ComputeN(res.Mapping, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetMultilevelContract(t *testing.T) {
+	g := gen.TaskGraph(gen.Rand(7), gen.GraphSize{Tasks: 2000, Phases: 4, Density: 0.01, MaxWeight: 8})
+	g.WarmCSR()
+	opt := multilevel.Options{Processors: 64, Parallelism: 1}
+	if _, _, err := multilevel.Contract(g, opt); err != nil {
+		t.Fatal(err)
+	}
+	// Coarsening allocates a fixed handful of slices per level (CSR
+	// quadruple + cmap + members), the level count is logarithmic in the
+	// task count, and the coarsest-level MWMContract runs on a
+	// fixed-size (<= max(64, 2P)-vertex) graph — so the budget stays
+	// flat as fine graphs grow. A per-fine-vertex or per-edge
+	// allocation pattern would blow through it immediately at 2000
+	// tasks.
+	gate(t, "multilevel.Contract", 5500, func() {
+		if _, _, err := multilevel.Contract(g, opt); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,102 @@
+package oregami
+
+// Scale benchmarks for the multilevel engine (docs/MULTILEVEL.md):
+// coarsen/map/uncoarsen over streaming-generated stencil graphs at 1e5
+// and 1e6 tasks onto a 512-PE hierarchical topology, plus the
+// recursive-bisection baseline on the same workloads. Each
+// sub-benchmark reports a tasks/s metric alongside the usual ns/op and
+// -benchmem allocation counters; `make bench-multilevel` archives the
+// results as BENCH_multilevel.json and gates allocs/op against the
+// committed baseline. The last iteration's mapping is re-checked
+// against the internal/check oracle outside the timer, so an archived
+// number can never come from an invalid mapping.
+
+import (
+	"testing"
+
+	"oregami/internal/check"
+	"oregami/internal/gen"
+	"oregami/internal/multilevel"
+	"oregami/internal/topology"
+)
+
+// multilevelBenchSizes are the grid shapes behind the n=1e5 and n=1e6
+// data points. The graphs are 5-point stencils from gen.Grid2D —
+// bounded degree, so per-iteration cost scales with tasks, and the
+// compact label backing keeps graph construction cheap enough to do in
+// setup.
+var multilevelBenchSizes = []struct {
+	name string
+	r, c int
+}{
+	{"n=100000", 250, 400},
+	{"n=1000000", 1000, 1000},
+}
+
+// benchHierNet is the 4x4x4x8 PE/NUMA/socket/rack hierarchy: 512
+// processors, the shape the acceptance numbers are quoted against.
+func benchHierNet() *topology.Network {
+	net := topology.Hierarchy(4, 4, 4, 8)
+	net.WarmDistances()
+	return net
+}
+
+func BenchmarkMultilevel(b *testing.B) {
+	net := benchHierNet()
+	for _, sz := range multilevelBenchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			g := gen.Grid2D(sz.r, sz.c)
+			g.WarmCSR()
+			tasks := sz.r * sz.c
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, _, err := multilevel.Map(g, net, multilevel.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.StopTimer()
+					b.ReportMetric(float64(tasks)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+					if err := m.Validate(); err != nil {
+						b.Fatal(err)
+					}
+					if vs := check.VerifyMapping(g, net, m); len(vs) > 0 {
+						b.Fatalf("oracle: %v", vs[0])
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRecursiveBisection(b *testing.B) {
+	net := benchHierNet()
+	for _, sz := range multilevelBenchSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			g := gen.Grid2D(sz.r, sz.c)
+			g.WarmCSR()
+			tasks := sz.r * sz.c
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, _, err := multilevel.BisectMap(g, net, multilevel.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.StopTimer()
+					b.ReportMetric(float64(tasks)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+					if err := m.Validate(); err != nil {
+						b.Fatal(err)
+					}
+					if vs := check.VerifyMapping(g, net, m); len(vs) > 0 {
+						b.Fatalf("oracle: %v", vs[0])
+					}
+					b.StartTimer()
+				}
+			}
+		})
+	}
+}

@@ -180,6 +180,19 @@ func runVet(args []string) error {
 	return nil
 }
 
+// resolveAlgo merges the -force and -algo flags: -algo is the alias
+// that also names the scale mappers (multilevel, recursive-bisection).
+// Setting both to different classes is an error.
+func resolveAlgo(force, algo string) (core.Class, error) {
+	if algo == "" {
+		return core.Class(force), nil
+	}
+	if force != "" && force != algo {
+		return "", fmt.Errorf("-algo %q conflicts with -force %q", algo, force)
+	}
+	return core.Class(algo), nil
+}
+
 // runMap compiles a program and runs the MAPPER pipeline onto a target
 // network, optionally gated by the post-condition oracle.
 func runMap(args []string) error {
@@ -188,6 +201,7 @@ func runMap(args []string) error {
 	wname := fs.String("workload", "", "bundled workload name instead of -file")
 	netSpec := fs.String("net", "", "target network, e.g. hypercube:3 or mesh:4,4")
 	force := fs.String("force", "", "force a MAPPER class: canned|systolic|group-theoretic|arbitrary")
+	algo := fs.String("algo", "", "algorithm to run (alias of -force, plus the scale mappers): canned|systolic|group-theoretic|arbitrary|multilevel|recursive-bisection")
 	doCheck := fs.Bool("check", false, "verify the mapping with the post-condition oracle; violations exit 1")
 	parallel := fs.Int("parallel", 0, "worker budget for MAPPER's parallel hot paths (0 = all CPUs, 1 = sequential; result is identical at every setting)")
 	maxTasks := fs.Int("max-tasks", 0, "cap on the expanded task count (0 = default 1048576)")
@@ -226,7 +240,11 @@ func runMap(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force), Check: *doCheck, Parallelism: *parallel})
+	class, err := resolveAlgo(*force, *algo)
+	if err != nil {
+		return usageError{err}
+	}
+	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: class, Check: *doCheck, Parallelism: *parallel})
 	if err != nil {
 		var pe *core.PipelineError
 		var ve *check.ViolationError

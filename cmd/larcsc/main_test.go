@@ -206,3 +206,25 @@ func TestCLIExpansionLimits(t *testing.T) {
 		t.Errorf("limit error not surfaced:\n%s", out)
 	}
 }
+
+func TestCLIAlgo(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "map", "-workload", "jacobi", "-net", "hier:2,2,4", "-algo", "recursive-bisection").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "class recursive-bisection") {
+		t.Errorf("class missing:\n%s", out)
+	}
+	out, err = exec.Command(bin, "map", "-workload", "jacobi", "-net", "hier:2,2,4", "-algo", "multilevel").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "class multilevel") {
+		t.Errorf("class missing:\n%s", out)
+	}
+	// Conflicting -algo/-force is a usage error (exit 2).
+	if code, out := exitCode(t, bin, "map", "-workload", "jacobi", "-net", "hier:2,2,4", "-algo", "multilevel", "-force", "canned"); code != 2 || !strings.Contains(out, "conflicts with -force") {
+		t.Errorf("conflict: exit %d, want 2 with named conflict\n%s", code, out)
+	}
+}

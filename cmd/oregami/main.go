@@ -104,11 +104,25 @@ func parseIDList(s string) ([]int, error) {
 	return out, nil
 }
 
+// resolveAlgo merges the -force and -algo flags: -algo is the alias
+// that also names the scale mappers (multilevel, recursive-bisection).
+// Setting both to different classes is an error.
+func resolveAlgo(force, algo string) (core.Class, error) {
+	if algo == "" {
+		return core.Class(force), nil
+	}
+	if force != "" && force != algo {
+		return "", fmt.Errorf("-algo %q conflicts with -force %q", algo, force)
+	}
+	return core.Class(algo), nil
+}
+
 func run(out *os.File) error {
 	file := flag.String("file", "", "LaRCS source file")
 	wname := flag.String("workload", "", "bundled workload name")
 	netSpec := flag.String("net", "", "target network, e.g. hypercube:3 or mesh:4,4")
 	force := flag.String("force", "", "force a MAPPER class: canned|systolic|group-theoretic|arbitrary")
+	algo := flag.String("algo", "", "algorithm to run (alias of -force, plus the scale mappers): canned|systolic|group-theoretic|arbitrary|multilevel|recursive-bisection")
 	doSim := flag.Bool("sim", true, "simulate the phase schedule and report completion time")
 	dot := flag.Bool("dot", false, "emit the mapping as Graphviz DOT and exit")
 	shell := flag.Bool("shell", false, "open the interactive metrics shell after mapping")
@@ -199,7 +213,11 @@ func run(out *os.File) error {
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel must be >= 0 (0 = all CPUs), got %d", *parallel)
 	}
-	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: core.Class(*force), Check: *doCheck, Parallelism: *parallel})
+	class, err := resolveAlgo(*force, *algo)
+	if err != nil {
+		return err
+	}
+	res, err := core.Map(core.Request{Compiled: c, Net: net, Force: class, Check: *doCheck, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

@@ -245,3 +245,35 @@ func TestCLIDot(t *testing.T) {
 		t.Errorf("dot output malformed:\n%s", out)
 	}
 }
+
+func TestCLIAlgoMultilevel(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-workload", "nbody", "-net", "hier:2,2,4", "-algo", "multilevel", "-sim=false", "-check").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"MAPPER class: multilevel", "refine moves", "check: mapping verified"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	out, err = exec.Command(bin, "-workload", "jacobi", "-net", "hier:4,4", "-algo", "recursive-bisection", "-sim=false").CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "MAPPER class: recursive-bisection") {
+		t.Errorf("baseline class missing:\n%s", out)
+	}
+	// -algo agreeing with -force is fine; conflicting is a usage error.
+	if out, err := exec.Command(bin, "-workload", "nbody", "-net", "hypercube:3", "-algo", "arbitrary", "-force", "arbitrary", "-sim=false").CombinedOutput(); err != nil {
+		t.Errorf("agreeing -algo/-force rejected: %v\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "-workload", "nbody", "-net", "hypercube:3", "-algo", "multilevel", "-force", "canned").CombinedOutput()
+	if err == nil {
+		t.Fatalf("conflicting -algo/-force accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "conflicts with -force") {
+		t.Errorf("conflict error not named:\n%s", out)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"oregami/internal/larcs"
 	"oregami/internal/mapping"
 	"oregami/internal/metrics"
+	"oregami/internal/multilevel"
 	"oregami/internal/route"
 	"oregami/internal/systolic"
 	"oregami/internal/topology"
@@ -37,6 +38,15 @@ const (
 	ClassSystolic  Class = "systolic"
 	ClassGroup     Class = "group-theoretic"
 	ClassArbitrary Class = "arbitrary"
+	// ClassMultilevel and ClassBisect are the scale-oriented mappers
+	// (internal/multilevel): coarsen/map/uncoarsen and recursive
+	// bisection. They are selected explicitly via Force ("-algo" on the
+	// CLIs) rather than joining the automatic try order — at the small
+	// sizes the auto ladder serves, the paper's exact pipeline is the
+	// better default, and at the million-task sizes these exist for,
+	// callers know they want them.
+	ClassMultilevel Class = "multilevel"
+	ClassBisect     Class = "recursive-bisection"
 )
 
 // PipelineError is the typed failure of one MAPPER pipeline stage: panics
@@ -220,6 +230,10 @@ func Map(req Request) (*Result, error) {
 				return mapGroup(ctx, req, res, trail)
 			case ClassArbitrary:
 				return mapArbitrary(ctx, req, res, trail)
+			case ClassMultilevel:
+				return mapMultilevel(ctx, req, trail)
+			case ClassBisect:
+				return mapBisect(ctx, req, trail)
 			default:
 				return nil, fmt.Errorf("core: unknown class %q", class)
 			}
@@ -595,6 +609,48 @@ func contractWithFallback(ctx context.Context, req Request, g *graph.TaskGraph, 
 		return nil, fmt.Errorf("greedy fallback after %v: %w", err, gerr)
 	}
 	return part, nil
+}
+
+// mapMultilevel runs the hierarchical coarsen/map/uncoarsen engine
+// (internal/multilevel): the scale path for task graphs far larger
+// than the exact pipeline can contract in one round.
+func mapMultilevel(ctx context.Context, req Request, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	g := req.Compiled.Graph
+	contractStart := time.Now()
+	m, st, err := multilevel.Map(g, req.Net, multilevel.Options{
+		MaxTasksPerProc: req.MaxTasksPerProc,
+		Ctx:             ctx,
+		Parallelism:     req.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req.observe("contract", contractStart)
+	trail("multilevel: %d levels (coarsest %d of %d tasks), %d refine moves, %d clusters (IPC %g)",
+		st.Levels, st.CoarsestTasks, g.NumTasks, st.RefineMoves, st.Clusters, m.TotalIPC())
+	return m, nil
+}
+
+// mapBisect runs the recursive-bisection baseline (internal/multilevel):
+// index-halved processor groups, BFS-grown task halves.
+func mapBisect(ctx context.Context, req Request, trail func(string, ...interface{})) (*mapping.Mapping, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := req.Compiled.Graph
+	contractStart := time.Now()
+	m, st, err := multilevel.BisectMap(g, req.Net, multilevel.Options{
+		MaxTasksPerProc: req.MaxTasksPerProc,
+		Ctx:             ctx,
+		Parallelism:     req.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	req.observe("contract", contractStart)
+	trail("recursive-bisection: %d tasks into %d clusters over %d live processors (IPC %g)",
+		g.NumTasks, st.Clusters, req.Net.NumLive(), m.TotalIPC())
+	return m, nil
 }
 
 // safeContract contains panics from a contraction algorithm.

@@ -1,0 +1,20 @@
+package graph
+
+import "testing"
+
+func TestNewCompactLabels(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 9, 10, 11, 99, 100, 101, 1234} {
+		a, b := New("x", n), NewCompact("x", n)
+		if len(a.Labels) != len(b.Labels) {
+			t.Fatalf("n=%d: len %d vs %d", n, len(a.Labels), len(b.Labels))
+		}
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				t.Fatalf("n=%d label[%d]: %q vs %q", n, i, a.Labels[i], b.Labels[i])
+			}
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package matching
+
+// Heavy-edge matching: the cheap, linear-time matcher multilevel
+// coarsening runs at every level (Schulz & Woydt call it the standard
+// coarsening matcher). Unlike the blossom algorithm it makes no
+// optimality promise — it just pairs each vertex with its heaviest
+// still-free neighbor — but it runs in O(|E|) with zero allocations,
+// which is what lets the coarsener chew through million-edge levels.
+
+// HeavyEdgeCSR computes a greedy heavy-edge matching over a graph in
+// CSR form: vertex v's neighbors are adj[off[v]:off[v+1]] with edge
+// weights w aligned slot for slot. Vertices are visited in index order;
+// each unmatched vertex is paired with its heaviest unmatched neighbor,
+// ties broken toward the smallest index, so the result is deterministic
+// for a given CSR layout.
+//
+// vw optionally carries vertex weights (coarse vertices aggregate fine
+// ones): when non-nil, a pair is only formed if vw[v]+vw[u] <= maxVW,
+// which is how the coarsener keeps coarse vertices balanced enough for
+// the final contraction's MaxTasksPerProc bound. Pass vw == nil to
+// disable the cap.
+//
+// mate must have length n; it is overwritten with the matching
+// (mate[v] == partner, or -1 when v stays single). The number of
+// matched pairs is returned. No allocations are performed.
+func HeavyEdgeCSR(n int, off, adj []int32, w []float64, vw []int32, maxVW int32, mate []int32) int {
+	if len(mate) != n {
+		panic("matching: HeavyEdgeCSR mate length mismatch")
+	}
+	for v := range mate[:n] {
+		mate[v] = -1
+	}
+	pairs := 0
+	for v := 0; v < n; v++ {
+		if mate[v] != -1 {
+			continue
+		}
+		best := int32(-1)
+		bestW := 0.0
+		for i := off[v]; i < off[v+1]; i++ {
+			u := adj[i]
+			if int(u) == v || mate[u] != -1 {
+				continue
+			}
+			if vw != nil && vw[v]+vw[u] > maxVW {
+				continue
+			}
+			if best == -1 || w[i] > bestW || (w[i] == bestW && u < best) {
+				best, bestW = u, w[i]
+			}
+		}
+		if best != -1 {
+			mate[v] = best
+			mate[best] = int32(v)
+			pairs++
+		}
+	}
+	return pairs
+}

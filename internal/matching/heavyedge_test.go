@@ -1,0 +1,147 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// csrFromEdges builds a symmetric CSR view of an undirected edge list.
+func csrFromEdges(n int, edges []WEdge) (off, adj []int32, w []float64) {
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		deg[e.I+1]++
+		deg[e.J+1]++
+	}
+	off = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + deg[i+1]
+	}
+	adj = make([]int32, off[n])
+	w = make([]float64, off[n])
+	pos := append([]int32(nil), off...)
+	for _, e := range edges {
+		adj[pos[e.I]], w[pos[e.I]] = int32(e.J), e.Weight
+		pos[e.I]++
+		adj[pos[e.J]], w[pos[e.J]] = int32(e.I), e.Weight
+		pos[e.J]++
+	}
+	return off, adj, w
+}
+
+func checkMatching(t *testing.T, n int, mate []int32) int {
+	t.Helper()
+	pairs := 0
+	for v := 0; v < n; v++ {
+		m := mate[v]
+		if m == -1 {
+			continue
+		}
+		if m < 0 || int(m) >= n || int(m) == v {
+			t.Fatalf("mate[%d] = %d out of range", v, m)
+		}
+		if mate[m] != int32(v) {
+			t.Fatalf("mate not symmetric: mate[%d]=%d but mate[%d]=%d", v, m, m, mate[m])
+		}
+		if int(m) > v {
+			pairs++
+		}
+	}
+	return pairs
+}
+
+func TestHeavyEdgeCSRBasic(t *testing.T) {
+	// Path 0-1-2-3 with a heavy middle edge: greedy pairs (0,1) first
+	// (index order), then (2,3) — the heavy edge loses to visit order,
+	// which is exactly the determinism contract.
+	edges := []WEdge{{0, 1, 1}, {1, 2, 10}, {2, 3, 1}}
+	off, adj, w := csrFromEdges(4, edges)
+	mate := make([]int32, 4)
+	if got := HeavyEdgeCSR(4, off, adj, w, nil, 0, mate); got != 2 {
+		t.Fatalf("pairs = %d, want 2", got)
+	}
+	if mate[0] != 1 || mate[2] != 3 {
+		t.Errorf("mate = %v, want [1 0 3 2]", mate)
+	}
+
+	// Star with distinct weights: the center takes its heaviest spoke.
+	edges = []WEdge{{0, 1, 1}, {0, 2, 5}, {0, 3, 3}}
+	off, adj, w = csrFromEdges(4, edges)
+	if got := HeavyEdgeCSR(4, off, adj, w, nil, 0, mate); got != 1 {
+		t.Fatalf("star pairs = %d, want 1", got)
+	}
+	if mate[0] != 2 || mate[2] != 0 || mate[1] != -1 || mate[3] != -1 {
+		t.Errorf("star mate = %v", mate)
+	}
+}
+
+func TestHeavyEdgeCSRVertexWeightCap(t *testing.T) {
+	// Triangle where vertex weights forbid the heavy pairing.
+	edges := []WEdge{{0, 1, 9}, {0, 2, 1}, {1, 2, 1}}
+	off, adj, w := csrFromEdges(3, edges)
+	vw := []int32{3, 3, 1}
+	mate := make([]int32, 3)
+	if got := HeavyEdgeCSR(3, off, adj, w, vw, 4, mate); got != 1 {
+		t.Fatalf("pairs = %d, want 1", got)
+	}
+	// 0+1 = 6 > 4 is barred; 0 falls back to 2 (3+1 <= 4).
+	if mate[0] != 2 || mate[1] != -1 {
+		t.Errorf("mate = %v, want 0-2 matched", mate)
+	}
+}
+
+// Heavy-edge matching is a valid matching and deterministic across
+// repeated runs on random graphs; blossom gives the weight ceiling.
+func TestHeavyEdgeCSRRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		var edges []WEdge
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if r.Float64() < 0.3 {
+					edges = append(edges, WEdge{a, b, float64(1 + r.Intn(20))})
+				}
+			}
+		}
+		off, adj, w := csrFromEdges(n, edges)
+		mate := make([]int32, n)
+		pairs := HeavyEdgeCSR(n, off, adj, w, nil, 0, mate)
+		if got := checkMatching(t, n, mate); got != pairs {
+			t.Fatalf("reported %d pairs, found %d", pairs, got)
+		}
+		again := make([]int32, n)
+		HeavyEdgeCSR(n, off, adj, w, nil, 0, again)
+		for v := range mate {
+			if mate[v] != again[v] {
+				t.Fatalf("nondeterministic at %d: %d vs %d", v, mate[v], again[v])
+			}
+		}
+		greedy := 0.0
+		for v := 0; v < n; v++ {
+			if int(mate[v]) > v {
+				for i := off[v]; i < off[v+1]; i++ {
+					if adj[i] == mate[v] {
+						greedy += w[i]
+						break
+					}
+				}
+			}
+		}
+		opt := MatchingWeight(MaxWeightMatching(n, edges, false), edges)
+		if greedy > opt+1e-9 {
+			t.Fatalf("greedy weight %v exceeds optimum %v", greedy, opt)
+		}
+	}
+}
+
+func TestHeavyEdgeCSRNoAllocs(t *testing.T) {
+	edges := []WEdge{{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 0, 5}}
+	off, adj, w := csrFromEdges(4, edges)
+	mate := make([]int32, 4)
+	allocs := testing.AllocsPerRun(100, func() {
+		HeavyEdgeCSR(4, off, adj, w, nil, 0, mate)
+	})
+	if allocs != 0 {
+		t.Errorf("HeavyEdgeCSR allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,96 @@
+package multilevel
+
+import (
+	"testing"
+
+	"oregami/internal/gen"
+)
+
+// FuzzCoarsen drives random task graphs through the coarsening
+// hierarchy and checks the conservation laws on every level: the
+// vertex weights always sum to the fine task count, the level's edge
+// weight equals exactly the fine weight crossing its groups (gen emits
+// integral weights, so float equality is exact), contraction maps are
+// dense surjections, and the end-to-end Contract partition is dense and
+// within the processor budget.
+func FuzzCoarsen(f *testing.F) {
+	f.Add(int64(1), uint16(40), byte(30), byte(1), byte(2))
+	f.Add(int64(7), uint16(200), byte(10), byte(2), byte(5))
+	f.Add(int64(42), uint16(3), byte(90), byte(3), byte(1))
+	f.Add(int64(1234), uint16(500), byte(5), byte(1), byte(7))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, density, phases, procs byte) {
+		tasks := 2 + int(n)%500
+		g := gen.TaskGraph(gen.Rand(seed), gen.GraphSize{
+			Tasks:     tasks,
+			Phases:    1 + int(phases)%3,
+			Density:   float64(int(density)%60) / 200,
+			MaxWeight: 5,
+		})
+		p := 2 + int(procs)%8
+		opt := Options{Processors: p, CoarsenTo: p}
+		levels, err := coarsen(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := g.CSR()
+		for li, lv := range levels {
+			var vwSum int32
+			for _, w := range lv.vw {
+				vwSum += w
+			}
+			if int(vwSum) != tasks {
+				t.Fatalf("level %d aggregates %d tasks, want %d", li, vwSum, tasks)
+			}
+			if li > 0 {
+				cmap := lv.cmap
+				if len(cmap) != levels[li-1].n {
+					t.Fatalf("level %d cmap covers %d of %d parent vertices", li, len(cmap), levels[li-1].n)
+				}
+				hit := make([]bool, lv.n)
+				for _, cv := range cmap {
+					if cv < 0 || int(cv) >= lv.n {
+						t.Fatalf("level %d cmap value %d out of [0,%d)", li, cv, lv.n)
+					}
+					hit[cv] = true
+				}
+				for cv, ok := range hit {
+					if !ok {
+						t.Fatalf("level %d vertex %d has no fine pre-image", li, cv)
+					}
+				}
+			}
+			groups := fineGroups(levels, li)
+			cross := 0.0
+			for v := 0; v < c.N; v++ {
+				for i := c.Off[v]; i < c.Off[v+1]; i++ {
+					if u := c.Adj[i]; int(u) > v && groups[u] != groups[v] {
+						cross += c.W[i]
+					}
+				}
+			}
+			if got := lv.totalW(); got != cross {
+				t.Fatalf("level %d weight %v != fine cross weight %v", li, got, cross)
+			}
+		}
+
+		part, st, err := Contract(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Clusters > p {
+			t.Fatalf("%d clusters exceed %d processors", st.Clusters, p)
+		}
+		seen := make([]bool, st.Clusters)
+		for tsk, cl := range part {
+			if cl < 0 || cl >= st.Clusters {
+				t.Fatalf("task %d in cluster %d of %d", tsk, cl, st.Clusters)
+			}
+			seen[cl] = true
+		}
+		for cl, ok := range seen {
+			if !ok {
+				t.Fatalf("cluster %d empty", cl)
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package topology
+
+// Hierarchical machines (ROADMAP item 2): modern clusters are trees of
+// enclosures — racks holding sockets holding NUMA nodes holding PEs —
+// where communication cost grows with the number of hierarchy
+// boundaries a message crosses. Hierarchy models such a machine as a
+// flat processor graph (so every existing algorithm — NN-Embed,
+// MM-Route, METRICS, the fault masks — works unchanged): PEs within an
+// innermost group are completely connected, and at every upper level
+// the representative PE (lowest index) of each child group is linked to
+// the representatives of its siblings. Crossing a level-l boundary
+// therefore costs up to 2l-1 hops (climb the representative chain, one
+// sibling link across, descend), which is the per-level distance cost
+// the hierarchical mappers optimize against.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// hierMaxLevels bounds the hierarchy depth; hierMaxProcs bounds the
+// total PE count (the all-pairs distance table would otherwise explode).
+const (
+	hierMaxLevels = 8
+	hierMaxProcs  = 1 << 20
+)
+
+// Hierarchy builds a hierarchical machine from per-level fanouts given
+// top-down: Hierarchy(r, s, u, p) is r racks x s sockets x u NUMA nodes
+// x p PEs per NUMA node. At least two levels, each with fanout >= 2.
+// Processor indices follow the hierarchy: the depth-d subtree containing
+// PE v spans the contiguous range [v - v%size(d), v - v%size(d) + size(d)).
+func Hierarchy(fanouts ...int) *Network {
+	if len(fanouts) < 2 || len(fanouts) > hierMaxLevels {
+		panic(fmt.Sprintf("topology: hier needs 2..%d levels, got %d", hierMaxLevels, len(fanouts)))
+	}
+	n := 1
+	parts := make([]string, len(fanouts))
+	for i, f := range fanouts {
+		if f < 2 {
+			panic(fmt.Sprintf("topology: hier level %d fanout %d out of range (every level needs fanout >= 2)", i+1, f))
+		}
+		if n > hierMaxProcs/f {
+			panic(fmt.Sprintf("topology: hier with %v exceeds %d processors", fanouts, hierMaxProcs))
+		}
+		n *= f
+		parts[i] = fmt.Sprint(f)
+	}
+	nw := newNetwork("hier", fmt.Sprintf("hier(%s)", strings.Join(parts, "x")), n, fanouts...)
+	// sizes[d] is the PE count of a depth-d subtree (d=0 is the whole
+	// machine, d=len(fanouts) is a single PE).
+	sizes := hierSizes(fanouts)
+	for d := 0; d < len(fanouts); d++ {
+		groupSize, childSize := sizes[d], sizes[d+1]
+		for base := 0; base < n; base += groupSize {
+			// Representatives of the fanouts[d] children of this group
+			// form a complete graph: the machine's level-d interconnect.
+			for a := base; a < base+groupSize; a += childSize {
+				for b := a + childSize; b < base+groupSize; b += childSize {
+					nw.addLink(a, b)
+				}
+			}
+		}
+	}
+	return nw.finish()
+}
+
+// hierSizes returns subtree sizes per depth: sizes[d] is the number of
+// PEs under one depth-d subtree, sizes[0] the whole machine, sizes[k]=1.
+func hierSizes(fanouts []int) []int {
+	sizes := make([]int, len(fanouts)+1)
+	sizes[len(fanouts)] = 1
+	for d := len(fanouts) - 1; d >= 0; d-- {
+		sizes[d] = sizes[d+1] * fanouts[d]
+	}
+	return sizes
+}
+
+// HierLevels returns the per-level fanouts of a hierarchical network
+// (top-down, a copy of Shape), and nil for every other family.
+func (nw *Network) HierLevels() []int {
+	if nw.Kind != "hier" {
+		return nil
+	}
+	return nw.Shape()
+}
+
+// HierCrossLevel returns, for a hierarchical network, the number of
+// hierarchy boundaries separating processors a and b: 0 when a == b,
+// 1 when they share an innermost group, up to len(fanouts) when they
+// sit in different top-level groups. Mappers use it as the per-level
+// cost model; Distance realizes it as 1..2l-1 hops through the
+// representative chain.
+func (nw *Network) HierCrossLevel(a, b int) int {
+	if nw.Kind != "hier" {
+		panic("topology: HierCrossLevel on " + nw.Kind)
+	}
+	if a == b {
+		return 0
+	}
+	sizes := hierSizes(nw.Dims)
+	// Deepest common subtree: the largest d with equal depth-d groups.
+	for d := len(nw.Dims); d >= 1; d-- {
+		if a/sizes[d-1] == b/sizes[d-1] {
+			return len(nw.Dims) - d + 1
+		}
+	}
+	return len(nw.Dims)
+}
+
+// hierDistance answers Distance analytically for the pristine
+// hierarchical machine: climb each endpoint's representative chain up
+// to the children of the deepest common subtree (one hop per level at
+// which the endpoint is not already the representative), plus the one
+// sibling link between those two representatives. The hier differential
+// test checks this formula against plain BFS over the link graph.
+func (nw *Network) hierDistance(a, b int) int {
+	if a == b {
+		return 0
+	}
+	sizes := hierSizes(nw.Dims)
+	// dc = deepest depth whose groups still contain both endpoints.
+	dc := 0
+	for d := 1; d < len(sizes); d++ {
+		if a/sizes[d] != b/sizes[d] {
+			break
+		}
+		dc = d
+	}
+	// climb counts representative changes along the chain
+	// x = r_k -> r_{k-1} -> ... -> r_{dc+1}: one hop for each depth
+	// step at which x is not already its group's representative.
+	climb := func(x int) int {
+		hops := 0
+		for d := len(sizes) - 1; d > dc+1; d-- {
+			if x%sizes[d-1] != x%sizes[d] {
+				hops++
+			}
+		}
+		return hops
+	}
+	return climb(a) + climb(b) + 1
+}

@@ -222,6 +222,8 @@ func (nw *Network) analyticDistance(a, b int) (int, bool) {
 		return d, true
 	case "linear":
 		return iabs(a - b), true
+	case "hier":
+		return nw.hierDistance(a, b), true
 	}
 	return 0, false
 }
@@ -531,7 +533,8 @@ func Star(n int) *Network {
 }
 
 // family describes one constructible network family: its parameter
-// count and a builder over those parameters.
+// count (arity -1 means variadic — the builder validates the count
+// itself) and a builder over those parameters.
 type family struct {
 	arity int
 	build func(params []int) *Network
@@ -550,6 +553,7 @@ var families = map[string]family{
 	"ccc":       {1, func(p []int) *Network { return CubeConnectedCycles(p[0]) }},
 	"complete":  {1, func(p []int) *Network { return Complete(p[0]) }},
 	"star":      {1, func(p []int) *Network { return Star(p[0]) }},
+	"hier":      {-1, func(p []int) *Network { return Hierarchy(p...) }},
 }
 
 // Kinds returns the valid network family names, sorted, for use in
@@ -571,7 +575,7 @@ func ByName(kind string, params ...int) (*Network, error) {
 		return nil, fmt.Errorf("topology: unknown network family %q (valid kinds: %s)",
 			kind, strings.Join(Kinds(), ", "))
 	}
-	if len(params) != fam.arity {
+	if fam.arity >= 0 && len(params) != fam.arity {
 		return nil, fmt.Errorf("topology: %s takes %d parameter(s), got %d", kind, fam.arity, len(params))
 	}
 	var nw *Network

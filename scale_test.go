@@ -2,6 +2,11 @@ package oregami
 
 import (
 	"testing"
+
+	"oregami/internal/check"
+	"oregami/internal/gen"
+	"oregami/internal/multilevel"
+	"oregami/internal/topology"
 )
 
 // TestScaleNBody maps a 4095-body problem onto a 256-processor
@@ -101,5 +106,69 @@ func TestScaleBinomialMesh(t *testing.T) {
 		if lm.AvgDilation > 1.2 {
 			t.Errorf("phase %s avg dilation %.4f exceeds 1.2", lm.Phase, lm.AvgDilation)
 		}
+	}
+}
+
+// TestScaleMultilevelMillion is the headline case for docs/MULTILEVEL.md:
+// a million-task stencil coarsened, mapped, and uncoarsened onto the
+// 512-PE 4x4x4x8 hierarchy, with the result held to the internal/check
+// oracle. Guarded by -short, and skipped under the race detector where
+// the instrumented run would dominate `make race`.
+func TestScaleMultilevelMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	if raceEnabled {
+		t.Skip("million-task map is too slow under the race detector")
+	}
+	g := gen.Grid2D(1000, 1000)
+	net := topology.Hierarchy(4, 4, 4, 8)
+	m, st, err := multilevel.Map(g, net, multilevel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := check.VerifyMapping(g, net, m); len(vs) > 0 {
+		t.Fatalf("oracle found %d violations, first: %v", len(vs), vs[0])
+	}
+	if st.Levels < 2 {
+		t.Errorf("levels = %d, want a real hierarchy", st.Levels)
+	}
+	if st.CoarsestTasks >= 1_000_000/10 {
+		t.Errorf("coarsest level still has %d vertices", st.CoarsestTasks)
+	}
+	if st.Clusters > net.N {
+		t.Errorf("%d clusters exceed %d processors", st.Clusters, net.N)
+	}
+	for cl, p := range m.Place {
+		if p < 0 || p >= net.N {
+			t.Fatalf("cluster %d placed on processor %d of %d", cl, p, net.N)
+		}
+	}
+}
+
+// TestScaleBisectMillion runs the recursive-bisection baseline over the
+// same million-task workload: it must stay oracle-clean and place every
+// cluster on a distinct live processor.
+func TestScaleBisectMillion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	if raceEnabled {
+		t.Skip("million-task map is too slow under the race detector")
+	}
+	g := gen.Grid2D(1000, 1000)
+	net := topology.Hierarchy(4, 4, 4, 8)
+	m, _, err := multilevel.BisectMap(g, net, multilevel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := check.VerifyMapping(g, net, m); len(vs) > 0 {
+		t.Fatalf("oracle found %d violations, first: %v", len(vs), vs[0])
 	}
 }
