@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz lint lint-baseline check alloc bench bench-parallel bench-multilevel cover smoke-serve bench-serve chaos
+.PHONY: build test vet race fuzz lint lint-baseline check alloc bench bench-parallel bench-multilevel cover smoke-serve bench-serve chaos smoke-cluster
 
 build:
 	$(GO) build ./...
@@ -125,6 +125,23 @@ chaos:
 		-out BENCH_restart.json
 	@rm -f BENCH_oregami.tmp
 	@echo "wrote BENCH_restart.json"
+
+# Cluster smoke (docs/SERVE.md "Cluster mode"): three serve nodes under
+# consistent-hash sharding, load rotated across all of them so non-owners
+# proxy, one node SIGKILLed mid-window. Fails on any fingerprint drift,
+# any error while degraded, or a run with zero cross-node cache hits.
+# Writes aggregate rps / cross-node hit ratio / p99 under the kill to
+# BENCH_cluster.json.
+CLUSTER_NODES ?= 3
+CLUSTER_N ?= 120
+CLUSTER_C ?= 6
+smoke-cluster:
+	$(GO) build -o BENCH_oregami.tmp ./cmd/oregami
+	$(GO) run ./tools/loadgen -cluster $(CLUSTER_NODES) -launch ./BENCH_oregami.tmp \
+		-n $(CLUSTER_N) -c $(CLUSTER_C) -kill-after 500ms -window 3s \
+		-out BENCH_cluster.json
+	@rm -f BENCH_oregami.tmp
+	@echo "wrote BENCH_cluster.json"
 
 # Coverage gate: the total statement coverage must not drop below the
 # recorded floor (the pre-oracle-PR baseline).

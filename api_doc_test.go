@@ -5,19 +5,20 @@ import (
 	"go/parser"
 	"go/token"
 	"os"
+	"path/filepath"
 	"regexp"
 	"testing"
 )
 
-// exportedSymbols parses oregami.go and returns every exported
+// exportedSymbols parses one Go source file and returns every exported
 // top-level name: types, funcs, consts/vars, and methods declared on
 // exported receivers.
-func exportedSymbols(t *testing.T) []string {
+func exportedSymbols(t *testing.T, path string) []string {
 	t.Helper()
 	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, "oregami.go", nil, 0)
+	file, err := parser.ParseFile(fset, path, nil, 0)
 	if err != nil {
-		t.Fatalf("parse oregami.go: %v", err)
+		t.Fatalf("parse %s: %v", path, err)
 	}
 	var names []string
 	add := func(name string) {
@@ -57,17 +58,30 @@ func exportedSymbols(t *testing.T) []string {
 
 // TestAPIDocCoversEveryExportedSymbol enforces the stability contract:
 // docs/API.md must assign a tier to every exported symbol of the public
-// package. Adding an export without documenting it fails this test.
+// surface — the oregami package and the oregami/client wire client.
+// Adding an export to either without documenting it fails this test.
 func TestAPIDocCoversEveryExportedSymbol(t *testing.T) {
 	doc, err := os.ReadFile("docs/API.md")
 	if err != nil {
 		t.Fatalf("docs/API.md must exist: %v", err)
 	}
+	files := []string{"oregami.go"}
+	clientFiles, err := filepath.Glob("client/*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range clientFiles {
+		if !regexp.MustCompile(`_test\.go$`).MatchString(f) {
+			files = append(files, f)
+		}
+	}
 	var missing []string
-	for _, name := range exportedSymbols(t) {
-		re := regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`)
-		if !re.Match(doc) {
-			missing = append(missing, name)
+	for _, f := range files {
+		for _, name := range exportedSymbols(t, f) {
+			re := regexp.MustCompile(`\b` + regexp.QuoteMeta(name) + `\b`)
+			if !re.Match(doc) {
+				missing = append(missing, f+":"+name)
+			}
 		}
 	}
 	if len(missing) > 0 {

@@ -14,6 +14,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -26,33 +27,67 @@ import (
 	"time"
 )
 
+// MapOptions is the v2 options envelope of POST /v1/map: the subset of
+// the server's options schema that clients typically set.
+type MapOptions struct {
+	// Algo picks the MAPPER class/algorithm: canned, systolic,
+	// group-theoretic, arbitrary, multilevel, or recursive-bisection
+	// (empty = auto-dispatch).
+	Algo        string `json:"algo,omitempty"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	TimeoutMS   int    `json:"timeout_ms,omitempty"`
+	// Check and NoCache are the v2 homes of the top-level request
+	// fields of the same names.
+	Check   bool `json:"check,omitempty"`
+	NoCache bool `json:"nocache,omitempty"`
+}
+
 // MapRequest is the body of POST /v1/map.
 type MapRequest struct {
 	Source   string         `json:"source,omitempty"`
 	Workload string         `json:"workload,omitempty"`
 	Bindings map[string]int `json:"bindings,omitempty"`
 	Net      string         `json:"net"`
-	Check    bool           `json:"check,omitempty"`
-	NoCache  bool           `json:"nocache,omitempty"`
+	// Options is the v2 options envelope.
+	Options *MapOptions `json:"options,omitempty"`
+	// Check and NoCache are deprecated top-level aliases of
+	// Options.Check / Options.NoCache, kept for one release.
+	Check   bool `json:"check,omitempty"`
+	NoCache bool `json:"nocache,omitempty"`
 }
 
 // MapResponse is the subset of a successful POST /v1/map body that
 // clients consume.
 type MapResponse struct {
-	APIVersion  string   `json:"apiVersion"`
-	Workload    string   `json:"workload"`
-	Net         string   `json:"net"`
-	Tasks       int      `json:"tasks"`
-	Procs       int      `json:"procs"`
-	Class       string   `json:"class"`
-	Method      string   `json:"method"`
-	Assignment  []int    `json:"assignment"`
-	Fingerprint string   `json:"fingerprint"`
-	Cache       string   `json:"cache"`
-	Checked     bool     `json:"checked,omitempty"`
-	Violations  []string `json:"violations,omitempty"`
-	ComputeMS   float64  `json:"compute_ms"`
-	ElapsedMS   float64  `json:"elapsed_ms"`
+	APIVersion  string `json:"apiVersion"`
+	Workload    string `json:"workload"`
+	Net         string `json:"net"`
+	Tasks       int    `json:"tasks"`
+	Procs       int    `json:"procs"`
+	Class       string `json:"class"`
+	Method      string `json:"method"`
+	Assignment  []int  `json:"assignment"`
+	Fingerprint string `json:"fingerprint"`
+	Cache       string `json:"cache"`
+	// Node is the cluster node that produced the result; Proxied is set
+	// when the answering node fetched it from the key's owner. Both are
+	// empty outside cluster mode.
+	Node       string   `json:"node,omitempty"`
+	Proxied    bool     `json:"proxied,omitempty"`
+	Checked    bool     `json:"checked,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+	ComputeMS  float64  `json:"compute_ms"`
+	ElapsedMS  float64  `json:"elapsed_ms"`
+	// Error carries a failed streaming-batch item's error line.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchItem is one NDJSON line of a streaming POST /v1/map/batch
+// response: the item's MapResponse plus its index in the request array
+// (items arrive in completion order, not request order).
+type BatchItem struct {
+	Index int `json:"index"`
+	MapResponse
 }
 
 // Stats is the counter subset of GET /v1/stats?json=1 that tools read.
@@ -71,6 +106,11 @@ type Stats struct {
 	StoreQuarantined int64   `json:"store_quarantined"`
 	RecoveryMS       int64   `json:"recovery_ms"`
 	Ready            int64   `json:"ready"`
+	ProxiedIn        int64   `json:"proxied_in"`
+	ProxiedOut       int64   `json:"proxied_out"`
+	ProxyFallbacks   int64   `json:"proxy_fallbacks"`
+	ProxyErrors      int64   `json:"proxy_errors"`
+	PeersUp          int64   `json:"peers_up"`
 	HitRatio         float64 `json:"hit_ratio"`
 }
 
@@ -98,7 +138,63 @@ func (e *RetriesExhaustedError) Error() string {
 
 func (e *RetriesExhaustedError) Unwrap() error { return e.Last }
 
+// Option configures a Client during New. Options are applied in
+// order. The functional constructors below (WithRetries, WithTimeout,
+// WithSleep, ...) are the v2 construction surface; a whole Options
+// struct is itself an Option — it replaces the configuration wholesale,
+// which keeps pre-v2 call sites (`client.New(addr, client.Options{...})`)
+// compiling and behaving exactly as before.
+type Option interface{ applyOption(*Options) }
+
+type optionFunc func(*Options)
+
+func (f optionFunc) applyOption(o *Options) { f(o) }
+
+// applyOption makes Options itself an Option: wholesale replacement,
+// the v1 semantics of passing the struct to New.
+func (o Options) applyOption(dst *Options) { *dst = o }
+
+// WithHTTPClient overrides the transport.
+func WithHTTPClient(hc *http.Client) Option {
+	return optionFunc(func(o *Options) { o.HTTPClient = hc })
+}
+
+// WithRetries bounds tries per call, first attempt included.
+func WithRetries(n int) Option {
+	return optionFunc(func(o *Options) { o.MaxAttempts = n })
+}
+
+// WithBackoff sets the exponential schedule's seed and cap.
+func WithBackoff(base, max time.Duration) Option {
+	return optionFunc(func(o *Options) { o.BaseBackoff, o.MaxBackoff = base, max })
+}
+
+// WithTimeout bounds each individual attempt.
+func WithTimeout(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.AttemptTimeout = d })
+}
+
+// WithRand replaces the jitter source (tests).
+func WithRand(fn func() float64) Option {
+	return optionFunc(func(o *Options) { o.Rand = fn })
+}
+
+// WithSleep replaces the inter-attempt wait (tests).
+func WithSleep(fn func(ctx context.Context, d time.Duration) error) Option {
+	return optionFunc(func(o *Options) { o.Sleep = fn })
+}
+
+// WithOnRetry observes each scheduled retry.
+func WithOnRetry(fn func(attempt int, wait time.Duration, cause error)) Option {
+	return optionFunc(func(o *Options) { o.OnRetry = fn })
+}
+
 // Options tunes a Client. The zero value gets sane defaults.
+//
+// Deprecated as a construction surface: mutate-and-pass construction is
+// superseded by the functional options above; the struct and its fields
+// keep working (it satisfies Option) but new code should write
+// client.New(addr, client.WithRetries(3), ...).
 type Options struct {
 	// HTTPClient overrides the transport; by default a dedicated client
 	// with generous idle-connection reuse is built.
@@ -131,8 +227,14 @@ type Client struct {
 }
 
 // New builds a client for the daemon at base ("http://host:port" or a
-// bare "host:port").
-func New(base string, opt Options) *Client {
+// bare "host:port"), configured by zero or more Options applied in
+// order (both functional options and whole Options structs are
+// accepted; see Option).
+func New(base string, opts ...Option) *Client {
+	var opt Options
+	for _, o := range opts {
+		o.applyOption(&opt)
+	}
 	if base != "" && base[0] != 'h' {
 		base = "http://" + base
 	}
@@ -214,6 +316,52 @@ func (c *Client) Map(ctx context.Context, req MapRequest) (*MapResponse, error) 
 		return nil, doErr
 	}
 	return out, nil
+}
+
+// MapBatch streams a batch of mapping requests through POST
+// /v1/map/batch as NDJSON, invoking onItem for every line as it
+// arrives (completion order, each item carrying its request index).
+// One attempt only — a half-consumed stream cannot be transparently
+// retried; callers wanting retries should retry whole batches. A
+// non-nil error from onItem aborts the stream and is returned.
+func (c *Client) MapBatch(ctx context.Context, reqs []MapRequest, onItem func(BatchItem) error) error {
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/map/batch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := c.opt.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp).err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var item BatchItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("client: decoding batch line: %w", err)
+		}
+		if err := onItem(item); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: reading batch stream: %w", err)
+	}
+	return nil
 }
 
 // Stats fetches the server's counter snapshot (retrying like Map, so a

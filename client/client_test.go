@@ -30,7 +30,7 @@ func (sc *script) handler() http.HandlerFunc {
 			return
 		}
 		json.NewEncoder(w).Encode(MapResponse{
-			APIVersion:  "v1",
+			APIVersion:  "v2",
 			Workload:    "nbody",
 			Fingerprint: "abc",
 			Cache:       "hit",
@@ -209,7 +209,7 @@ func TestWaitReadyAndStats(t *testing.T) {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]interface{}{
-			"apiVersion": "v1",
+			"apiVersion": "v2",
 			"stats": Stats{
 				CacheHits:      7,
 				WarmHits:       3,
@@ -244,5 +244,117 @@ func TestNewNormalizesBareHostPort(t *testing.T) {
 	c = New("https://example.com", Options{})
 	if c.BaseURL() != "https://example.com" {
 		t.Errorf("BaseURL = %q", c.BaseURL())
+	}
+}
+
+func TestFunctionalOptionsConfigureClient(t *testing.T) {
+	sc := &script{statuses: []int{503, 503}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+	var slept []time.Duration
+	var retries []int
+	c := New(ts.URL,
+		WithRetries(3),
+		WithBackoff(100*time.Millisecond, 2*time.Second),
+		WithTimeout(time.Minute),
+		WithRand(func() float64 { return 0 }),
+		WithSleep(func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return ctx.Err()
+		}),
+		WithOnRetry(func(attempt int, wait time.Duration, cause error) {
+			retries = append(retries, attempt)
+		}),
+	)
+	resp, err := c.Map(context.Background(), MapRequest{Workload: "nbody", Net: "hypercube:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != "hit" || sc.calls.Load() != 3 {
+		t.Errorf("cache=%q calls=%d, want hit after 3 attempts", resp.Cache, sc.calls.Load())
+	}
+	if len(slept) != 2 || slept[0] != 100*time.Millisecond || slept[1] != 200*time.Millisecond {
+		t.Errorf("slept = %v, want the deterministic 100ms,200ms schedule", slept)
+	}
+	if len(retries) != 2 {
+		t.Errorf("onRetry saw %v", retries)
+	}
+}
+
+func TestOptionsStructStillWorksAndComposesWithFunctionalOptions(t *testing.T) {
+	// v1 call sites pass the whole struct; it must keep working...
+	c := New("127.0.0.1:9", Options{MaxAttempts: 7})
+	if c.opt.MaxAttempts != 7 {
+		t.Errorf("struct option: MaxAttempts = %d", c.opt.MaxAttempts)
+	}
+	// ...and compose left-to-right: later options override earlier ones,
+	// and a whole struct resets everything before it (v1 wholesale
+	// semantics).
+	c = New("127.0.0.1:9", WithRetries(2), Options{MaxAttempts: 7}, WithTimeout(time.Second))
+	if c.opt.MaxAttempts != 7 || c.opt.AttemptTimeout != time.Second {
+		t.Errorf("composed: MaxAttempts=%d AttemptTimeout=%v", c.opt.MaxAttempts, c.opt.AttemptTimeout)
+	}
+	c = New("127.0.0.1:9") // no options at all: defaults
+	if c.opt.MaxAttempts != 5 {
+		t.Errorf("default MaxAttempts = %d", c.opt.MaxAttempts)
+	}
+}
+
+func TestMapBatchStreamsItems(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Accept") != "application/x-ndjson" {
+			t.Errorf("Accept = %q", r.Header.Get("Accept"))
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// Completion order differs from request order on purpose.
+		w.Write([]byte(`{"index":1,"apiVersion":"v2","workload":"b","fingerprint":"f1","cache":"miss"}` + "\n"))
+		w.Write([]byte(`{"index":0,"apiVersion":"v2","workload":"a","fingerprint":"f0","cache":"hit","proxied":true,"node":"n2"}` + "\n"))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	var got []BatchItem
+	err := c.MapBatch(context.Background(), []MapRequest{{Workload: "a", Net: "x"}, {Workload: "b", Net: "x"}},
+		func(item BatchItem) error {
+			got = append(got, item)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Index != 1 || got[1].Index != 0 {
+		t.Fatalf("items = %+v", got)
+	}
+	if !got[1].Proxied || got[1].Node != "n2" {
+		t.Errorf("proxied fields not decoded: %+v", got[1])
+	}
+}
+
+func TestMapBatchOnItemErrorAbortsStream(t *testing.T) {
+	lines := atomic.Int64{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 0; i < 100; i++ {
+			lines.Add(1)
+			w.Write([]byte(`{"index":` + string(rune('0')) + `}` + "\n"))
+		}
+	}))
+	defer ts.Close()
+	boom := errors.New("stop")
+	err := New(ts.URL).MapBatch(context.Background(), []MapRequest{{Workload: "a", Net: "x"}},
+		func(item BatchItem) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the onItem error", err)
+	}
+}
+
+func TestMapBatchSurfacesHTTPErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"apiVersion": "v2", "error": "batch is empty"})
+	}))
+	defer ts.Close()
+	err := New(ts.URL).MapBatch(context.Background(), nil, func(BatchItem) error { return nil })
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
 	}
 }

@@ -224,7 +224,7 @@ func TestCLIAlgo(t *testing.T) {
 		t.Errorf("class missing:\n%s", out)
 	}
 	// Conflicting -algo/-force is a usage error (exit 2).
-	if code, out := exitCode(t, bin, "map", "-workload", "jacobi", "-net", "hier:2,2,4", "-algo", "multilevel", "-force", "canned"); code != 2 || !strings.Contains(out, "conflicts with -force") {
+	if code, out := exitCode(t, bin, "map", "-workload", "jacobi", "-net", "hier:2,2,4", "-algo", "multilevel", "-force", "canned"); code != 2 || !strings.Contains(out, "conflicts with deprecated -force") {
 		t.Errorf("conflict: exit %d, want 2 with named conflict\n%s", code, out)
 	}
 }

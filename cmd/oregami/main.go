@@ -104,25 +104,53 @@ func parseIDList(s string) ([]int, error) {
 	return out, nil
 }
 
-// resolveAlgo merges the -force and -algo flags: -algo is the alias
-// that also names the scale mappers (multilevel, recursive-bisection).
-// Setting both to different classes is an error.
+// resolveAlgo merges the documented -algo flag with its deprecated
+// -force alias (hidden from usage, kept parsing for old scripts).
+// Using the alias prints a one-line deprecation note; setting both to
+// different classes is an error.
 func resolveAlgo(force, algo string) (core.Class, error) {
+	if force != "" {
+		fmt.Fprintln(os.Stderr, "oregami: -force is deprecated; use -algo")
+	}
 	if algo == "" {
 		return core.Class(force), nil
 	}
 	if force != "" && force != algo {
-		return "", fmt.Errorf("-algo %q conflicts with -force %q", algo, force)
+		return "", fmt.Errorf("-algo %q conflicts with deprecated -force %q", algo, force)
 	}
 	return core.Class(algo), nil
+}
+
+// hideDeprecated replaces a flag set's usage output with one that skips
+// flags whose help text starts with "deprecated:" — the flags still
+// parse, they just stop advertising themselves.
+func hideDeprecated(fs *flag.FlagSet) {
+	fs.Usage = func() {
+		w := fs.Output()
+		if fs.Name() == "" {
+			fmt.Fprintln(w, "Usage:")
+		} else {
+			fmt.Fprintf(w, "Usage of %s:\n", fs.Name())
+		}
+		fs.VisitAll(func(f *flag.Flag) {
+			if strings.HasPrefix(f.Usage, "deprecated:") {
+				return
+			}
+			fmt.Fprintf(w, "  -%s\n    \t%s", f.Name, f.Usage)
+			if f.DefValue != "" && f.DefValue != "false" {
+				fmt.Fprintf(w, " (default %v)", f.DefValue)
+			}
+			fmt.Fprintln(w)
+		})
+	}
 }
 
 func run(out *os.File) error {
 	file := flag.String("file", "", "LaRCS source file")
 	wname := flag.String("workload", "", "bundled workload name")
 	netSpec := flag.String("net", "", "target network, e.g. hypercube:3 or mesh:4,4")
-	force := flag.String("force", "", "force a MAPPER class: canned|systolic|group-theoretic|arbitrary")
-	algo := flag.String("algo", "", "algorithm to run (alias of -force, plus the scale mappers): canned|systolic|group-theoretic|arbitrary|multilevel|recursive-bisection")
+	force := flag.String("force", "", "deprecated: use -algo")
+	algo := flag.String("algo", "", "algorithm class to run: canned|systolic|group-theoretic|arbitrary|multilevel|recursive-bisection (empty = auto-dispatch)")
 	doSim := flag.Bool("sim", true, "simulate the phase schedule and report completion time")
 	dot := flag.Bool("dot", false, "emit the mapping as Graphviz DOT and exit")
 	shell := flag.Bool("shell", false, "open the interactive metrics shell after mapping")
@@ -136,6 +164,7 @@ func run(out *os.File) error {
 	flag.Var(&injected, "inject-faults", "mid-simulation fault event, e.g. step=2,proc=1,link=5 (repeatable)")
 	binds := bindings{}
 	flag.Var(binds, "D", "parameter binding name=value (repeatable)")
+	hideDeprecated(flag.CommandLine)
 	flag.Parse()
 
 	if *netSpec == "" {

@@ -273,7 +273,7 @@ func TestCLIAlgoMultilevel(t *testing.T) {
 	if err == nil {
 		t.Fatalf("conflicting -algo/-force accepted:\n%s", out)
 	}
-	if !strings.Contains(string(out), "conflicts with -force") {
+	if !strings.Contains(string(out), "conflicts with deprecated -force") {
 		t.Errorf("conflict error not named:\n%s", out)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"syscall"
 	"time"
 
+	"oregami/internal/cluster"
 	"oregami/internal/serve"
 )
 
@@ -31,11 +32,26 @@ func runServe(args []string, out *os.File) error {
 	persist := fs.Bool("persist", false, "persist cached mappings to disk and reload them at boot (implied by -state-dir)")
 	stateDir := fs.String("state-dir", "", "directory for the persistent store (default oregami.state when -persist is set)")
 	storeBytes := fs.Int64("store-bytes", 0, "on-disk store budget in bytes; oldest segments drop first (0 = default 256MiB)")
+	nodeID := fs.String("node-id", "", "this node's id in a cluster (required with -peers)")
+	peersSpec := fs.String("peers", "", "static cluster membership id=host:port,... including this node; enables consistent-hash sharding and miss proxying")
+	probeInterval := fs.Duration("probe-interval", 0, "peer health probe cadence (0 = default 1s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments, got %q", fs.Args())
+	}
+	var peers map[string]string
+	if *peersSpec != "" {
+		var err error
+		if peers, err = cluster.ParsePeers(*peersSpec); err != nil {
+			return err
+		}
+		if *nodeID == "" {
+			return fmt.Errorf("-peers requires -node-id")
+		}
+	} else if *nodeID != "" {
+		return fmt.Errorf("-node-id requires -peers")
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -54,7 +70,13 @@ func runServe(args []string, out *os.File) error {
 		Persist:        *persist,
 		StateDir:       *stateDir,
 		StoreBytes:     *storeBytes,
+		NodeID:         *nodeID,
+		Peers:          peers,
+		ProbeInterval:  *probeInterval,
 	})
+	if *nodeID != "" {
+		fmt.Fprintf(out, "oregami serve: node %s in a %d-node cluster\n", *nodeID, len(peers))
+	}
 	fmt.Fprintf(out, "oregami serve: listening on %s\n", *addr)
 	start := time.Now()
 	if err := s.ListenAndServe(ctx); err != nil {

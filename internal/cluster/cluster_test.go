@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func threeNodes() map[string]string {
+	return map[string]string{
+		"n1": "127.0.0.1:7101",
+		"n2": "127.0.0.1:7102",
+		"n3": "127.0.0.1:7103",
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers("n1=127.0.0.1:7101, n2 = 127.0.0.1:7102 ,n3=127.0.0.1:7103")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got["n2"] != "127.0.0.1:7102" {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "   ", "n1", "n1=", "=addr", "n1=a,n1=b"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", threeNodes(), Options{}); err == nil {
+		t.Error("empty node id accepted")
+	}
+	if _, err := New("ghost", threeNodes(), Options{}); err == nil {
+		t.Error("node id outside the peer set accepted")
+	}
+	if _, err := New("n1", map[string]string{"n1": "a"}, Options{}); err == nil {
+		t.Error("single-node cluster accepted")
+	}
+}
+
+func TestOwnerIsDeterministicAndAgreedAcrossNodes(t *testing.T) {
+	peers := threeNodes()
+	views := make([]*Cluster, 0, 3)
+	for id := range peers {
+		c, err := New(id, peers, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views = append(views, c)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := views[0].Owner(key)
+		for _, v := range views[1:] {
+			if got := v.Owner(key); got != owner {
+				t.Fatalf("node %s maps %q to %s, node %s to %s",
+					views[0].Self(), key, owner, v.Self(), got)
+			}
+		}
+		counts[owner]++
+	}
+	// Rendezvous hashing should spread 300 keys across all three nodes;
+	// a grossly lopsided split means the scoring is broken.
+	for _, id := range views[0].Nodes() {
+		if counts[id] < 30 {
+			t.Errorf("node %s owns only %d/300 keys: %v", id, counts[id], counts)
+		}
+	}
+}
+
+func TestOwnerStableUnderMembershipGrowth(t *testing.T) {
+	// Adding a node must only move keys to the new node, never shuffle
+	// keys between surviving nodes — the consistent-hashing property.
+	small, _ := New("n1", map[string]string{"n1": "a", "n2": "b"}, Options{})
+	big, _ := New("n1", threeNodes(), Options{})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := small.Owner(key), big.Owner(key)
+		if after != before && after != "n3" {
+			t.Fatalf("key %q moved %s -> %s when n3 joined", key, before, after)
+		}
+	}
+}
+
+func TestHealthAndMarkDown(t *testing.T) {
+	c, err := New("n1", threeNodes(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Healthy("n2") || !c.Healthy("n1") || c.UpPeers() != 2 {
+		t.Fatal("peers should start optimistically up")
+	}
+	c.MarkDown("n2")
+	if c.Healthy("n2") || c.UpPeers() != 1 {
+		t.Error("MarkDown(n2) did not trip the circuit")
+	}
+	c.MarkDown("n1") // self: no-op
+	if !c.Healthy("n1") {
+		t.Error("self went unhealthy")
+	}
+	if c.Healthy("ghost") {
+		t.Error("unknown id reported healthy")
+	}
+	if c.Addr("n3") != "127.0.0.1:7103" || c.Addr("ghost") != "" {
+		t.Error("Addr lookup broken")
+	}
+}
+
+func TestForwardSetsHopMarkerAndReturnsBody(t *testing.T) {
+	var gotHeader, gotPath string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(ForwardHeader)
+		gotPath = r.URL.Path + "?" + r.URL.RawQuery
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	c, err := New("n1", map[string]string{"n1": "127.0.0.1:1", "n2": addr}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, status, err := c.Forward(context.Background(), "n2", "/v1/map?check=1", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTeapot || string(body) != `{"ok":true}` {
+		t.Errorf("status %d body %q", status, body)
+	}
+	if gotHeader != "n1" {
+		t.Errorf("forward header = %q, want n1", gotHeader)
+	}
+	if gotPath != "/v1/map?check=1" {
+		t.Errorf("forward path = %q", gotPath)
+	}
+	if _, _, err := c.Forward(context.Background(), "ghost", "/v1/map", nil); err == nil {
+		t.Error("forward to unknown node accepted")
+	}
+}
+
+func TestForwardFailureTripsCircuit(t *testing.T) {
+	// 127.0.0.1:1 refuses connections: the transport error must mark the
+	// peer down so subsequent requests skip the dead owner.
+	var transitions []string
+	var mu sync.Mutex
+	c, err := New("n1", map[string]string{"n1": "127.0.0.1:2", "n2": "127.0.0.1:1"}, Options{
+		OnPeerChange: func(id string, up bool) {
+			mu.Lock()
+			transitions = append(transitions, fmt.Sprintf("%s=%t", id, up))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Forward(context.Background(), "n2", "/v1/map", []byte(`{}`)); err == nil {
+		t.Fatal("forward to a closed port succeeded")
+	}
+	if c.Healthy("n2") {
+		t.Error("failed forward left the circuit closed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions) != 1 || transitions[0] != "n2=false" {
+		t.Errorf("transitions = %v", transitions)
+	}
+}
+
+func TestProbeLoopReopensCircuit(t *testing.T) {
+	var ready atomicapi
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !ready.load() {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	}))
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	change := make(chan string, 16)
+	c, err := New("n1", map[string]string{"n1": "127.0.0.1:2", "n2": addr}, Options{
+		ProbeInterval:   5 * time.Millisecond,
+		ProbeTimeout:    200 * time.Millisecond,
+		MaxProbeBackoff: 20 * time.Millisecond,
+		OnPeerChange:    func(id string, up bool) { change <- fmt.Sprintf("%s=%t", id, up) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Start() // idempotent
+	defer c.Stop()
+
+	// Not ready yet: the probe loop should trip the circuit...
+	waitTransition(t, change, "n2=false")
+	if c.Healthy("n2") {
+		t.Fatal("probe failure did not mark n2 down")
+	}
+	// ...and close it again once /readyz answers.
+	ready.store(true)
+	waitTransition(t, change, "n2=true")
+	if !c.Healthy("n2") {
+		t.Fatal("probe success did not mark n2 up")
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}
+
+func waitTransition(t *testing.T, ch <-chan string, want string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case got := <-ch:
+			if got == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("no %q transition within 5s", want)
+		}
+	}
+}
+
+// atomicapi is a tiny atomic bool without importing sync/atomic's Bool
+// under a name that collides with the package's own use.
+type atomicapi struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (a *atomicapi) load() bool   { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+func (a *atomicapi) store(b bool) { a.mu.Lock(); defer a.mu.Unlock(); a.v = b }

@@ -21,7 +21,13 @@ import (
 // APIVersion is the wire schema version stamped into every JSON
 // response envelope (success, error, and batch alike) as "apiVersion".
 // Clients should reject envelopes whose version they do not understand.
-const APIVersion = "v1"
+//
+// v2 (this release) moved the request knobs into the options{} envelope
+// (options.algo/check/nocache; the v1 top-level check/nocache and
+// options.force spellings remain accepted as deprecated aliases for one
+// release), added node/proxied to response envelopes for cluster mode,
+// and made /v1/map/batch stream NDJSON by default.
+const APIVersion = "v2"
 
 // MapRequest is the body of POST /v1/map: a LaRCS program (inline source
 // or a bundled workload name), parameter bindings, a target network
@@ -38,23 +44,38 @@ type MapRequest struct {
 	// Net is the target network spec in CLI syntax, e.g. "hypercube:3"
 	// or "mesh:4,4".
 	Net string `json:"net"`
-	// Options tune the MAPPER dispatcher.
+	// Options tune the MAPPER dispatcher (the v2 envelope; request
+	// behavior knobs live here too as options.check / options.nocache).
 	Options *MapRequestOptions `json:"options,omitempty"`
-	// Check runs the post-condition oracle on the served mapping (also
-	// settable with ?check=1); violations fail the request with 422.
+	// Check is the deprecated v1 spelling of options.check (also
+	// settable with ?check=1); either one runs the post-condition oracle
+	// on the served mapping, and violations fail the request with 422.
 	Check bool `json:"check,omitempty"`
-	// NoCache bypasses the result cache lookup (the result is still
-	// stored), forcing a full computation — the load generator's cold
-	// phase.
+	// NoCache is the deprecated v1 spelling of options.nocache; either
+	// one bypasses the result cache lookup (the result is still stored),
+	// forcing a full computation — the load generator's cold phase.
 	NoCache bool `json:"nocache,omitempty"`
 }
 
 // MapRequestOptions mirrors the result-affecting oregami.MapOptions plus
 // per-request deadlines.
 type MapRequestOptions struct {
-	// Force restricts the dispatcher to one algorithm class: "canned",
-	// "systolic", "group-theoretic", or "arbitrary".
+	// Algo restricts the dispatcher to one algorithm class: "canned",
+	// "systolic", "group-theoretic", "arbitrary", "multilevel", or
+	// "recursive-bisection" ("" or "auto" lets the dispatcher choose;
+	// the scale-oriented multilevel/recursive-bisection mappers are
+	// never auto-selected).
+	Algo string `json:"algo,omitempty"`
+	// Force is the deprecated v1 spelling of Algo. Setting both to
+	// different classes is a 400.
 	Force string `json:"force,omitempty"`
+	// Check is the v2 home of MapRequest.Check: run the post-condition
+	// oracle on the served mapping.
+	Check bool `json:"check,omitempty"`
+	// NoCache is the v2 home of MapRequest.NoCache: bypass the result
+	// cache lookup. NoCache requests are never proxied to the owning
+	// cluster node — a bypass measures this node's pipeline.
+	NoCache bool `json:"nocache,omitempty"`
 	// MaxTasksPerProc is MWM-Contract's load-balance bound B.
 	MaxTasksPerProc int `json:"max_tasks_per_proc,omitempty"`
 	// MaximumMatchingRouter swaps MM-Route's greedy maximal matching for
@@ -89,7 +110,7 @@ type MetricsSummary struct {
 
 // MapResponse is the body of a successful POST /v1/map.
 type MapResponse struct {
-	// APIVersion is the wire schema version (always "v1" today).
+	// APIVersion is the wire schema version (always "v2" today).
 	APIVersion string `json:"apiVersion"`
 	// Workload echoes the workload name, or "source" for inline text.
 	Workload string `json:"workload"`
@@ -122,6 +143,11 @@ type MapResponse struct {
 	// wall time including queueing.
 	ComputeMS float64 `json:"compute_ms"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Node identifies the cluster node whose cache/pipeline produced the
+	// result (empty outside cluster mode); Proxied marks a response the
+	// receiving node obtained by forwarding the miss to the key's owner.
+	Node    string `json:"node,omitempty"`
+	Proxied bool   `json:"proxied,omitempty"`
 	// Error is set on failed batch items in /v1/map/batch responses.
 	Error string `json:"error,omitempty"`
 }
@@ -150,9 +176,19 @@ type WorkloadsResponse struct {
 	Workloads  []WorkloadInfo `json:"workloads"`
 }
 
-// BatchResponse is the body of POST /v1/map/batch: per-item results in
-// request order (failed items carry their Error field; the batch itself
-// is 200 whenever it was well-formed).
+// BatchItem is one streamed result line of POST /v1/map/batch: the
+// item's position in the request array plus its full MapResponse
+// (failed items carry the Error field). Items arrive in completion
+// order, not request order — Index is how the client reassembles.
+type BatchItem struct {
+	Index int `json:"index"`
+	MapResponse
+}
+
+// BatchResponse is the buffered body of POST /v1/map/batch when the
+// client asks for the deprecated v1 shape with "Accept:
+// application/json": per-item results in request order. The default
+// (and NDJSON/SSE) response is a stream of BatchItem lines instead.
 type BatchResponse struct {
 	APIVersion string        `json:"apiVersion"`
 	Results    []MapResponse `json:"results"`
@@ -256,15 +292,33 @@ func (s *Server) resolve(req *MapRequest) (*resolved, *httpError) {
 	r.net = net
 	if req.Options != nil {
 		r.opts = *req.Options
-		switch r.opts.Force {
+		// Merge the deprecated v1 spellings into their v2 homes: force is
+		// an alias of algo, and options.check/nocache OR with the
+		// top-level flags.
+		if r.opts.Force != "" {
+			if r.opts.Algo != "" && r.opts.Algo != r.opts.Force {
+				return nil, badRequest("options.algo %q and deprecated options.force %q disagree; set only algo", r.opts.Algo, r.opts.Force)
+			}
+			r.opts.Algo = r.opts.Force
+			r.opts.Force = ""
+		}
+		switch r.opts.Algo {
 		case "", "auto", string(core.ClassCanned), string(core.ClassSystolic),
-			string(core.ClassGroup), string(core.ClassArbitrary):
+			string(core.ClassGroup), string(core.ClassArbitrary),
+			string(core.ClassMultilevel), string(core.ClassBisect):
 		default:
-			return nil, badRequest("options.force %q is not a MAPPER class (canned|systolic|group-theoretic|arbitrary)", r.opts.Force)
+			return nil, badRequest("options.algo %q is not a MAPPER class (canned|systolic|group-theoretic|arbitrary|multilevel|recursive-bisection)", r.opts.Algo)
 		}
 		if r.opts.Parallelism < 0 {
 			return nil, badRequest("options.parallelism must be >= 0 (0 = server budget), got %d", r.opts.Parallelism)
 		}
+		// "auto" and "" are the same dispatcher behavior; normalize so
+		// they share one cache entry.
+		if r.opts.Algo == "auto" {
+			r.opts.Algo = ""
+		}
+		r.check = r.check || r.opts.Check
+		r.nocache = r.nocache || r.opts.NoCache
 	}
 	// The effective budget is the server's per-request share of the
 	// machine; a request may only lower it.
@@ -293,6 +347,11 @@ func (s *Server) compute(ctx context.Context, r *resolved) (*cacheEntry, error) 
 		ctx, cancel = context.WithTimeout(ctx, r.timeout)
 		defer cancel()
 	}
+	if s.computeHook != nil {
+		if err := s.computeHook(ctx); err != nil {
+			return nil, err
+		}
+	}
 	compileStart := time.Now()
 	comp, err := r.prog.Compile(r.bindings, larcs.Limits{
 		MaxTasks: s.cfg.MaxTasks,
@@ -307,7 +366,7 @@ func (s *Server) compute(ctx context.Context, r *resolved) (*cacheEntry, error) 
 	res, err := core.Map(core.Request{
 		Compiled:        comp,
 		Net:             r.net,
-		Force:           core.Class(r.opts.Force),
+		Force:           core.Class(r.opts.Algo),
 		MaxTasksPerProc: r.opts.MaxTasksPerProc,
 		Refine:          r.opts.Refine,
 		Route:           route.Options{UseMaximum: r.opts.MaximumMatchingRouter},
@@ -360,6 +419,7 @@ func (s *Server) compute(ctx context.Context, r *resolved) (*cacheEntry, error) 
 		Metrics:     summary,
 		Fingerprint: check.FingerprintHash(m),
 		ComputeMS:   float64(time.Since(compileStart)) / float64(time.Millisecond),
+		Node:        s.nodeID(),
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {

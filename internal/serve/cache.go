@@ -27,7 +27,10 @@ func cacheKey(canonicalSrc string, bindings map[string]int, netName string, o *M
 			h.Write([]byte{0})
 		}
 	}
-	part("v1", canonicalSrc, netName)
+	// "v2": the options digest switched from the deprecated force
+	// spelling to the merged algo value, so v1-era persisted stores stay
+	// loadable but go cold rather than aliasing across schema versions.
+	part("v2", canonicalSrc, netName)
 	names := make([]string, 0, len(bindings))
 	for k := range bindings {
 		names = append(names, k)
@@ -37,8 +40,8 @@ func cacheKey(canonicalSrc string, bindings map[string]int, netName string, o *M
 		part(fmt.Sprintf("%s=%d", k, bindings[k]))
 	}
 	if o != nil {
-		part(fmt.Sprintf("force=%s|b=%d|mm=%t|refine=%t",
-			o.Force, o.MaxTasksPerProc, o.MaximumMatchingRouter, o.Refine))
+		part(fmt.Sprintf("algo=%s|b=%d|mm=%t|refine=%t",
+			o.Algo, o.MaxTasksPerProc, o.MaximumMatchingRouter, o.Refine))
 	}
 	return fmt.Sprintf("%x", h.Sum(nil))
 }

@@ -53,7 +53,7 @@ func TestCacheKeyCanonicalizationAndSensitivity(t *testing.T) {
 		cacheKey("prog", map[string]int{"n": 15}, "hypercube(3)", o),
 		cacheKey("prog", map[string]int{"n": 15, "s": 2}, "mesh(4,4)", o),
 		cacheKey("prog", map[string]int{"n": 15, "s": 2}, "hypercube(3)", &MapRequestOptions{Refine: true}),
-		cacheKey("prog", map[string]int{"n": 15, "s": 2}, "hypercube(3)", &MapRequestOptions{Force: "arbitrary"}),
+		cacheKey("prog", map[string]int{"n": 15, "s": 2}, "hypercube(3)", &MapRequestOptions{Algo: "arbitrary"}),
 	}
 	seen := map[string]bool{base: true}
 	for i, k := range diffs {

@@ -37,12 +37,12 @@ func TestEveryEnvelopeCarriesAPIVersion(t *testing.T) {
 
 	// Error envelope.
 	if status, body := post(t, ts.URL, "/v1/map", `{"net":"hypercube:3"}`); status != 400 ||
-		!strings.Contains(body, `"apiVersion": "v1"`) {
+		!strings.Contains(body, `"apiVersion": "v2"`) {
 		t.Errorf("error envelope: %d %s", status, body)
 	}
 
 	// Vet, workloads, stats.
-	if _, body := post(t, ts.URL, "/v1/vet", `{"source":"algorithm a; nodetype t 0..1; comphase c { forall i in 0..0 : t(i) -> t(i+1); } phases c;"}`); !strings.Contains(body, `"apiVersion": "v1"`) {
+	if _, body := post(t, ts.URL, "/v1/vet", `{"source":"algorithm a; nodetype t 0..1; comphase c { forall i in 0..0 : t(i) -> t(i+1); } phases c;"}`); !strings.Contains(body, `"apiVersion": "v2"`) {
 		t.Errorf("vet envelope: %s", body)
 	}
 	for _, path := range []string{"/v1/workloads", "/v1/stats?json=1"} {

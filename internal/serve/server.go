@@ -24,11 +24,13 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"oregami/internal/analysis"
+	"oregami/internal/cluster"
 	"oregami/internal/serve/stats"
 	"oregami/internal/store"
 	"oregami/internal/workload"
@@ -83,6 +85,19 @@ type Config struct {
 	StateDir string
 	// StoreBytes is the persistent store's disk budget (default 256 MiB).
 	StoreBytes int64
+	// NodeID names this instance in a cluster (the -node-id flag). It
+	// must be a key of Peers when Peers is set; standalone servers leave
+	// both empty.
+	NodeID string
+	// Peers is the static cluster membership, node id -> host:port,
+	// including this node (parsed from the -peers flag with
+	// cluster.ParsePeers). Two or more entries enable cluster mode:
+	// cache keys are sharded across the members by rendezvous hashing
+	// and local misses are proxied to their owner.
+	Peers map[string]string
+	// ProbeInterval is the steady-state peer health probe cadence
+	// (default 1s; probes back off while a peer is down).
+	ProbeInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +147,16 @@ type Server struct {
 	flights  flightGroup
 	mux      *http.ServeMux
 	draining atomic.Bool
+	// cluster is the multi-node layer (nil standalone); initErr holds a
+	// Config validation failure New cannot return (its signature is
+	// load-bearing across the repo) — ListenAndServe surfaces it.
+	cluster *cluster.Cluster
+	initErr error
+	// computeHook, when set by a test, runs at the top of every
+	// computation; a non-nil return aborts the request with that error.
+	// It exists so streaming/cancellation tests can make computations
+	// block deterministically.
+	computeHook func(ctx context.Context) error
 	// ready flips once the server can usefully serve: immediately for
 	// in-memory-only servers, after store recovery + warm load when
 	// persistence is on. /readyz reports it; /healthz is liveness only.
@@ -176,6 +201,22 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	publishExpvar(reg)
+	if len(cfg.Peers) > 0 || cfg.NodeID != "" {
+		cl, err := cluster.New(cfg.NodeID, cfg.Peers, cluster.Options{
+			ProbeInterval: cfg.ProbeInterval,
+			OnPeerChange: func(id string, up bool) {
+				if s.cluster != nil {
+					s.reg.PeersUp.Store(int64(s.cluster.UpPeers()))
+				}
+			},
+		})
+		if err != nil {
+			s.initErr = err
+		} else {
+			s.cluster = cl
+			reg.PeersUp.Store(int64(cl.UpPeers()))
+		}
+	}
 	if cfg.Persist {
 		s.persistCh = make(chan *cacheEntry, 256)
 		s.persistDone = make(chan struct{})
@@ -189,6 +230,18 @@ func (s *Server) setReady() {
 	s.ready.Store(true)
 	s.reg.Ready.Store(1)
 }
+
+// nodeID is this instance's cluster identity, "" standalone.
+func (s *Server) nodeID() string {
+	if s.cluster == nil {
+		return ""
+	}
+	return s.cluster.Self()
+}
+
+// Cluster exposes the multi-node layer (nil standalone) — tests and the
+// CLI use it for membership introspection.
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
 
 // expvar's registry is process-global and Publish panics on duplicates,
 // so the package publishes one "oregami_serve" Func that reads whichever
@@ -316,6 +369,9 @@ func (s *Server) persister() {
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		if s.cluster != nil {
+			s.cluster.Stop()
+		}
 		if s.persistCh != nil {
 			s.pmu.Lock()
 			s.persistClosed = true
@@ -351,6 +407,12 @@ func (s *Server) Addr() string {
 // check flips to 503, in-flight requests get DrainTimeout to finish, and
 // a clean drain returns nil.
 func (s *Server) ListenAndServe(ctx context.Context) error {
+	if s.initErr != nil {
+		return s.initErr
+	}
+	if s.cluster != nil {
+		s.cluster.Start()
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("serve: listen on %q: %w", s.cfg.Addr, err)
@@ -447,10 +509,12 @@ func decodeJSON(r *http.Request, v interface{}) *httpError {
 }
 
 // serveOne runs the full request lifecycle for one MapRequest: resolve,
-// cache lookup, admission, singleflight-deduplicated computation, cache
-// fill, and the optional oracle check. It powers both /v1/map and each
-// /v1/map/batch item.
-func (s *Server) serveOne(ctx context.Context, req *MapRequest, queryCheck bool) (MapResponse, *httpError) {
+// ownership routing (cluster mode), cache lookup, admission,
+// singleflight-deduplicated computation, cache fill, and the optional
+// oracle check. It powers both /v1/map and each /v1/map/batch item.
+// forwarded is the X-Oregami-Forwarded peer id when this request
+// arrived via a proxy hop — such requests are always served locally.
+func (s *Server) serveOne(ctx context.Context, req *MapRequest, queryCheck bool, forwarded string) (MapResponse, *httpError) {
 	start := time.Now()
 	r, herr := s.resolve(req)
 	if herr != nil {
@@ -458,6 +522,26 @@ func (s *Server) serveOne(ctx context.Context, req *MapRequest, queryCheck bool)
 	}
 	r.check = r.check || queryCheck
 	s.reg.Requests.Add(1)
+
+	// Cluster routing: a non-owner forwards the request to the key's
+	// owner in one hop (the owner's cache is the shard of record), unless
+	// the request already hopped (loop guard), bypasses the cache, or the
+	// owner's circuit is open. Any proxy failure degrades to local
+	// computation below — a dead owner costs warm capacity, not
+	// availability.
+	if s.cluster != nil && forwarded == "" && !r.nocache {
+		if owner := s.cluster.Owner(r.key); owner != s.cluster.Self() {
+			if resp, ok := s.proxyToOwner(ctx, req, r, owner); ok {
+				resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+				s.reg.ObserveStage("total", time.Since(start))
+				return resp, nil
+			}
+			s.reg.ProxyFallbacks.Add(1)
+		}
+	}
+	if forwarded != "" {
+		s.reg.ProxiedIn.Add(1)
+	}
 
 	var entry *cacheEntry
 	how := "miss"
@@ -523,6 +607,40 @@ func (s *Server) serveOne(ctx context.Context, req *MapRequest, queryCheck bool)
 	return resp, nil
 }
 
+// proxyToOwner forwards a request to the node owning its cache key and
+// adapts the answer. Only a clean 200 with a decodable, fingerprinted
+// body is used; anything else — a transport error (which trips the
+// owner's circuit), a non-200, an undecodable payload — reports false
+// and the caller falls back to local computation. The proxied response
+// keeps the owner's Cache disposition and Node id and is not cached
+// here: the owner owns that slice of the key space.
+func (s *Server) proxyToOwner(ctx context.Context, req *MapRequest, r *resolved, owner string) (MapResponse, bool) {
+	if !s.cluster.Healthy(owner) {
+		return MapResponse{}, false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return MapResponse{}, false
+	}
+	path := "/v1/map"
+	if r.check {
+		path += "?check=1"
+	}
+	payload, status, err := s.cluster.Forward(ctx, owner, path, body)
+	if err != nil || status != http.StatusOK {
+		s.reg.ProxyErrors.Add(1)
+		return MapResponse{}, false
+	}
+	var resp MapResponse
+	if err := json.Unmarshal(payload, &resp); err != nil || resp.Fingerprint == "" {
+		s.reg.ProxyErrors.Add(1)
+		return MapResponse{}, false
+	}
+	resp.Proxied = true
+	s.reg.ProxiedOut.Add(1)
+	return resp, true
+}
+
 // computeAdmitted passes a computation through admission control and the
 // worker pool, then runs it.
 func (s *Server) computeAdmitted(ctx context.Context, r *resolved) (*cacheEntry, error) {
@@ -549,6 +667,21 @@ func asHTTPError(err error) *httpError {
 	return pipelineHTTPError(err)
 }
 
+// forwardedFrom extracts the single-hop proxy marker. A marker naming
+// this node itself means a forwarded request came back — two nodes
+// sharing an id or a proxy loop, misconfiguration either way — and is
+// rejected rather than served twice.
+func (s *Server) forwardedFrom(r *http.Request) (string, *httpError) {
+	from := r.Header.Get(cluster.ForwardHeader)
+	if from == "" {
+		return "", nil
+	}
+	if s.cluster != nil && from == s.cluster.Self() {
+		return "", badRequest("forwarded loop: request was already forwarded by this node (%q)", from)
+	}
+	return from, nil
+}
+
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) {
 		return
@@ -560,7 +693,12 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, herr)
 		return
 	}
-	resp, herr := s.serveOne(r.Context(), &req, r.URL.Query().Get("check") == "1")
+	forwarded, herr := s.forwardedFrom(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	resp, herr := s.serveOne(r.Context(), &req, r.URL.Query().Get("check") == "1", forwarded)
 	if herr != nil {
 		if len(resp.Violations) > 0 {
 			// Oracle failures return the full response body so the
@@ -576,6 +714,39 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// batchMode is the negotiated /v1/map/batch response framing.
+type batchMode int
+
+const (
+	batchNDJSON   batchMode = iota // default: one BatchItem JSON line per result
+	batchSSE                       // Accept: text/event-stream — "data: <BatchItem>\n\n" events
+	batchBuffered                  // Accept: application/json — deprecated v1 BatchResponse
+)
+
+// negotiateBatch picks the response framing from the Accept header.
+// NDJSON is the default; an explicit application/json (without the
+// ndjson subtype) selects the deprecated buffered v1 body.
+func negotiateBatch(accept string) batchMode {
+	switch {
+	case strings.Contains(accept, "text/event-stream"):
+		return batchSSE
+	case strings.Contains(accept, "application/x-ndjson"):
+		return batchNDJSON
+	case strings.Contains(accept, "application/json"):
+		return batchBuffered
+	default:
+		return batchNDJSON
+	}
+}
+
+// handleBatch fans the items out across the worker pool and streams each
+// result the moment it completes — NDJSON by default, SSE behind
+// Accept: text/event-stream — so batch memory is O(1) per item and the
+// first result arrives before the slowest computes. Items are framed as
+// BatchItem (completion order, index for reassembly). A client that
+// disconnects mid-stream cancels the remaining computations through the
+// request context. The deprecated buffered BatchResponse body is still
+// served to clients that ask for Accept: application/json.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) {
 		return
@@ -595,24 +766,83 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("batch of %d exceeds the maximum of %d", len(reqs), s.cfg.MaxBatch))
 		return
 	}
+	forwarded, herr := s.forwardedFrom(r)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
 	queryCheck := r.URL.Query().Get("check") == "1"
-	resps := make([]MapResponse, len(reqs))
+	mode := negotiateBatch(r.Header.Get("Accept"))
+	ctx := r.Context()
+
+	items := make(chan BatchItem)
 	var wg sync.WaitGroup
 	for i := range reqs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, herr := s.serveOne(r.Context(), &reqs[i], queryCheck)
+			resp, herr := s.serveOne(ctx, &reqs[i], queryCheck, forwarded)
 			if herr != nil {
 				resp.Error = herr.msg
 				s.reg.Errors.Add(1)
 			}
 			resp.APIVersion = APIVersion
-			resps[i] = resp
+			select {
+			case items <- BatchItem{Index: i, MapResponse: resp}:
+			case <-ctx.Done():
+				// The client is gone (or the server-side deadline fired):
+				// drop the result instead of blocking forever.
+			}
 		}(i)
 	}
-	wg.Wait()
-	writeJSON(w, http.StatusOK, BatchResponse{APIVersion: APIVersion, Results: resps})
+	go func() {
+		wg.Wait()
+		close(items)
+	}()
+
+	if mode == batchBuffered {
+		resps := make([]MapResponse, len(reqs))
+		for item := range items {
+			resps[item.Index] = item.MapResponse
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{APIVersion: APIVersion, Results: resps})
+		return
+	}
+
+	if mode == batchSSE {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	broken := false
+	for item := range items {
+		if broken {
+			continue // keep draining so the workers can finish/cancel
+		}
+		line, err := json.Marshal(item)
+		if err != nil {
+			continue
+		}
+		if mode == batchSSE {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", line)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", line)
+		}
+		if err != nil {
+			broken = true
+			continue
+		}
+		s.reg.StreamedItems.Add(1)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if mode == batchSSE && !broken {
+		fmt.Fprint(w, "event: done\ndata: {}\n\n")
+	}
 }
 
 func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {

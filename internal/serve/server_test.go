@@ -265,7 +265,12 @@ func TestBatch(t *testing.T) {
 		{Workload: "nbody", Net: "hypercube:3"}, // duplicate of [0]
 	}
 	body, _ := json.Marshal(reqs)
-	resp, err := http.Post(ts.URL+"/v1/map/batch", "application/json", bytes.NewReader(body))
+	// Accept: application/json selects the deprecated buffered v1 body;
+	// the streaming default is covered by TestBatchStreamsNDJSON.
+	breq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/map/batch", bytes.NewReader(body))
+	breq.Header.Set("Content-Type", "application/json")
+	breq.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(breq)
 	if err != nil {
 		t.Fatal(err)
 	}

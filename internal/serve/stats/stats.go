@@ -150,6 +150,13 @@ type Registry struct {
 	StoreRecovered   atomic.Int64 // entries restored at the last boot
 	StoreQuarantined atomic.Int64 // corrupt entries moved aside at the last boot
 
+	// Cluster counters (internal/cluster sharding + miss proxying).
+	ProxiedIn      atomic.Int64 // forwarded requests served for peers
+	ProxiedOut     atomic.Int64 // local misses answered by the key's owner
+	ProxyFallbacks atomic.Int64 // owner down/failed -> computed locally
+	ProxyErrors    atomic.Int64 // forward attempts that failed
+	StreamedItems  atomic.Int64 // batch items written as NDJSON/SSE lines
+
 	// Gauges.
 	InFlight   atomic.Int64 // requests between accept and response
 	QueueDepth atomic.Int64 // requests waiting for a worker
@@ -157,6 +164,7 @@ type Registry struct {
 	CacheItems atomic.Int64
 	RecoveryMS atomic.Int64 // wall time of the last WAL/segment recovery
 	Ready      atomic.Int64 // 1 once recovery finished and the server admits traffic
+	PeersUp    atomic.Int64 // cluster peers (excluding self) with a closed circuit
 
 	mu     sync.Mutex
 	stages map[string]*Histogram
@@ -212,6 +220,13 @@ type Snapshot struct {
 	StoreRecovered   int64 `json:"store_recovered"`
 	StoreQuarantined int64 `json:"store_quarantined"`
 
+	ProxiedIn      int64 `json:"proxied_in"`
+	ProxiedOut     int64 `json:"proxied_out"`
+	ProxyFallbacks int64 `json:"proxy_fallbacks"`
+	ProxyErrors    int64 `json:"proxy_errors"`
+	StreamedItems  int64 `json:"streamed_items"`
+	PeersUp        int64 `json:"peers_up"`
+
 	InFlight   int64 `json:"in_flight"`
 	QueueDepth int64 `json:"queue_depth"`
 	CacheBytes int64 `json:"cache_bytes"`
@@ -244,6 +259,13 @@ func (r *Registry) Snapshot() Snapshot {
 		PersistDropped:   r.PersistDropped.Load(),
 		StoreRecovered:   r.StoreRecovered.Load(),
 		StoreQuarantined: r.StoreQuarantined.Load(),
+
+		ProxiedIn:      r.ProxiedIn.Load(),
+		ProxiedOut:     r.ProxiedOut.Load(),
+		ProxyFallbacks: r.ProxyFallbacks.Load(),
+		ProxyErrors:    r.ProxyErrors.Load(),
+		StreamedItems:  r.StreamedItems.Load(),
+		PeersUp:        r.PeersUp.Load(),
 
 		InFlight:   r.InFlight.Load(),
 		QueueDepth: r.QueueDepth.Load(),
@@ -282,6 +304,8 @@ func (s Snapshot) Render() string {
 	fmt.Fprintf(&b, "cache: %d items, %d bytes, hit ratio %.3f, warm hits %d\n", s.CacheItems, s.CacheBytes, s.HitRatio, s.WarmHits)
 	fmt.Fprintf(&b, "store: writes %d  errors %d  dropped %d  recovered %d  quarantined %d  recovery %dms  ready %d\n",
 		s.PersistWrites, s.PersistErrors, s.PersistDropped, s.StoreRecovered, s.StoreQuarantined, s.RecoveryMS, s.Ready)
+	fmt.Fprintf(&b, "cluster: peers-up %d  proxied-in %d  proxied-out %d  fallbacks %d  proxy-errors %d  streamed %d\n",
+		s.PeersUp, s.ProxiedIn, s.ProxiedOut, s.ProxyFallbacks, s.ProxyErrors, s.StreamedItems)
 	if len(s.Stages) == 0 {
 		return b.String()
 	}

@@ -23,6 +23,16 @@
 // fingerprint changes. The retrying client package rides through the
 // kill window; the emitted document (BENCH_restart.json by convention)
 // records recovery time and the p99 during the window.
+//
+// With -cluster N (requires -launch), loadgen spawns N serve nodes as a
+// consistent-hash cluster (-node-id/-peers), drives the mix round-robin
+// across every node so most requests land on a non-owner and must proxy,
+// then SIGKILLs one node partway through a timed window while the
+// survivors keep answering. The emitted document (BENCH_cluster.json by
+// convention) records aggregate rps, the cross-node hit ratio (proxied
+// cache hits), and the p99 with a node down; the run fails on any
+// fingerprint drift, any error while degraded, or a cluster that never
+// proxied at all.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -147,6 +158,7 @@ type phaseStats struct {
 	Elapsed  time.Duration
 	Lat      []time.Duration
 	CacheHit int64 // responses with "cache":"hit"
+	CrossHit int64 // proxied responses with "cache":"hit" (cluster runs)
 	FPs      []string
 	Mismatch int64 // responses whose fingerprint differed from `want`
 }
@@ -156,6 +168,15 @@ func (p *phaseStats) hitRatio() float64 {
 		return 0
 	}
 	return float64(p.CacheHit) / float64(p.N)
+}
+
+// crossRatio is the fraction of responses that were cache hits served by
+// a node other than the one asked — the cluster actually sharing work.
+func (p *phaseStats) crossRatio() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.CrossHit) / float64(p.N)
 }
 
 func (p *phaseStats) result(name string, c int) Result {
@@ -248,8 +269,9 @@ type server struct {
 // launchServer spawns `<bin> serve` and returns the running process.
 // With addr "127.0.0.1:0" the kernel picks a port and the bound address
 // is read back through an addr file; a concrete addr (the chaos restart
-// path) is used as-is so clients keep their base URL across the kill.
-func launchServer(bin, addr string, workers int, stateDir string) (*server, error) {
+// and cluster paths) is used as-is so clients keep their base URL across
+// the kill. extra args (the cluster flags) are appended verbatim.
+func launchServer(bin, addr string, workers int, stateDir string, extra ...string) (*server, error) {
 	dir, err := os.MkdirTemp("", "loadgen")
 	if err != nil {
 		return nil, err
@@ -260,6 +282,7 @@ func launchServer(bin, addr string, workers int, stateDir string) (*server, erro
 	if stateDir != "" {
 		args = append(args, "-state-dir", stateDir)
 	}
+	args = append(args, extra...)
 	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
@@ -309,6 +332,7 @@ type flags struct {
 	c         *int
 	check     *bool
 	chaos     *bool
+	cluster   *int
 	stateDir  *string
 	killAfter *time.Duration
 	window    *time.Duration
@@ -323,6 +347,7 @@ func newFlagSet() *flags {
 	f.c = f.fs.Int("c", 8, "concurrent closed-loop workers")
 	f.check = f.fs.Bool("check", false, "request oracle verification (?check=1) on every map")
 	f.chaos = f.fs.Bool("chaos", false, "run the kill-driven crash-safety harness (requires -launch)")
+	f.cluster = f.fs.Int("cluster", 0, "run N serve nodes as a consistent-hash cluster and kill one mid-run (requires -launch; -kill-after and -window shape the kill window)")
 	f.stateDir = f.fs.String("state-dir", "", "persistent state directory for -chaos (default: a temp dir, removed on success)")
 	f.killAfter = f.fs.Duration("kill-after", 500*time.Millisecond, "how far into the chaos window to SIGKILL the server")
 	f.window = f.fs.Duration("window", 3*time.Second, "duration of the chaos load window spanning the kill and restart")
@@ -543,6 +568,291 @@ func runChaos(fs *flags, mix []target, out io.Writer) error {
 	return nil
 }
 
+// reserveAddrs picks n distinct loopback ports by binding and
+// immediately releasing them. The cluster needs every address before any
+// node starts (each node's -peers spec names all of them), so kernel
+// port-0 assignment through addr files can't work here. The tiny window
+// between release and the server's own bind is an accepted bench-tool
+// race: nothing else on the host is grabbing sequential ephemeral ports.
+func reserveAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+// runClusterPhase is runPhase generalized over a set of nodes: request i
+// goes to mix slot i%len(mix) on node (i/len(mix))%len(cls), so the
+// receiving node rotates once per full pass over the mix and every slot
+// is eventually asked on every node. Non-owners must proxy — proxied
+// cache hits are counted as CrossHit.
+func runClusterPhase(cls []*client.Client, mix []target, n, c int, want []string) *phaseStats {
+	st := &phaseStats{Lat: make([]time.Duration, 0, n), FPs: make([]string, len(mix))}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(n) {
+					return
+				}
+				slot := int(i) % len(mix)
+				cl := cls[(int(i)/len(mix))%len(cls)]
+				t := mix[slot]
+				t0 := time.Now()
+				resp, err := cl.Map(context.Background(), client.MapRequest{
+					Workload: t.Workload, Bindings: t.Bindings, Net: t.Net,
+				})
+				lat := time.Since(t0)
+				mu.Lock()
+				st.N++
+				st.Lat = append(st.Lat, lat)
+				if err != nil {
+					st.Errors++
+				} else {
+					if resp.Cache == "hit" {
+						st.CacheHit++
+						if resp.Proxied {
+							st.CrossHit++
+						}
+					}
+					if st.FPs[slot] == "" {
+						st.FPs[slot] = resp.Fingerprint
+					}
+					if want != nil && want[slot] != "" && resp.Fingerprint != want[slot] {
+						st.Mismatch++
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// clusterKillWindow drives warm load over the surviving nodes for
+// `window`, SIGKILLing the victim at `killAfter`. Keys the victim owned
+// degrade to local computation on whichever survivor was asked (proxy
+// fallback), so the contract under a node kill is zero errors and zero
+// fingerprint drift — warm capacity is allowed to dip, availability and
+// correctness are not.
+func clusterKillWindow(servers []*server, cls []*client.Client, victim int, mix []target, c int, killAfter, window time.Duration, want []string) *phaseStats {
+	st := &phaseStats{FPs: make([]string, len(mix))}
+	survivors := make([]*client.Client, 0, len(cls)-1)
+	for i, cl := range cls {
+		if i != victim {
+			survivors = append(survivors, cl)
+		}
+	}
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += c {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				slot := i % len(mix)
+				t := mix[slot]
+				cl := survivors[(i/len(mix))%len(survivors)]
+				t0 := time.Now()
+				resp, err := cl.Map(context.Background(), client.MapRequest{
+					Workload: t.Workload, Bindings: t.Bindings, Net: t.Net,
+				})
+				lat := time.Since(t0)
+				mu.Lock()
+				st.N++
+				st.Lat = append(st.Lat, lat)
+				if err != nil {
+					st.Errors++
+				} else {
+					if resp.Cache == "hit" {
+						st.CacheHit++
+						if resp.Proxied {
+							st.CrossHit++
+						}
+					}
+					if want[slot] != "" && resp.Fingerprint != want[slot] {
+						st.Mismatch++
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	time.Sleep(killAfter)
+	fmt.Fprintf(os.Stderr, "loadgen: SIGKILL node %d after %s of cluster load\n",
+		victim+1, killAfter.Round(time.Millisecond))
+	servers[victim].kill()
+	if remain := window - time.Since(start); remain > 0 {
+		time.Sleep(remain)
+	}
+	close(stop)
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	return st
+}
+
+// runCluster is the -cluster entry point: N serve nodes sharing a static
+// -peers spec, a populate pass so every owner caches its keys, a warm
+// pass rotating every slot across every node (forcing cross-node
+// proxying), then a kill window with one node SIGKILLed. The document is
+// written even when an assertion fails, so a red CI run still uploads
+// evidence.
+func runCluster(fs *flags, mix []target, out io.Writer) error {
+	if *fs.launch == "" {
+		return fmt.Errorf("-cluster requires -launch")
+	}
+	nodes := *fs.cluster
+	if nodes < 2 {
+		return fmt.Errorf("-cluster needs at least 2 nodes, got %d", nodes)
+	}
+	addrs, err := reserveAddrs(nodes)
+	if err != nil {
+		return err
+	}
+	ids := make([]string, nodes)
+	specParts := make([]string, nodes)
+	for i := range addrs {
+		ids[i] = fmt.Sprintf("n%d", i+1)
+		specParts[i] = ids[i] + "=" + addrs[i]
+	}
+	spec := strings.Join(specParts, ",")
+
+	servers := make([]*server, nodes)
+	alive := make([]bool, nodes)
+	defer func() {
+		for i, s := range servers {
+			if s != nil && alive[i] {
+				s.stop()
+			}
+		}
+	}()
+	cls := make([]*client.Client, nodes)
+	for i := range servers {
+		servers[i], err = launchServer(*fs.launch, addrs[i], *fs.c, "",
+			"-node-id", ids[i], "-peers", spec, "-probe-interval", "250ms")
+		if err != nil {
+			return err
+		}
+		alive[i] = true
+		// Single attempt: in a cluster run every failure must show up in
+		// the numbers, or "keeps serving under a kill" means nothing.
+		cls[i] = client.New(addrs[i], client.WithRetries(1))
+	}
+	for _, cl := range cls {
+		if err := cl.WaitReady(context.Background(), 30*time.Second); err != nil {
+			return err
+		}
+	}
+	n, c := *fs.n, *fs.c
+
+	// Populate through node 1 only: its own keys compute locally, the
+	// rest proxy to their owners, so afterwards every owner holds its
+	// slice of the mix and nothing else is cached anywhere.
+	populate := runClusterPhase(cls[:1], mix, len(mix), 1, nil)
+	if populate.Errors > 0 {
+		return fmt.Errorf("%d populate requests failed", populate.Errors)
+	}
+
+	// Warm: every slot asked on every node; non-owners proxy to the
+	// owner's cache.
+	warm := runClusterPhase(cls, mix, n, c, populate.FPs)
+
+	// Kill window: the last node dies, the survivors absorb its keys.
+	victim := nodes - 1
+	kill := clusterKillWindow(servers, cls, victim, mix, c, *fs.killAfter, *fs.window, populate.FPs)
+	alive[victim] = false
+
+	// The survivors' proxy counters, aggregated for the document.
+	var proxiedIn, proxiedOut, fallbacks, proxyErrs int64
+	for i, cl := range cls {
+		if i == victim {
+			continue
+		}
+		if st, err := cl.Stats(context.Background()); err == nil {
+			proxiedIn += st.ProxiedIn
+			proxiedOut += st.ProxiedOut
+			fallbacks += st.ProxyFallbacks
+			proxyErrs += st.ProxyErrors
+		}
+	}
+
+	warmRes := warm.result("ClusterWarm", c)
+	warmRes.Extra["hit-ratio"] = warm.hitRatio()
+	warmRes.Extra["cross-node-hit-ratio"] = warm.crossRatio()
+	warmRes.Extra["fp-mismatches"] = float64(warm.Mismatch)
+	killRes := kill.result("ClusterKillWindow", c)
+	killRes.Extra["kill-after-ms"] = float64(*fs.killAfter) / float64(time.Millisecond)
+	killRes.Extra["cross-node-hit-ratio"] = kill.crossRatio()
+	killRes.Extra["fp-mismatches"] = float64(kill.Mismatch)
+	killRes.Extra["proxied-in"] = float64(proxiedIn)
+	killRes.Extra["proxied-out"] = float64(proxiedOut)
+	killRes.Extra["proxy-fallbacks"] = float64(fallbacks)
+	killRes.Extra["proxy-errors"] = float64(proxyErrs)
+	doc := Document{
+		Meta: map[string]string{
+			"tool":        "loadgen-cluster",
+			"nodes":       fmt.Sprint(nodes),
+			"peers":       spec,
+			"mix":         *fs.mix,
+			"concurrency": fmt.Sprint(c),
+			"requests":    fmt.Sprint(n),
+			"kill-after":  fs.killAfter.String(),
+			"window":      fs.window.String(),
+		},
+		Results: []Result{warmRes, killRes},
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+
+	// The cluster contract, enforced.
+	var faults []string
+	if warm.Mismatch+kill.Mismatch > 0 {
+		faults = append(faults, fmt.Sprintf("%d responses changed fingerprints across nodes", warm.Mismatch+kill.Mismatch))
+	}
+	if warm.Errors > 0 {
+		faults = append(faults, fmt.Sprintf("%d warm requests failed", warm.Errors))
+	}
+	if warm.CrossHit == 0 {
+		faults = append(faults, "no cross-node cache hits: the cluster never proxied")
+	}
+	if kill.Errors > 0 {
+		faults = append(faults, fmt.Sprintf("%d requests failed while a node was down", kill.Errors))
+	}
+	if kill.N == 0 {
+		faults = append(faults, "kill window served zero requests")
+	}
+	if len(faults) > 0 {
+		return fmt.Errorf("cluster assertions failed: %s", strings.Join(faults, "; "))
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: cluster pass — %d nodes, cross-node hit ratio %.3f warm / %.3f under kill, %.0f rps in the kill window\n",
+		nodes, warm.crossRatio(), kill.crossRatio(), float64(kill.N)/kill.Elapsed.Seconds())
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := newFlagSet()
 	if err := fs.fs.Parse(args); err != nil {
@@ -551,6 +861,12 @@ func run(args []string, out io.Writer) error {
 	mix, err := parseMix(*fs.mix)
 	if err != nil {
 		return err
+	}
+	if *fs.chaos && *fs.cluster > 0 {
+		return fmt.Errorf("-chaos and -cluster are mutually exclusive")
+	}
+	if *fs.cluster > 0 {
+		return runCluster(fs, mix, out)
 	}
 	if *fs.chaos {
 		return runChaos(fs, mix, out)

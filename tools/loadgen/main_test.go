@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -140,6 +142,70 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{}, &buf); err == nil || !strings.Contains(err.Error(), "-addr or -launch") {
 		t.Errorf("missing target: err = %v", err)
+	}
+}
+
+// TestRunClusterEndToEnd builds the real binary and drives the 3-node
+// cluster harness: the warm rotation must produce cross-node proxied
+// hits, and SIGKILLing a node mid-window must cost neither errors nor
+// fingerprint drift.
+func TestRunClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server processes")
+	}
+	bin := filepath.Join(t.TempDir(), "oregami")
+	build := exec.Command("go", "build", "-o", bin, "oregami/cmd/oregami")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	var buf bytes.Buffer
+	err := run([]string{
+		"-cluster", "3", "-launch", bin, "-n", "36", "-c", "3",
+		"-mix", "broadcast8@hypercube:3,nbody@hypercube:3",
+		"-kill-after", "300ms", "-window", "1500ms",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run -cluster: %v\n%s", err, buf.String())
+	}
+	var doc Document
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (warm, kill window)", len(doc.Results))
+	}
+	warm, kill := doc.Results[0], doc.Results[1]
+	if warm.Name != "ClusterWarm" || kill.Name != "ClusterKillWindow" {
+		t.Errorf("result names = %q, %q", warm.Name, kill.Name)
+	}
+	if warm.Extra["cross-node-hit-ratio"] <= 0 {
+		t.Errorf("cross-node-hit-ratio = %v, want > 0", warm.Extra["cross-node-hit-ratio"])
+	}
+	if warm.Extra["fp-mismatches"] != 0 || kill.Extra["fp-mismatches"] != 0 {
+		t.Errorf("fingerprint mismatches: warm=%v kill=%v",
+			warm.Extra["fp-mismatches"], kill.Extra["fp-mismatches"])
+	}
+	if warm.Extra["errors"] != 0 || kill.Extra["errors"] != 0 {
+		t.Errorf("errors: warm=%v kill=%v", warm.Extra["errors"], kill.Extra["errors"])
+	}
+	if kill.Iterations == 0 {
+		t.Error("kill window served zero requests")
+	}
+	if doc.Meta["tool"] != "loadgen-cluster" || doc.Meta["nodes"] != "3" {
+		t.Errorf("meta = %v", doc.Meta)
+	}
+}
+
+func TestRunClusterFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-cluster", "3"}, &buf); err == nil || !strings.Contains(err.Error(), "-launch") {
+		t.Errorf("-cluster without -launch: err = %v", err)
+	}
+	if err := run([]string{"-cluster", "1", "-launch", "/bin/false"}, &buf); err == nil || !strings.Contains(err.Error(), "at least 2") {
+		t.Errorf("-cluster 1: err = %v", err)
+	}
+	if err := run([]string{"-cluster", "3", "-chaos", "-launch", "/bin/false"}, &buf); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-cluster with -chaos: err = %v", err)
 	}
 }
 
